@@ -1,0 +1,126 @@
+"""E12 — Resilience: node failures x {no requeue, requeue, checkpointed requeue}.
+
+Sweeps per-node MTBF on a fixed workload and reports goodput (jobs
+finished) and cost (makespan) under three recovery policies: give up,
+resubmit from scratch, and resubmit resuming from the last scheduling
+point (checkpoint/restart).  Expected shape: without requeue completions
+fall with the fault rate; scratch requeue recovers completions at the
+price of redone work; checkpointed requeue recovers them cheaper.
+"""
+
+import pytest
+
+from repro import Simulation
+from repro.failures import generate_failures
+from repro.job import JobState
+
+from benchmarks.common import evaluation_workload, print_table, reference_platform
+
+NUM_JOBS = 30
+SEED = 9
+#: Per-node mean time between failures (seconds); None = reliable machine.
+MTBFS = [None, 50_000.0, 10_000.0, 2_000.0]
+
+_cache = {}
+
+
+def _run(mtbf, requeue: bool, checkpoint: bool = False):
+    key = (mtbf, requeue, checkpoint)
+    if key not in _cache:
+        platform = reference_platform()
+        jobs = evaluation_workload(num_jobs=NUM_JOBS, seed=SEED, load=0.7)
+        failures = (
+            generate_failures(
+                num_nodes=128,
+                horizon=5_000.0,
+                mtbf=mtbf,
+                mean_repair=120.0,
+                seed=5,
+            )
+            if mtbf is not None
+            else []
+        )
+        sim = Simulation(
+            platform,
+            jobs,
+            algorithm="easy",
+            failures=failures,
+            requeue_on_failure=requeue,
+            checkpoint_restart=checkpoint,
+        )
+        monitor = sim.run()
+        all_jobs = sim.batch.jobs
+        originals_ok = sum(
+            1
+            for j in all_jobs
+            if j.state is JobState.COMPLETED and j.origin_jid is None
+        )
+        retries_ok = sum(
+            1
+            for j in all_jobs
+            if j.state is JobState.COMPLETED and j.origin_jid is not None
+        )
+        _cache[key] = {
+            "faults": len(failures),
+            "completed": originals_ok + retries_ok,
+            "retries_ok": retries_ok,
+            "killed_by_failure": sum(
+                1 for j in all_jobs if j.kill_reason == "node_failure"
+            ),
+            "makespan": monitor.makespan(),
+        }
+    return _cache[key]
+
+
+@pytest.mark.benchmark(group="e12-failures")
+@pytest.mark.parametrize(
+    "mtbf", MTBFS, ids=["reliable", "mtbf=50k", "mtbf=10k", "mtbf=2k"]
+)
+def test_e12_point(benchmark, mtbf):
+    result = benchmark.pedantic(_run, args=(mtbf, True), rounds=1, iterations=1)
+    assert result["completed"] >= 0
+
+
+@pytest.mark.benchmark(group="e12-failures")
+def test_e12_shape_requeue_recovers_goodput(benchmark):
+    def sweep():
+        return {
+            m: (_run(m, False), _run(m, True), _run(m, True, checkpoint=True))
+            for m in MTBFS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E12: completions under node failures by recovery policy",
+        ["mtbf_s", "faults", "done_noreq", "done_scratch", "done_ckpt",
+         "makespan_scratch_s", "makespan_ckpt_s"],
+        [
+            [
+                "inf" if m is None else f"{m:g}",
+                off["faults"],
+                off["completed"],
+                scratch["completed"],
+                ckpt["completed"],
+                scratch["makespan"],
+                ckpt["makespan"],
+            ]
+            for m, (off, scratch, ckpt) in results.items()
+        ],
+        note=f"{NUM_JOBS} jobs, 128 nodes, repair 120 s, EASY scheduling; "
+        "ckpt = resume from last scheduling point",
+    )
+    reliable = results[None]
+    assert all(r["completed"] == NUM_JOBS for r in reliable)
+    # Without requeue, faults cost completions at the harshest setting.
+    assert results[MTBFS[-1]][0]["completed"] < NUM_JOBS
+    for m in MTBFS[1:]:
+        off, scratch, ckpt = results[m]
+        # Any requeue flavor recovers at least as many completions...
+        assert scratch["completed"] >= off["completed"]
+        assert ckpt["completed"] >= off["completed"]
+        # ...and checkpointing never loses to scratch on completions or
+        # campaign length (it strictly reduces redone work).
+        assert ckpt["completed"] >= scratch["completed"]
+        assert ckpt["makespan"] <= scratch["makespan"] * 1.001
+    harshest = results[MTBFS[-1]]
+    assert harshest[1]["completed"] > harshest[0]["completed"]

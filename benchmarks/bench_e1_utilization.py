@@ -1,0 +1,96 @@
+"""E1 — Utilization timeline: rigid vs malleable (paper's headline figure).
+
+Runs the identical job mix twice — all-rigid under EASY, all-malleable
+under the malleable scheduler — and prints the utilization step series
+plus aggregate utilization.  Expected shape: the malleable run fills
+scheduling holes, yielding higher instantaneous utilization and an earlier
+finish of the same work.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    evaluation_workload,
+    print_table,
+    reference_platform,
+    run_sim,
+)
+
+NUM_JOBS = 60
+SEED = 42
+
+_cache = {}
+
+
+def _run(malleable: bool):
+    key = "malleable" if malleable else "rigid"
+    if key not in _cache:
+        platform = reference_platform()
+        jobs = evaluation_workload(
+            num_jobs=NUM_JOBS,
+            seed=SEED,
+            malleable_fraction=1.0 if malleable else 0.0,
+        )
+        algorithm = "malleable" if malleable else "easy"
+        _cache[key] = run_sim(platform, jobs, algorithm)
+    return _cache[key]
+
+
+def _downsample(timeline, points=20):
+    if len(timeline) <= points:
+        return timeline
+    step = len(timeline) / points
+    return [timeline[int(i * step)] for i in range(points)] + [timeline[-1]]
+
+
+@pytest.mark.benchmark(group="e1-utilization")
+def test_e1_rigid_baseline(benchmark):
+    monitor = benchmark.pedantic(_run, args=(False,), rounds=1, iterations=1)
+    summary = monitor.summary()
+    print_table(
+        "E1a rigid/EASY utilization timeline (downsampled)",
+        ["time_s", "utilization"],
+        _downsample(monitor.utilization_timeline()),
+        note=f"mean utilization {summary.mean_utilization:.3f}, "
+        f"makespan {summary.makespan:.0f} s",
+    )
+    assert summary.completed_jobs == NUM_JOBS
+
+
+@pytest.mark.benchmark(group="e1-utilization")
+def test_e1_malleable(benchmark):
+    monitor = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+    summary = monitor.summary()
+    print_table(
+        "E1b malleable utilization timeline (downsampled)",
+        ["time_s", "utilization"],
+        _downsample(monitor.utilization_timeline()),
+        note=f"mean utilization {summary.mean_utilization:.3f}, "
+        f"makespan {summary.makespan:.0f} s",
+    )
+    assert summary.completed_jobs == NUM_JOBS
+
+
+@pytest.mark.benchmark(group="e1-utilization")
+def test_e1_shape_malleable_beats_rigid(benchmark):
+    """The qualitative claim: malleability raises utilization, cuts makespan."""
+
+    def compare():
+        return _run(False).summary(), _run(True).summary()
+
+    rigid, malleable = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_table(
+        "E1 summary: rigid vs malleable",
+        ["variant", "mean_util", "makespan_s", "mean_wait_s"],
+        [
+            ["rigid/easy", rigid.mean_utilization, rigid.makespan, rigid.mean_wait],
+            [
+                "malleable",
+                malleable.mean_utilization,
+                malleable.makespan,
+                malleable.mean_wait,
+            ],
+        ],
+    )
+    assert malleable.mean_utilization > rigid.mean_utilization
+    assert malleable.makespan < rigid.makespan

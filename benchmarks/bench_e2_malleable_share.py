@@ -1,0 +1,69 @@
+"""E2 — Makespan / wait time vs malleable job share (paper's sweep figure).
+
+Sweeps the fraction of malleable jobs over {0, 25, 50, 75, 100}% on the
+same seed set and reports makespan, mean wait, mean bounded slowdown, and
+utilization.  Expected shape: metrics improve monotonically (modulo noise)
+with the malleable share, with diminishing returns at the top end.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    evaluation_workload,
+    print_table,
+    reference_platform,
+    run_sim,
+)
+
+NUM_JOBS = 50
+SEED = 7
+SHARES = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+_cache = {}
+
+
+def _run(share: float):
+    if share not in _cache:
+        platform = reference_platform()
+        jobs = evaluation_workload(
+            num_jobs=NUM_JOBS, seed=SEED, malleable_fraction=share
+        )
+        _cache[share] = run_sim(platform, jobs, "malleable").summary()
+    return _cache[share]
+
+
+@pytest.mark.benchmark(group="e2-malleable-share")
+@pytest.mark.parametrize("share", SHARES)
+def test_e2_share_point(benchmark, share):
+    summary = benchmark.pedantic(_run, args=(share,), rounds=1, iterations=1)
+    assert summary.completed_jobs == NUM_JOBS
+
+
+@pytest.mark.benchmark(group="e2-malleable-share")
+def test_e2_shape_monotone_improvement(benchmark):
+    def sweep():
+        return {share: _run(share) for share in SHARES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E2: metrics vs malleable share",
+        ["share_%", "makespan_s", "mean_wait_s", "mean_bsld", "mean_util"],
+        [
+            [
+                int(share * 100),
+                s.makespan,
+                s.mean_wait,
+                s.mean_bounded_slowdown,
+                s.mean_utilization,
+            ]
+            for share, s in results.items()
+        ],
+    )
+    # Shape: the fully malleable mix clearly beats the all-rigid mix...
+    assert results[1.0].makespan < results[0.0].makespan
+    assert results[1.0].mean_wait < results[0.0].mean_wait
+    # ...and the trend is broadly monotone: each step either improves
+    # makespan or stays within 10% noise of the previous point.
+    spans = [results[s].makespan for s in SHARES]
+    for previous, current in zip(spans, spans[1:]):
+        assert current <= previous * 1.10

@@ -1,0 +1,91 @@
+"""E3 — Scheduler comparison table (paper's algorithm-comparison table).
+
+Runs the same mixed workload (50% malleable) under every built-in
+algorithm.  Expected shape: EASY and conservative beat plain FCFS on
+makespan/wait; the malleable-aware policy wins on the malleable mix,
+because only it can exploit the flexible jobs.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    evaluation_workload,
+    print_table,
+    reference_platform,
+    run_sim,
+)
+
+NUM_JOBS = 50
+SEED = 13
+ALGORITHMS = [
+    "fcfs",
+    "easy",
+    "sjf",
+    "fairshare",
+    "conservative",
+    "moldable",
+    "adaptive-moldable",
+    "malleable",
+]
+
+_cache = {}
+
+
+def _run(algorithm: str):
+    if algorithm not in _cache:
+        platform = reference_platform()
+        jobs = evaluation_workload(
+            num_jobs=NUM_JOBS, seed=SEED, malleable_fraction=0.5
+        )
+        _cache[algorithm] = run_sim(platform, jobs, algorithm).summary()
+    return _cache[algorithm]
+
+
+@pytest.mark.benchmark(group="e3-schedulers")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_e3_algorithm(benchmark, algorithm):
+    summary = benchmark.pedantic(_run, args=(algorithm,), rounds=1, iterations=1)
+    assert summary.completed_jobs + summary.killed_jobs == NUM_JOBS
+
+
+@pytest.mark.benchmark(group="e3-schedulers")
+def test_e3_shape_table(benchmark):
+    def sweep():
+        return {alg: _run(alg) for alg in ALGORITHMS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E3: scheduling algorithms on a 50% malleable mix",
+        ["algorithm", "makespan_s", "mean_wait_s", "mean_bsld", "mean_util", "reconfigs"],
+        [
+            [
+                alg,
+                s.makespan,
+                s.mean_wait,
+                s.mean_bounded_slowdown,
+                s.mean_utilization,
+                s.total_reconfigurations,
+            ]
+            for alg, s in results.items()
+        ],
+    )
+    # Backfilling should not lose to strict FCFS.
+    assert results["easy"].makespan <= results["fcfs"].makespan * 1.01
+    assert results["conservative"].makespan <= results["fcfs"].makespan * 1.01
+    # Only the malleable policy reconfigures jobs...
+    assert results["malleable"].total_reconfigurations > 0
+    static = (
+        "fcfs", "easy", "sjf", "fairshare", "conservative", "moldable",
+        "adaptive-moldable",
+    )
+    for alg in static:
+        assert results[alg].total_reconfigurations == 0
+    # ...and it wins the mixed workload: best mean wait outright, makespan
+    # at least matching the best static policy (the makespan itself is
+    # dominated by whichever long job finishes last, so allow 2% noise).
+    best_static_makespan = min(results[alg].makespan for alg in static)
+    assert results["malleable"].makespan <= best_static_makespan * 1.02
+    best_static_wait = min(results[alg].mean_wait for alg in static)
+    assert results["malleable"].mean_wait <= best_static_wait
+    best_static_util = max(results[alg].mean_utilization for alg in static)
+    assert results["malleable"].mean_utilization >= best_static_util * 0.98

@@ -1,0 +1,114 @@
+"""E4 — I/O contention at the parallel file system.
+
+N identical checkpoint-heavy jobs run concurrently (one per node group);
+each periodically writes to the shared PFS.  We sweep N and measure the
+per-job runtime stretch relative to a solo run, with and without burst
+buffers.  Expected shape: runtimes are flat while aggregate demand fits
+the PFS write bandwidth, then grow ~linearly with N beyond saturation;
+burst buffers absorb the checkpoints and flatten the curve.
+"""
+
+import pytest
+
+from repro import Simulation
+from repro.application import (
+    ApplicationModel,
+    BbWriteTask,
+    CpuTask,
+    Distribution,
+    Phase,
+    PfsWriteTask,
+)
+from repro.job import Job
+
+from benchmarks.common import print_table, reference_platform
+
+#: Each job: 10 iterations of [1 s compute on 4 nodes, 10 GB checkpoint].
+NODES_PER_JOB = 4
+ITERATIONS = 10
+CHECKPOINT_BYTES = 10e9
+JOB_COUNTS = [1, 2, 4, 8, 16]
+
+_cache = {}
+
+
+def _app(burst_buffer: bool):
+    write_cls = BbWriteTask if burst_buffer else PfsWriteTask
+    kwargs = {"charge": False} if burst_buffer else {}
+    return ApplicationModel(
+        [
+            Phase(
+                [
+                    CpuTask(4e12, name="compute"),  # 1 s on 4 x 1e12 nodes
+                    write_cls(
+                        CHECKPOINT_BYTES,
+                        distribution=Distribution.EVEN,
+                        name="checkpoint",
+                        **kwargs,
+                    ),
+                ],
+                iterations=ITERATIONS,
+            )
+        ],
+        name="checkpointer",
+    )
+
+
+def _run(num_jobs: int, burst_buffer: bool) -> float:
+    """Mean job runtime with `num_jobs` concurrent checkpointing jobs."""
+    key = (num_jobs, burst_buffer)
+    if key not in _cache:
+        platform = reference_platform(
+            num_nodes=64,
+            # Each job can push at most 4 links x 10 GB/s = 40 GB/s, so an
+            # 80 GB/s PFS is saturated from 2 jobs up and over-subscribed
+            # beyond that — giving the flat-then-linear paper shape.
+            pfs_write=80e9,
+            burst_buffers=burst_buffer,
+        )
+        jobs = [
+            Job(i + 1, _app(burst_buffer), num_nodes=NODES_PER_JOB)
+            for i in range(num_jobs)
+        ]
+        Simulation(platform, jobs, algorithm="fcfs").run()
+        _cache[key] = sum(j.runtime for j in jobs) / num_jobs
+    return _cache[key]
+
+
+@pytest.mark.benchmark(group="e4-io")
+@pytest.mark.parametrize("num_jobs", JOB_COUNTS)
+def test_e4_pfs_contention_point(benchmark, num_jobs):
+    runtime = benchmark.pedantic(
+        _run, args=(num_jobs, False), rounds=1, iterations=1
+    )
+    assert runtime > 0
+
+
+@pytest.mark.benchmark(group="e4-io")
+def test_e4_shape_contention_and_burst_buffers(benchmark):
+    def sweep():
+        return {
+            n: (_run(n, False), _run(n, True)) for n in JOB_COUNTS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    solo_pfs = results[1][0]
+    print_table(
+        "E4: mean job runtime vs concurrent checkpointing jobs",
+        ["jobs", "pfs_runtime_s", "pfs_stretch", "bb_runtime_s", "bb_stretch"],
+        [
+            [n, pfs, pfs / solo_pfs, bb, bb / results[1][1]]
+            for n, (pfs, bb) in results.items()
+        ],
+        note="PFS write bw 80 GB/s; each job checkpoints 10 GB per iteration",
+    )
+    # At 2 jobs the 80 GB/s PFS exactly fits both jobs' 40 GB/s link
+    # ceilings: no stretch yet.
+    assert results[2][0] == pytest.approx(solo_pfs, rel=0.05)
+    # Beyond saturation the checkpoint phase scales with the job count.
+    assert results[8][0] > solo_pfs * 1.5
+    assert results[16][0] > results[8][0] * 1.4
+    # Burst buffers are node-local: no cross-job contention at all.
+    bb_solo = results[1][1]
+    for n in JOB_COUNTS:
+        assert results[n][1] == pytest.approx(bb_solo, rel=0.01)

@@ -1,0 +1,82 @@
+"""E5 — Simulator performance and scalability (paper's performance section).
+
+Measures wall-clock simulation time and event throughput as the workload
+and machine grow.  Expected shape: wall-clock time grows near-linearly
+with the number of processed events; clusters in the thousands of nodes
+with hundreds of jobs simulate in seconds on a laptop.
+"""
+
+import time
+
+import pytest
+
+from repro import Simulation
+from repro.application import ApplicationModel, CpuTask, Phase
+from repro.job import Job
+
+from benchmarks.common import evaluation_workload, print_table, reference_platform
+
+_rows = []
+
+
+def _simulate(num_jobs: int, num_nodes: int):
+    platform = reference_platform(num_nodes=num_nodes)
+    jobs = evaluation_workload(
+        num_jobs=num_jobs,
+        seed=3,
+        num_nodes=num_nodes,
+        max_request=min(64, num_nodes),
+        comm_bytes=0.0,  # keep event counts dominated by scheduling
+        mean_interarrival=10.0,
+    )
+    sim = Simulation(platform, jobs, algorithm="easy")
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return wall, sim.env.processed_events, sim.batch.invocations
+
+
+@pytest.mark.benchmark(group="e5-performance")
+@pytest.mark.parametrize("num_jobs", [100, 300, 1000])
+def test_e5_scaling_jobs(benchmark, num_jobs):
+    def run():
+        return _simulate(num_jobs, 128)
+
+    wall, events, invocations = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows.append([f"{num_jobs} jobs / 128 nodes", events, invocations, wall,
+                  events / wall])
+    assert events > 0
+
+
+@pytest.mark.benchmark(group="e5-performance")
+@pytest.mark.parametrize("num_nodes", [128, 512, 2048])
+def test_e5_scaling_nodes(benchmark, num_nodes):
+    def run():
+        return _simulate(200, num_nodes)
+
+    wall, events, invocations = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows.append(
+        [f"200 jobs / {num_nodes} nodes", events, invocations, wall, events / wall]
+    )
+    assert events > 0
+
+
+@pytest.mark.benchmark(group="e5-performance")
+def test_e5_report_and_shape(benchmark):
+    def noop():
+        return True
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    print_table(
+        "E5: simulator performance",
+        ["configuration", "events", "invocations", "wall_s", "events_per_s"],
+        _rows,
+        note="pure-Python DES; events/s is the throughput figure of merit",
+    )
+    # Shape: every configuration completes in reasonable wall time and the
+    # event throughput stays within one order of magnitude across scales
+    # (near-linear scaling in events).
+    assert _rows, "scaling tests must run first"
+    rates = [row[4] for row in _rows]
+    assert min(rates) > 0
+    assert max(rates) / min(rates) < 20

@@ -1,0 +1,169 @@
+"""E6 — Engine validation against closed-form runtimes.
+
+Single jobs whose runtimes have exact analytic values: pure compute,
+link-bound transfers, PFS-shared writes, and a malleable expansion with a
+known redistribution cost.  Expected shape: simulated == analytic to float
+precision — this is the table that certifies the substrate.
+"""
+
+import pytest
+
+from repro import Simulation
+from repro.application import (
+    ApplicationModel,
+    CommPattern,
+    CommTask,
+    CpuTask,
+    Distribution,
+    Phase,
+    PfsWriteTask,
+)
+from repro.job import Job, JobType
+from repro.platform import platform_from_dict
+
+from benchmarks.common import print_table
+
+
+def _platform():
+    return platform_from_dict(
+        {
+            "name": "validation",
+            "nodes": {"count": 8, "flops": 1e9},
+            "network": {
+                "topology": "star",
+                "bandwidth": 1e9,
+                "latency": 0.0,
+                "pfs_bandwidth": 1e12,
+            },
+            "pfs": {"read_bw": 2e9, "write_bw": 2e9},
+        }
+    )
+
+
+CASES = [
+    # (name, app builder, nodes, analytic seconds, explanation)
+    (
+        "compute-even",
+        lambda: ApplicationModel([Phase([CpuTask(8e9)])]),
+        4,
+        2.0,
+        "8e9 flops / (4 nodes x 1e9 f/s)",
+    ),
+    (
+        "compute-3-iter",
+        lambda: ApplicationModel([Phase([CpuTask(8e9)], iterations=3)]),
+        4,
+        6.0,
+        "3 iterations x 2 s",
+    ),
+    (
+        "ring-comm",
+        lambda: ApplicationModel([Phase([CommTask(1e9, pattern=CommPattern.RING)])]),
+        4,
+        1.0,
+        "1e9 B per link at 1e9 B/s, no contention",
+    ),
+    (
+        "alltoall-comm",
+        lambda: ApplicationModel(
+            [Phase([CommTask(1e9, pattern=CommPattern.ALL_TO_ALL)])]
+        ),
+        4,
+        3.0,
+        "3 flows share each 1e9 B/s NIC",
+    ),
+    (
+        "pfs-write-shared",
+        lambda: ApplicationModel(
+            [Phase([PfsWriteTask(1e9, distribution=Distribution.PER_NODE)])]
+        ),
+        8,
+        4.0,
+        "8 x 1e9 B through 2e9 B/s PFS write service",
+    ),
+    (
+        "compute-then-write",
+        lambda: ApplicationModel(
+            [
+                Phase([CpuTask(8e9)]),
+                Phase([PfsWriteTask(4e9)], scheduling_point=False),
+            ]
+        ),
+        8,
+        3.0,
+        "1 s compute + 4e9 B at 2e9 B/s PFS",
+    ),
+]
+
+
+def _measure(builder, nodes):
+    platform = _platform()
+    job = Job(1, builder(), num_nodes=nodes)
+    Simulation(platform, [job], algorithm="fcfs").run()
+    return job.runtime
+
+
+@pytest.mark.benchmark(group="e6-validation")
+@pytest.mark.parametrize("case", CASES, ids=[c[0] for c in CASES])
+def test_e6_case(benchmark, case):
+    name, builder, nodes, analytic, _ = case
+    measured = benchmark.pedantic(
+        _measure, args=(builder, nodes), rounds=1, iterations=1
+    )
+    assert measured == pytest.approx(analytic, rel=1e-6), name
+
+
+@pytest.mark.benchmark(group="e6-validation")
+def test_e6_report(benchmark):
+    def sweep():
+        return [
+            (name, analytic, _measure(builder, nodes), why)
+            for name, builder, nodes, analytic, why in CASES
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E6: simulated vs analytic runtimes",
+        ["case", "analytic_s", "simulated_s", "model"],
+        rows,
+    )
+    for name, analytic, simulated, _ in rows:
+        assert simulated == pytest.approx(analytic, rel=1e-6), name
+
+
+@pytest.mark.benchmark(group="e6-validation")
+def test_e6_malleable_expansion_analytic(benchmark):
+    """Expansion timing: phase A on 2 nodes, redistribution, phase B on 4."""
+    from repro.job import ReconfigurationOrder
+    from repro.scheduler import Algorithm
+
+    class ExpandOnce(Algorithm):
+        name = "expand-once"
+
+        def schedule(self, ctx, invocation):
+            for job in ctx.pending_jobs:
+                free = ctx.free_nodes()
+                ctx.start_job(job, free[:2])
+            if invocation.type.value == "scheduling_point":
+                job = invocation.job
+                if job.reconfigurations_applied == 0 and job.pending_reconfiguration is None:
+                    target = list(job.assigned_nodes) + ctx.free_nodes()[:2]
+                    ctx.reconfigure_job(job, target)
+
+    def run():
+        platform = _platform()
+        app = ApplicationModel(
+            [Phase([CpuTask(4e9)]), Phase([CpuTask(4e9)], scheduling_point=False)],
+            data_per_node="1e9",
+        )
+        job = Job(
+            1, app, job_type=JobType.MALLEABLE, num_nodes=2, min_nodes=2, max_nodes=4
+        )
+        Simulation(platform, [job], algorithm=ExpandOnce()).run()
+        return job.runtime
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Phase A: 4e9/(2x1e9) = 2 s.  Redistribution: total 2e9 B, new share
+    # 0.5e9 B to each of 2 joiners over 1e9 B/s links = 0.5 s.  Phase B:
+    # 4e9/(4x1e9) = 1 s.  Total 3.5 s.
+    assert measured == pytest.approx(3.5, rel=1e-6)

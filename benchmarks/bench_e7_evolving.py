@@ -1,0 +1,132 @@
+"""E7 — Evolving jobs: granting application-initiated growth.
+
+A mix of rigid jobs and evolving jobs whose applications request extra
+nodes for a middle "burst" phase and release them afterwards.  We compare
+a scheduler that grants evolving requests (malleable policy) with one that
+ignores them (EASY).  Expected shape: granting requests shortens the
+evolving jobs' turnaround without starving the rigid jobs.
+"""
+
+import pytest
+
+from repro import Simulation
+from repro.application import (
+    ApplicationModel,
+    CpuTask,
+    EvolvingRequest,
+    Phase,
+)
+from repro.job import Job, JobType
+
+from benchmarks.common import print_table, reference_platform
+
+NUM_EVOLVING = 8
+NUM_RIGID = 8
+
+_cache = {}
+
+
+def _evolving_app():
+    """Steady on 4 nodes, burst wants 16, then back to 4."""
+    return ApplicationModel(
+        [
+            Phase([CpuTask(8e12, name="ramp")], name="steady1",
+                  scheduling_point=False),
+            Phase(
+                [
+                    EvolvingRequest("16", name="grow"),
+                    CpuTask(64e12, name="burst"),
+                    EvolvingRequest("4", name="release"),
+                ],
+                name="burst",
+                scheduling_point=False,
+            ),
+            Phase([CpuTask(8e12, name="cooldown")], name="steady2",
+                  scheduling_point=False),
+        ],
+        name="evolving-burst",
+    )
+
+
+def _rigid_app():
+    return ApplicationModel([Phase([CpuTask(16e12)])], name="rigid-filler")
+
+
+def _build_jobs():
+    jobs = []
+    jid = 1
+    for i in range(NUM_EVOLVING):
+        jobs.append(
+            Job(
+                jid,
+                _evolving_app(),
+                job_type=JobType.EVOLVING,
+                num_nodes=4,
+                min_nodes=4,
+                max_nodes=16,
+                submit_time=5.0 * i,
+                name=f"evolving{i}",
+            )
+        )
+        jid += 1
+    for i in range(NUM_RIGID):
+        jobs.append(
+            Job(
+                jid,
+                _rigid_app(),
+                num_nodes=4,
+                submit_time=2.5 + 5.0 * i,
+                name=f"rigid{i}",
+            )
+        )
+        jid += 1
+    return jobs
+
+
+def _run(grant: bool):
+    key = grant
+    if key not in _cache:
+        platform = reference_platform(num_nodes=64)
+        jobs = _build_jobs()
+        algorithm = "malleable" if grant else "easy"
+        Simulation(platform, jobs, algorithm=algorithm).run()
+        evolving = [j for j in jobs if j.type is JobType.EVOLVING]
+        rigid = [j for j in jobs if j.type is JobType.RIGID]
+        _cache[key] = {
+            "evolving_turnaround": sum(j.turnaround for j in evolving) / len(evolving),
+            "rigid_turnaround": sum(j.turnaround for j in rigid) / len(rigid),
+            "grants": sum(j.reconfigurations_applied for j in evolving),
+        }
+    return _cache[key]
+
+
+@pytest.mark.benchmark(group="e7-evolving")
+@pytest.mark.parametrize("grant", [False, True], ids=["ignore", "grant"])
+def test_e7_variant(benchmark, grant):
+    result = benchmark.pedantic(_run, args=(grant,), rounds=1, iterations=1)
+    assert result["evolving_turnaround"] > 0
+
+
+@pytest.mark.benchmark(group="e7-evolving")
+def test_e7_shape_grants_help_evolving_jobs(benchmark):
+    def compare():
+        return _run(False), _run(True)
+
+    ignored, granted = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_table(
+        "E7: evolving-request handling",
+        ["policy", "evolving_turnaround_s", "rigid_turnaround_s", "grants"],
+        [
+            ["ignore (easy)", ignored["evolving_turnaround"],
+             ignored["rigid_turnaround"], ignored["grants"]],
+            ["grant (malleable)", granted["evolving_turnaround"],
+             granted["rigid_turnaround"], granted["grants"]],
+        ],
+    )
+    assert granted["grants"] > 0
+    assert ignored["grants"] == 0
+    # Granting the burst makes evolving jobs substantially faster...
+    assert granted["evolving_turnaround"] < ignored["evolving_turnaround"] * 0.8
+    # ...without pathologically starving the rigid jobs (allow 25% slack:
+    # the extra nodes granted to bursts do delay some rigid starts).
+    assert granted["rigid_turnaround"] <= ignored["rigid_turnaround"] * 1.25

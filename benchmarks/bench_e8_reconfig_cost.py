@@ -1,0 +1,88 @@
+"""E8 — Reconfiguration-cost ablation (design-choice study from DESIGN.md §5).
+
+Re-runs E2's 50% malleable mix while sweeping ``data_per_node`` — the
+application state redistributed at every reconfiguration — from free to
+very expensive.  Expected shape: malleability's makespan advantage over
+the rigid baseline shrinks as the cost rises, with a crossover where
+reconfiguring stops paying off.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    evaluation_workload,
+    print_table,
+    reference_platform,
+    run_sim,
+)
+
+NUM_JOBS = 40
+SEED = 21
+#: Bytes of state per node moved at each reconfiguration.
+COSTS = [0.0, 1e9, 10e9, 100e9, 1000e9]
+
+_cache = {}
+
+
+def _rigid_baseline():
+    if "rigid" not in _cache:
+        platform = reference_platform()
+        jobs = evaluation_workload(num_jobs=NUM_JOBS, seed=SEED)
+        _cache["rigid"] = run_sim(platform, jobs, "easy").summary()
+    return _cache["rigid"]
+
+
+def _run(cost: float):
+    if cost not in _cache:
+        platform = reference_platform()
+        jobs = evaluation_workload(
+            num_jobs=NUM_JOBS,
+            seed=SEED,
+            malleable_fraction=0.5,
+            data_per_node=cost,
+        )
+        _cache[cost] = run_sim(platform, jobs, "malleable").summary()
+    return _cache[cost]
+
+
+@pytest.mark.benchmark(group="e8-reconfig-cost")
+@pytest.mark.parametrize("cost", COSTS, ids=[f"{c:g}B" for c in COSTS])
+def test_e8_cost_point(benchmark, cost):
+    summary = benchmark.pedantic(_run, args=(cost,), rounds=1, iterations=1)
+    assert summary.completed_jobs + summary.killed_jobs == NUM_JOBS
+
+
+@pytest.mark.benchmark(group="e8-reconfig-cost")
+def test_e8_shape_gains_shrink_with_cost(benchmark):
+    def sweep():
+        return _rigid_baseline(), {c: _run(c) for c in COSTS}
+
+    rigid, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E8: malleability vs reconfiguration cost (50% malleable mix)",
+        ["data_per_node_B", "makespan_s", "vs_rigid", "mean_wait_s", "reconfigs"],
+        [
+            [
+                f"{cost:g}",
+                s.makespan,
+                s.makespan / rigid.makespan,
+                s.mean_wait,
+                s.total_reconfigurations,
+            ]
+            for cost, s in results.items()
+        ],
+        note=f"rigid/EASY baseline: makespan {rigid.makespan:.0f} s, "
+        f"mean wait {rigid.mean_wait:.1f} s",
+    )
+    # Free reconfiguration beats the rigid baseline on wait time (the
+    # makespan is dominated by the long tail job on this seed and can tie).
+    assert results[0.0].mean_wait < rigid.mean_wait
+    assert results[0.0].makespan <= rigid.makespan * 1.001
+    # Gains shrink with cost: waits rise monotonically across the sweep and
+    # the most expensive point is clearly worse than the free point.
+    waits = [results[c].mean_wait for c in COSTS]
+    assert all(b >= a * 0.99 for a, b in zip(waits, waits[1:]))
+    assert results[COSTS[-1]].makespan > results[0.0].makespan
+    # Crossover: at some cost, malleability stops beating rigid outright.
+    assert results[COSTS[-1]].makespan >= rigid.makespan
+    assert results[COSTS[-1]].mean_wait >= rigid.mean_wait

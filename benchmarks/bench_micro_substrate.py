@@ -1,0 +1,104 @@
+"""Microbenchmarks of the simulation substrate (supporting data for E5).
+
+Measures the DES kernel's raw event throughput and the fair-share solver's
+cost at various activity counts — the two components E5's end-to-end
+numbers decompose into.  Run with real repetition (these are fast), so the
+pytest-benchmark statistics are meaningful here.
+"""
+
+import pytest
+
+from repro.des import Environment
+from repro.sharing import Activity, FairShareModel, SharedResource, solve_max_min
+
+
+@pytest.mark.benchmark(group="micro-des")
+def test_micro_event_throughput(benchmark):
+    """Schedule-and-process cost of 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(100):
+                yield env.timeout(1.0)
+
+        for _ in range(100):
+            env.process(proc(env))
+        env.run()
+        return env.processed_events
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+@pytest.mark.benchmark(group="micro-des")
+def test_micro_process_spawn_cost(benchmark):
+    """Creating and completing 5k trivial processes."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(0)
+
+        for _ in range(5000):
+            env.process(proc(env))
+        env.run()
+        return env.processed_events
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-solver")
+@pytest.mark.parametrize("n_activities", [10, 100, 1000])
+def test_micro_solver_single_resource(benchmark, n_activities):
+    """Progressive filling with n activities on one shared resource."""
+    resource = SharedResource("r", 1e9)
+    activities = [Activity(1.0, {resource: 1.0}) for _ in range(n_activities)]
+
+    def run():
+        solve_max_min(activities)
+        return activities[0].rate
+
+    rate = benchmark(run)
+    assert rate == pytest.approx(1e9 / n_activities)
+
+
+@pytest.mark.benchmark(group="micro-solver")
+def test_micro_solver_sparse_mesh(benchmark):
+    """200 flows over 100 links, 2 links per flow (network-like shape)."""
+    links = [SharedResource(f"l{i}", 1e9) for i in range(100)]
+    activities = [
+        Activity(1.0, {links[i % 100]: 1.0, links[(i * 7 + 3) % 100]: 1.0})
+        for i in range(200)
+    ]
+
+    def run():
+        solve_max_min(activities)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-model")
+def test_micro_model_churn(benchmark):
+    """End-to-end model churn: 500 staggered activities on 32 resources."""
+
+    def run():
+        env = Environment()
+        model = FairShareModel(env)
+        resources = [SharedResource(f"r{i}", 1e9) for i in range(32)]
+
+        def submit(env, i):
+            yield env.timeout(i * 0.01)
+            act = Activity(1e7, {resources[i % 32]: 1.0})
+            model.execute(act)
+            yield act.done
+
+        for i in range(500):
+            env.process(submit(env, i))
+        env.run()
+        return model.resolves
+
+    resolves = benchmark(run)
+    assert resolves > 0

@@ -1,0 +1,138 @@
+"""Shared experiment infrastructure for the benchmark harness.
+
+Every experiment (see DESIGN.md §4) uses the same reference platform — a
+flat 128-node cluster in the size class the paper's evaluation targets —
+and prints paper-style rows via :func:`print_table` so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro import Simulation, platform_from_dict
+from repro.monitoring import Monitor
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def reference_platform(
+    num_nodes: int = 128,
+    *,
+    node_flops: float = 1e12,
+    link_bw: float = 10e9,
+    pfs_read: float = 100e9,
+    pfs_write: float = 80e9,
+    burst_buffers: bool = False,
+):
+    """The evaluation platform: flat cluster, shared PFS, optional BBs."""
+    spec: Dict[str, Any] = {
+        "name": f"eval-{num_nodes}",
+        "nodes": {"count": num_nodes, "flops": node_flops},
+        "network": {
+            "topology": "star",
+            "bandwidth": link_bw,
+            "latency": 1e-6,
+            "pfs_bandwidth": max(pfs_read, pfs_write) * 2,
+        },
+        "pfs": {"read_bw": pfs_read, "write_bw": pfs_write},
+    }
+    if burst_buffers:
+        spec["burst_buffer"] = {
+            "read_bw": 10e9,
+            "write_bw": 5e9,
+            "capacity": 1e13,
+        }
+    return platform_from_dict(spec)
+
+
+def evaluation_workload(
+    *,
+    num_jobs: int = 100,
+    seed: int = 42,
+    malleable_fraction: float = 0.0,
+    evolving_fraction: float = 0.0,
+    data_per_node: float = 0.0,
+    mean_interarrival: float = 20.0,
+    max_request: int = 64,
+    comm_bytes: float = 1e7,
+    io: bool = False,
+    serial_fraction: float = 0.0,
+    load: float = 0.9,
+    num_nodes: int = 128,
+    node_flops: float = 1e12,
+    work_sigma: float = 0.8,
+):
+    """The iterative-application job mix used across experiments.
+
+    Job work is sized so the *offered load* — mean arriving flops per
+    second over machine capacity — equals ``load``; this is what makes the
+    scheduling comparisons meaningful (an empty machine hides all policy
+    differences).
+    """
+    # Offered load = (mean_runtime x mean_request) / (interarrival x N);
+    # solve for mean_runtime given the power-of-two request distribution.
+    import numpy as np
+
+    exps = np.arange(0, int(np.log2(max_request)) + 1)
+    mean_request = float(np.mean(2.0**exps))
+    mean_runtime = load * mean_interarrival * num_nodes / mean_request
+    spec = WorkloadSpec(
+        num_jobs=num_jobs,
+        mean_interarrival=mean_interarrival,
+        min_request=1,
+        max_request=max_request,
+        mean_runtime=mean_runtime,
+        runtime_sigma=work_sigma,
+        malleable_fraction=malleable_fraction,
+        evolving_fraction=evolving_fraction,
+        data_per_node=data_per_node,
+        comm_bytes=comm_bytes,
+        serial_fraction=serial_fraction,
+        input_bytes_per_flop=1e-4 if io else 0.0,
+        output_bytes_per_flop=2e-4 if io else 0.0,
+        walltime_slack=10.0,
+        node_flops=node_flops,
+    )
+    return generate_workload(spec, seed=seed)
+
+
+def run_sim(platform, jobs, algorithm, **kwargs) -> Monitor:
+    """One simulation run returning its monitor."""
+    return Simulation(platform, jobs, algorithm=algorithm, **kwargs).run()
+
+
+def print_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    note: Optional[str] = None,
+) -> None:
+    """Print a paper-style results table to stdout."""
+    rows = [list(map(_fmt, row)) for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        print(f"note: {note}")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Writing your own scheduling algorithm.
+
+This is the simulator's core use case: plug a custom policy into the
+invocation interface and compare it against the built-ins.  The example
+implements *smallest-job-first with malleable expansion* in ~40 lines and
+races it against FCFS and EASY on the same workload.
+
+Run with::
+
+    python examples/custom_algorithm.py
+"""
+
+from repro import Simulation, platform_from_dict
+from repro.job import JobType
+from repro.scheduler import Algorithm, Invocation, SchedulerContext
+from repro.workload import WorkloadSpec, generate_workload
+
+
+class SmallestFirstExpander(Algorithm):
+    """Start the smallest queued job first; expand malleable jobs with
+    whatever is left over.
+
+    Demonstrates the three context decision methods: ``start_job``,
+    ``reconfigure_job`` (and, not used here, ``kill_job``).
+    """
+
+    name = "smallest-first"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        # 1. Starts: smallest request first (note: deliberately unfair to
+        #    big jobs — this is what the comparison below will expose).
+        for job in sorted(ctx.pending_jobs, key=lambda j: j.num_nodes):
+            free = ctx.free_nodes()
+            need = job.num_nodes if job.is_rigid else job.min_nodes
+            if need > len(free):
+                continue
+            size = need if job.is_rigid else min(len(free), job.max_nodes)
+            ctx.start_job(job, free[:size])
+
+        # 2. Expansion: hand idle nodes to running malleable jobs.
+        if ctx.pending_jobs:
+            return  # queued jobs get priority over expansion
+        for job in ctx.running_jobs:
+            if job.type is not JobType.MALLEABLE:
+                continue
+            if job.pending_reconfiguration is not None:
+                continue
+            free = ctx.free_nodes()
+            grow = min(len(free), job.max_nodes - len(job.assigned_nodes))
+            if grow > 0:
+                ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
+
+
+def main() -> None:
+    platform_spec = {
+        "name": "custom-demo",
+        "nodes": {"count": 64, "flops": 1e12},
+        "network": {"topology": "star", "bandwidth": 10e9, "pfs_bandwidth": 200e9},
+        "pfs": {"read_bw": 100e9, "write_bw": 100e9},
+    }
+    spec = WorkloadSpec(
+        num_jobs=40,
+        mean_interarrival=15.0,
+        max_request=32,
+        mean_runtime=120.0,
+        malleable_fraction=0.5,
+    )
+
+    print(f"{'algorithm':>16} {'makespan_s':>11} {'mean_wait_s':>12} "
+          f"{'max_wait_s':>11} {'util':>6}")
+    print("-" * 62)
+    for algorithm in ["fcfs", "easy", SmallestFirstExpander()]:
+        platform = platform_from_dict(platform_spec)
+        jobs = generate_workload(spec, seed=99)
+        monitor = Simulation(platform, jobs, algorithm=algorithm).run()
+        s = monitor.summary()
+        name = algorithm if isinstance(algorithm, str) else algorithm.name
+        print(
+            f"{name:>16} {s.makespan:11.1f} {s.mean_wait:12.1f} "
+            f"{s.max_wait:11.1f} {s.mean_utilization:6.2f}"
+        )
+    print()
+    print("smallest-first trades worst-case wait (big jobs starve) for")
+    print("throughput — exactly the kind of policy question the simulator")
+    print("exists to answer before touching a production scheduler.")
+
+
+if __name__ == "__main__":
+    main()

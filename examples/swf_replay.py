@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Replaying a Standard Workload Format trace — and asking "what if?".
+
+Loads the bundled ``data/sample.swf`` trace (Parallel Workloads Archive
+format), replays it rigidly under EASY backfilling, then asks the question
+malleable-workload research exists for: *what if these same jobs had been
+malleable?*  The trace-to-simulation substitution (runtimes → compute-only
+application models) is documented in ``repro.workload.swf``.
+
+Run with::
+
+    python examples/swf_replay.py
+"""
+
+from pathlib import Path
+
+from repro import Simulation, platform_from_dict
+from repro.job import JobType
+from repro.workload import jobs_from_swf, profile_workload, format_profile
+
+TRACE = Path(__file__).resolve().parent.parent / "data" / "sample.swf"
+NODE_FLOPS = 1e12
+NUM_NODES = 64
+
+
+def build_platform():
+    return platform_from_dict(
+        {
+            "name": "swf-replay",
+            "nodes": {"count": NUM_NODES, "flops": NODE_FLOPS},
+            "network": {"topology": "star", "bandwidth": 10e9},
+        }
+    )
+
+
+def replay(job_type: JobType, algorithm: str):
+    jobs = jobs_from_swf(
+        TRACE,
+        node_flops=NODE_FLOPS,
+        max_nodes=NUM_NODES,
+        walltime_slack=1.5,
+        job_type=job_type,
+        # 20 compute chunks per job = 20 scheduling points: without them a
+        # malleable what-if cannot reshape anything (see repro.workload.swf).
+        iterations=20,
+    )
+    monitor = Simulation(build_platform(), jobs, algorithm=algorithm).run()
+    return monitor.summary()
+
+
+def main() -> None:
+    jobs = jobs_from_swf(TRACE, node_flops=NODE_FLOPS, max_nodes=NUM_NODES)
+    print("trace profile")
+    print("-" * 40)
+    print(format_profile(profile_workload(jobs, NODE_FLOPS), NUM_NODES, NODE_FLOPS))
+    print()
+
+    rigid = replay(JobType.RIGID, "easy")
+    what_if = replay(JobType.MALLEABLE, "malleable")
+
+    print(f"{'metric':26} {'rigid replay':>14} {'what-if malleable':>18}")
+    print("-" * 60)
+    rows = [
+        ("makespan [s]", rigid.makespan, what_if.makespan),
+        ("mean wait [s]", rigid.mean_wait, what_if.mean_wait),
+        ("max wait [s]", rigid.max_wait, what_if.max_wait),
+        ("mean bounded slowdown", rigid.mean_bounded_slowdown,
+         what_if.mean_bounded_slowdown),
+        ("mean utilization", rigid.mean_utilization, what_if.mean_utilization),
+        ("reconfigurations", rigid.total_reconfigurations,
+         what_if.total_reconfigurations),
+    ]
+    for label, a, b in rows:
+        print(f"{label:26} {a:14.2f} {b:18.2f}")
+
+
+if __name__ == "__main__":
+    main()

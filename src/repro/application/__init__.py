@@ -1,0 +1,65 @@
+"""Application model: phases of compute / communication / I/O tasks.
+
+ElastiSim describes what a job *does* separately from what it *requests*:
+an application model is a list of :class:`Phase` objects, each repeating a
+task list for a number of iterations.  Task magnitudes are expressions over
+the job's current allocation (``num_nodes``), the iteration counter, and
+user-supplied job arguments — this is what makes a single model valid for
+any allocation size and therefore *malleable*.
+
+Phase boundaries are the model's **scheduling points**: the only instants
+at which a malleable job can apply an expand/shrink order (data is
+consistent there).  Evolving jobs additionally embed
+:class:`EvolvingRequest` tasks that ask the scheduler for more or fewer
+nodes from within the application.
+
+The JSON format is documented in :mod:`repro.application.loader`.
+"""
+
+from repro.application.tasks import (
+    ApplicationError,
+    BbReadTask,
+    BbWriteTask,
+    CommPattern,
+    CommTask,
+    CpuTask,
+    DelayTask,
+    Distribution,
+    EvolvingRequest,
+    GpuTask,
+    PfsReadTask,
+    PfsWriteTask,
+    Task,
+)
+from repro.application.model import ApplicationModel, Phase
+from repro.application.loader import application_from_dict, load_application
+from repro.application.serialize import (
+    application_to_dict,
+    expression_to_source,
+    phase_to_dict,
+    task_to_dict,
+)
+
+__all__ = [
+    "ApplicationError",
+    "ApplicationModel",
+    "BbReadTask",
+    "BbWriteTask",
+    "CommPattern",
+    "CommTask",
+    "CpuTask",
+    "DelayTask",
+    "Distribution",
+    "EvolvingRequest",
+    "GpuTask",
+    "PfsReadTask",
+    "PfsWriteTask",
+    "Phase",
+    "Task",
+    "application_from_dict",
+    "application_to_dict",
+    "expression_to_source",
+    "load_application",
+    "phase_to_dict",
+    "task_to_dict",
+]

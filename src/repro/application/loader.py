@@ -1,0 +1,191 @@
+"""JSON application models → ApplicationModel objects.
+
+Format::
+
+    {
+      "name": "lulesh-like",
+      "data_per_node": "2e9",
+      "phases": [
+        {
+          "name": "init",
+          "tasks": [{"type": "pfs_read", "bytes": "1e10"}]
+        },
+        {
+          "name": "solve",
+          "iterations": "num_steps",
+          "scheduling_point": true,
+          "tasks": [
+            {"type": "cpu", "flops": "2e13 / num_nodes",
+             "distribution": "per_node"},
+            {"type": "comm", "bytes": "5e6", "pattern": "alltoall"},
+            {"type": "bb_write", "bytes": "1e9",
+             "distribution": "per_node", "charge": false}
+          ]
+        },
+        {
+          "name": "output",
+          "tasks": [{"type": "pfs_write", "bytes": "5e10"}]
+        }
+      ]
+    }
+
+Task ``type`` ∈ {cpu, comm, pfs_read, pfs_write, bb_read, bb_write, delay,
+evolving_request}.  Magnitude fields accept numbers or expression strings
+(see :mod:`repro.expressions`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.application.model import ApplicationModel, Phase
+from repro.application.tasks import (
+    ApplicationError,
+    GpuTask,
+    BbReadTask,
+    BbWriteTask,
+    CommPattern,
+    CommTask,
+    CpuTask,
+    DelayTask,
+    Distribution,
+    EvolvingRequest,
+    PfsReadTask,
+    PfsWriteTask,
+    Task,
+)
+
+
+def _distribution(spec: Dict[str, Any], context: str) -> Distribution:
+    raw = spec.get("distribution", "even")
+    try:
+        return Distribution(raw)
+    except ValueError:
+        raise ApplicationError(
+            f"{context}: unknown distribution {raw!r}; "
+            f"expected one of {[d.value for d in Distribution]}"
+        ) from None
+
+
+def _require(spec: Dict[str, Any], key: str, context: str) -> Any:
+    if key not in spec:
+        raise ApplicationError(f"{context}: missing required key {key!r}")
+    return spec[key]
+
+
+def task_from_dict(spec: Dict[str, Any]) -> Task:
+    """Build a single task from its JSON object."""
+    if not isinstance(spec, dict):
+        raise ApplicationError(f"Task spec must be an object, got {spec!r}")
+    kind = _require(spec, "type", "task")
+    name = spec.get("name")
+    context = f"task {name or kind!r}"
+
+    if kind == "cpu":
+        return CpuTask(
+            _require(spec, "flops", context),
+            distribution=_distribution(spec, context),
+            serial_fraction=spec.get("serial_fraction", 0),
+            name=name,
+        )
+    if kind == "gpu":
+        return GpuTask(
+            _require(spec, "flops", context),
+            distribution=_distribution(spec, context),
+            name=name,
+        )
+    if kind == "comm":
+        raw_pattern = spec.get("pattern", "alltoall")
+        try:
+            pattern = CommPattern(raw_pattern)
+        except ValueError:
+            raise ApplicationError(
+                f"{context}: unknown pattern {raw_pattern!r}; "
+                f"expected one of {[p.value for p in CommPattern]}"
+            ) from None
+        return CommTask(_require(spec, "bytes", context), pattern=pattern, name=name)
+    if kind == "pfs_read":
+        return PfsReadTask(
+            _require(spec, "bytes", context),
+            distribution=_distribution(spec, context),
+            name=name,
+        )
+    if kind == "pfs_write":
+        return PfsWriteTask(
+            _require(spec, "bytes", context),
+            distribution=_distribution(spec, context),
+            name=name,
+        )
+    if kind == "bb_read":
+        return BbReadTask(
+            _require(spec, "bytes", context),
+            distribution=_distribution(spec, context),
+            name=name,
+        )
+    if kind == "bb_write":
+        return BbWriteTask(
+            _require(spec, "bytes", context),
+            distribution=_distribution(spec, context),
+            charge=bool(spec.get("charge", True)),
+            name=name,
+        )
+    if kind == "delay":
+        return DelayTask(_require(spec, "seconds", context), name=name)
+    if kind == "evolving_request":
+        return EvolvingRequest(
+            _require(spec, "num_nodes", context),
+            blocking=bool(spec.get("blocking", False)),
+            name=name,
+        )
+    raise ApplicationError(
+        f"{context}: unknown task type {kind!r}; expected one of "
+        "cpu/gpu/comm/pfs_read/pfs_write/bb_read/bb_write/delay/evolving_request"
+    )
+
+
+def phase_from_dict(spec: Dict[str, Any], index: int) -> Phase:
+    """Build a phase from its JSON object."""
+    if not isinstance(spec, dict):
+        raise ApplicationError(f"Phase {index}: spec must be an object")
+    tasks_spec = _require(spec, "tasks", f"phase {index}")
+    if not isinstance(tasks_spec, list) or not tasks_spec:
+        raise ApplicationError(f"Phase {index}: 'tasks' must be a non-empty list")
+    tasks = [task_from_dict(t) for t in tasks_spec]
+    return Phase(
+        tasks,
+        iterations=spec.get("iterations", 1),
+        scheduling_point=bool(spec.get("scheduling_point", True)),
+        parallel=bool(spec.get("parallel", False)),
+        name=spec.get("name", f"phase{index}"),
+    )
+
+
+def application_from_dict(spec: Dict[str, Any]) -> ApplicationModel:
+    """Build an :class:`ApplicationModel` from a parsed JSON description."""
+    if not isinstance(spec, dict):
+        raise ApplicationError(
+            f"Application spec must be an object, got {type(spec).__name__}"
+        )
+    phases_spec = _require(spec, "phases", "application")
+    if not isinstance(phases_spec, list) or not phases_spec:
+        raise ApplicationError("application: 'phases' must be a non-empty list")
+    phases = [phase_from_dict(p, i) for i, p in enumerate(phases_spec)]
+    return ApplicationModel(
+        phases,
+        data_per_node=spec.get("data_per_node", 0),
+        name=spec.get("name", "application"),
+    )
+
+
+def load_application(path: Union[str, Path]) -> ApplicationModel:
+    """Load an application model from a JSON file."""
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ApplicationError(f"Application file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ApplicationError(f"Invalid JSON in {path}: {exc}") from exc
+    return application_from_dict(spec)

@@ -1,0 +1,117 @@
+"""Serialization of application models back to their JSON form.
+
+Enables workload round-trips (generate → save → load) and the CLI's
+``generate`` subcommand.  Expressions serialize to their source-equivalent
+string form via a minimal pretty-printer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.application.model import ApplicationModel, Phase
+from repro.application.tasks import (
+    ApplicationError,
+    GpuTask,
+    BbReadTask,
+    BbWriteTask,
+    CommTask,
+    CpuTask,
+    DelayTask,
+    Distribution,
+    EvolvingRequest,
+    PfsReadTask,
+    PfsWriteTask,
+    Task,
+)
+from repro.expressions import BinaryOp, Call, Expression, Number, UnaryOp, Variable
+
+
+def expression_to_source(expr: Expression) -> Any:
+    """Render an expression AST back to a JSON scalar or source string.
+
+    Plain numbers stay numbers (nicer JSON); everything else becomes a
+    fully parenthesized string that re-parses to an equivalent AST.
+    """
+    if isinstance(expr, Number):
+        return expr.value
+    return _render(expr)
+
+
+def _render(expr: Expression) -> str:
+    if isinstance(expr, Number):
+        return repr(expr.value)
+    if isinstance(expr, Variable):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op}{_render(expr.operand)})"
+    if isinstance(expr, BinaryOp):
+        return f"({_render(expr.left)} {expr.op} {_render(expr.right)})"
+    if isinstance(expr, Call):
+        args = ", ".join(_render(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise ApplicationError(f"Cannot serialize expression node {expr!r}")
+
+
+def task_to_dict(task: Task) -> Dict[str, Any]:
+    """Serialize one task to its loader-compatible JSON object."""
+    spec: Dict[str, Any] = {"type": task.kind}
+    if task.name != task.kind:
+        spec["name"] = task.name
+    if isinstance(task, CpuTask):
+        spec["flops"] = expression_to_source(task.flops)
+        if task.distribution is not Distribution.EVEN:
+            spec["distribution"] = task.distribution.value
+        serial = expression_to_source(task.serial_fraction)
+        if serial != 0:
+            spec["serial_fraction"] = serial
+    elif isinstance(task, GpuTask):
+        spec["flops"] = expression_to_source(task.flops)
+        if task.distribution is not Distribution.EVEN:
+            spec["distribution"] = task.distribution.value
+    elif isinstance(task, CommTask):
+        spec["bytes"] = expression_to_source(task.nbytes)
+        spec["pattern"] = task.pattern.value
+    elif isinstance(task, (PfsReadTask, PfsWriteTask, BbReadTask, BbWriteTask)):
+        spec["bytes"] = expression_to_source(task.nbytes)
+        if task.distribution is not Distribution.EVEN:
+            spec["distribution"] = task.distribution.value
+        if isinstance(task, BbWriteTask) and not task.charge:
+            spec["charge"] = False
+    elif isinstance(task, DelayTask):
+        spec["seconds"] = expression_to_source(task.seconds)
+    elif isinstance(task, EvolvingRequest):
+        spec["num_nodes"] = expression_to_source(task.num_nodes)
+        if task.blocking:
+            spec["blocking"] = True
+    else:
+        raise ApplicationError(f"Cannot serialize task type {type(task).__name__}")
+    return spec
+
+
+def phase_to_dict(phase: Phase) -> Dict[str, Any]:
+    """Serialize one phase."""
+    spec: Dict[str, Any] = {
+        "name": phase.name,
+        "tasks": [task_to_dict(t) for t in phase.tasks],
+    }
+    iterations = expression_to_source(phase.iterations)
+    if iterations != 1:
+        spec["iterations"] = iterations
+    if not phase.scheduling_point:
+        spec["scheduling_point"] = False
+    if phase.parallel:
+        spec["parallel"] = True
+    return spec
+
+
+def application_to_dict(model: ApplicationModel) -> Dict[str, Any]:
+    """Serialize a model; round-trips through ``application_from_dict``."""
+    spec: Dict[str, Any] = {
+        "name": model.name,
+        "phases": [phase_to_dict(p) for p in model.phases],
+    }
+    data = expression_to_source(model.data_per_node)
+    if data != 0:
+        spec["data_per_node"] = data
+    return spec

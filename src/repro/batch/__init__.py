@@ -1,0 +1,20 @@
+"""Batch system: queue management, scheduler invocation, job lifecycle.
+
+:class:`Simulation` is the top-level façade users interact with::
+
+    from repro import Simulation, load_platform, load_workload
+    from repro.scheduler import EasyBackfillingScheduler
+
+    sim = Simulation(platform, jobs, algorithm=EasyBackfillingScheduler())
+    result = sim.run()
+    print(result.summary().as_dict())
+
+Internally the :class:`BatchSystem` owns the job queue, spawns one
+:class:`~repro.engine.JobExecutor` process per started job, arms walltime
+watchdogs, applies scheduler decisions (start / reconfigure / kill), and
+feeds the :class:`~repro.monitoring.Monitor`.
+"""
+
+from repro.batch.system import BatchError, BatchSystem, Simulation
+
+__all__ = ["BatchError", "BatchSystem", "Simulation"]

@@ -1,0 +1,392 @@
+"""The batch system and the Simulation façade."""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.des import Environment, Event, Process, SimulationError
+from repro.engine import JobExecutor
+from repro.failures import Failure
+from repro.job import Job, JobState, ReconfigurationOrder
+from repro.monitoring import Monitor
+from repro.platform import Node, Platform
+from repro.scheduler import Algorithm, Invocation, InvocationType, SchedulerContext, get_algorithm
+from repro.sharing import FairShareModel
+
+
+class BatchError(Exception):
+    """Raised for invalid simulation setups or stuck workloads."""
+
+
+class BatchSystem:
+    """Owns the queue, the running set, and all scheduler interactions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: Platform,
+        jobs: Sequence[Job],
+        algorithm: Algorithm,
+        *,
+        invocation_interval: Optional[float] = None,
+        failures: Optional[Sequence[Failure]] = None,
+        requeue_on_failure: bool = False,
+        max_requeues: int = 3,
+        checkpoint_restart: bool = False,
+    ) -> None:
+        if not jobs:
+            raise BatchError("No jobs to simulate")
+        jids = [job.jid for job in jobs]
+        if len(set(jids)) != len(jids):
+            raise BatchError("Duplicate job ids in workload")
+        for job in jobs:
+            if job.min_nodes > platform.num_nodes:
+                raise BatchError(
+                    f"{job.name} needs at least {job.min_nodes} nodes, "
+                    f"platform has {platform.num_nodes}"
+                )
+        if invocation_interval is not None and invocation_interval <= 0:
+            raise BatchError("invocation_interval must be > 0")
+
+        self.env = env
+        self.platform = platform
+        self.algorithm = algorithm
+        self.model = FairShareModel(env)
+        self.monitor = Monitor(env, platform.num_nodes)
+        self.invocation_interval = invocation_interval
+        #: Resubmit jobs killed by node failures.
+        self.requeue_on_failure = requeue_on_failure
+        self.max_requeues = max_requeues
+        #: Requeued jobs resume from their last scheduling point instead of
+        #: restarting from scratch (applications checkpoint at scheduling
+        #: points — the instants where their state is consistent).
+        self.checkpoint_restart = checkpoint_restart
+
+        self.jobs: List[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.jid))
+        #: Pending jobs in submission order.
+        self.queue: List[Job] = []
+        #: Running jobs in start order.
+        self.running: List[Job] = []
+
+        self._procs: Dict[int, Process] = {}
+        self._done_events: Dict[int, Event] = {}
+        #: Jobs with an unsatisfied blocking evolving request.
+        self._waiting_evolving: set[Job] = set()
+        #: Jobs with a kill interrupt queued but not yet delivered.
+        self._kill_pending: set[int] = set()
+        self._finished_count = 0
+        #: Fires when every job has finished; Simulation.run waits on it.
+        self.all_done: Event = env.event()
+        #: Total scheduler invocations (diagnostics / E5).
+        self.invocations = 0
+
+        for job in self.jobs:
+            env.process(self._submitter(job), name=f"submit-{job.name}")
+        if invocation_interval is not None:
+            env.process(self._periodic(), name="periodic-scheduler")
+        for failure in failures or ():
+            if not 0 <= failure.node_index < platform.num_nodes:
+                raise BatchError(
+                    f"Failure targets node {failure.node_index}, platform "
+                    f"has {platform.num_nodes}"
+                )
+            env.process(
+                self._failure_injector(failure),
+                name=f"failure-n{failure.node_index}",
+            )
+
+    # -- processes ----------------------------------------------------------
+
+    def _submitter(self, job: Job):
+        delay = job.submit_time - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.queue.append(job)
+        self.monitor.on_submit(job)
+        self._invoke(InvocationType.JOB_SUBMIT, job)
+
+    def _periodic(self):
+        while self._finished_count < len(self.jobs):
+            yield self.env.timeout(self.invocation_interval)
+            if self._finished_count >= len(self.jobs):
+                return
+            self._invoke(InvocationType.PERIODIC)
+
+    def _failure_injector(self, failure: Failure):
+        if failure.time > 0:
+            yield self.env.timeout(failure.time)
+        node = self.platform.nodes[failure.node_index]
+        if node.failed:
+            # Already down (overlapping trace entries): extend implicitly.
+            yield self.env.timeout(failure.downtime)
+            return
+        node.fail()
+        self.monitor.on_node_failure(node.index)
+        victim = node.assigned_job
+        if isinstance(victim, Job) and victim.state is JobState.RUNNING:
+            self.kill_job(victim, reason="node_failure")
+        self._invoke(InvocationType.NODE_FAILURE)
+        yield self.env.timeout(failure.downtime)
+        node.repair()
+        self.monitor.on_node_repair(node.index)
+        self._invoke(InvocationType.NODE_REPAIR)
+
+    def _runner(self, job: Job):
+        executor = JobExecutor(self.env, self.platform, self.model, job, self)
+        outcome = yield from executor.run()
+        self._finish_job(job, outcome)
+
+    def _watchdog(self, job: Job, proc: Process, done: Event):
+        timer = self.env.timeout(job.walltime)
+        yield timer | done
+        if not done.triggered and proc.is_alive:
+            proc.interrupt("walltime")
+
+    # -- scheduler invocation ----------------------------------------------------
+
+    def _invoke(self, type: InvocationType, job: Optional[Job] = None) -> None:
+        self.invocations += 1
+        invocation = Invocation(type, self.env.now, job)
+        self.algorithm.schedule(SchedulerContext(self), invocation)
+
+    # -- decision handlers (called by SchedulerContext after validation) -----
+
+    def start_job(self, job: Job, nodes: Sequence[Node]) -> None:
+        for node in nodes:
+            node.allocate(job)
+        self.queue.remove(job)
+        job.mark_started(nodes, self.env.now)
+        self.running.append(job)
+        self.monitor.on_start(job)
+        self._sync_allocation()
+
+        done = self.env.event()
+        self._done_events[job.jid] = done
+        proc = self.env.process(self._runner(job), name=f"run-{job.name}")
+        self._procs[job.jid] = proc
+        if job.walltime < inf:
+            self.env.process(
+                self._watchdog(job, proc, done), name=f"watchdog-{job.name}"
+            )
+
+    def order_reconfiguration(self, job: Job, target: Sequence[Node]) -> None:
+        current = {n.index for n in job.assigned_nodes}
+        for node in target:
+            if node.index not in current:
+                node.allocate(job)  # reserve additions immediately
+        job.pending_reconfiguration = ReconfigurationOrder(target, self.env.now)
+        self._sync_allocation()
+        self._release_evolving_wait(job)
+
+    def deny_evolving_request(self, job: Job) -> None:
+        """Explicitly deny a blocking evolving request: the job continues
+        with its current allocation instead of waiting for a grant."""
+        job.evolving_denied = True
+        self._waiting_evolving.discard(job)
+        self._release_evolving_wait(job)
+
+    def _release_evolving_wait(self, job: Job) -> None:
+        self._waiting_evolving.discard(job)
+        wait = job.evolving_wait_event
+        if wait is not None and not wait.triggered:
+            wait.succeed()
+
+    def kill_job(self, job: Job, reason: str) -> None:
+        if job.state is JobState.PENDING:
+            self.queue.remove(job)
+            job.mark_killed(self.env.now, reason)
+            self.monitor.on_queue_drop(job)
+            self._job_accounted()
+            return
+        if job.jid in self._kill_pending:
+            return  # an interrupt is already on its way (same-instant kills)
+        proc = self._procs.get(job.jid)
+        if proc is not None and proc.is_alive:
+            self._kill_pending.add(job.jid)
+            proc.interrupt(reason)
+
+    # -- engine callbacks (BatchCallbacks protocol) ----------------------------
+
+    def on_scheduling_point(self, job: Job) -> None:
+        self._invoke(InvocationType.SCHEDULING_POINT, job)
+
+    def on_evolving_request(self, job: Job, desired_nodes: int) -> None:
+        # Track the job before invoking: a blocking request that the
+        # algorithm cannot satisfy right now is retried when resources
+        # free up (completions / committed reconfigurations).
+        self._waiting_evolving.add(job)
+        self._invoke(InvocationType.EVOLVING_REQUEST, job)
+        if job.pending_reconfiguration is not None or job.evolving_request is None:
+            self._waiting_evolving.discard(job)
+
+    def _retry_waiting_evolving(self) -> None:
+        for job in sorted(self._waiting_evolving, key=lambda j: j.jid):
+            if (
+                job.state is not JobState.RUNNING
+                or job.evolving_request is None
+                or job.pending_reconfiguration is not None
+            ):
+                self._waiting_evolving.discard(job)
+                continue
+            self._invoke(InvocationType.EVOLVING_REQUEST, job)
+            if job.pending_reconfiguration is not None:
+                self._waiting_evolving.discard(job)
+
+    def commit_reconfiguration(self, job: Job, new_nodes: Sequence[Node]) -> None:
+        old_count = len(job.assigned_nodes)
+        new_set = {n.index for n in new_nodes}
+        for node in job.assigned_nodes:
+            if node.index not in new_set:
+                node.deallocate()
+        job.assigned_nodes = list(new_nodes)
+        self.monitor.on_reconfigure(job, old_count, len(new_nodes))
+        self._sync_allocation()
+        self._invoke(InvocationType.RECONFIGURATION, job)
+        self._retry_waiting_evolving()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _finish_job(self, job: Job, outcome: str) -> None:
+        # Free everything the job holds, including nodes reserved for a
+        # never-applied reconfiguration order.
+        held = {n.index: n for n in job.assigned_nodes}
+        order = job.pending_reconfiguration
+        if order is not None:
+            for node in order.target:
+                held[node.index] = node
+            job.pending_reconfiguration = None
+        for node in held.values():
+            if not node.free and node.assigned_job is job:
+                node.deallocate()
+
+        self.running.remove(job)
+        if outcome == "completed":
+            job.mark_completed(self.env.now)
+        else:
+            job.mark_killed(self.env.now, job.kill_reason or "killed")
+        self.monitor.on_end(job)
+        self._sync_allocation()
+
+        done = self._done_events.pop(job.jid, None)
+        if done is not None and not done.triggered:
+            done.succeed()
+        self._procs.pop(job.jid, None)
+        self._kill_pending.discard(job.jid)
+        self._waiting_evolving.discard(job)
+        job.evolving_wait_event = None
+
+        # Requeue first so the clone raises the completion target before the
+        # killed job is accounted (all_done must wait for the retry).
+        self._maybe_requeue(job)
+        self._job_accounted()
+        self._invoke(InvocationType.JOB_COMPLETION, job)
+        self._retry_waiting_evolving()
+
+    def _maybe_requeue(self, job: Job) -> bool:
+        """Resubmit a killed job as a fresh clone when policy allows.
+
+        Preempted jobs always requeue (preemption is a deferral, not a
+        cancellation); failure-killed jobs requeue when
+        ``requeue_on_failure`` is set, bounded by ``max_requeues``.  The
+        clone joins ``self.jobs``, raising the completion target: the
+        campaign is not done until the retry finishes too.
+        """
+        if job.kill_reason == "preempted":
+            pass  # always requeued; priority ordering prevents ping-pong
+        elif not self.requeue_on_failure or job.kill_reason != "node_failure":
+            return False
+        elif job.attempt > self.max_requeues:
+            return False
+        new_jid = max(j.jid for j in self.jobs) + 1
+        clone = job.clone_for_requeue(
+            new_jid, submit_time=self.env.now, resume=self.checkpoint_restart
+        )
+        self.jobs.append(clone)
+        self.queue.append(clone)
+        self.monitor.on_submit(clone)
+        self._invoke(InvocationType.JOB_SUBMIT, clone)
+        return True
+
+    def _job_accounted(self) -> None:
+        self._finished_count += 1
+        if self._finished_count >= len(self.jobs) and not self.all_done.triggered:
+            self.all_done.succeed()
+
+    def _sync_allocation(self) -> None:
+        self.monitor.set_allocated(self.platform.num_allocated_nodes())
+
+
+class Simulation:
+    """Top-level façade: build, run, and collect results.
+
+    Parameters
+    ----------
+    platform:
+        The machine (see :mod:`repro.platform`).
+    jobs:
+        The workload (see :mod:`repro.workload`).
+    algorithm:
+        An :class:`~repro.scheduler.Algorithm` instance or a registry name
+        ("fcfs", "easy", "conservative", "moldable", "malleable").
+    invocation_interval:
+        Optional period for time-driven scheduler invocations on top of the
+        event-driven ones.
+    env:
+        Bring-your-own environment (tests, co-simulation); default fresh.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        jobs: Sequence[Job],
+        algorithm: Union[str, Algorithm] = "easy",
+        *,
+        invocation_interval: Optional[float] = None,
+        failures: Optional[Sequence[Failure]] = None,
+        requeue_on_failure: bool = False,
+        max_requeues: int = 3,
+        checkpoint_restart: bool = False,
+        env: Optional[Environment] = None,
+    ) -> None:
+        self.env = env if env is not None else Environment()
+        if isinstance(algorithm, str):
+            algorithm = get_algorithm(algorithm)
+        self.batch = BatchSystem(
+            self.env,
+            platform,
+            jobs,
+            algorithm,
+            invocation_interval=invocation_interval,
+            failures=failures,
+            requeue_on_failure=requeue_on_failure,
+            max_requeues=max_requeues,
+            checkpoint_restart=checkpoint_restart,
+        )
+
+    @property
+    def monitor(self) -> Monitor:
+        return self.batch.monitor
+
+    def run(self, until: Optional[float] = None) -> Monitor:
+        """Run to completion (or ``until``) and return the monitor.
+
+        Raises :class:`BatchError` if the workload gets stuck — i.e. events
+        ran out while jobs are still pending and nothing can unblock them.
+        """
+        if until is not None:
+            self.env.run(until=until)
+            self.monitor.finalize()
+            return self.monitor
+        try:
+            self.env.run(until=self.batch.all_done)
+        except SimulationError:
+            stuck = [job.name for job in self.batch.queue]
+            running = [job.name for job in self.batch.running]
+            raise BatchError(
+                f"Simulation stalled: pending={stuck} running={running}. "
+                "Jobs cannot start (e.g. they need more nodes than the "
+                "scheduler will ever free)."
+            ) from None
+        self.monitor.finalize()
+        return self.monitor

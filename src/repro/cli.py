@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Subcommands::
+
+    elastisim run       --platform p.json --workload w.json --algorithm easy
+    elastisim generate  --num-jobs 100 --seed 0 --output w.json [mix options]
+    elastisim validate  --platform p.json [--workload w.json]
+
+``run`` prints the summary table and optionally writes per-job CSV /
+summary JSON / utilization series to ``--output-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.batch import BatchError, Simulation
+from repro.platform import PlatformError, load_platform
+from repro.scheduler import SchedulerError
+from repro.workload import (
+    WorkloadError,
+    WorkloadSpec,
+    generate_workload,
+    load_workload,
+    workload_to_dict,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="elastisim",
+        description="ElastiSim reproduction: batch-system simulator for "
+        "malleable workloads",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a simulation")
+    run.add_argument("--platform", required=True, help="platform JSON file")
+    run.add_argument("--workload", required=True, help="workload JSON file")
+    run.add_argument(
+        "--algorithm",
+        default="easy",
+        help="fcfs | easy | conservative | moldable | malleable",
+    )
+    run.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="periodic scheduler invocation interval (seconds)",
+    )
+    run.add_argument("--until", type=float, default=None, help="stop time")
+    run.add_argument(
+        "--output-dir", default=None, help="write jobs.csv / summary.json here"
+    )
+    run.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="inject Poisson node failures with this per-node MTBF (seconds)",
+    )
+    run.add_argument(
+        "--mean-repair",
+        type=float,
+        default=300.0,
+        help="mean node repair time when --mtbf is set",
+    )
+    run.add_argument(
+        "--failure-seed", type=int, default=0, help="seed for --mtbf faults"
+    )
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload")
+    gen.add_argument("--output", required=True, help="output workload JSON")
+    gen.add_argument("--num-jobs", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--mean-interarrival", type=float, default=30.0)
+    gen.add_argument("--min-request", type=int, default=1)
+    gen.add_argument("--max-request", type=int, default=32)
+    gen.add_argument("--malleable-fraction", type=float, default=0.0)
+    gen.add_argument("--moldable-fraction", type=float, default=0.0)
+    gen.add_argument("--evolving-fraction", type=float, default=0.0)
+    gen.add_argument("--data-per-node", type=float, default=0.0)
+    gen.add_argument("--node-flops", type=float, default=1e12)
+    gen.add_argument("--mean-runtime", type=float, default=300.0)
+    gen.add_argument("--num-users", type=int, default=1)
+    gen.add_argument(
+        "--report",
+        type=int,
+        metavar="NUM_NODES",
+        default=None,
+        help="print a workload profile (offered load for this node count)",
+    )
+
+    val = sub.add_parser("validate", help="validate input files")
+    val.add_argument("--platform", default=None)
+    val.add_argument("--workload", default=None)
+
+    sub.add_parser("algorithms", help="list built-in scheduling algorithms")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    platform = load_platform(args.platform)
+    jobs = load_workload(args.workload)
+    failures = None
+    if args.mtbf is not None:
+        from repro.failures import generate_failures
+
+        horizon = max(j.submit_time for j in jobs) + 10 * max(
+            (j.walltime for j in jobs if j.walltime != float("inf")),
+            default=86400.0,
+        )
+        failures = generate_failures(
+            num_nodes=platform.num_nodes,
+            horizon=horizon,
+            mtbf=args.mtbf,
+            mean_repair=args.mean_repair,
+            seed=args.failure_seed,
+        )
+        print(f"injecting {len(failures)} node failures (MTBF {args.mtbf:g} s)")
+    sim = Simulation(
+        platform,
+        jobs,
+        algorithm=args.algorithm,
+        invocation_interval=args.interval,
+        failures=failures,
+    )
+    monitor = sim.run(until=args.until)
+    summary = monitor.summary()
+
+    print(f"platform   : {platform.name} ({platform.num_nodes} nodes)")
+    print(f"jobs       : {len(jobs)}")
+    print(f"algorithm  : {args.algorithm}")
+    print("-" * 46)
+    for key, value in summary.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:24s} {value:16.3f}")
+        else:
+            print(f"{key:24s} {value:16d}")
+
+    if args.output_dir is not None:
+        out = Path(args.output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        monitor.write_job_csv(out / "jobs.csv")
+        monitor.write_summary_json(out / "summary.json")
+        (out / "utilization.json").write_text(
+            json.dumps(monitor.utilization_timeline())
+        )
+        from repro.monitoring import render_gantt
+
+        (out / "gantt.txt").write_text(render_gantt(monitor))
+        print(f"results written to {out}/")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_jobs=args.num_jobs,
+        mean_interarrival=args.mean_interarrival,
+        min_request=args.min_request,
+        max_request=args.max_request,
+        malleable_fraction=args.malleable_fraction,
+        moldable_fraction=args.moldable_fraction,
+        evolving_fraction=args.evolving_fraction,
+        data_per_node=args.data_per_node,
+        node_flops=args.node_flops,
+        mean_runtime=args.mean_runtime,
+        num_users=args.num_users,
+    )
+    jobs = generate_workload(spec, seed=args.seed)
+    Path(args.output).write_text(json.dumps(workload_to_dict(jobs), indent=2))
+    print(f"wrote {len(jobs)} jobs to {args.output}")
+    if args.report is not None:
+        from repro.workload import format_profile, profile_workload
+
+        profile = profile_workload(jobs, node_flops=args.node_flops)
+        print(format_profile(profile, args.report, args.node_flops))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.platform is None and args.workload is None:
+        print("nothing to validate: pass --platform and/or --workload",
+              file=sys.stderr)
+        return 2
+    if args.platform is not None:
+        platform = load_platform(args.platform)
+        print(f"platform OK: {platform.name} ({platform.num_nodes} nodes)")
+    if args.workload is not None:
+        jobs = load_workload(args.workload)
+        print(f"workload OK: {len(jobs)} jobs")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "algorithms":
+            from repro.scheduler.algorithms import _REGISTRY
+
+            for name, cls in sorted(_REGISTRY.items()):
+                doc = (cls.__doc__ or "").strip().splitlines()[0]
+                print(f"{name:14s} {doc}")
+            return 0
+    except (PlatformError, WorkloadError, SchedulerError, BatchError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""The simulation environment: clock, event queue, main loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from math import inf
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    PENDING,
+    Timeout,
+)
+from repro.des.exceptions import SimulationError, StopSimulation
+from repro.des.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Execution environment of a simulation.
+
+    Maintains the simulated clock (:attr:`now`) and a priority queue of
+    triggered events ordered by ``(time, priority, insertion id)``.  The
+    insertion id makes runs fully deterministic: events scheduled at the
+    same time with the same priority are processed in scheduling order.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        #: Total number of events processed; used by the E5 benchmark.
+        self.processed_events: int = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} queued={len(self._queue)}>"
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        priority: int = NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Queue ``event`` to be processed after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else inf
+
+    def step(self) -> None:
+        """Process the next event.
+
+        Raises :class:`EmptySchedule` if the queue is empty and propagates
+        failures of events nobody handled (defused is False).
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (e.g. cancelled duplicates);
+            # nothing to do.
+            return
+        for callback in callbacks:
+            callback(event)
+        self.processed_events += 1
+
+        if not event._ok and not event._defused:
+            # Nobody handled this failure: crash the run loudly.
+            exc = event._value
+            raise exc
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until the queue empties, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to exhaustion.  A number — run until the clock
+            reaches it (the clock is advanced to exactly ``until``).  An
+            :class:`Event` — run until it is processed and return its value.
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:  # already processed
+                    return stop._value
+                stop.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be earlier than now ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                # URGENT so that the stop fires before user events at `at`.
+                self.schedule(stop, priority=0, delay=at - self._now)
+                stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop_exc:
+            return stop_exc.value
+        except EmptySchedule:
+            if stop is not None and stop.callbacks is not None:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        f"No scheduled events left but until={until!r} was not triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        # A failed until-event propagates its exception.
+        raise event._value

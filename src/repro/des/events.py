@@ -1,0 +1,316 @@
+"""Core event types for the DES kernel.
+
+An :class:`Event` is the unit of synchronization: processes yield events and
+are resumed when the event is *processed*.  Events move through three states:
+
+``pending``
+    created, not yet triggered; may be succeeded/failed at any time.
+``triggered``
+    has a value and sits in the environment's queue.
+``processed``
+    its callbacks ran; waiting processes have been resumed.
+
+Priorities order simultaneous events deterministically: ``URGENT`` events
+(kernel-internal, e.g. fair-share re-evaluations) run before ``NORMAL`` ones
+scheduled for the same instant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.des.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+
+#: Sentinel for "event has no value yet".
+PENDING = object()
+
+#: Priority of kernel-internal events; processed first at equal times.
+URGENT = 0
+
+#: Default priority of user events.
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The environment the event lives in.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked (in insertion order) when the event is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("processed" if self.callbacks is None else "triggered")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("Event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is PENDING:
+            raise SimulationError("Event value not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True if a failure was marked as handled.
+
+        An unhandled failed event escalates to :meth:`Environment.run` —
+        this mirrors SimPy and catches silent error loss in models.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- triggering -----------------------------------------------------
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback-compatible)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    # -- composition ----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Kernel event that starts a process at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: Any) -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Result of a condition: an ordered mapping of fired events to values."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()}>"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return self.events
+
+    def values(self):
+        return [e._value for e in self.events]
+
+    def items(self):
+        return [(e, e._value) for e in self.events]
+
+    def todict(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events}
+
+
+class Condition(Event):
+    """Waits for a boolean combination of other events.
+
+    ``evaluate`` receives the list of events and the count of fired ones and
+    returns True once the condition is satisfied.  Failures of any composed
+    event immediately fail the condition.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count", "_build_scheduled")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        self._build_scheduled = False
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("Cannot mix events from different environments")
+
+        # Register handled failures / fire checks.
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        # An empty condition is immediately true.
+        if not self._events and self._value is PENDING:
+            self.succeed(ConditionValue())
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None:
+                value.events.append(event)
+
+    def _build_value(self, event: Event) -> None:
+        self._remove_check_callbacks()
+        if event._ok:
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    def _remove_check_callbacks(self) -> None:
+        for event in self._events:
+            if event.callbacks is not None and self._check in event.callbacks:
+                event.callbacks.remove(self._check)
+            if isinstance(event, Condition):
+                event._remove_check_callbacks()
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            # Abort on first failure; propagate it.
+            event.defuse()
+            self.fail(event._value)
+            self._remove_check_callbacks()
+        elif not self._build_scheduled and self._evaluate(self._events, self._count):
+            self._build_scheduled = True
+            # Delay value construction until this event is processed, so the
+            # ConditionValue contains every event fired at this instant.
+            check = Event(self.env)
+            check._ok = True
+            check._value = None
+            check.callbacks.append(lambda _e: self._build_value(event))
+            # NORMAL priority: the fresh insertion id places this after every
+            # event already queued for the current instant, so the condition
+            # value includes all simultaneously fired members.
+            self.env.schedule(check, priority=NORMAL)
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """True when *all* events have fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        """True when *any* event has fired (or there are none)."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition satisfied when every event in ``events`` has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition satisfied when any event in ``events`` has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

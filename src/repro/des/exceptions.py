@@ -1,0 +1,38 @@
+"""Exception types used by the DES kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early.
+
+    Carries the value the run should return.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted by another process.
+
+    The interrupting party passes an arbitrary ``cause`` that the
+    interrupted process can inspect — e.g. the batch system interrupts a
+    job's execution process with a :class:`~repro.job.ReconfigurationOrder`
+    or a kill marker.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,145 @@
+"""Generator-based processes.
+
+A :class:`Process` drives a Python generator: each ``yield``-ed
+:class:`~repro.des.events.Event` suspends the generator until the event is
+processed, at which point the kernel resumes it with the event's value (or
+throws the event's exception into it).  The process itself is an event that
+fires when the generator returns, so processes can wait on one another.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.des.events import Event, Initialize, PENDING, URGENT
+from repro.des.exceptions import Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+
+class Process(Event):
+    """Wraps a generator and executes it as a simulation process."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits for (None if resuming/dead).
+        self._target: Optional[Event] = None
+        self.name = name or generator.__name__
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process receives the interrupt the next time it is scheduled,
+        aborting its current wait.  Interrupting a dead process or a process
+        from within itself is an error.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("A process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+
+        # Unsubscribe from the event we were waiting for: the interrupt
+        # supersedes it.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_process = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw its exception into the process.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as stop:
+                # Process finished successfully.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as error:
+                # Process crashed: fail the process event with a traceback.
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                break
+
+            # The process yielded a new event to wait for.
+            if not isinstance(next_event, Event):
+                self._crash_on_bad_yield(next_event)
+                break
+            if next_event.env is not env:
+                self._crash_on_bad_yield(next_event)
+                break
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: continue immediately with its value.
+            event = next_event
+            if not event._ok and not event._defused:
+                # A failed-and-unhandled event yielded after processing:
+                # propagate into the generator on the next loop turn.
+                pass
+
+        env._active_process = None
+
+    def _crash_on_bad_yield(self, item: Any) -> None:
+        error = SimulationError(f"Process {self.name!r} yielded invalid item {item!r}")
+        try:
+            self._generator.throw(SimulationError, error)
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        # Generator swallowed the error; treat as crash anyway.
+        self._ok = False
+        self._value = error
+        self.env.schedule(self)

@@ -1,0 +1,246 @@
+"""Waitable shared resources: counted resources, containers, stores.
+
+These are convenience synchronization primitives on top of the event core.
+The batch system uses a :class:`Store` for its invocation mailbox, burst
+buffers use a :class:`Container` for capacity accounting, and tests use
+:class:`Resource` to validate kernel semantics.  (Link/PFS *bandwidth* is
+not modelled with these — that is the job of :mod:`repro.sharing`.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from repro.des.events import Event
+from repro.des.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+
+class Request(Event):
+    """Pending acquisition of one slot of a :class:`Resource`.
+
+    Usable as a context manager so that ``with resource.request() as req``
+    automatically releases on exit.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A resource with ``capacity`` slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request one slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot and grant the next queued request, if any."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing a queued or foreign request: drop it from the queue.
+            self._cancel(request)
+            return
+        if self.queue:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+
+class PriorityRequest(Request):
+    """Request with a priority; lower values are served first."""
+
+    __slots__ = ("priority", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int) -> None:
+        self.priority = priority
+        self._order = resource._ticket()
+        super().__init__(resource)
+
+    def sort_key(self) -> tuple[int, int]:
+        return (self.priority, self._order)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._counter = 0
+
+    def _ticket(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        req = PriorityRequest(self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+            self.queue = deque(sorted(self.queue, key=PriorityRequest.sort_key))
+        return req
+
+
+class Container:
+    """A continuous resource level with blocking put/get.
+
+    Used for burst-buffer capacity: ``put`` adds, ``get`` removes, both
+    block until the operation fits within ``[0, capacity]``.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._puts: Deque[tuple[Event, float]] = deque()
+        self._gets: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires once it fits below capacity."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._puts.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires once the level suffices."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._gets.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts:
+                ev, amount = self._puts[0]
+                if self._level + amount <= self.capacity:
+                    self._puts.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progressed = True
+            if self._gets:
+                ev, amount = self._gets[0]
+                if self._level >= amount:
+                    self._gets.popleft()
+                    self._level -= amount
+                    ev.succeed()
+                    progressed = True
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, env: "Environment", filter: Optional[Callable[[Any], bool]]) -> None:
+        super().__init__(env)
+        self.filter = filter
+
+
+class Store:
+    """An unbounded FIFO of Python objects with blocking ``get``.
+
+    The batch system's scheduler-invocation mailbox is a Store: simulation
+    events push invocation records, the scheduling loop pops them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item`` and wake a matching getter if one waits."""
+        self.items.append(item)
+        self._dispatch()
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Event that fires with the next (matching) item."""
+        ev = StoreGet(self.env, filter)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters[0]
+            matched = None
+            if getter.filter is None:
+                matched = self.items.popleft()
+            else:
+                for idx, item in enumerate(self.items):
+                    if getter.filter(item):
+                        del self.items[idx]
+                        matched = item
+                        break
+                if matched is None:
+                    return  # Head getter cannot be satisfied yet.
+            self._getters.popleft()
+            getter.succeed(matched)

@@ -1,0 +1,27 @@
+"""Execution engine: runs application models on node allocations.
+
+The :class:`JobExecutor` turns a job's :class:`~repro.application.ApplicationModel`
+into DES processes and fair-share activities:
+
+* **cpu** tasks become one compute activity per allocated node;
+* **comm** tasks become one flow per pattern edge over the platform routes;
+* **pfs_read / pfs_write** tasks become flows through the node↔PFS routes
+  plus the PFS's shared read/write service resources (the E4 contention
+  point);
+* **bb_read / bb_write** tasks run against the node-local burst buffer;
+* **delay** tasks are plain timeouts;
+* **evolving_request** tasks call back into the batch system.
+
+At every *scheduling point* (iteration/phase boundary with
+``scheduling_point=True``) the executor notifies the batch system, then
+applies any pending :class:`~repro.job.ReconfigurationOrder`: it simulates
+the data redistribution over the network (cost model documented in
+DESIGN.md §5) and commits the new allocation.
+
+Kills (walltime, scheduler) arrive as process interrupts; the executor
+cancels its in-flight activities and exits cleanly.
+"""
+
+from repro.engine.executor import EngineError, JobExecutor, transfer
+
+__all__ = ["EngineError", "JobExecutor", "transfer"]

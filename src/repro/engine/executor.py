@@ -1,0 +1,459 @@
+"""The per-job executor."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Protocol, Sequence
+
+from repro.application import (
+    BbReadTask,
+    BbWriteTask,
+    CommTask,
+    CpuTask,
+    DelayTask,
+    EvolvingRequest,
+    GpuTask,
+    PfsReadTask,
+    PfsWriteTask,
+    Phase,
+    Task,
+)
+from repro.des import Environment, Event, Interrupt
+from repro.des.events import Condition
+from repro.job import Job
+from repro.platform import Node, Platform, Route
+from repro.sharing import Activity, FairShareModel
+
+
+class EngineError(Exception):
+    """Raised when a job's model cannot run on the given platform."""
+
+
+class BatchCallbacks(Protocol):
+    """What the executor needs from the batch system.
+
+    Methods are synchronous: they are invoked at the current simulation
+    instant and may set ``job.pending_reconfiguration`` before returning.
+    """
+
+    def on_scheduling_point(self, job: Job) -> None:  # pragma: no cover - protocol
+        ...
+
+    def on_evolving_request(self, job: Job, desired_nodes: int) -> None:  # pragma: no cover
+        ...
+
+    def commit_reconfiguration(self, job: Job, new_nodes: Sequence[Node]) -> None:  # pragma: no cover
+        ...
+
+
+def transfer(
+    env: Environment,
+    model: FairShareModel,
+    route: Route,
+    nbytes: float,
+    *,
+    extra_usages: Optional[dict] = None,
+    payload: Any = None,
+) -> Activity:
+    """Create (and start) a flow activity along ``route``.
+
+    Route latency is charged by *inflating the work* with an equivalent
+    byte count at the route's bottleneck bandwidth — the standard trick to
+    keep latency inside a single fluid activity.  For batch workloads
+    (latencies ~1 µs, transfers ~GB) the effect is negligible but non-zero,
+    matching SimGrid's ``latency + size/bandwidth`` shape.
+    """
+    usages = {res: 1.0 for res in route.resources}
+    if extra_usages:
+        for res, factor in extra_usages.items():
+            usages[res] = max(usages.get(res, 0.0), factor)
+    work = float(nbytes)
+    if route.latency > 0 and usages:
+        bottleneck = min(res.capacity for res in usages)
+        work += route.latency * bottleneck
+    activity = Activity(work, usages, payload=payload)
+    model.execute(activity)
+    return activity
+
+
+class JobExecutor:
+    """Executes one job's application model; one instance per job start.
+
+    Parameters
+    ----------
+    env, platform, model:
+        The simulation substrate.
+    job:
+        Must already be in RUNNING state with its allocation assigned.
+    batch:
+        Callback sink (the batch system, or a stub in tests).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: Platform,
+        model: FairShareModel,
+        job: Job,
+        batch: BatchCallbacks,
+    ) -> None:
+        self.env = env
+        self.platform = platform
+        self.model = model
+        self.job = job
+        self.batch = batch
+        self._outstanding: List[Activity] = []
+        self._current_wait: Optional[Event] = None
+        self._parallel_branches: List = []
+
+    # -- top level ---------------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, str]:
+        """Process body: returns "completed" or "killed".
+
+        The caller (batch system) interrupts this process to kill the job;
+        the executor cancels its in-flight activities before re-raising is
+        *not* needed — it swallows the interrupt and reports "killed".
+        """
+        job = self.job
+        try:
+            for phase_idx, phase in enumerate(job.application.phases):
+                iterations = phase.num_iterations(job.expression_variables())
+                for iteration in range(iterations):
+                    yield from self._run_iteration(phase, iteration)
+                    if phase.scheduling_point:
+                        # Scheduling points are the checkpoint locations:
+                        # record progress for checkpoint/restart requeues.
+                        job.checkpoint_marker = (phase_idx, iteration + 1, iterations)
+                        yield from self._scheduling_point()
+            return "completed"
+        except Interrupt as intr:
+            self._cancel_outstanding()
+            job.kill_reason = str(intr.cause) if intr.cause is not None else "killed"
+            return "killed"
+
+    # -- phases and tasks -------------------------------------------------------
+
+    def _run_iteration(
+        self, phase: Phase, iteration: int
+    ) -> Generator[Event, Any, None]:
+        if phase.parallel:
+            yield from self._run_parallel_tasks(phase, iteration)
+            return
+        for task in phase.tasks:
+            yield from self._run_task(task, iteration)
+
+    def _run_parallel_tasks(
+        self, phase: Phase, iteration: int
+    ) -> Generator[Event, Any, None]:
+        """Run all of a parallel phase's tasks concurrently.
+
+        Each task executes in its own branch process with its own activity
+        tracking (a fresh executor sharing this one's substrate), so a kill
+        of the main process can cancel every branch cleanly.
+        """
+        branches = []
+        for task in phase.tasks:
+            branch_exec = JobExecutor(
+                self.env, self.platform, self.model, self.job, self.batch
+            )
+            proc = self.env.process(
+                self._branch(branch_exec, task, iteration),
+                name=f"{self.job.name}/{phase.name}/{task.name}",
+            )
+            branches.append(proc)
+        self._parallel_branches = branches
+        condition = self.env.all_of(branches)
+        self._current_wait = condition
+        yield condition
+        self._current_wait = None
+        self._parallel_branches = []
+
+    @staticmethod
+    def _branch(executor: "JobExecutor", task: Task, iteration: int):
+        try:
+            yield from executor._run_task(task, iteration)
+        except Interrupt:
+            executor._cancel_outstanding()
+
+    def _run_task(self, task: Task, iteration: int) -> Generator[Event, Any, None]:
+        nodes = self.job.assigned_nodes
+        n = len(nodes)
+        variables = self.job.expression_variables(
+            iteration=iteration,
+            gpus_per_node=nodes[0].gpus if nodes else 0,
+        )
+
+        if isinstance(task, CpuTask):
+            flops = task.flops_per_node(variables, n)
+            if flops <= 0:
+                return
+            activities = [
+                Activity(flops, {node.cpu: 1.0}, payload=(self.job.jid, task.name))
+                for node in nodes
+            ]
+            yield from self._wait_all(activities)
+            return
+
+        if isinstance(task, GpuTask):
+            flops = task.flops_per_node(variables, n)
+            if flops <= 0:
+                return
+            activities = []
+            for node in nodes:
+                if node.gpu is None:
+                    raise EngineError(
+                        f"Job {self.job.name}: task {task.name!r} needs GPUs, "
+                        f"but node {node.name} has none"
+                    )
+                activities.append(
+                    Activity(flops, {node.gpu: 1.0}, payload=(self.job.jid, task.name))
+                )
+            yield from self._wait_all(activities)
+            return
+
+        if isinstance(task, CommTask):
+            nbytes = task.message_size(variables)
+            if nbytes <= 0 or n <= 1:
+                return
+            activities = []
+            for src_rank, dst_rank in task.flows(n):
+                route = self.platform.route(nodes[src_rank].index, nodes[dst_rank].index)
+                if not route.resources and route.latency == 0:
+                    continue  # same-node "transfer" is free
+                activities.append(
+                    transfer(
+                        self.env,
+                        self.model,
+                        route,
+                        nbytes,
+                        payload=(self.job.jid, task.name, src_rank, dst_rank),
+                    )
+                )
+            yield from self._wait_started(activities)
+            return
+
+        if isinstance(task, PfsReadTask):
+            yield from self._run_pfs_io(task, variables, read=True)
+            return
+
+        if isinstance(task, PfsWriteTask):
+            yield from self._run_pfs_io(task, variables, read=False)
+            return
+
+        if isinstance(task, BbReadTask):
+            yield from self._run_bb_io(task, variables, read=True)
+            return
+
+        if isinstance(task, BbWriteTask):
+            yield from self._run_bb_io(task, variables, read=False)
+            return
+
+        if isinstance(task, DelayTask):
+            duration = task.duration(variables)
+            if duration > 0:
+                yield self.env.timeout(duration)
+            return
+
+        if isinstance(task, EvolvingRequest):
+            desired = task.desired_nodes(variables)
+            if desired != n:
+                self.job.evolving_request = desired
+                self.job.evolving_denied = False
+                self.batch.on_evolving_request(self.job, desired)
+                if (
+                    task.blocking
+                    and self.job.pending_reconfiguration is None
+                    and not self.job.evolving_denied
+                ):
+                    # Blocking semantics: suspend until the scheduler grants
+                    # (issues an order) or explicitly denies the request.
+                    wait = Event(self.env)
+                    self.job.evolving_wait_event = wait
+                    self._current_wait = wait
+                    yield wait
+                    self._current_wait = None
+                    self.job.evolving_wait_event = None
+                # An evolving request is itself a scheduling point: apply
+                # whatever the scheduler granted right away.
+                yield from self._apply_pending_reconfiguration()
+                self.job.evolving_request = None
+                self.job.evolving_denied = False
+            return
+
+        raise EngineError(f"Unknown task type {type(task).__name__}")
+
+    def _run_pfs_io(self, task, variables, *, read: bool) -> Generator[Event, Any, None]:
+        pfs = self.platform.pfs
+        if pfs is None:
+            raise EngineError(
+                f"Job {self.job.name}: task {task.name!r} needs a PFS, "
+                f"but platform {self.platform.name!r} has none"
+            )
+        nodes = self.job.assigned_nodes
+        nbytes = task.bytes_per_node(variables, len(nodes))
+        if nbytes <= 0:
+            return
+        service = pfs.read if read else pfs.write
+        activities = []
+        for node in nodes:
+            route = (
+                self.platform.route_from_pfs(node.index)
+                if read
+                else self.platform.route_to_pfs(node.index)
+            )
+            activities.append(
+                transfer(
+                    self.env,
+                    self.model,
+                    route,
+                    nbytes,
+                    extra_usages={service: 1.0},
+                    payload=(self.job.jid, task.name, node.index),
+                )
+            )
+        yield from self._wait_started(activities)
+
+    def _run_bb_io(self, task, variables, *, read: bool) -> Generator[Event, Any, None]:
+        nodes = self.job.assigned_nodes
+        nbytes = task.bytes_per_node(variables, len(nodes))
+        if nbytes <= 0:
+            return
+        activities = []
+        for node in nodes:
+            if node.bb is None:
+                raise EngineError(
+                    f"Job {self.job.name}: task {task.name!r} needs burst "
+                    f"buffers, but node {node.name} has none"
+                )
+            resource = node.bb.read if read else node.bb.write
+            activities.append(
+                Activity(
+                    nbytes,
+                    {resource: 1.0},
+                    payload=(self.job.jid, task.name, node.index),
+                )
+            )
+        yield from self._wait_all(activities)
+        if not read and getattr(task, "charge", False):
+            for node in nodes:
+                node.bb.charge(nbytes)
+
+    # -- scheduling points and reconfiguration ------------------------------
+
+    def _scheduling_point(self) -> Generator[Event, Any, None]:
+        self.job.scheduling_points_seen += 1
+        self.batch.on_scheduling_point(self.job)
+        yield from self._apply_pending_reconfiguration()
+
+    def _apply_pending_reconfiguration(self) -> Generator[Event, Any, None]:
+        order = self.job.pending_reconfiguration
+        if order is None:
+            return
+        old_nodes = list(self.job.assigned_nodes)
+        new_nodes = list(order.target)
+        if {n.index for n in old_nodes} == {n.index for n in new_nodes}:
+            self.job.pending_reconfiguration = None
+            return  # no-op order
+
+        # The order stays set until the commit: the scheduler-context guard
+        # ("job already has a pending order") must hold through the whole
+        # redistribution, or a second order issued mid-flight would be
+        # computed from a stale allocation.  It also lets a kill during
+        # redistribution release the reserved target nodes.
+        yield from self._redistribute(old_nodes, new_nodes)
+
+        self.batch.commit_reconfiguration(self.job, new_nodes)
+        self.job.pending_reconfiguration = None
+        self.job.reconfigurations_applied += 1
+
+    def _redistribute(
+        self, old_nodes: List[Node], new_nodes: List[Node]
+    ) -> Generator[Event, Any, None]:
+        """Simulate data movement from the old to the new allocation.
+
+        Cost model: the application holds ``data_per_node`` bytes on each of
+        the ``|A|`` old nodes (total ``D``).  After reconfiguration each of
+        the ``|B|`` new nodes must hold ``D / |B|``.  Every *leaving* node
+        ships its full ``data_per_node``; every *joining* node receives its
+        new share ``D / |B|``.  Transfers run as parallel network flows
+        paired round-robin with the surviving nodes.
+        """
+        job = self.job
+        per_node = job.application.redistribution_bytes_per_node(
+            job.expression_variables()
+        )
+        if per_node <= 0:
+            return
+        old_set = {n.index for n in old_nodes}
+        new_set = {n.index for n in new_nodes}
+        leaving = [n for n in old_nodes if n.index not in new_set]
+        joining = [n for n in new_nodes if n.index not in old_set]
+        staying = [n for n in old_nodes if n.index in new_set]
+
+        total = per_node * len(old_nodes)
+        new_share = total / len(new_nodes)
+
+        activities = []
+        moved = 0.0
+        # Leaving nodes push their state to a surviving or joining node.
+        sinks = staying or joining
+        for k, node in enumerate(leaving):
+            dst = sinks[k % len(sinks)]
+            route = self.platform.route(node.index, dst.index)
+            if route.resources or route.latency > 0:
+                activities.append(
+                    transfer(self.env, self.model, route, per_node,
+                             payload=(job.jid, "redistribute-out"))
+                )
+            moved += per_node
+        # Joining nodes pull their share from surviving (or leaving) nodes.
+        sources = staying or leaving
+        for k, node in enumerate(joining):
+            src = sources[k % len(sources)]
+            route = self.platform.route(src.index, node.index)
+            if route.resources or route.latency > 0:
+                activities.append(
+                    transfer(self.env, self.model, route, new_share,
+                             payload=(job.jid, "redistribute-in"))
+                )
+            moved += new_share
+
+        job.redistribution_bytes_moved += moved
+        yield from self._wait_started(activities)
+
+    # -- waiting helpers ----------------------------------------------------
+
+    def _wait_all(self, activities: List[Activity]) -> Generator[Event, Any, None]:
+        """Start ``activities`` and wait for all; cancellable via interrupt."""
+        for act in activities:
+            self.model.execute(act)
+        yield from self._wait_started(activities)
+
+    def _wait_started(self, activities: List[Activity]) -> Generator[Event, Any, None]:
+        """Wait for already-started activities; cancellable via interrupt."""
+        if not activities:
+            return
+        self._outstanding = activities
+        condition = self.env.all_of([act.done for act in activities])
+        self._current_wait = condition
+        # No try/finally: on an interrupt the state must survive so that
+        # run()'s handler can cancel the in-flight activities.
+        yield condition
+        self._current_wait = None
+        self._outstanding = []
+
+    def _cancel_outstanding(self) -> None:
+        """Abort in-flight activities (and parallel branches) after an
+        interrupt."""
+        for act in self._outstanding:
+            self.model.cancel(act)
+        for proc in self._parallel_branches:
+            if proc.is_alive:
+                proc.interrupt("parent-killed")
+        if self._current_wait is not None:
+            # The condition will fail when the cancelled activities fail;
+            # nobody waits for it anymore, so mark the failure as handled.
+            self._current_wait.defuse()
+        self._outstanding = []
+        self._parallel_branches = []
+        self._current_wait = None

@@ -1,0 +1,39 @@
+"""Arithmetic expression language for task magnitudes.
+
+ElastiSim application models specify task sizes as strings evaluated against
+the job's *current* allocation — e.g. ``"1e12 / num_nodes"`` for weak-scaled
+compute or ``"8e6 * (num_nodes - 1)"`` for halo exchanges.  This package
+provides a small, safe (no ``eval``) expression language:
+
+* numbers (int/float/scientific), identifiers, ``+ - * / // % ^``
+* parentheses, unary minus
+* functions: ``min max ceil floor round abs sqrt log log2 exp pow``
+* comparison and ternary-style helpers: ``if(cond, a, b)``, ``< <= > >= == !=``
+
+Expressions compile once (at model load) into an AST evaluated per task
+instantiation with the variable bindings of the moment (``num_nodes``,
+user-provided job arguments, phase iteration counters).
+"""
+
+from repro.expressions.ast import (
+    BinaryOp,
+    Call,
+    Expression,
+    ExpressionError,
+    Number,
+    UnaryOp,
+    Variable,
+)
+from repro.expressions.parser import compile_expression, parse
+
+__all__ = [
+    "BinaryOp",
+    "Call",
+    "Expression",
+    "ExpressionError",
+    "Number",
+    "UnaryOp",
+    "Variable",
+    "compile_expression",
+    "parse",
+]

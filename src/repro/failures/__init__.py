@@ -1,0 +1,19 @@
+"""Node-failure injection.
+
+Batch systems live with hardware faults; simulating them answers questions
+like "how much does malleability help when nodes disappear?".  This
+package provides:
+
+* :class:`Failure` — one fault: which node, when, and how long the repair
+  takes.
+* :func:`generate_failures` — Poisson per-node faults from an MTBF and a
+  mean repair time, fully seeded.
+* Integration via ``Simulation(..., failures=[...])``: at the fault time
+  the node is marked failed (schedulers stop seeing it as free) and any
+  job running on it is killed with reason ``"node_failure"``; after the
+  repair time the node returns and the scheduler is re-invoked.
+"""
+
+from repro.failures.model import Failure, FailureError, generate_failures
+
+__all__ = ["Failure", "FailureError", "generate_failures"]

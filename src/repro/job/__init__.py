@@ -1,0 +1,36 @@
+"""Job model: rigid, moldable, malleable, and evolving jobs.
+
+The four job types follow Feitelson & Rudolph's classic taxonomy, which is
+also the paper's framing:
+
+=============  =======================  ====================================
+Type           Who decides allocation   When it can change
+=============  =======================  ====================================
+``RIGID``      user (fixed)             never
+``MOLDABLE``   scheduler at start       never after start
+``MALLEABLE``  scheduler at runtime     at the application's scheduling
+                                        points (phase/iteration boundaries)
+``EVOLVING``   application at runtime   when the application requests and
+                                        the scheduler grants
+=============  =======================  ====================================
+
+A :class:`Job` couples a resource request with an
+:class:`~repro.application.ApplicationModel` and carries all lifecycle
+state and per-job metrics (wait, turnaround, bounded slowdown).
+"""
+
+from repro.job.job import (
+    Job,
+    JobError,
+    JobState,
+    JobType,
+    ReconfigurationOrder,
+)
+
+__all__ = [
+    "Job",
+    "JobError",
+    "JobState",
+    "JobType",
+    "ReconfigurationOrder",
+]

@@ -1,0 +1,341 @@
+"""The Job class and its lifecycle."""
+
+from __future__ import annotations
+
+from enum import Enum
+from math import inf
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.application import ApplicationModel
+
+
+class JobError(Exception):
+    """Raised on invalid job descriptions or illegal state transitions."""
+
+
+class JobType(Enum):
+    """Who controls the allocation, and when it may change."""
+
+    RIGID = "rigid"
+    MOLDABLE = "moldable"
+    MALLEABLE = "malleable"
+    EVOLVING = "evolving"
+
+
+class JobState(Enum):
+    """Lifecycle states.
+
+    ``PENDING → RUNNING → {COMPLETED, KILLED}``; ``KILLED`` covers both
+    walltime overruns and explicit scheduler kills.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+class ReconfigurationOrder:
+    """A scheduler decision to change a malleable job's allocation.
+
+    ``target`` is the complete desired allocation (node objects).  The
+    batch system validates it; the engine applies it at the job's next
+    scheduling point, charging the redistribution cost.
+    """
+
+    __slots__ = ("target", "issued_at")
+
+    def __init__(self, target: Sequence, issued_at: float) -> None:
+        if not target:
+            raise JobError("Reconfiguration target must contain at least one node")
+        self.target = list(target)
+        self.issued_at = issued_at
+
+    def __repr__(self) -> str:
+        return f"<ReconfigurationOrder to {len(self.target)} nodes @ {self.issued_at}>"
+
+
+class Job:
+    """A batch job: resource request + application model + runtime state.
+
+    Parameters
+    ----------
+    jid:
+        Unique integer id (assigned by the workload or the batch system).
+    application:
+        What the job executes.
+    job_type:
+        One of :class:`JobType`.
+    submit_time:
+        Simulated submission instant in seconds.
+    num_nodes:
+        The requested allocation for rigid jobs; for moldable / malleable /
+        evolving jobs the *preferred* size (scheduler may pick within
+        ``min_nodes..max_nodes``).
+    min_nodes, max_nodes:
+        Allocation bounds for non-rigid jobs.  Default to ``num_nodes`` for
+        rigid jobs.
+    walltime:
+        Kill limit in seconds (``inf`` disables).
+    arguments:
+        Extra expression variables available to the application model
+        (problem sizes, step counts, ...).
+    name:
+        Display name; defaults to ``job<jid>``.
+    user:
+        Owning account (for fairness-aware scheduling); defaults to
+        ``"user0"``.
+    priority:
+        Larger values are more important (priority/preemption policies).
+    """
+
+    def __init__(
+        self,
+        jid: int,
+        application: ApplicationModel,
+        *,
+        job_type: JobType = JobType.RIGID,
+        submit_time: float = 0.0,
+        num_nodes: int = 1,
+        min_nodes: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+        walltime: float = inf,
+        arguments: Optional[Dict[str, float]] = None,
+        name: Optional[str] = None,
+        user: Optional[str] = None,
+        priority: int = 0,
+    ) -> None:
+        if submit_time < 0:
+            raise JobError(f"submit_time must be >= 0, got {submit_time}")
+        if num_nodes < 1:
+            raise JobError(f"num_nodes must be >= 1, got {num_nodes}")
+        if walltime <= 0:
+            raise JobError(f"walltime must be > 0, got {walltime}")
+
+        if job_type is JobType.RIGID:
+            if min_nodes not in (None, num_nodes) or max_nodes not in (None, num_nodes):
+                raise JobError("Rigid jobs cannot set min/max nodes")
+            min_nodes = max_nodes = num_nodes
+        else:
+            min_nodes = min_nodes if min_nodes is not None else 1
+            max_nodes = max_nodes if max_nodes is not None else num_nodes
+        if not 1 <= min_nodes <= max_nodes:
+            raise JobError(
+                f"Need 1 <= min_nodes <= max_nodes, got {min_nodes}..{max_nodes}"
+            )
+        if not min_nodes <= num_nodes <= max_nodes:
+            raise JobError(
+                f"num_nodes {num_nodes} outside bounds {min_nodes}..{max_nodes}"
+            )
+
+        self.jid = jid
+        self.name = name or f"job{jid}"
+        self.application = application
+        self.type = job_type
+        self.submit_time = float(submit_time)
+        self.num_nodes = num_nodes
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.walltime = float(walltime)
+        self.arguments: Dict[str, float] = dict(arguments or {})
+        #: Owner account; used by fairness-aware policies.
+        self.user = user or "user0"
+        #: Larger = more important; used by priority/preemption policies.
+        self.priority = int(priority)
+
+        # -- runtime state (owned by the batch system / engine) ------------
+        self.state = JobState.PENDING
+        self.assigned_nodes: List = []
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.kill_reason: Optional[str] = None
+
+        #: Order the engine applies at the next scheduling point.
+        self.pending_reconfiguration: Optional[ReconfigurationOrder] = None
+        #: Evolving jobs: total nodes the application currently asks for.
+        self.evolving_request: Optional[int] = None
+        #: Event a *blocking* evolving request waits on; the batch system
+        #: triggers it when the request is granted or explicitly denied.
+        self.evolving_wait_event = None
+        #: Set when the scheduler explicitly denies the current request
+        #: (checked by the engine before suspending a blocking request).
+        self.evolving_denied = False
+
+        # -- accounting ----------------------------------------------------
+        self.scheduling_points_seen = 0
+        self.reconfigurations_applied = 0
+        self.redistribution_bytes_moved = 0.0
+
+        #: Which attempt this is (> 1 after failure requeues).
+        self.attempt = 1
+        #: The jid of the original submission when this job is a requeue.
+        self.origin_jid: Optional[int] = None
+        #: Progress watermark set by the engine at every scheduling point:
+        #: (phase index, iterations completed in it, iterations total).
+        #: Scheduling points are where application state is consistent —
+        #: i.e. the natural checkpoint locations.
+        self.checkpoint_marker: Optional[tuple] = None
+
+    def clone_for_requeue(
+        self, new_jid: int, submit_time: float, *, resume: bool = False
+    ) -> "Job":
+        """A fresh PENDING copy of this job for resubmission after a fault.
+
+        With ``resume=False`` (default) the clone restarts the application
+        from the beginning.  With ``resume=True`` and a recorded
+        :attr:`checkpoint_marker`, the clone's application is trimmed to
+        the work *after* the last scheduling point — modelling an
+        application that checkpoints at its scheduling points.  The
+        original walltime budget is kept either way.
+        """
+        application = self.application
+        if resume and self.checkpoint_marker is not None:
+            application = _trim_application(self.application, self.checkpoint_marker)
+        clone = Job(
+            new_jid,
+            application,
+            job_type=self.type,
+            submit_time=submit_time,
+            num_nodes=self.num_nodes,
+            min_nodes=None if self.is_rigid else self.min_nodes,
+            max_nodes=None if self.is_rigid else self.max_nodes,
+            walltime=self.walltime,
+            arguments=self.arguments,
+            name=f"{self.name}.r{self.attempt + 1}",
+            user=self.user,
+            priority=self.priority,
+        )
+        clone.attempt = self.attempt + 1
+        clone.origin_jid = self.origin_jid if self.origin_jid is not None else self.jid
+        return clone
+
+    # -- type predicates -----------------------------------------------------
+
+    @property
+    def is_rigid(self) -> bool:
+        return self.type is JobType.RIGID
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True for jobs whose allocation can change after start."""
+        return self.type in (JobType.MALLEABLE, JobType.EVOLVING)
+
+    # -- expression context ----------------------------------------------------
+
+    def expression_variables(self, **extra: float) -> Dict[str, float]:
+        """Bindings available to the application model's expressions."""
+        variables: Dict[str, float] = dict(self.arguments)
+        variables["num_nodes"] = len(self.assigned_nodes) or self.num_nodes
+        variables["job_id"] = self.jid
+        variables.update(extra)
+        return variables
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def mark_started(self, nodes: Sequence, now: float) -> None:
+        if self.state is not JobState.PENDING:
+            raise JobError(f"{self.name}: cannot start from state {self.state}")
+        if not nodes:
+            raise JobError(f"{self.name}: cannot start with empty allocation")
+        if not self.min_nodes <= len(nodes) <= self.max_nodes:
+            raise JobError(
+                f"{self.name}: allocation of {len(nodes)} outside "
+                f"{self.min_nodes}..{self.max_nodes}"
+            )
+        if self.is_rigid and len(nodes) != self.num_nodes:
+            raise JobError(
+                f"{self.name}: rigid job needs exactly {self.num_nodes} nodes, "
+                f"got {len(nodes)}"
+            )
+        self.state = JobState.RUNNING
+        self.assigned_nodes = list(nodes)
+        self.start_time = now
+
+    def mark_completed(self, now: float) -> None:
+        if self.state is not JobState.RUNNING:
+            raise JobError(f"{self.name}: cannot complete from state {self.state}")
+        self.state = JobState.COMPLETED
+        self.end_time = now
+
+    def mark_killed(self, now: float, reason: str) -> None:
+        if self.state not in (JobState.RUNNING, JobState.PENDING):
+            raise JobError(f"{self.name}: cannot kill from state {self.state}")
+        self.state = JobState.KILLED
+        self.end_time = now
+        self.kill_reason = reason
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.COMPLETED, JobState.KILLED)
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Seconds between submission and start (None while pending)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+    def bounded_slowdown(self, tau: float = 10.0) -> Optional[float]:
+        """Feitelson's bounded slowdown with threshold ``tau`` seconds."""
+        if self.end_time is None or self.start_time is None:
+            return None
+        runtime = self.runtime or 0.0
+        return max(
+            1.0,
+            (self.wait_time + runtime) / max(runtime, tau),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.name} {self.type.value} {self.state.value} "
+            f"nodes={len(self.assigned_nodes) or self.num_nodes}>"
+        )
+
+
+def _trim_application(application: ApplicationModel, marker: tuple) -> ApplicationModel:
+    """The part of ``application`` after checkpoint ``marker``.
+
+    ``marker`` is (phase index, iterations completed, iterations total) as
+    recorded by the engine.  The marker phase keeps its remaining
+    iterations as a literal count; later phases are untouched.  If nothing
+    remains (marker at the very end), a minimal zero-work application is
+    returned so the clone completes immediately.
+    """
+    from repro.application import CpuTask, Phase
+
+    phase_idx, done, total = marker
+    phases = []
+    marker_phase = application.phases[phase_idx]
+    remaining = total - done
+    if remaining > 0:
+        phases.append(
+            Phase(
+                marker_phase.tasks,
+                iterations=remaining,
+                scheduling_point=marker_phase.scheduling_point,
+                parallel=marker_phase.parallel,
+                name=f"{marker_phase.name}~resumed",
+            )
+        )
+    phases.extend(application.phases[phase_idx + 1 :])
+    if not phases:
+        phases = [Phase([CpuTask(0)], name="resume-epilogue")]
+    return ApplicationModel(
+        phases,
+        data_per_node=application.data_per_node,
+        name=f"{application.name}~resumed",
+    )

@@ -1,0 +1,19 @@
+"""Monitoring: time series, per-job records, and summary statistics.
+
+The :class:`Monitor` observes the batch system and records everything the
+experiment harness needs:
+
+* step-function time series of allocated nodes and queue length,
+* per-job records (submit/start/end, waits, turnaround, slowdown,
+  reconfiguration counts),
+* per-job allocation segments for Gantt charts,
+* aggregate summaries (makespan, average utilization, mean/median waits).
+
+Everything exports to plain dicts / CSV so the benchmark harness can print
+paper-style tables without extra dependencies.
+"""
+
+from repro.monitoring.monitor import AllocationSegment, Monitor, SummaryStatistics
+from repro.monitoring.gantt import render_gantt
+
+__all__ = ["AllocationSegment", "Monitor", "SummaryStatistics", "render_gantt"]

@@ -1,0 +1,66 @@
+"""ASCII Gantt rendering of a simulation's allocation history.
+
+Renders one row per job showing when it held how many nodes; malleable
+reconfigurations show as width changes within the row's lifetime.  Useful
+for eyeballing scheduler behaviour in terminals and in EXPERIMENTS.md
+appendices without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.monitoring.monitor import Monitor
+
+#: Glyphs for increasing allocation sizes (quantized).
+_LEVELS = "·▁▂▃▄▅▆▇█"
+
+
+def render_gantt(
+    monitor: Monitor,
+    *,
+    width: int = 80,
+    max_jobs: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> str:
+    """Render the run as an ASCII Gantt chart.
+
+    Each row is a job; each column a time bucket.  Glyph height encodes the
+    job's allocation size relative to the machine ( ``·`` = queued,
+    ``▁..█`` = share of nodes held).  Returns a printable multi-line string.
+    """
+    jobs = sorted(monitor.jobs, key=lambda j: j.jid)
+    if max_jobs is not None:
+        jobs = jobs[:max_jobs]
+    end = horizon if horizon is not None else monitor.makespan()
+    if end <= 0 or not jobs:
+        return "(nothing ran)"
+
+    name_width = max(len(j.name) for j in jobs)
+    lines: List[str] = []
+    header = f"{'job':<{name_width}} |{'time →':<{width}}|"
+    lines.append(header)
+    for job in jobs:
+        segments = monitor.segments(job.jid)
+        row = []
+        for column in range(width):
+            t = end * (column + 0.5) / width
+            glyph = " "
+            if job.submit_time <= t and (job.end_time is None or t < job.end_time):
+                glyph = "·"  # queued
+                for seg in segments:
+                    seg_end = seg.end if seg.end is not None else end
+                    if seg.start <= t < seg_end:
+                        share = len(seg.node_indices) / monitor.num_nodes
+                        level = max(1, min(8, round(share * 8)))
+                        glyph = _LEVELS[level]
+                        break
+            row.append(glyph)
+        marker = {"completed": " ", "killed": " ✗", "running": " …"}.get(
+            job.state.value, ""
+        )
+        lines.append(f"{job.name:<{name_width}} |{''.join(row)}|{marker}")
+    lines.append(
+        f"{'':<{name_width}}  0{'-' * (width - 8)}{end:>7.0f}s"
+    )
+    return "\n".join(lines)

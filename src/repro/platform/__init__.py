@@ -1,0 +1,51 @@
+"""Platform model: compute nodes, network, PFS, burst buffers.
+
+The platform is the static description of the simulated machine — the
+counterpart of ElastiSim's SimGrid platform files.  It provides:
+
+* :class:`Node` — a compute node exposing a flops-capacity CPU resource,
+  NIC up/down link resources, and an optional node-local burst buffer.
+* :class:`Pfs` — the parallel file system with shared read/write bandwidth
+  (the contention point that experiment E4 studies).
+* :class:`BurstBuffer` — node-local storage with its own bandwidths and a
+  capacity account.
+* Topologies — :class:`StarTopology` (flat switched cluster; ElastiSim's
+  default abstraction) and :class:`GraphTopology` with fat-tree / torus /
+  dragonfly builders on networkx for route-sensitive studies.
+* :func:`load_platform` / :func:`platform_from_dict` — JSON description →
+  :class:`Platform`, with validation errors that name the offending key.
+
+All bandwidths are bytes/s, compute capacities flops/s, latencies seconds.
+"""
+
+from repro.platform.components import BurstBuffer, Node, Pfs, PlatformError
+from repro.platform.topology import (
+    GraphTopology,
+    Link,
+    Route,
+    StarTopology,
+    Topology,
+    build_dragonfly,
+    build_fat_tree,
+    build_torus,
+)
+from repro.platform.platform import Platform
+from repro.platform.loader import load_platform, platform_from_dict
+
+__all__ = [
+    "BurstBuffer",
+    "GraphTopology",
+    "Link",
+    "Node",
+    "Pfs",
+    "Platform",
+    "PlatformError",
+    "Route",
+    "StarTopology",
+    "Topology",
+    "build_dragonfly",
+    "build_fat_tree",
+    "build_torus",
+    "load_platform",
+    "platform_from_dict",
+]

@@ -1,0 +1,102 @@
+"""The Platform aggregate: nodes + topology + PFS."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.platform.components import BurstBuffer, Node, Pfs, PlatformError
+from repro.platform.topology import PFS, Route, Topology
+
+
+class Platform:
+    """A complete machine description.
+
+    Parameters
+    ----------
+    nodes:
+        The compute nodes, densely indexed 0..n-1.
+    topology:
+        Provides routes between nodes and to the PFS.
+    pfs:
+        The parallel file system; optional for compute-only studies.
+    name:
+        Display name used in reports.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        topology: Topology,
+        pfs: Optional[Pfs] = None,
+        *,
+        name: str = "cluster",
+    ) -> None:
+        if not nodes:
+            raise PlatformError("Platform needs at least one node")
+        for expected, node in enumerate(nodes):
+            if node.index != expected:
+                raise PlatformError(
+                    f"Node indices must be dense: expected {expected}, "
+                    f"got {node.index}"
+                )
+        self.name = name
+        self.nodes: List[Node] = list(nodes)
+        self.topology = topology
+        self.pfs = pfs
+        topology.attach_nodes(self.nodes)
+
+    # -- sizing -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(node.flops for node in self.nodes)
+
+    # -- allocation views ---------------------------------------------------
+
+    def free_nodes(self) -> List[Node]:
+        """Nodes currently not held by any job, in index order."""
+        return [node for node in self.nodes if node.free]
+
+    def num_free_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.free)
+
+    def num_allocated_nodes(self) -> int:
+        """Nodes currently held by jobs (excludes failed-but-idle nodes)."""
+        return sum(1 for node in self.nodes if node.assigned_job is not None)
+
+    def num_failed_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.failed)
+
+    def utilization(self) -> float:
+        """Fraction of nodes currently allocated."""
+        return 1.0 - self.num_free_nodes() / self.num_nodes
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, src: int, dst: int) -> Route:
+        """Node-to-node route."""
+        return self.topology.route(src, dst)
+
+    def route_to_pfs(self, src: int) -> Route:
+        """Route a write takes from ``src`` to the PFS (excl. PFS service)."""
+        self._require_pfs()
+        return self.topology.route(src, PFS)
+
+    def route_from_pfs(self, dst: int) -> Route:
+        """Route a read takes from the PFS to ``dst`` (excl. PFS service)."""
+        self._require_pfs()
+        return self.topology.route(PFS, dst)
+
+    def _require_pfs(self) -> None:
+        if self.pfs is None:
+            raise PlatformError(f"Platform {self.name!r} has no PFS configured")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Platform {self.name!r} nodes={self.num_nodes} "
+            f"pfs={'yes' if self.pfs else 'no'}>"
+        )

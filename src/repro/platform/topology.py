@@ -1,0 +1,362 @@
+"""Network topologies and routing.
+
+A topology answers one question: *which shared resources does a transfer
+between two endpoints traverse, and with what latency?*  The answer is a
+:class:`Route` — a list of bandwidth resources plus an accumulated latency —
+consumed by the execution engine to create flow activities.
+
+Endpoints are node indices (ints) or the special string ``"pfs"``.
+
+Two families are provided:
+
+* :class:`StarTopology` — every node hangs off one big crossbar switch with
+  a private up and down link; the PFS hangs off the same switch.  This is
+  the abstraction ElastiSim's flat cluster platforms use and is O(1) per
+  route.
+* :class:`GraphTopology` — routes over an arbitrary networkx multigraph
+  whose edges carry :class:`Link` objects; builders for fat-tree, torus and
+  dragonfly shapes are included.  Shortest paths (by hop count) are cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple, Union
+
+import networkx as nx
+
+from repro.platform.components import PlatformError
+from repro.sharing import SharedResource
+
+Endpoint = Union[int, str]
+
+#: Route endpoint naming the parallel file system.
+PFS = "pfs"
+
+
+class Link:
+    """A network link: one bandwidth resource plus a latency."""
+
+    __slots__ = ("name", "resource", "latency")
+
+    def __init__(self, name: str, bandwidth: float, latency: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise PlatformError(f"Link {name!r}: bandwidth must be > 0")
+        if latency < 0:
+            raise PlatformError(f"Link {name!r}: latency must be >= 0")
+        self.name = name
+        self.resource = SharedResource(name, bandwidth)
+        self.latency = latency
+
+    @property
+    def bandwidth(self) -> float:
+        return self.resource.capacity
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} bw={self.bandwidth:g} lat={self.latency:g}>"
+
+
+@dataclass(frozen=True)
+class Route:
+    """The resources a transfer traverses and its end-to-end latency."""
+
+    resources: Tuple[SharedResource, ...]
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise PlatformError("Route latency must be >= 0")
+
+
+class Topology:
+    """Interface: map endpoint pairs to routes."""
+
+    def route(self, src: Endpoint, dst: Endpoint) -> Route:
+        """Route from ``src`` to ``dst``; loopback returns an empty route."""
+        raise NotImplementedError
+
+    def attach_nodes(self, nodes) -> None:
+        """Give nodes their ``up``/``down`` NIC resources (topology-owned)."""
+        raise NotImplementedError
+
+
+class StarTopology(Topology):
+    """All nodes on one non-blocking switch; PFS on dedicated uplinks.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of compute nodes.
+    bandwidth:
+        Per-node link bandwidth in bytes/s (full duplex: independent up and
+        down resources).
+    latency:
+        One-way per-link latency; a node-to-node route crosses two links.
+    pfs_bandwidth:
+        Bandwidth of the PFS's switch uplink (defaults to ``bandwidth``).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        bandwidth: float,
+        latency: float = 0.0,
+        pfs_bandwidth: float | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise PlatformError("StarTopology needs at least one node")
+        self.num_nodes = num_nodes
+        self.latency = latency
+        self._up = [
+            SharedResource(f"node{i:04d}.up", bandwidth) for i in range(num_nodes)
+        ]
+        self._down = [
+            SharedResource(f"node{i:04d}.down", bandwidth) for i in range(num_nodes)
+        ]
+        pfs_bw = pfs_bandwidth if pfs_bandwidth is not None else bandwidth
+        self._pfs_in = SharedResource("pfs.link.in", pfs_bw)
+        self._pfs_out = SharedResource("pfs.link.out", pfs_bw)
+
+    def attach_nodes(self, nodes) -> None:
+        if len(nodes) != self.num_nodes:
+            raise PlatformError(
+                f"Topology sized for {self.num_nodes} nodes, got {len(nodes)}"
+            )
+        for node, up, down in zip(nodes, self._up, self._down):
+            node.up = up
+            node.down = down
+
+    def _check_index(self, idx: int) -> None:
+        if not 0 <= idx < self.num_nodes:
+            raise PlatformError(f"Node index {idx} out of range 0..{self.num_nodes-1}")
+
+    def route(self, src: Endpoint, dst: Endpoint) -> Route:
+        if src == dst:
+            return Route((), 0.0)
+        if src == PFS:
+            # PFS → node: PFS egress + node ingress.
+            self._check_index(dst)  # type: ignore[arg-type]
+            return Route((self._pfs_out, self._down[dst]), 2 * self.latency)
+        if dst == PFS:
+            self._check_index(src)  # type: ignore[arg-type]
+            return Route((self._up[src], self._pfs_in), 2 * self.latency)
+        self._check_index(src)  # type: ignore[arg-type]
+        self._check_index(dst)  # type: ignore[arg-type]
+        return Route((self._up[src], self._down[dst]), 2 * self.latency)
+
+
+class GraphTopology(Topology):
+    """Routes over an explicit link graph.
+
+    The graph's vertices are compute vertices ``("node", i)``, the literal
+    string ``"pfs"``, and arbitrary switch vertices.  Each edge must carry a
+    ``link`` attribute holding a :class:`Link`.  Routing is hop-count
+    shortest path with deterministic tie-breaking; results are cached.
+    """
+
+    def __init__(self, graph: nx.Graph, num_nodes: int) -> None:
+        for u, v, data in graph.edges(data=True):
+            if "link" not in data or not isinstance(data["link"], Link):
+                raise PlatformError(f"Edge {u!r}-{v!r} lacks a Link attribute")
+        for i in range(num_nodes):
+            if ("node", i) not in graph:
+                raise PlatformError(f"Graph lacks vertex for node {i}")
+        self.graph = graph
+        self.num_nodes = num_nodes
+        self._cache: Dict[Tuple[Hashable, Hashable], Route] = {}
+        # Per-node NIC resources modelled by the node's incident edge(s);
+        # for attach_nodes we synthesize infinite NICs (links constrain).
+        self._nic: List[SharedResource] = []
+
+    def attach_nodes(self, nodes) -> None:
+        if len(nodes) != self.num_nodes:
+            raise PlatformError(
+                f"Topology sized for {self.num_nodes} nodes, got {len(nodes)}"
+            )
+        # In a graph topology the first/last edges already model the NIC.
+        for node in nodes:
+            node.up = None
+            node.down = None
+
+    def _vertex(self, endpoint: Endpoint) -> Hashable:
+        if endpoint == PFS:
+            if PFS not in self.graph:
+                raise PlatformError("Graph topology has no 'pfs' vertex")
+            return PFS
+        if not 0 <= endpoint < self.num_nodes:  # type: ignore[operator]
+            raise PlatformError(
+                f"Node index {endpoint} out of range 0..{self.num_nodes-1}"
+            )
+        return ("node", endpoint)
+
+    def route(self, src: Endpoint, dst: Endpoint) -> Route:
+        if src == dst:
+            return Route((), 0.0)
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        u, v = self._vertex(src), self._vertex(dst)
+        try:
+            path = nx.shortest_path(self.graph, u, v)
+        except nx.NetworkXNoPath:
+            raise PlatformError(f"No route between {src!r} and {dst!r}") from None
+        resources: List[SharedResource] = []
+        latency = 0.0
+        for a, b in zip(path, path[1:]):
+            link: Link = self.graph.edges[a, b]["link"]
+            resources.append(link.resource)
+            latency += link.latency
+        result = Route(tuple(resources), latency)
+        self._cache[key] = result
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Graph builders
+# ---------------------------------------------------------------------------
+
+def build_fat_tree(
+    num_nodes: int,
+    *,
+    arity: int = 8,
+    leaf_bandwidth: float,
+    spine_bandwidth: float | None = None,
+    latency: float = 1e-6,
+    pfs_bandwidth: float | None = None,
+) -> GraphTopology:
+    """Two-level fat tree: leaf switches of ``arity`` nodes, one spine.
+
+    ``spine_bandwidth`` defaults to ``arity * leaf_bandwidth`` (full
+    bisection); pass less to model tapered trees.
+    """
+    if num_nodes < 1:
+        raise PlatformError("fat tree needs at least one node")
+    if arity < 1:
+        raise PlatformError("arity must be >= 1")
+    spine_bw = spine_bandwidth if spine_bandwidth is not None else arity * leaf_bandwidth
+    graph = nx.Graph()
+    num_leaves = (num_nodes + arity - 1) // arity
+    for leaf in range(num_leaves):
+        graph.add_edge(
+            ("leaf", leaf),
+            "spine",
+            link=Link(f"leaf{leaf}-spine", spine_bw, latency),
+        )
+    for i in range(num_nodes):
+        leaf = i // arity
+        graph.add_edge(
+            ("node", i),
+            ("leaf", leaf),
+            link=Link(f"node{i:04d}-leaf{leaf}", leaf_bandwidth, latency),
+        )
+    pfs_bw = pfs_bandwidth if pfs_bandwidth is not None else spine_bw
+    graph.add_edge(PFS, "spine", link=Link("pfs-spine", pfs_bw, latency))
+    return GraphTopology(graph, num_nodes)
+
+
+def build_torus(
+    dims: Tuple[int, ...],
+    *,
+    bandwidth: float,
+    latency: float = 1e-6,
+    pfs_bandwidth: float | None = None,
+) -> GraphTopology:
+    """N-dimensional torus; node i maps to mixed-radix coordinates of dims.
+
+    The PFS attaches to node 0's vertex through a dedicated link.
+    """
+    if not dims or any(d < 1 for d in dims):
+        raise PlatformError(f"Invalid torus dims {dims!r}")
+    num_nodes = 1
+    for d in dims:
+        num_nodes *= d
+
+    def coords(i: int) -> Tuple[int, ...]:
+        out = []
+        for d in reversed(dims):
+            out.append(i % d)
+            i //= d
+        return tuple(reversed(out))
+
+    def index(c: Tuple[int, ...]) -> int:
+        i = 0
+        for d, x in zip(dims, c):
+            i = i * d + x
+        return i
+
+    graph = nx.Graph()
+    for i in range(num_nodes):
+        graph.add_node(("node", i))
+    for i in range(num_nodes):
+        c = coords(i)
+        for axis, d in enumerate(dims):
+            if d == 1:
+                continue
+            neighbour = list(c)
+            neighbour[axis] = (c[axis] + 1) % d
+            j = index(tuple(neighbour))
+            if graph.has_edge(("node", i), ("node", j)):
+                continue
+            graph.add_edge(
+                ("node", i),
+                ("node", j),
+                link=Link(f"torus{i}-{j}", bandwidth, latency),
+            )
+    pfs_bw = pfs_bandwidth if pfs_bandwidth is not None else bandwidth
+    graph.add_edge(PFS, ("node", 0), link=Link("pfs-n0", pfs_bw, latency))
+    return GraphTopology(graph, num_nodes)
+
+
+def build_dragonfly(
+    groups: int,
+    routers_per_group: int,
+    nodes_per_router: int,
+    *,
+    node_bandwidth: float,
+    local_bandwidth: float | None = None,
+    global_bandwidth: float | None = None,
+    latency: float = 1e-6,
+    pfs_bandwidth: float | None = None,
+) -> GraphTopology:
+    """Simplified dragonfly: all-to-all routers within a group, one global
+    link between every group pair (attached round-robin to routers)."""
+    if groups < 1 or routers_per_group < 1 or nodes_per_router < 1:
+        raise PlatformError("dragonfly parameters must be >= 1")
+    local_bw = local_bandwidth if local_bandwidth is not None else node_bandwidth * 2
+    global_bw = global_bandwidth if global_bandwidth is not None else node_bandwidth * 4
+    graph = nx.Graph()
+    num_nodes = groups * routers_per_group * nodes_per_router
+    # Node ↔ router links.
+    for i in range(num_nodes):
+        router = i // nodes_per_router
+        graph.add_edge(
+            ("node", i),
+            ("router", router),
+            link=Link(f"node{i:04d}-r{router}", node_bandwidth, latency),
+        )
+    # Intra-group all-to-all.
+    for g in range(groups):
+        routers = [g * routers_per_group + r for r in range(routers_per_group)]
+        for a_idx, a in enumerate(routers):
+            for b in routers[a_idx + 1 :]:
+                graph.add_edge(
+                    ("router", a),
+                    ("router", b),
+                    link=Link(f"local-r{a}-r{b}", local_bw, latency),
+                )
+    # Inter-group links, round-robin over routers.
+    counter = 0
+    for ga in range(groups):
+        for gb in range(ga + 1, groups):
+            ra = ga * routers_per_group + counter % routers_per_group
+            rb = gb * routers_per_group + counter % routers_per_group
+            graph.add_edge(
+                ("router", ra),
+                ("router", rb),
+                link=Link(f"global-g{ga}-g{gb}", global_bw, 10 * latency),
+            )
+            counter += 1
+    pfs_bw = pfs_bandwidth if pfs_bandwidth is not None else global_bw
+    graph.add_edge(PFS, ("router", 0), link=Link("pfs-r0", pfs_bw, latency))
+    return GraphTopology(graph, num_nodes)

@@ -1,0 +1,63 @@
+"""Scheduling framework and built-in algorithms.
+
+ElastiSim's defining interface: the simulator invokes a user-written
+scheduling algorithm on *events* (job submitted / completed, scheduling
+point reached, evolving request, reconfiguration committed) and optionally
+on a fixed period.  The algorithm sees a read-only system view and issues
+decisions — start a job on specific nodes, reconfigure a malleable job,
+kill a job — through a validated :class:`SchedulerContext`.
+
+The original transports this over ZeroMQ between the C++ simulator and a
+Python algorithm process; here the algorithm *is* Python, so the context
+object carries the same protocol in-process (see DESIGN.md §2).
+
+Built-in algorithms
+-------------------
+=======================  ====================================================
+:class:`FcfsScheduler`            strict first-come-first-served
+:class:`EasyBackfillingScheduler` FCFS + EASY aggressive backfilling
+:class:`ConservativeBackfillingScheduler` reservation for every queued job
+:class:`MoldableScheduler`        picks a start size within min..max
+:class:`MalleableScheduler`       expand/shrink running malleable jobs and
+                                  shrink-to-admit queued ones (the paper's
+                                  malleable scheduling showcase)
+=======================  ====================================================
+"""
+
+from repro.scheduler.context import (
+    Invocation,
+    InvocationType,
+    SchedulerContext,
+    SchedulerError,
+)
+from repro.scheduler.base import Algorithm
+from repro.scheduler.algorithms import (
+    AdaptiveMoldableScheduler,
+    ConservativeBackfillingScheduler,
+    EasyBackfillingScheduler,
+    FcfsScheduler,
+    MalleableScheduler,
+    MoldableScheduler,
+    PreemptivePriorityScheduler,
+    SjfBackfillingScheduler,
+    UserFairShareScheduler,
+    get_algorithm,
+)
+
+__all__ = [
+    "AdaptiveMoldableScheduler",
+    "Algorithm",
+    "ConservativeBackfillingScheduler",
+    "EasyBackfillingScheduler",
+    "FcfsScheduler",
+    "Invocation",
+    "InvocationType",
+    "MalleableScheduler",
+    "MoldableScheduler",
+    "PreemptivePriorityScheduler",
+    "SchedulerContext",
+    "SchedulerError",
+    "SjfBackfillingScheduler",
+    "UserFairShareScheduler",
+    "get_algorithm",
+]

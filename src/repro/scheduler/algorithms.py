@@ -1,0 +1,565 @@
+"""Built-in scheduling algorithms.
+
+All algorithms treat ``job.walltime`` as the runtime *estimate* (the
+standard batch-system convention); jobs without a walltime are assumed to
+run arbitrarily long, which disables backfilling around them.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Dict, List, Optional, Type
+
+from repro.job import Job, JobType
+from repro.scheduler.base import Algorithm
+from repro.scheduler.context import Invocation, InvocationType, SchedulerContext, SchedulerError
+
+
+def _start_size(job: Job) -> int:
+    """Nodes a queue-order scheduler gives a job at start (its request)."""
+    return job.num_nodes
+
+
+class FcfsScheduler(Algorithm):
+    """Strict first-come-first-served: the queue head blocks everyone."""
+
+    name = "fcfs"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        for job in ctx.pending_jobs:
+            free = ctx.free_nodes()
+            need = _start_size(job)
+            if need > len(free):
+                return  # strict FCFS: later jobs must wait
+            ctx.start_job(job, free[:need])
+
+
+class EasyBackfillingScheduler(Algorithm):
+    """FCFS plus EASY (aggressive) backfilling.
+
+    When the queue head cannot start, a *shadow time* is computed — the
+    earliest instant the head can start given running jobs' walltime-based
+    expected ends.  Later queued jobs may jump ahead if they either finish
+    before the shadow time or fit into the nodes left over at it.
+
+    Subclasses may override :meth:`queue_order` to reorder the queue before
+    the FCFS pass (SJF, fair share, priorities); the reservation then
+    protects the *reordered* head.
+    """
+
+    name = "easy"
+
+    def queue_order(self, ctx: SchedulerContext) -> List[Job]:
+        """The order in which queued jobs are considered (default FCFS)."""
+        return ctx.pending_jobs
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        self._start_in_order(ctx)
+        pending = [job for job in self.queue_order(ctx)]
+        if not pending:
+            return
+        head = pending[0]
+        shadow_time, extra_nodes = self._reservation(ctx, head)
+        for job in pending[1:]:
+            free = ctx.free_nodes()
+            need = _start_size(job)
+            if need > len(free):
+                continue
+            finishes_before_shadow = (
+                job.walltime < inf and ctx.now + job.walltime <= shadow_time
+            )
+            if finishes_before_shadow:
+                ctx.start_job(job, free[:need])
+            elif need <= extra_nodes:
+                ctx.start_job(job, free[:need])
+                extra_nodes -= need
+
+    def _start_in_order(self, ctx: SchedulerContext) -> None:
+        for job in self.queue_order(ctx):
+            free = ctx.free_nodes()
+            need = _start_size(job)
+            if need > len(free):
+                return
+            ctx.start_job(job, free[:need])
+
+    @staticmethod
+    def _reservation(ctx: SchedulerContext, head: Job) -> tuple[float, int]:
+        """(shadow time, nodes spare at it) for the queue head."""
+        need = _start_size(head)
+        available = ctx.num_free_nodes()
+        ends = sorted(
+            ((ctx.expected_end(job), len(job.assigned_nodes)) for job in ctx.running_jobs),
+            key=lambda pair: pair[0],
+        )
+        for end, count in ends:
+            available += count
+            if available >= need:
+                return end, available - need
+        return inf, 0
+
+
+class SjfBackfillingScheduler(EasyBackfillingScheduler):
+    """Shortest-job-first ordering with EASY backfilling.
+
+    Orders the queue by walltime estimate (ties: submit order), trading
+    worst-case wait of long jobs for mean wait/slowdown — the standard
+    throughput-oriented variant used as a comparison point in scheduling
+    studies.  Jobs without walltimes sort last.
+    """
+
+    name = "sjf"
+
+    def queue_order(self, ctx: SchedulerContext) -> List[Job]:
+        return sorted(ctx.pending_jobs, key=lambda j: (j.walltime, j.jid))
+
+
+class UserFairShareScheduler(EasyBackfillingScheduler):
+    """Fair-share queue ordering: users with less accumulated usage first.
+
+    Tracks node-seconds consumed per user (updated at job completions) and
+    orders the queue ascending by the owner's usage, then submit order —
+    so light users overtake heavy ones, with EASY backfilling on top.
+    """
+
+    name = "fairshare"
+
+    def __init__(self) -> None:
+        self.usage: Dict[str, float] = {}
+
+    def queue_order(self, ctx: SchedulerContext) -> List[Job]:
+        return sorted(
+            ctx.pending_jobs,
+            key=lambda j: (self.usage.get(j.user, 0.0), j.jid),
+        )
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        if (
+            invocation.type is InvocationType.JOB_COMPLETION
+            and invocation.job is not None
+            and invocation.job.runtime is not None
+        ):
+            job = invocation.job
+            consumed = job.runtime * len(job.assigned_nodes)
+            self.usage[job.user] = self.usage.get(job.user, 0.0) + consumed
+        super().schedule(ctx, invocation)
+
+
+class PreemptivePriorityScheduler(EasyBackfillingScheduler):
+    """Priority queue ordering with optional preemption.
+
+    The queue is ordered by descending :attr:`Job.priority` (ties FCFS)
+    with EASY backfilling on top.  When the highest-priority queued job
+    cannot start, running jobs of *strictly lower* priority are killed
+    with reason ``"preempted"`` — the batch system requeues them
+    automatically (resuming from their last scheduling point if the
+    simulation enables ``checkpoint_restart``).  Victims are chosen
+    lowest-priority first, then latest-started first (least work lost).
+    """
+
+    name = "priority-preempt"
+
+    def __init__(self, *, preempt: bool = True) -> None:
+        self.preempt_enabled = preempt
+
+    def queue_order(self, ctx: SchedulerContext) -> List[Job]:
+        return sorted(ctx.pending_jobs, key=lambda j: (-j.priority, j.jid))
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        super().schedule(ctx, invocation)
+        if not self.preempt_enabled:
+            return
+        pending = self.queue_order(ctx)
+        if not pending:
+            return
+        head = pending[0]
+        deficit = _start_size(head) - ctx.num_free_nodes()
+        if deficit <= 0:
+            return
+        victims = sorted(
+            (
+                job
+                for job in ctx.running_jobs
+                if job.priority < head.priority
+            ),
+            key=lambda j: (j.priority, -(j.start_time or 0.0)),
+        )
+        freeable = sum(len(v.assigned_nodes) for v in victims)
+        if freeable < deficit:
+            return  # preemption cannot admit the head; do not waste work
+        for victim in victims:
+            if deficit <= 0:
+                break
+            deficit -= len(victim.assigned_nodes)
+            ctx.kill_job(victim, reason="preempted")
+
+
+class ConservativeBackfillingScheduler(Algorithm):
+    """Backfilling with a reservation for *every* queued job.
+
+    Reservations are recomputed from scratch at each invocation (the
+    simulator invokes the scheduler on every relevant event, so this is
+    equivalent to maintaining them incrementally and much simpler).  A job
+    starts now only if doing so cannot delay any earlier-queued job's
+    earliest possible start.
+    """
+
+    name = "conservative"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        profile = _AvailabilityProfile(ctx)
+        for job in ctx.pending_jobs:
+            need = _start_size(job)
+            estimate = job.walltime
+            start = profile.earliest_start(need, estimate)
+            if start <= ctx.now:
+                free = ctx.free_nodes()
+                ctx.start_job(job, free[:need])
+                profile.reserve(ctx.now, need, estimate)
+            else:
+                profile.reserve(start, need, estimate)
+
+
+class _AvailabilityProfile:
+    """Piecewise-constant future node availability.
+
+    Built from the free-node count now plus running jobs' expected ends;
+    reservations carve capacity out of it.
+    """
+
+    def __init__(self, ctx: SchedulerContext) -> None:
+        self.now = ctx.now
+        # Sorted breakpoints: time -> available from that time onward.
+        self._times: List[float] = [ctx.now]
+        self._avail: List[int] = [ctx.num_free_nodes()]
+        releases: Dict[float, int] = {}
+        for job in ctx.running_jobs:
+            end = ctx.expected_end(job)
+            if end < inf:
+                releases[end] = releases.get(end, 0) + len(job.assigned_nodes)
+        for end in sorted(releases):
+            self._times.append(end)
+            self._avail.append(self._avail[-1] + releases[end])
+
+    def earliest_start(self, need: int, duration: float) -> float:
+        """Earliest t >= now with `need` nodes available on [t, t+duration)."""
+        for i, t in enumerate(self._times):
+            if self._avail[i] < need:
+                continue
+            # Check the whole window [t, t + duration).
+            end = t + duration
+            ok = True
+            for j in range(i, len(self._times)):
+                if self._times[j] >= end:
+                    break
+                if self._avail[j] < need:
+                    ok = False
+                    break
+            if ok:
+                return t
+        return inf
+
+    def reserve(self, start: float, need: int, duration: float) -> None:
+        """Subtract `need` nodes on [start, start+duration)."""
+        if start == inf:
+            return
+        end = start + duration
+        self._ensure_breakpoint(start)
+        if end < inf:
+            self._ensure_breakpoint(end)
+        for i, t in enumerate(self._times):
+            if t >= end:
+                break
+            if t >= start:
+                self._avail[i] -= need
+
+    def _ensure_breakpoint(self, time: float) -> None:
+        if time == inf or time in self._times:
+            return
+        for i, t in enumerate(self._times):
+            if t > time:
+                self._times.insert(i, time)
+                self._avail.insert(i, self._avail[i - 1])
+                return
+        self._times.append(time)
+        self._avail.append(self._avail[-1])
+
+
+class MoldableScheduler(Algorithm):
+    """FCFS that *molds* flexible jobs to the machine state at start.
+
+    A moldable/malleable/evolving job starts as soon as ``min_nodes`` are
+    free and receives ``min(free, max_nodes)`` nodes; rigid jobs keep FCFS
+    semantics.  This is the classic moldable-aware baseline.
+    """
+
+    name = "moldable"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        for job in ctx.pending_jobs:
+            free = ctx.free_nodes()
+            if job.is_rigid:
+                if job.num_nodes > len(free):
+                    return
+                ctx.start_job(job, free[: job.num_nodes])
+            else:
+                if job.min_nodes > len(free):
+                    return
+                size = min(len(free), job.max_nodes)
+                ctx.start_job(job, free[:size])
+
+
+class AdaptiveMoldableScheduler(Algorithm):
+    """Moldable sizing that minimizes *estimated finish time*.
+
+    For each flexible job the policy weighs "start now on the nodes that
+    are free" against "wait until more nodes free up and run wider", using
+    the walltime-based availability profile and a perfect-scaling runtime
+    model within the job's bounds (Cirne & Berman's classic observation
+    that the best moldable size depends on queue state, not just the
+    application).  Rigid jobs keep FCFS semantics; a job is only started
+    when its best size is available *now*, otherwise it blocks the queue
+    (conservative, no starvation).
+    """
+
+    name = "adaptive-moldable"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        for job in ctx.pending_jobs:
+            free = ctx.free_nodes()
+            if job.is_rigid:
+                if job.num_nodes > len(free):
+                    return
+                ctx.start_job(job, free[: job.num_nodes])
+                continue
+            size = self._best_size_now(ctx, job)
+            if size is None:
+                return  # waiting for a better (or any) start
+            ctx.start_job(job, ctx.free_nodes()[:size])
+
+    def _best_size_now(self, ctx: SchedulerContext, job: Job) -> Optional[int]:
+        """The size to start with now, or None if waiting wins."""
+        profile = _AvailabilityProfile(ctx)
+        free_now = ctx.num_free_nodes()
+
+        # Runtime model: walltime is the estimate at the *requested* size;
+        # perfect scaling inside [min_nodes, max_nodes].
+        reference = job.walltime if job.walltime < inf else None
+
+        def runtime(k: int) -> float:
+            if reference is None:
+                return 1.0 / k  # only relative ordering matters
+            return reference * job.num_nodes / k
+
+        best_finish = inf
+        best_size = None
+        best_start = inf
+        for k in range(job.min_nodes, job.max_nodes + 1):
+            start = profile.earliest_start(k, runtime(k))
+            if start == inf:
+                continue
+            finish = start + runtime(k)
+            if finish < best_finish - 1e-12:
+                best_finish = finish
+                best_size = k
+                best_start = start
+        if best_size is None:
+            # No walltime-informed window; fall back to whatever is free.
+            if free_now >= job.min_nodes:
+                return min(free_now, job.max_nodes)
+            return None
+        if best_start <= ctx.now and best_size <= free_now:
+            return best_size
+        return None
+
+
+class MalleableScheduler(Algorithm):
+    """Fair-share malleable scheduling (the paper's showcase policy).
+
+    Each invocation recomputes an *equipartition target* for every claimant
+    — running malleable jobs plus the FCFS-admittable prefix of the queue —
+    by water-filling the machine: every claimant gets its minimum
+    (rigid jobs their exact request), then spare nodes are handed out one
+    at a time to the currently-smallest target, respecting maxima.  The
+    scheduler then
+
+    1. **shrinks** running malleable jobs above target (released at their
+       next scheduling point),
+    2. **starts** admittable pending jobs at ``min(target, free)``, and
+    3. **expands** running malleable jobs below target with free nodes.
+
+    Evolving requests are granted with whatever is free, clamped to the
+    application's ask and the job's bounds.  ``expand``/``shrink`` flags
+    gate the respective passes (used by the ablation benchmarks).
+    """
+
+    name = "malleable"
+
+    def __init__(self, *, expand: bool = True, shrink: bool = True) -> None:
+        self.expand_enabled = expand
+        self.shrink_enabled = shrink
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        if (
+            invocation.type.value == "evolving_request"
+            and invocation.job is not None
+        ):
+            self._handle_evolving(ctx, invocation.job)
+        targets, admitted = self._fair_targets(ctx)
+        if self.shrink_enabled:
+            self._shrink_toward_targets(ctx, targets)
+        self._start_pending(ctx, targets, admitted)
+        if self.expand_enabled:
+            self._expand_toward_targets(ctx, targets)
+
+    # -- target computation --------------------------------------------------
+
+    @staticmethod
+    def _fair_targets(ctx: SchedulerContext) -> tuple[Dict[int, int], List[Job]]:
+        """(jid → target size, admittable pending prefix)."""
+        total = ctx.platform.num_nodes
+
+        fixed = 0
+        adjustable: List[Job] = []
+        for job in ctx.running_jobs:
+            order = job.pending_reconfiguration
+            if order is not None:
+                fixed += len(order.target)  # committed decision, can't change
+            elif job.type is JobType.MALLEABLE:
+                adjustable.append(job)
+            else:
+                fixed += len(job.assigned_nodes)
+
+        budget = total - fixed
+        claimants: List[tuple[Job, int, int]] = [
+            (job, job.min_nodes, job.max_nodes) for job in adjustable
+        ]
+        admitted: List[Job] = []
+        committed = sum(mn for _, mn, _ in claimants)
+        for job in ctx.pending_jobs:
+            need = job.num_nodes if job.is_rigid else job.min_nodes
+            cap = job.num_nodes if job.is_rigid else job.max_nodes
+            if committed + need > budget:
+                break  # strict FCFS admission
+            claimants.append((job, need, cap))
+            admitted.append(job)
+            committed += need
+
+        targets = {job.jid: mn for job, mn, _ in claimants}
+        caps = {job.jid: mx for job, _, mx in claimants}
+        spare = budget - sum(targets.values())
+        # Water-fill: one node at a time to the smallest target below cap;
+        # ties broken by jid for determinism.
+        growable = [job for job, _, _ in claimants if targets[job.jid] < caps[job.jid]]
+        while spare > 0 and growable:
+            growable.sort(key=lambda j: (targets[j.jid], j.jid))
+            job = growable[0]
+            targets[job.jid] += 1
+            spare -= 1
+            if targets[job.jid] >= caps[job.jid]:
+                growable.remove(job)
+        return targets, admitted
+
+    # -- passes ------------------------------------------------------------------
+
+    def _shrink_toward_targets(
+        self, ctx: SchedulerContext, targets: Dict[int, int]
+    ) -> None:
+        for job in ctx.running_jobs:
+            if job.type is not JobType.MALLEABLE:
+                continue
+            if job.pending_reconfiguration is not None:
+                continue
+            target = targets.get(job.jid)
+            if target is None or target >= len(job.assigned_nodes):
+                continue
+            ctx.reconfigure_job(job, job.assigned_nodes[:target])
+
+    def _start_pending(
+        self,
+        ctx: SchedulerContext,
+        targets: Dict[int, int],
+        admitted: List[Job],
+    ) -> None:
+        admitted_ids = {job.jid for job in admitted}
+        for job in ctx.pending_jobs:
+            if job.jid not in admitted_ids:
+                return  # strict FCFS: an unadmitted job blocks the rest
+            free = ctx.free_nodes()
+            if job.is_rigid:
+                if job.num_nodes > len(free):
+                    return  # its nodes are still being released
+                ctx.start_job(job, free[: job.num_nodes])
+            else:
+                if job.min_nodes > len(free):
+                    return
+                size = min(targets.get(job.jid, job.max_nodes), len(free), job.max_nodes)
+                size = max(size, job.min_nodes)
+                ctx.start_job(job, free[:size])
+
+    def _expand_toward_targets(
+        self, ctx: SchedulerContext, targets: Dict[int, int]
+    ) -> None:
+        candidates = sorted(
+            (
+                job
+                for job in ctx.running_jobs
+                if job.type is JobType.MALLEABLE
+                and job.pending_reconfiguration is None
+                and targets.get(job.jid, 0) > len(job.assigned_nodes)
+            ),
+            key=lambda j: len(j.assigned_nodes),
+        )
+        for job in candidates:
+            free = ctx.free_nodes()
+            if not free:
+                return
+            grow = min(
+                len(free), targets[job.jid] - len(job.assigned_nodes)
+            )
+            if grow <= 0:
+                continue
+            ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
+
+    def _handle_evolving(self, ctx: SchedulerContext, job: Job) -> None:
+        desired = job.evolving_request
+        if desired is None or job.pending_reconfiguration is not None:
+            return
+        current = len(job.assigned_nodes)
+        desired = max(job.min_nodes, min(desired, job.max_nodes))
+        if desired > current:
+            free = ctx.free_nodes()
+            grow = min(desired - current, len(free))
+            if grow <= 0:
+                return
+            target = list(job.assigned_nodes) + free[:grow]
+        elif desired < current:
+            target = job.assigned_nodes[:desired]
+        else:
+            return
+        ctx.reconfigure_job(job, target)
+
+
+_REGISTRY: Dict[str, Type[Algorithm]] = {
+    cls.name: cls
+    for cls in (
+        FcfsScheduler,
+        EasyBackfillingScheduler,
+        SjfBackfillingScheduler,
+        UserFairShareScheduler,
+        PreemptivePriorityScheduler,
+        ConservativeBackfillingScheduler,
+        MoldableScheduler,
+        AdaptiveMoldableScheduler,
+        MalleableScheduler,
+    )
+}
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Instantiate a built-in algorithm by registry name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise SchedulerError(
+            f"Unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

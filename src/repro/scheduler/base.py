@@ -1,0 +1,25 @@
+"""Algorithm base class."""
+
+from __future__ import annotations
+
+from repro.scheduler.context import Invocation, SchedulerContext
+
+
+class Algorithm:
+    """Base class for scheduling algorithms.
+
+    Subclasses implement :meth:`schedule`; the batch system calls it on
+    every invocation (see :class:`~repro.scheduler.InvocationType`) with a
+    fresh context.  Algorithms are free to keep internal state across
+    invocations (reservations, histories); they must not mutate jobs or
+    nodes directly — all effects go through the context's decision methods.
+    """
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        """Inspect the system and issue decisions.  Default: do nothing."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

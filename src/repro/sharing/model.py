@@ -1,0 +1,414 @@
+"""Max-min fair sharing of resources among concurrent activities.
+
+The model is the classic fluid one used by SimGrid's L07/network models:
+every activity ``a`` progresses at a rate ``r_a`` subject to
+
+* capacity: for each resource ``R``:  ``sum_a u_{a,R} * r_a <= C_R``
+* bound:    ``r_a <= bound_a`` (e.g. a single node cannot compute faster
+  than its flops rate, a flow cannot exceed its NIC bandwidth)
+
+with the *weighted max-min fair* solution computed by progressive filling:
+all unfrozen activities' rates grow proportionally to their weights until a
+resource saturates (or a bound is hit); the involved activities freeze; the
+process repeats.  Completion times then follow from ``remaining / r_a``, and
+the model re-solves whenever the activity set changes — exactly SimGrid's
+"lazy update on actions" behaviour, which keeps simulated time faithful to
+the fluid model while doing work only at discrete events.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from math import inf
+from typing import Any, Dict, Iterable, Optional
+
+from repro.des.environment import Environment
+from repro.des.events import Event, URGENT
+
+
+#: Relative slack used when deciding that remaining work hit zero.
+_FINISH_TOL = 1e-9
+
+
+class ActivityCancelled(Exception):
+    """Failure value of ``activity.done`` when an activity is cancelled."""
+
+    def __init__(self, activity: "Activity") -> None:
+        super().__init__(f"{activity!r} was cancelled")
+        self.activity = activity
+
+
+class SharedResource:
+    """A resource with a fixed service capacity shared by activities.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (e.g. ``"node03.cpu"`` or ``"pfs.write"``).
+    capacity:
+        Service rate in work-units/second.  Must be positive and finite
+        unless the resource is declared unlimited (``capacity=inf``).
+    """
+
+    __slots__ = ("name", "capacity")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"Resource {name!r}: capacity must be > 0, got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+
+    def __repr__(self) -> str:
+        return f"<SharedResource {self.name} cap={self.capacity:g}>"
+
+
+class Activity:
+    """An amount of work progressing on a set of shared resources.
+
+    Parameters
+    ----------
+    work:
+        Total work (flops, bytes). Zero-work activities complete immediately
+        upon execution.
+    usages:
+        Mapping of resource → usage factor.  An activity running at rate
+        ``r`` consumes ``factor * r`` of each resource's capacity.  A plain
+        flow over two links uses factor 1.0 on both; a compute task that
+        stresses a node at half intensity uses factor 0.5.
+    weight:
+        Weight for the max-min fair share (default 1.0).
+    bound:
+        Hard cap on the activity's own rate (default unbounded).
+    payload:
+        Arbitrary user data carried to completion (used by the engine to
+        map activities back to tasks).
+    """
+
+    __slots__ = (
+        "work",
+        "remaining",
+        "usages",
+        "weight",
+        "bound",
+        "payload",
+        "rate",
+        "done",
+        "started_at",
+        "finished_at",
+        "_model",
+        "_seq",
+    )
+
+    _counter = count()
+
+    def __init__(
+        self,
+        work: float,
+        usages: Dict[SharedResource, float],
+        *,
+        weight: float = 1.0,
+        bound: float = inf,
+        payload: Any = None,
+    ) -> None:
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        if bound <= 0:
+            raise ValueError(f"bound must be > 0, got {bound}")
+        for res, factor in usages.items():
+            if factor <= 0:
+                raise ValueError(
+                    f"usage factor on {res.name!r} must be > 0, got {factor}"
+                )
+        self.work = float(work)
+        self.remaining = float(work)
+        self.usages = dict(usages)
+        self.weight = float(weight)
+        self.bound = float(bound)
+        self.payload = payload
+        #: Current progress rate, set by the solver.
+        self.rate: float = 0.0
+        #: Completion event; assigned when the activity is executed.
+        self.done: Optional[Event] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._model: Optional["FairShareModel"] = None
+        #: Creation-order id; fixes processing order for determinism.
+        self._seq: int = next(Activity._counter)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Activity work={self.work:g} remaining={self.remaining:g} "
+            f"rate={self.rate:g} payload={self.payload!r}>"
+        )
+
+    @property
+    def running(self) -> bool:
+        """True while the activity is registered with a model."""
+        return self._model is not None
+
+
+def solve_max_min(activities: Iterable[Activity]) -> None:
+    """Assign weighted max-min fair rates to ``activities`` in place.
+
+    Implements progressive filling.  Activities with no resource usages are
+    only limited by their ``bound`` (infinite bound → infinite rate, which
+    the model treats as instantaneous completion of their remaining work).
+    """
+    # Deterministic processing order (creation order): float accumulation
+    # and tie-breaking must not depend on set iteration order, or identical
+    # runs would diverge across processes.
+    acts = sorted(activities, key=lambda a: a._seq)
+    for act in acts:
+        act.rate = 0.0
+
+    # Unconstrained activities progress at their bound.  Ordered dicts
+    # stand in for sets to keep iteration deterministic under deletion.
+    unfrozen: Dict[Activity, None] = {}
+    for act in acts:
+        if act.usages:
+            unfrozen[act] = None
+        else:
+            act.rate = act.bound
+
+    if not unfrozen:
+        return
+
+    # Residual capacity, per-resource weighted demand, and user index —
+    # demand is maintained incrementally as activities freeze, which keeps
+    # the whole solve at O(edges + iterations x resources) instead of
+    # re-summing every resource's users each round.
+    residual: Dict[SharedResource, float] = {}
+    demand: Dict[SharedResource, float] = {}
+    users: Dict[SharedResource, Dict[Activity, None]] = {}
+    for act in unfrozen:
+        for res, factor in act.usages.items():
+            if res not in residual:
+                residual[res] = res.capacity
+                demand[res] = 0.0
+                users[res] = {}
+            demand[res] += factor * act.weight
+            users[res][act] = None
+
+    bounded: Dict[Activity, None] = {
+        act: None for act in unfrozen if act.bound < inf
+    }
+
+    while unfrozen:
+        # The next rate increment `theta` is limited by the tightest
+        # resource or by the closest per-activity bound; remember the
+        # limiter so it is frozen even if float drift leaves it a hair
+        # short of the saturation tolerance.
+        theta = inf
+        limiting_res: SharedResource | None = None
+        limiting_act: Activity | None = None
+        for res, cap in residual.items():
+            if not users[res]:
+                continue  # stale float residue in demand must not gate theta
+            d = demand[res]
+            if d > 1e-15:
+                ratio = cap / d
+                if ratio < theta:
+                    theta = ratio
+                    limiting_res = res
+        for act in bounded:
+            ratio = (act.bound - act.rate) / act.weight
+            if ratio < theta:
+                theta = ratio
+                limiting_res = None
+                limiting_act = act
+
+        if theta == inf:
+            # All remaining activities are unbounded and use only resources
+            # without other users (cannot happen: they'd saturate); guard.
+            for act in unfrozen:
+                act.rate = inf
+            break
+
+        if theta > 0:
+            for act in unfrozen:
+                act.rate += theta * act.weight
+            for res in residual:
+                residual[res] -= theta * demand[res]
+
+        # Freeze activities on saturated resources or at their bound.
+        frozen: Dict[Activity, None] = {}
+        for res, cap in residual.items():
+            if users[res] and cap <= max(1e-12, 1e-12 * res.capacity):
+                residual[res] = 0.0
+                frozen.update(users[res])
+        for act in bounded:
+            if act.rate >= act.bound * (1 - 1e-12):
+                act.rate = act.bound
+                frozen[act] = None
+        # Guarantee progress: the entity that determined theta is saturated
+        # by construction, even when float drift hides it from the checks.
+        if limiting_res is not None and users[limiting_res]:
+            frozen.update(users[limiting_res])
+            residual[limiting_res] = 0.0
+        if limiting_act is not None:
+            limiting_act.rate = limiting_act.bound
+            frozen[limiting_act] = None
+
+        if not frozen:  # pragma: no cover - defensive; cannot happen now
+            frozen = dict(unfrozen)
+
+        for act in frozen:
+            if act not in unfrozen:
+                continue
+            for res, factor in act.usages.items():
+                del users[res][act]
+                demand[res] -= factor * act.weight
+                if not users[res]:
+                    demand[res] = 0.0  # drop cancellation residue
+            del unfrozen[act]
+            bounded.pop(act, None)
+
+
+class FairShareModel:
+    """Drives activities to completion on a DES environment.
+
+    The model keeps the set of running activities, recomputes fair rates
+    whenever the set changes, and schedules a single wake-up event at the
+    earliest projected completion.  Event-count bookkeeping (`resolves`)
+    feeds the E5 simulator-performance benchmark.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._activities: set[Activity] = set()
+        self._last_update: float = env.now
+        self._wake_version: int = 0
+        self._resolve_scheduled: bool = False
+        #: Number of rate re-computations performed (diagnostics).
+        self.resolves: int = 0
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def activities(self) -> frozenset[Activity]:
+        """Snapshot of the running activities."""
+        return frozenset(self._activities)
+
+    def execute(self, activity: Activity) -> Activity:
+        """Start ``activity``; its ``done`` event fires at completion."""
+        if activity._model is not None:
+            raise ValueError(f"{activity!r} is already running")
+        if activity.done is not None:
+            raise ValueError(f"{activity!r} was already executed once")
+        activity.done = Event(self.env)
+        activity.started_at = self.env.now
+        if activity.remaining <= 0:
+            activity.finished_at = self.env.now
+            activity.done.succeed(activity)
+            return activity
+        for res in activity.usages:
+            if res.capacity <= 0:  # defensive; constructor forbids it
+                raise ValueError(f"Cannot execute on zero-capacity {res!r}")
+        activity._model = self
+        self._update_progress()
+        self._activities.add(activity)
+        self._request_resolve()
+        return activity
+
+    def cancel(self, activity: Activity) -> None:
+        """Abort a running activity; fails its ``done`` with a defused error.
+
+        Cancelling an activity that already finished (or was never started)
+        is a no-op, which simplifies engine teardown paths.
+        """
+        if activity._model is not self:
+            return
+        self._update_progress()
+        self._activities.discard(activity)
+        activity._model = None
+        activity.rate = 0.0
+        if activity.done is not None and not activity.done.triggered:
+            exc = ActivityCancelled(activity)
+            activity.done.fail(exc)
+            activity.done.defuse()
+        self._request_resolve()
+
+    # -- internals ----------------------------------------------------------
+
+    def _update_progress(self) -> None:
+        """Integrate remaining work since the last solver step."""
+        dt = self.env.now - self._last_update
+        if dt > 0:
+            for act in self._activities:
+                if act.rate == inf:
+                    act.remaining = 0.0
+                elif act.rate > 0:
+                    act.remaining = max(0.0, act.remaining - act.rate * dt)
+        self._last_update = self.env.now
+
+    def _request_resolve(self) -> None:
+        """Coalesce same-instant set changes into a single re-solve.
+
+        Starting a 64-node compute task adds 64 activities at the same
+        timestamp; solving once per addition would be O(n^2).  Instead an
+        URGENT zero-delay event triggers one solve after all mutations of
+        the current instant are in.
+        """
+        self._wake_version += 1  # invalidate in-flight wake-ups immediately
+        if self._resolve_scheduled:
+            return
+        self._resolve_scheduled = True
+        resolve = Event(self.env)
+        resolve._ok = True
+        resolve._value = None
+        resolve.callbacks.append(lambda _e: self._do_resolve())
+        self.env.schedule(resolve, priority=URGENT)
+
+    def _do_resolve(self) -> None:
+        self._resolve_scheduled = False
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        """Re-solve rates and arm the wake-up at the next completion."""
+        self._wake_version += 1
+        if not self._activities:
+            return
+        solve_max_min(self._activities)
+        self.resolves += 1
+
+        horizon = inf
+        for act in self._activities:
+            if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work):
+                horizon = 0.0
+                break
+            if act.rate > 0:
+                horizon = min(horizon, act.remaining / act.rate)
+        if horizon is inf:
+            # Nothing can progress (all rates zero) — should not happen with
+            # positive capacities, but avoid hanging silently.
+            raise RuntimeError("FairShareModel deadlock: no activity can progress")
+
+        version = self._wake_version
+        wake = Event(self.env)
+        wake._ok = True
+        wake._value = None
+        wake.callbacks.append(lambda _e: self._on_wake(version))
+        self.env.schedule(wake, priority=URGENT, delay=horizon)
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # stale wake-up; the activity set changed since
+        self._update_progress()
+        finished = sorted(
+            (
+                act
+                for act in self._activities
+                if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work)
+            ),
+            key=lambda a: a._seq,  # deterministic completion order
+        )
+        for act in finished:
+            self._activities.discard(act)
+            act._model = None
+            act.remaining = 0.0
+            act.rate = 0.0
+            act.finished_at = self.env.now
+            act.done.succeed(act)
+        self._reschedule()

@@ -1,0 +1,37 @@
+"""Workload construction: synthetic generators, JSON and SWF loaders.
+
+Three ways to obtain a job list:
+
+* :func:`generate_workload` — reproducible synthetic workloads (Poisson
+  arrivals, lognormal work, configurable rigid/moldable/malleable/evolving
+  mix) built around a parametric iterative application template.  This is
+  the substitute for the production traces the paper's evaluation would use
+  (see DESIGN.md §2).
+* :func:`load_workload` / :func:`workload_from_dict` — explicit JSON job
+  lists with inline or shared application models.
+* :func:`jobs_from_swf` — the Standard Workload Format used by the Parallel
+  Workloads Archive; runtimes are translated into compute-only application
+  models sized for a given per-node flops rate.
+"""
+
+from repro.workload.generator import WorkloadSpec, generate_workload, iterative_application
+from repro.workload.loader import WorkloadError, load_workload, workload_from_dict
+from repro.workload.analysis import WorkloadProfile, format_profile, profile_workload
+from repro.workload.serialize import job_to_dict, workload_to_dict
+from repro.workload.swf import jobs_from_swf, parse_swf
+
+__all__ = [
+    "WorkloadError",
+    "WorkloadProfile",
+    "format_profile",
+    "profile_workload",
+    "WorkloadSpec",
+    "generate_workload",
+    "iterative_application",
+    "job_to_dict",
+    "jobs_from_swf",
+    "load_workload",
+    "parse_swf",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,122 @@
+"""Workload characterization: offered load, size/runtime distributions.
+
+Used by the CLI's ``generate --report`` and by experiment setup code to
+verify that a synthetic workload actually stresses the machine it targets
+(an under-loaded workload hides every scheduling effect — see the E-series
+benchmark sizing in ``benchmarks/common.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from statistics import mean, median
+from typing import Dict, List, Sequence
+
+from repro.application import CpuTask
+from repro.job import Job, JobType
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregate characterization of a job list."""
+
+    num_jobs: int
+    span_seconds: float
+    type_counts: Dict[str, int]
+    request_histogram: Dict[int, int]
+    mean_request: float
+    total_flops: float
+    mean_runtime_estimate: float
+    median_runtime_estimate: float
+    users: int
+
+    def offered_load(self, num_nodes: int, node_flops: float) -> float:
+        """Arriving flops per second over machine capacity.
+
+        Values near/above 1 keep the machine busy; values well below 1
+        leave it idle and make scheduler comparisons meaningless.
+        """
+        if self.span_seconds <= 0:
+            return inf
+        capacity = num_nodes * node_flops
+        return self.total_flops / (self.span_seconds * capacity)
+
+
+def _job_flops(job: Job) -> float:
+    """Total compute in a job's model, evaluated on its requested size."""
+    total = 0.0
+    variables = dict(job.arguments)
+    variables.setdefault("num_nodes", job.num_nodes)
+    variables.setdefault("job_id", job.jid)
+    for phase in job.application.phases:
+        try:
+            iterations = phase.num_iterations(variables)
+        except Exception:
+            iterations = 1
+        for task in phase.tasks:
+            if isinstance(task, CpuTask):
+                per_iter = 0.0
+                for iteration in range(iterations):
+                    scoped = dict(variables)
+                    scoped["iteration"] = iteration
+                    per_node = task.flops_per_node(scoped, job.num_nodes)
+                    if task.distribution.value == "even":
+                        # flops_per_node already divided the total; undo to
+                        # count machine work (x nodes).
+                        per_iter += per_node * job.num_nodes
+                    else:
+                        per_iter += per_node * job.num_nodes
+                total += per_iter
+    return total
+
+
+def profile_workload(jobs: Sequence[Job], node_flops: float = 1e12) -> WorkloadProfile:
+    """Characterize ``jobs``; runtime estimates assume ``node_flops``."""
+    if not jobs:
+        raise ValueError("Cannot profile an empty workload")
+
+    submits = [j.submit_time for j in jobs]
+    span = max(submits) - min(submits)
+    type_counts: Dict[str, int] = {}
+    histogram: Dict[int, int] = {}
+    runtimes: List[float] = []
+    total_flops = 0.0
+    for job in jobs:
+        type_counts[job.type.value] = type_counts.get(job.type.value, 0) + 1
+        histogram[job.num_nodes] = histogram.get(job.num_nodes, 0) + 1
+        flops = _job_flops(job)
+        total_flops += flops
+        runtimes.append(flops / (job.num_nodes * node_flops))
+
+    return WorkloadProfile(
+        num_jobs=len(jobs),
+        span_seconds=span,
+        type_counts=type_counts,
+        request_histogram=dict(sorted(histogram.items())),
+        mean_request=mean(j.num_nodes for j in jobs),
+        total_flops=total_flops,
+        mean_runtime_estimate=mean(runtimes),
+        median_runtime_estimate=median(runtimes),
+        users=len({j.user for j in jobs}),
+    )
+
+
+def format_profile(profile: WorkloadProfile, num_nodes: int, node_flops: float) -> str:
+    """Human-readable report block for the CLI."""
+    lines = [
+        f"jobs                  : {profile.num_jobs}",
+        f"submission span       : {profile.span_seconds:.0f} s",
+        f"users                 : {profile.users}",
+        f"type mix              : "
+        + ", ".join(f"{k}={v}" for k, v in sorted(profile.type_counts.items())),
+        f"mean request          : {profile.mean_request:.1f} nodes",
+        "request histogram     : "
+        + ", ".join(f"{k}x{v}" for k, v in profile.request_histogram.items()),
+        f"mean runtime estimate : {profile.mean_runtime_estimate:.1f} s",
+        f"median runtime est.   : {profile.median_runtime_estimate:.1f} s",
+        f"offered load          : "
+        f"{profile.offered_load(num_nodes, node_flops):.2f} "
+        f"(on {num_nodes} x {node_flops:g} flops nodes)",
+    ]
+    return "\n".join(lines)

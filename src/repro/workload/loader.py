@@ -1,0 +1,130 @@
+"""JSON workload descriptions → Job lists.
+
+Format::
+
+    {
+      "applications": {
+        "solver": { ...application model JSON (see repro.application)... }
+      },
+      "jobs": [
+        {
+          "id": 1,
+          "type": "malleable",            // rigid|moldable|malleable|evolving
+          "submit_time": 0.0,
+          "num_nodes": 8,
+          "min_nodes": 2,                 // flexible types only
+          "max_nodes": 16,
+          "walltime": 3600,               // optional, seconds
+          "application": "solver",        // name reference or inline object
+          "arguments": {"num_steps": 100} // expression variables
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from math import inf
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.application import ApplicationError, ApplicationModel, application_from_dict
+from repro.job import Job, JobError, JobType
+
+
+class WorkloadError(Exception):
+    """Raised for invalid workload descriptions."""
+
+
+def _job_from_dict(
+    spec: Dict[str, Any],
+    index: int,
+    applications: Dict[str, ApplicationModel],
+) -> Job:
+    if not isinstance(spec, dict):
+        raise WorkloadError(f"Job {index}: spec must be an object")
+    context = f"job {spec.get('id', index)}"
+
+    raw_type = spec.get("type", "rigid")
+    try:
+        job_type = JobType(raw_type)
+    except ValueError:
+        raise WorkloadError(
+            f"{context}: unknown type {raw_type!r}; "
+            f"expected one of {[t.value for t in JobType]}"
+        ) from None
+
+    app_spec = spec.get("application")
+    if app_spec is None:
+        raise WorkloadError(f"{context}: missing 'application'")
+    if isinstance(app_spec, str):
+        if app_spec not in applications:
+            raise WorkloadError(
+                f"{context}: unknown application {app_spec!r}; "
+                f"defined: {sorted(applications)}"
+            )
+        application = applications[app_spec]
+    else:
+        try:
+            application = application_from_dict(app_spec)
+        except ApplicationError as exc:
+            raise WorkloadError(f"{context}: bad inline application: {exc}") from exc
+
+    kwargs: Dict[str, Any] = dict(
+        job_type=job_type,
+        submit_time=float(spec.get("submit_time", 0.0)),
+        num_nodes=int(spec.get("num_nodes", 1)),
+        walltime=float(spec.get("walltime", inf)),
+        arguments=spec.get("arguments"),
+        name=spec.get("name"),
+        user=spec.get("user"),
+        priority=int(spec.get("priority", 0)),
+    )
+    if "min_nodes" in spec:
+        kwargs["min_nodes"] = int(spec["min_nodes"])
+    if "max_nodes" in spec:
+        kwargs["max_nodes"] = int(spec["max_nodes"])
+
+    jid = spec.get("id", index + 1)
+    if not isinstance(jid, int):
+        raise WorkloadError(f"{context}: 'id' must be an integer")
+    try:
+        return Job(jid, application, **kwargs)
+    except JobError as exc:
+        raise WorkloadError(f"{context}: {exc}") from exc
+
+
+def workload_from_dict(spec: Dict[str, Any]) -> List[Job]:
+    """Build a job list from a parsed JSON workload description."""
+    if not isinstance(spec, dict):
+        raise WorkloadError(f"Workload spec must be an object, got {type(spec).__name__}")
+
+    applications: Dict[str, ApplicationModel] = {}
+    for name, app_spec in (spec.get("applications") or {}).items():
+        try:
+            applications[name] = application_from_dict(app_spec)
+        except ApplicationError as exc:
+            raise WorkloadError(f"application {name!r}: {exc}") from exc
+
+    jobs_spec = spec.get("jobs")
+    if not isinstance(jobs_spec, list) or not jobs_spec:
+        raise WorkloadError("workload: 'jobs' must be a non-empty list")
+    jobs = [_job_from_dict(j, i, applications) for i, j in enumerate(jobs_spec)]
+
+    jids = [job.jid for job in jobs]
+    if len(set(jids)) != len(jids):
+        raise WorkloadError("workload: duplicate job ids")
+    return jobs
+
+
+def load_workload(path: Union[str, Path]) -> List[Job]:
+    """Load a workload from a JSON file."""
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise WorkloadError(f"Workload file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"Invalid JSON in {path}: {exc}") from exc
+    return workload_from_dict(spec)

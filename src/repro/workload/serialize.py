@@ -1,0 +1,68 @@
+"""Serialization of job lists back to workload JSON."""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Any, Dict, List, Sequence
+
+from repro.application import application_to_dict
+from repro.job import Job, JobType
+
+
+def job_to_dict(job: Job, application_ref: str | None = None) -> Dict[str, Any]:
+    """Serialize one job; ``application_ref`` replaces the inline model."""
+    spec: Dict[str, Any] = {
+        "id": job.jid,
+        "name": job.name,
+        "type": job.type.value,
+        "submit_time": job.submit_time,
+        "num_nodes": job.num_nodes,
+        "application": application_ref
+        if application_ref is not None
+        else application_to_dict(job.application),
+    }
+    if job.type is not JobType.RIGID:
+        spec["min_nodes"] = job.min_nodes
+        spec["max_nodes"] = job.max_nodes
+    if job.walltime != inf:
+        spec["walltime"] = job.walltime
+    if job.arguments:
+        spec["arguments"] = dict(job.arguments)
+    if job.user != "user0":
+        spec["user"] = job.user
+    if job.priority:
+        spec["priority"] = job.priority
+    return spec
+
+
+def workload_to_dict(jobs: Sequence[Job]) -> Dict[str, Any]:
+    """Serialize jobs; shared application models are de-duplicated.
+
+    Round-trips through :func:`repro.workload.workload_from_dict`.
+    """
+    applications: Dict[int, str] = {}
+    app_specs: Dict[str, Any] = {}
+    job_specs: List[Dict[str, Any]] = []
+
+    for job in jobs:
+        key = id(job.application)
+        ref = applications.get(key)
+        if ref is None and _is_shared(job, jobs):
+            ref = job.application.name
+            # Disambiguate clashing names.
+            base, counter = ref, 1
+            while ref in app_specs:
+                counter += 1
+                ref = f"{base}-{counter}"
+            applications[key] = ref
+            app_specs[ref] = application_to_dict(job.application)
+        job_specs.append(job_to_dict(job, application_ref=ref))
+
+    spec: Dict[str, Any] = {"jobs": job_specs}
+    if app_specs:
+        spec["applications"] = app_specs
+    return spec
+
+
+def _is_shared(job: Job, jobs: Sequence[Job]) -> bool:
+    return sum(1 for other in jobs if other.application is job.application) > 1

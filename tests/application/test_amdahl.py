@@ -1,0 +1,87 @@
+"""Tests for the Amdahl serial-fraction compute model."""
+
+import pytest
+
+from repro.application import ApplicationError, CpuTask, Distribution
+from repro.application.loader import task_from_dict
+from repro.application.serialize import task_to_dict
+
+
+class TestAmdahlScaling:
+    def test_zero_serial_fraction_is_pure_strong_scaling(self):
+        task = CpuTask("1e12")
+        assert task.flops_per_node({}, 1) == 1e12
+        assert task.flops_per_node({}, 4) == 2.5e11
+
+    def test_full_serial_no_speedup(self):
+        task = CpuTask("1e12", serial_fraction=1.0)
+        assert task.flops_per_node({}, 1) == 1e12
+        assert task.flops_per_node({}, 16) == 1e12
+
+    def test_amdahl_formula(self):
+        # s=0.1, n=4: per-node = W x (0.1 + 0.9/4) = 0.325 W.
+        task = CpuTask("1e12", serial_fraction=0.1)
+        assert task.flops_per_node({}, 4) == pytest.approx(3.25e11)
+
+    def test_speedup_saturates_at_inverse_s(self):
+        task = CpuTask("1e12", serial_fraction=0.25)
+        t1 = task.flops_per_node({}, 1)
+        t_huge = task.flops_per_node({}, 10_000)
+        assert t1 / t_huge == pytest.approx(4.0, rel=0.01)  # 1/s
+
+    def test_serial_fraction_expression(self):
+        task = CpuTask("1e12", serial_fraction="s")
+        assert task.flops_per_node({"s": 0.5}, 2) == pytest.approx(7.5e11)
+
+    def test_per_node_distribution_ignores_serial_fraction(self):
+        task = CpuTask("1e10", distribution=Distribution.PER_NODE, serial_fraction=0.5)
+        assert task.flops_per_node({}, 8) == 1e10
+
+    def test_fraction_above_one_rejected(self):
+        task = CpuTask("1e12", serial_fraction=1.5)
+        with pytest.raises(ApplicationError, match="<= 1"):
+            task.flops_per_node({}, 2)
+
+    def test_negative_fraction_rejected(self):
+        task = CpuTask("1e12", serial_fraction=-0.1)
+        with pytest.raises(ApplicationError, match="negative"):
+            task.flops_per_node({}, 2)
+
+
+class TestAmdahlJsonRoundTrip:
+    def test_loader_accepts_serial_fraction(self):
+        task = task_from_dict(
+            {"type": "cpu", "flops": 1e12, "serial_fraction": 0.2}
+        )
+        assert task.flops_per_node({}, 10) == pytest.approx(1e12 * 0.28)
+
+    def test_serializer_roundtrip(self):
+        task = CpuTask("1e12", serial_fraction=0.2)
+        spec = task_to_dict(task)
+        assert spec["serial_fraction"] == 0.2
+        clone = task_from_dict(spec)
+        assert clone.flops_per_node({}, 5) == task.flops_per_node({}, 5)
+
+    def test_default_omitted_from_json(self):
+        assert "serial_fraction" not in task_to_dict(CpuTask(1))
+
+
+class TestAmdahlEndToEnd:
+    def test_runtime_follows_amdahl(self, tmp_path):
+        from repro import Simulation, platform_from_dict
+        from repro.application import ApplicationModel, Phase
+        from repro.job import Job
+
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 8, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        app = ApplicationModel(
+            [Phase([CpuTask("8e9", serial_fraction=0.5)])]
+        )
+        job = Job(1, app, num_nodes=8)
+        Simulation(platform, [job], algorithm="fcfs").run()
+        # T(8) = 8e9 x (0.5 + 0.5/8) / 1e9 = 4.5 s (vs 1 s at s=0).
+        assert job.runtime == pytest.approx(4.5)

@@ -1,0 +1,45 @@
+"""Shared fixtures for batch-system tests."""
+
+import pytest
+
+from repro.application import ApplicationModel, CpuTask, Phase
+from repro.job import Job, JobType
+from repro.platform import platform_from_dict
+
+
+@pytest.fixture()
+def platform():
+    """8 nodes x 1e9 flops, fast network, modest PFS."""
+    return platform_from_dict(
+        {
+            "name": "batch-test",
+            "nodes": {"count": 8, "flops": 1e9},
+            "network": {
+                "topology": "star",
+                "bandwidth": 1e10,
+                "latency": 0.0,
+                "pfs_bandwidth": 1e11,
+            },
+            "pfs": {"read_bw": 1e10, "write_bw": 1e10},
+        }
+    )
+
+
+def compute_app(total_flops, *, phases=1, data_per_node=0):
+    """An app of `phases` equal compute phases totalling `total_flops`."""
+    per_phase = total_flops / phases
+    return ApplicationModel(
+        [Phase([CpuTask(per_phase)], name=f"p{i}") for i in range(phases)],
+        data_per_node=data_per_node,
+    )
+
+
+def make_job(jid, total_flops=8e9, *, phases=1, data_per_node=0, **kwargs):
+    """Helper: a job around a pure-compute app.
+
+    Default 8e9 flops: 1 s on all 8 test nodes, 2 s on 4, etc.
+    """
+    app = compute_app(total_flops, phases=phases, data_per_node=data_per_node)
+    defaults = dict(job_type=JobType.RIGID, num_nodes=4)
+    defaults.update(kwargs)
+    return Job(jid, app, **defaults)

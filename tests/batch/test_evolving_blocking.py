@@ -1,0 +1,216 @@
+"""Tests for blocking evolving requests and reconfiguration regressions."""
+
+import pytest
+
+from repro.application import (
+    ApplicationModel,
+    CpuTask,
+    EvolvingRequest,
+    Phase,
+)
+from repro.batch import BatchError, Simulation
+from repro.job import Job, JobState, JobType
+from repro.scheduler import Algorithm
+
+from tests.batch.conftest import make_job
+
+
+def blocking_app(desired="8"):
+    """Compute 2 s on 4 nodes, then BLOCK until `desired` nodes granted."""
+    return ApplicationModel(
+        [
+            Phase(
+                [
+                    CpuTask("8e9"),
+                    EvolvingRequest(desired, blocking=True),
+                    CpuTask("8e9"),
+                ],
+                scheduling_point=False,
+            )
+        ]
+    )
+
+
+def evolving_job(jid=1, **kwargs):
+    defaults = dict(
+        job_type=JobType.EVOLVING, num_nodes=4, min_nodes=4, max_nodes=8
+    )
+    defaults.update(kwargs)
+    return Job(jid, blocking_app(), **defaults)
+
+
+class TestBlockingGranted:
+    def test_fair_share_start_makes_request_a_noop(self, platform):
+        # Alone on the machine the malleable policy starts the job at its
+        # max (8), so the blocking request for 8 is a no-op: no suspension.
+        job = evolving_job()
+        Simulation(platform, [job], algorithm="malleable").run()
+        assert job.state is JobState.COMPLETED
+        assert len(job.assigned_nodes) == 8
+        assert job.reconfigurations_applied == 0
+        assert job.end_time == pytest.approx(2.0)  # 2 x 8e9 / 8e9
+
+    def test_blocks_until_nodes_free_then_granted(self, platform):
+        # A rigid blocker holds the upper 4 nodes for 5 s; the evolving job
+        # must actually WAIT at its request instead of continuing on 4.
+        blocker = make_job(1, total_flops=20e9, num_nodes=4, walltime=100)
+        job = evolving_job(jid=2)
+        Simulation(platform, [blocker, job], algorithm="malleable").run()
+        assert job.state is JobState.COMPLETED
+        assert len(job.assigned_nodes) == 8
+        # Request at t=2, blocker ends at t=5 (20e9 / 4e9), grant, then 1 s.
+        assert job.end_time == pytest.approx(6.0)
+
+    def test_nonblocking_continues_ungranted(self, platform):
+        # Same scenario but blocking=False: the job continues on 4 nodes.
+        app = ApplicationModel(
+            [
+                Phase(
+                    [
+                        CpuTask("8e9"),
+                        EvolvingRequest("8", blocking=False),
+                        CpuTask("8e9"),
+                    ],
+                    scheduling_point=False,
+                )
+            ]
+        )
+        blocker = make_job(1, total_flops=20e9, num_nodes=4, walltime=100)
+        job = Job(
+            2, app, job_type=JobType.EVOLVING, num_nodes=4, min_nodes=4, max_nodes=8
+        )
+        Simulation(platform, [blocker, job], algorithm="malleable").run()
+        # Second compute on 4 nodes: 2 + 2 = 4 s.
+        assert job.end_time == pytest.approx(4.0)
+        assert len(job.assigned_nodes) == 4
+
+
+class TestBlockingDenied:
+    def test_explicit_denial_unblocks_immediately(self, platform):
+        class Denier(Algorithm):
+            name = "denier"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    ctx.start_job(job, ctx.free_nodes()[: job.num_nodes])
+                if invocation.type.value == "evolving_request":
+                    ctx.deny_evolving_request(invocation.job)
+
+        job = evolving_job()
+        Simulation(platform, [job], algorithm=Denier()).run()
+        assert job.state is JobState.COMPLETED
+        # Denied: both compute tasks on 4 nodes → 4 s.
+        assert job.end_time == pytest.approx(4.0)
+
+    def test_never_granted_stalls_with_diagnostic(self, platform):
+        class Ignorer(Algorithm):
+            name = "ignorer"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    ctx.start_job(job, ctx.free_nodes()[: job.num_nodes])
+
+        job = evolving_job()
+        with pytest.raises(BatchError, match="stalled"):
+            Simulation(platform, [job], algorithm=Ignorer()).run()
+
+    def test_walltime_kill_while_blocked(self, platform):
+        class Ignorer(Algorithm):
+            name = "ignorer"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    ctx.start_job(job, ctx.free_nodes()[: job.num_nodes])
+
+        job = evolving_job(walltime=3.0)
+        Simulation(platform, [job], algorithm=Ignorer()).run()
+        assert job.state is JobState.KILLED
+        assert job.end_time == pytest.approx(3.0)
+        assert platform.num_free_nodes() == 8
+
+
+class TestReconfigurationRegressions:
+    def test_no_second_order_during_redistribution(self, platform):
+        """Regression: the scheduler must see the order as pending through
+        the whole (possibly long) redistribution, not just until pop."""
+        from repro.job import ReconfigurationOrder
+        from repro.scheduler import SchedulerError
+
+        rejected = []
+
+        class DoubleOrderer(Algorithm):
+            name = "double-orderer"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    size = min(len(ctx.free_nodes()), job.max_nodes)
+                    if size >= job.min_nodes:
+                        ctx.start_job(job, ctx.free_nodes()[:size])
+                for job in ctx.running_jobs:
+                    if job.is_adaptive and len(job.assigned_nodes) > job.min_nodes:
+                        try:
+                            ctx.reconfigure_job(
+                                job, job.assigned_nodes[: job.min_nodes]
+                            )
+                        except SchedulerError as exc:
+                            rejected.append(str(exc))
+
+        # Huge data_per_node → redistribution takes many seconds, during
+        # which completions of other jobs re-invoke the scheduler.
+        app = ApplicationModel(
+            [
+                Phase([CpuTask("8e9")], name="a"),
+                Phase([CpuTask("8e9")], name="b"),
+            ],
+            data_per_node="50e9",  # 5+ s over 1e10 B/s links
+        )
+        malleable = Job(
+            1, app, job_type=JobType.MALLEABLE, num_nodes=6, min_nodes=2, max_nodes=6
+        )
+        ticker = make_job(2, total_flops=1e9, num_nodes=1, submit_time=2.5)
+        Simulation(platform, [malleable, ticker], algorithm=DoubleOrderer()).run()
+        assert malleable.state is JobState.COMPLETED
+        assert malleable.reconfigurations_applied == 1
+        # The mid-redistribution attempt was rejected, not silently applied.
+        assert any("pending order" in r for r in rejected)
+        assert platform.num_free_nodes() == 8
+
+    def test_kill_during_redistribution_frees_everything(self, platform):
+        """Regression: a walltime kill mid-redistribution must release both
+        the old allocation and the reserved target nodes."""
+        from repro.job import ReconfigurationOrder
+
+        class ExpandOnce(Algorithm):
+            name = "expand-once"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    ctx.start_job(job, ctx.free_nodes()[: job.num_nodes])
+                if invocation.type.value == "scheduling_point":
+                    job = invocation.job
+                    if (
+                        job.pending_reconfiguration is None
+                        and job.reconfigurations_applied == 0
+                    ):
+                        target = list(job.assigned_nodes) + ctx.free_nodes()[:4]
+                        ctx.reconfigure_job(job, target)
+
+        app = ApplicationModel(
+            [
+                Phase([CpuTask("8e9")], name="a"),
+                Phase([CpuTask("8e9")], name="b", scheduling_point=False),
+            ],
+            data_per_node="1e12",  # redistribution would take ~100 s
+        )
+        job = Job(
+            1,
+            app,
+            job_type=JobType.MALLEABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+            walltime=5.0,  # killed mid-redistribution (starts at t=2)
+        )
+        Simulation(platform, [job], algorithm=ExpandOnce()).run()
+        assert job.state is JobState.KILLED
+        assert platform.num_free_nodes() == 8  # nothing leaked

@@ -1,0 +1,3 @@
+"""Repo-wide shared fixtures (the standard 8-node test platform)."""
+
+from tests.batch.conftest import platform  # noqa: F401

@@ -1,0 +1,166 @@
+"""Unit tests for the DES environment and event loop."""
+
+import math
+
+import pytest
+
+from repro.des import Environment, EmptySchedule, SimulationError
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=42.0).now == 42.0
+
+
+def test_run_empty_environment_returns_none():
+    env = Environment()
+    assert env.run() is None
+
+
+def test_run_until_time_advances_clock_exactly():
+    env = Environment()
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_peek_empty_queue_is_inf():
+    assert Environment().peek() == math.inf
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.timeout(7.5)
+    assert env.peek() == 7.5
+
+
+def test_step_empty_raises():
+    with pytest.raises(EmptySchedule):
+        Environment().step()
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.0)
+    env.run()
+    assert env.now == 3.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_negative_schedule_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), delay=-0.5)
+
+
+def test_events_processed_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo_by_insertion():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(5)
+        order.append(tag)
+
+    for tag in "abcde":
+        env.process(proc(env, tag))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 2
+
+
+def test_run_until_event_already_processed():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == 99
+
+
+def test_run_until_untriggered_event_with_empty_queue_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_run_until_stops_exactly_at_boundary():
+    env = Environment()
+    hits = []
+
+    def proc(env):
+        while True:
+            yield env.timeout(1)
+            hits.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3.0)
+    # The stop event at t=3 has URGENT priority, so the t=3 user event
+    # must not have run yet.
+    assert hits == [1, 2]
+    assert env.now == 3.0
+
+
+def test_processed_events_counter_increases():
+    env = Environment()
+    env.timeout(1)
+    env.timeout(2)
+    env.run()
+    assert env.processed_events >= 2
+
+
+def test_clock_never_goes_backwards():
+    env = Environment()
+    stamps = []
+
+    def proc(env, delays):
+        for d in delays:
+            yield env.timeout(d)
+            stamps.append(env.now)
+
+    env.process(proc(env, [5, 0, 3]))
+    env.process(proc(env, [1, 1, 1]))
+    env.run()
+    assert stamps == sorted(stamps)

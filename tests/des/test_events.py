@@ -1,0 +1,221 @@
+"""Unit tests for events, conditions, and failure propagation."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment, SimulationError
+
+
+def test_event_initially_pending():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_succeed_sets_value():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(123)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 123
+
+
+def test_double_succeed_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_then_succeed_raises():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("x"))
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_failure_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    ev.defuse()
+    env.run()  # no raise
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1, value="payload")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "payload"
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(5, value="b")
+            result = yield env.all_of([t1, t2])
+            return (env.now, list(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (5, ["a", "b"])
+
+    def test_any_of_returns_on_first(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="fast")
+            t2 = env.timeout(5, value="slow")
+            result = yield env.any_of([t1, t2])
+            return (env.now, list(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (1, ["fast"])
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0
+
+    def test_empty_any_of_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.any_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0
+
+    def test_and_operator(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1) & env.timeout(2)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 2
+
+    def test_or_operator(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1) | env.timeout(2)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 1
+
+    def test_condition_value_contains_simultaneous_events(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(3, value=1)
+            t2 = env.timeout(3, value=2)
+            result = yield env.any_of([t1, t2])
+            return list(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        # Both fire at t=3; the condition should report both.
+        assert p.value == [1, 2]
+
+    def test_failing_member_fails_condition(self):
+        env = Environment()
+
+        def failer(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env):
+            f = env.process(failer(env))
+            t = env.timeout(10)
+            try:
+                yield env.all_of([f, t])
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught inner"
+
+    def test_mixed_environment_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(ValueError):
+            AllOf(env1, [env1.event(), env2.event()])
+
+    def test_nested_conditions_flatten_values(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="x")
+            t2 = env.timeout(2, value="y")
+            t3 = env.timeout(3, value="z")
+            result = yield (t1 & t2) & t3
+            return list(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["x", "y", "z"]
+
+    def test_condition_value_mapping_interface(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="v")
+            result = yield env.all_of([t1])
+            assert t1 in result
+            assert result[t1] == "v"
+            assert dict(result.items())[t1] == "v"
+            assert result.todict() == {t1: "v"}
+            return True
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value is True

@@ -1,0 +1,232 @@
+"""Unit tests for process semantics: waiting, returning, interrupting."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, SimulationError
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return {"answer": 42}
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_waiting_on_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (3, "child-result")
+
+
+def test_process_crash_propagates_to_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise RuntimeError("crash")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="crash"):
+        env.run()
+
+
+def test_child_crash_propagates_to_waiting_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child died")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return f"handled: {exc}"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "handled: child died"
+
+
+def test_yield_non_event_crashes_process():
+    env = Environment()
+
+    def proc(env):
+        yield 42  # type: ignore[misc]
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            return (env.now, intr.cause)
+
+    def interrupter(env, victim_proc):
+        yield env.timeout(5)
+        victim_proc.interrupt(cause="stop now")
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert v.value == (5, "stop now")
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_raises():
+    env = Environment()
+
+    def proc(env):
+        with pytest.raises(SimulationError):
+            env.active_process.interrupt()
+        yield env.timeout(0)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_interrupted_process_can_continue_waiting():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(10)
+        return env.now
+
+    def interrupter(env, v):
+        yield env.timeout(5)
+        v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert v.value == 15
+
+
+def test_unhandled_interrupt_crashes_process():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(100)
+
+    def interrupter(env, v):
+        yield env.timeout(1)
+        v.interrupt("die")
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    with pytest.raises(Interrupt):
+        env.run()
+
+
+def test_target_cleared_after_interrupt():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            return "interrupted"
+
+    def interrupter(env, v):
+        yield env.timeout(1)
+        target = v.target
+        assert target is not None
+        v.interrupt()
+        # The old target no longer holds a callback for the victim.
+        assert v._resume not in (target.callbacks or [])
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert v.value == "interrupted"
+
+
+def test_process_name_defaults_to_generator_name():
+    env = Environment()
+
+    def my_process(env):
+        yield env.timeout(0)
+
+    p = env.process(my_process(env))
+    assert p.name == "my_process"
+    env.run()
+
+
+def test_immediate_return_process():
+    env = Environment()
+
+    def proc(env):
+        return "instant"
+        yield  # pragma: no cover - makes it a generator
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "instant"
+
+
+def test_active_process_visible_inside():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(0)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None

@@ -1,0 +1,143 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Environment
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_property_timeouts_fire_in_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(env, delay, idx):
+        yield env.timeout(delay)
+        fired.append((env.now, idx))
+
+    for idx, delay in enumerate(delays):
+        env.process(proc(env, delay, idx))
+    env.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_property_equal_delays_fire_in_submission_order(delays):
+    """Ties broken by insertion id: same-delay processes run FIFO."""
+    env = Environment()
+    fired = []
+    same = delays[0]
+
+    def proc(env, idx):
+        yield env.timeout(same)
+        fired.append(idx)
+
+    n = min(len(delays), 20)
+    for idx in range(n):
+        env.process(proc(env, idx))
+    env.run()
+    assert fired == list(range(n))
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=5),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_sequential_delays_accumulate(chains):
+    """Each process's clock equals the sum of its yielded delays."""
+    env = Environment()
+    results = {}
+
+    def proc(env, idx, delays):
+        for d in delays:
+            yield env.timeout(d)
+        results[idx] = env.now
+
+    for idx, chain in enumerate(chains):
+        env.process(proc(env, idx, chain))
+    env.run()
+    for idx, chain in enumerate(chains):
+        assert results[idx] == sum(chain) or abs(results[idx] - sum(chain)) < 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=2, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_property_all_of_fires_at_max_any_of_at_min(delays):
+    env = Environment()
+    outcome = {}
+
+    def waiter(env):
+        timeouts_all = [env.timeout(d) for d in delays]
+        timeouts_any = [env.timeout(d) for d in delays]
+        t_any = env.any_of(timeouts_any)
+        t_all = env.all_of(timeouts_all)
+        yield t_any
+        outcome["any"] = env.now
+        yield t_all
+        outcome["all"] = env.now
+
+    env.process(waiter(env))
+    env.run()
+    assert outcome["any"] == min(delays)
+    assert outcome["all"] == max(delays)
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_ping_pong_processes_alternate(rounds, delay):
+    """Two processes passing a token alternate deterministically."""
+    env = Environment()
+    log = []
+
+    def player(env, name, my_turn, other_turn):
+        for _ in range(rounds):
+            yield my_turn[0]
+            log.append((name, env.now))
+            my_turn[0] = env.event()
+            nxt = env.timeout(delay)
+            turn = other_turn[0]
+
+            def relay(event, turn=turn):
+                if not turn.triggered:
+                    turn.succeed()
+
+            nxt.callbacks.append(relay)
+
+    a_turn = [env.event()]
+    b_turn = [env.event()]
+    env.process(player(env, "a", a_turn, b_turn))
+    env.process(player(env, "b", b_turn, a_turn))
+    a_turn[0].succeed()
+    env.run(until=delay * rounds * 4 + 1)
+    names = [n for n, _ in log]
+    # Strict alternation while both are alive.
+    for x, y in zip(names, names[1:]):
+        assert x != y
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=50, deadline=None)
+def test_property_event_count_is_deterministic(n):
+    def build():
+        env = Environment()
+
+        def proc(env, k):
+            yield env.timeout(k % 7)
+            yield env.timeout(1)
+
+        for k in range(n):
+            env.process(proc(env, k))
+        env.run()
+        return env.processed_events
+
+    assert build() == build()

@@ -1,0 +1,186 @@
+"""Unit tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro.des import Container, Environment, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.count == 2
+
+    def test_release_grants_next_in_fifo_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r3 = res.request()
+        res.release(r1)
+        assert r2.triggered and not r3.triggered
+        res.release(r2)
+        assert r3.triggered
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def user(env, res, log, tag):
+            with res.request() as req:
+                yield req
+                log.append((tag, env.now, "got"))
+                yield env.timeout(5)
+            log.append((tag, env.now, "released"))
+
+        log = []
+        env.process(user(env, res, log, "a"))
+        env.process(user(env, res, log, "b"))
+        env.run()
+        assert ("a", 0, "got") in log
+        assert ("b", 5, "got") in log
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        r2 = res.request()
+        r3 = res.request()
+        r2.cancel()
+        res.release(res.users[0])
+        assert r3.triggered
+        assert not r2.triggered
+
+    def test_release_queued_request_removes_it(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        r2 = res.request()
+        res.release(r2)  # r2 never granted; acts as cancel
+        assert r2 not in res.queue
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        held = res.request(priority=0)
+        low = res.request(priority=10)
+        high = res.request(priority=1)
+        res.release(held)
+        assert high.triggered and not low.triggered
+
+    def test_fifo_within_same_priority(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        held = res.request(priority=0)
+        first = res.request(priority=5)
+        second = res.request(priority=5)
+        res.release(held)
+        assert first.triggered and not second.triggered
+
+
+class TestContainer:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=20)
+
+    def test_put_and_get_levels(self):
+        env = Environment()
+        c = Container(env, capacity=100, init=10)
+        c.put(30)
+        assert c.level == 40
+        c.get(15)
+        assert c.level == 25
+
+    def test_get_blocks_until_level_sufficient(self):
+        env = Environment()
+        c = Container(env, capacity=100, init=0)
+        g = c.get(50)
+        assert not g.triggered
+        c.put(49)
+        assert not g.triggered
+        c.put(1)
+        assert g.triggered
+
+    def test_put_blocks_when_over_capacity(self):
+        env = Environment()
+        c = Container(env, capacity=10, init=8)
+        p = c.put(5)
+        assert not p.triggered
+        c.get(3)
+        assert p.triggered
+        assert c.level == 10
+
+    def test_negative_amounts_rejected(self):
+        env = Environment()
+        c = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(-1)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        s = Store(env)
+        s.put("item")
+        g = s.get()
+        assert g.triggered
+        assert g.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        s = Store(env)
+        g = s.get()
+        assert not g.triggered
+        s.put(7)
+        assert g.triggered and g.value == 7
+
+    def test_fifo_order(self):
+        env = Environment()
+        s = Store(env)
+        for i in range(5):
+            s.put(i)
+        got = [s.get().value for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_filtered_get(self):
+        env = Environment()
+        s = Store(env)
+        s.put({"kind": "a"})
+        s.put({"kind": "b"})
+        g = s.get(filter=lambda item: item["kind"] == "b")
+        assert g.triggered
+        assert g.value == {"kind": "b"}
+        assert len(s) == 1
+
+    def test_filtered_get_blocks_head_of_line(self):
+        env = Environment()
+        s = Store(env)
+        g = s.get(filter=lambda item: item == "wanted")
+        s.put("other")
+        assert not g.triggered
+        s.put("wanted")
+        assert g.triggered
+        assert list(s.items) == ["other"]
+
+    def test_len(self):
+        env = Environment()
+        s = Store(env)
+        assert len(s) == 0
+        s.put(1)
+        s.put(2)
+        assert len(s) == 2

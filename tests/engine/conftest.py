@@ -1,0 +1,103 @@
+"""Shared fixtures for engine tests: a small platform and a stub batch."""
+
+import pytest
+
+from repro.des import Environment
+from repro.job import Job, JobType, ReconfigurationOrder
+from repro.platform import platform_from_dict
+from repro.sharing import FairShareModel
+
+
+PLATFORM_SPEC = {
+    "name": "engine-test",
+    "nodes": {"count": 4, "flops": 1e9},
+    "network": {
+        "topology": "star",
+        "bandwidth": 1e9,
+        "latency": 0.0,
+        # Fat PFS uplink so that the PFS *service* bandwidth is the
+        # contention point in the I/O tests below.
+        "pfs_bandwidth": 1e10,
+    },
+    "pfs": {"read_bw": 2e9, "write_bw": 2e9},
+    "burst_buffer": {"read_bw": 4e9, "write_bw": 1e9, "capacity": 1e10},
+}
+
+
+class StubBatch:
+    """Minimal BatchCallbacks implementation for isolated executor tests."""
+
+    def __init__(self):
+        self.scheduling_points = []
+        self.evolving_requests = []
+        self.commits = []
+        #: Callable(job) invoked at scheduling points; may set
+        #: job.pending_reconfiguration to drive reconfiguration tests.
+        self.scheduler_hook = None
+        self.evolving_hook = None
+
+    def on_scheduling_point(self, job):
+        self.scheduling_points.append((job.jid, job.scheduling_points_seen))
+        if self.scheduler_hook is not None:
+            self.scheduler_hook(job)
+
+    def on_evolving_request(self, job, desired_nodes):
+        self.evolving_requests.append((job.jid, desired_nodes))
+        if self.evolving_hook is not None:
+            self.evolving_hook(job, desired_nodes)
+
+    def commit_reconfiguration(self, job, new_nodes):
+        old = {n.index for n in job.assigned_nodes}
+        new = {n.index for n in new_nodes}
+        for node in job.assigned_nodes:
+            if node.index not in new:
+                node.deallocate()
+        for node in new_nodes:
+            if node.index not in old:
+                node.allocate(job)
+        job.assigned_nodes = list(new_nodes)
+        self.commits.append((job.jid, sorted(new)))
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def platform():
+    return platform_from_dict(PLATFORM_SPEC)
+
+
+@pytest.fixture()
+def model(env):
+    return FairShareModel(env)
+
+
+@pytest.fixture()
+def batch():
+    return StubBatch()
+
+
+@pytest.fixture()
+def start_job(env, platform, model, batch):
+    """Factory: build a Job from an app model, start it, run its executor."""
+    from repro.engine import JobExecutor
+
+    def _start(application, *, num_nodes=4, job_type=JobType.RIGID, **job_kwargs):
+        job = Job(
+            1,
+            application,
+            job_type=job_type,
+            num_nodes=num_nodes,
+            **job_kwargs,
+        )
+        nodes = platform.nodes[:num_nodes]
+        for node in nodes:
+            node.allocate(job)
+        job.mark_started(nodes, env.now)
+        executor = JobExecutor(env, platform, model, job, batch)
+        process = env.process(executor.run(), name=f"exec-{job.name}")
+        return job, process
+
+    return _start

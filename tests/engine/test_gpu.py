@@ -1,0 +1,118 @@
+"""Tests for GPU nodes and GPU tasks."""
+
+import pytest
+
+from repro.application import (
+    ApplicationModel,
+    CpuTask,
+    Distribution,
+    GpuTask,
+    Phase,
+    application_from_dict,
+    application_to_dict,
+)
+from repro.batch import Simulation
+from repro.engine import EngineError
+from repro.job import Job
+from repro.platform import Node, PlatformError, platform_from_dict
+
+
+def gpu_platform(gpus=2, gpu_flops=4e9):
+    return platform_from_dict(
+        {
+            "nodes": {"count": 4, "flops": 1e9, "gpus": gpus, "gpu_flops": gpu_flops},
+            "network": {"topology": "star", "bandwidth": 1e10},
+        }
+    )
+
+
+class TestGpuNodes:
+    def test_loader_builds_gpu_resource(self):
+        platform = gpu_platform(gpus=2, gpu_flops=4e9)
+        node = platform.nodes[0]
+        assert node.gpus == 2
+        assert node.gpu is not None
+        assert node.gpu.capacity == 8e9  # 2 x 4e9 aggregate
+
+    def test_no_gpus_by_default(self):
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 2, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        assert platform.nodes[0].gpu is None
+
+    def test_validation(self):
+        with pytest.raises(PlatformError, match="gpus"):
+            Node(0, 1e9, gpus=-1)
+        with pytest.raises(PlatformError, match="gpu_flops"):
+            Node(0, 1e9, gpus=2, gpu_flops=0)
+
+
+class TestGpuTasks:
+    def test_gpu_task_runtime(self):
+        # 64e9 flops over 4 nodes x 8e9 GPU flops/s → 2 s.
+        app = ApplicationModel([Phase([GpuTask("64e9")])])
+        job = Job(1, app, num_nodes=4)
+        Simulation(gpu_platform(), [job], algorithm="fcfs").run()
+        assert job.runtime == pytest.approx(2.0)
+
+    def test_gpu_and_cpu_phases_sequential(self):
+        app = ApplicationModel(
+            [Phase([CpuTask("4e9"), GpuTask("32e9")])]
+        )
+        job = Job(1, app, num_nodes=4)
+        Simulation(gpu_platform(), [job], algorithm="fcfs").run()
+        # 1 s CPU + 1 s GPU.
+        assert job.runtime == pytest.approx(2.0)
+
+    def test_gpu_cpu_overlap_in_parallel_phase(self):
+        app = ApplicationModel(
+            [Phase([CpuTask("8e9"), GpuTask("32e9")], parallel=True)]
+        )
+        job = Job(1, app, num_nodes=4)
+        Simulation(gpu_platform(), [job], algorithm="fcfs").run()
+        # CPU 2 s, GPU 1 s → overlap = 2 s (GPUs are a separate resource).
+        assert job.runtime == pytest.approx(2.0)
+
+    def test_per_node_distribution(self):
+        app = ApplicationModel(
+            [Phase([GpuTask("8e9", distribution=Distribution.PER_NODE)])]
+        )
+        job = Job(1, app, num_nodes=4)
+        Simulation(gpu_platform(), [job], algorithm="fcfs").run()
+        # Each node's 8e9 GPU work at 8e9 flops/s → 1 s.
+        assert job.runtime == pytest.approx(1.0)
+
+    def test_gpu_task_on_gpuless_platform_raises(self):
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 2, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        app = ApplicationModel([Phase([GpuTask("1e9")])])
+        job = Job(1, app, num_nodes=2)
+        with pytest.raises(EngineError, match="needs GPUs"):
+            Simulation(platform, [job], algorithm="fcfs").run()
+
+    def test_gpus_per_node_expression_variable(self):
+        # Work scaled by gpus_per_node: 8e9 x 2 = 16e9 total over 4 nodes
+        # x 8e9 → 0.5 s.
+        app = ApplicationModel(
+            [Phase([GpuTask("8e9 * gpus_per_node")])]
+        )
+        job = Job(1, app, num_nodes=4)
+        Simulation(gpu_platform(gpus=2), [job], algorithm="fcfs").run()
+        assert job.runtime == pytest.approx(0.5)
+
+    def test_json_roundtrip(self):
+        app = ApplicationModel(
+            [Phase([GpuTask("1e12", distribution=Distribution.PER_NODE)])]
+        )
+        spec = application_to_dict(app)
+        assert spec["phases"][0]["tasks"][0]["type"] == "gpu"
+        clone = application_from_dict(spec)
+        assert isinstance(clone.phases[0].tasks[0], GpuTask)
+        assert clone.phases[0].tasks[0].distribution is Distribution.PER_NODE

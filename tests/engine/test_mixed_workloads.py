@@ -1,0 +1,206 @@
+"""Analytic timing tests for mixed compute/comm/I/O scenarios.
+
+Each case has a closed-form runtime derived from the max-min fair-sharing
+model; these pin the engine+sharing semantics down far beyond the single-
+task cases in test_executor.py.
+"""
+
+import pytest
+
+from repro.application import (
+    ApplicationModel,
+    CommPattern,
+    CommTask,
+    CpuTask,
+    DelayTask,
+    Distribution,
+    PfsReadTask,
+    PfsWriteTask,
+    Phase,
+)
+from repro.batch import Simulation
+from repro.job import Job
+from repro.platform import platform_from_dict
+
+
+def tiny_platform(**overrides):
+    spec = {
+        "nodes": {"count": 8, "flops": 1e9},
+        "network": {
+            "topology": "star",
+            "bandwidth": 1e9,
+            "latency": 0.0,
+            "pfs_bandwidth": 1e12,
+        },
+        "pfs": {"read_bw": 2e9, "write_bw": 2e9},
+    }
+    spec.update(overrides)
+    return platform_from_dict(spec)
+
+
+def run_jobs(platform, *jobs):
+    Simulation(platform, list(jobs), algorithm="fcfs").run()
+    return jobs
+
+
+class TestSequentialPipelines:
+    def test_compute_comm_write_pipeline(self):
+        # Phase: cpu 8e9 on 4 nodes (2 s) → ring 1e9 (1 s) → write 4e9
+        # total at 2e9 B/s PFS, links 1e9 x 4 ample (2 s).  Total 5 s.
+        app = ApplicationModel(
+            [
+                Phase(
+                    [
+                        CpuTask("8e9"),
+                        CommTask("1e9", pattern=CommPattern.RING),
+                        PfsWriteTask("4e9"),
+                    ]
+                )
+            ]
+        )
+        (job,) = run_jobs(tiny_platform(), Job(1, app, num_nodes=4))
+        assert job.runtime == pytest.approx(5.0)
+
+    def test_iterated_pipeline_multiplies(self):
+        app = ApplicationModel(
+            [
+                Phase(
+                    [CpuTask("4e9"), DelayTask("0.5")],
+                    iterations=4,
+                )
+            ]
+        )
+        (job,) = run_jobs(tiny_platform(), Job(1, app, num_nodes=4))
+        # (1 + 0.5) x 4.
+        assert job.runtime == pytest.approx(6.0)
+
+    def test_read_compute_write_with_uneven_phases(self):
+        app = ApplicationModel(
+            [
+                Phase([PfsReadTask("2e9")], name="in", scheduling_point=False),
+                Phase([CpuTask("8e9")], name="solve"),
+                Phase([PfsWriteTask("2e9")], name="out", scheduling_point=False),
+            ]
+        )
+        (job,) = run_jobs(tiny_platform(), Job(1, app, num_nodes=2))
+        # Read: 2e9 total, 1e9/node over 1e9 links, PFS read 2e9 → 1 s.
+        # Compute: 8e9 / 2e9 = 4 s.  Write: 1 s.  Total 6 s.
+        assert job.runtime == pytest.approx(6.0)
+
+
+class TestCrossJobContention:
+    def test_two_jobs_share_pfs_writes(self):
+        # Both jobs write 4e9 B concurrently; PFS write 2e9 B/s total →
+        # 8e9 B at 2e9 → 4 s each (links not limiting: 4 nodes x 1e9 each).
+        app = ApplicationModel([Phase([PfsWriteTask("4e9")])])
+        platform = tiny_platform()
+        j1, j2 = run_jobs(
+            platform,
+            Job(1, app, num_nodes=4),
+            Job(2, app, num_nodes=4),
+        )
+        assert j1.runtime == pytest.approx(4.0)
+        assert j2.runtime == pytest.approx(4.0)
+
+    def test_compute_job_unaffected_by_io_job(self):
+        # CPU and PFS are disjoint resources: timings are independent.
+        cpu_app = ApplicationModel([Phase([CpuTask("4e9")])])
+        io_app = ApplicationModel([Phase([PfsWriteTask("8e9")])])
+        platform = tiny_platform()
+        j1, j2 = run_jobs(
+            platform,
+            Job(1, cpu_app, num_nodes=4),
+            Job(2, io_app, num_nodes=4),
+        )
+        assert j1.runtime == pytest.approx(1.0)  # 4e9 / 4e9 flops
+        assert j2.runtime == pytest.approx(4.0)  # 8e9 / 2e9 B/s
+
+    def test_comm_jobs_share_interfering_links(self):
+        # Two 2-node jobs: job1 on nodes {0,1}, job2 on nodes {2,3}.
+        # Disjoint node pairs → disjoint up/down links → no interference.
+        app = ApplicationModel(
+            [Phase([CommTask("1e9", pattern=CommPattern.RING)])]
+        )
+        platform = tiny_platform()
+        j1, j2 = run_jobs(
+            platform, Job(1, app, num_nodes=2), Job(2, app, num_nodes=2)
+        )
+        assert j1.runtime == pytest.approx(1.0)
+        assert j2.runtime == pytest.approx(1.0)
+
+    def test_queueing_behind_io_heavy_job(self):
+        # An 8-node I/O job holds the machine for 4 s; a compute job queues.
+        io_app = ApplicationModel([Phase([PfsWriteTask("8e9")])])
+        cpu_app = ApplicationModel([Phase([CpuTask("8e9")])])
+        platform = tiny_platform()
+        j1, j2 = run_jobs(
+            platform,
+            Job(1, io_app, num_nodes=8),
+            Job(2, cpu_app, num_nodes=8, submit_time=0.5),
+        )
+        assert j1.runtime == pytest.approx(4.0)
+        assert j2.start_time == pytest.approx(4.0)
+        assert j2.runtime == pytest.approx(1.0)
+
+
+class TestExpressionDrivenTasks:
+    def test_iteration_dependent_checkpoint(self):
+        # Checkpoint only on iteration 2 (0-based): 2 light iterations and
+        # one with a 2e9 write (1 s at PFS 2e9 B/s).
+        app = ApplicationModel(
+            [
+                Phase(
+                    [
+                        CpuTask("4e9"),
+                        PfsWriteTask("if(iteration == 2, 2e9, 0)"),
+                    ],
+                    iterations=3,
+                )
+            ]
+        )
+        (job,) = run_jobs(tiny_platform(), Job(1, app, num_nodes=4))
+        # 3 x 1 s compute + 1 s single checkpoint.
+        assert job.runtime == pytest.approx(4.0)
+
+    def test_job_argument_scales_work(self):
+        app = ApplicationModel(
+            [Phase([CpuTask("per_step * num_nodes")], iterations="steps")]
+        )
+        (job,) = run_jobs(
+            tiny_platform(),
+            Job(
+                1,
+                app,
+                num_nodes=4,
+                arguments={"per_step": 1e9, "steps": 3},
+            ),
+        )
+        # Each iteration: 4e9 total over 4 nodes → 1 s; 3 iterations.
+        assert job.runtime == pytest.approx(3.0)
+
+    def test_num_nodes_in_comm_expression(self):
+        app = ApplicationModel(
+            [Phase([CommTask("1e9 / (num_nodes - 1)", pattern=CommPattern.BCAST)])]
+        )
+        (job,) = run_jobs(tiny_platform(), Job(1, app, num_nodes=5))
+        # Root sends 4 messages of 0.25e9 through its 1e9 uplink → 1 s.
+        assert job.runtime == pytest.approx(1.0)
+
+
+class TestLatencyAccounting:
+    def test_link_latency_adds_to_transfers(self):
+        platform = tiny_platform(
+            network={
+                "topology": "star",
+                "bandwidth": 1e9,
+                "latency": 0.05,
+                "pfs_bandwidth": 1e12,
+            }
+        )
+        app = ApplicationModel(
+            [Phase([CommTask("1e9", pattern=CommPattern.RING)])]
+        )
+        (job,) = run_jobs(platform, Job(1, app, num_nodes=2))
+        # 1e9 B at 1e9 B/s + 2 links x 0.05 s latency = 1.1 s (the latency
+        # is charged as equivalent bytes at the bottleneck bandwidth).
+        assert job.runtime == pytest.approx(1.1, rel=1e-3)

@@ -1,0 +1,196 @@
+"""Tests for malleable reconfiguration and evolving requests."""
+
+import pytest
+
+from repro.application import (
+    ApplicationModel,
+    CpuTask,
+    EvolvingRequest,
+    Phase,
+)
+from repro.job import JobType, ReconfigurationOrder
+
+
+def two_phase_app(data_per_node=0):
+    """Phase A (4e9 flops, scheduling point) then phase B (4e9 flops)."""
+    return ApplicationModel(
+        [
+            Phase([CpuTask("4e9")], name="A"),
+            Phase([CpuTask("4e9")], name="B", scheduling_point=False),
+        ],
+        data_per_node=data_per_node,
+    )
+
+
+class TestExpand:
+    def test_expand_at_scheduling_point_speeds_up_next_phase(
+        self, env, platform, batch, start_job
+    ):
+        # Phase A on 2 nodes: 4e9/2 per node at 1e9 → 2 s.
+        # Expansion to 4 nodes is free (data_per_node=0).
+        # Phase B on 4 nodes: 1e9 per node → 1 s.  Total 3 s.
+        def expand(job):
+            if job.scheduling_points_seen == 1:
+                job.pending_reconfiguration = ReconfigurationOrder(
+                    platform.nodes[:4], issued_at=env.now
+                )
+
+        batch.scheduler_hook = expand
+        job, proc = start_job(
+            two_phase_app(), num_nodes=2, job_type=JobType.MALLEABLE, max_nodes=4
+        )
+        env.run()
+        assert proc.value == "completed"
+        assert env.now == pytest.approx(3.0)
+        assert job.reconfigurations_applied == 1
+        assert len(job.assigned_nodes) == 4
+        assert batch.commits == [(1, [0, 1, 2, 3])]
+
+    def test_expand_pays_redistribution_cost(self, env, platform, batch, start_job):
+        # data_per_node=1e9 on 2 nodes → total 2e9, new share 0.5e9.
+        # Two joining nodes each pull 0.5e9 over 1e9 B/s links → 0.5 s.
+        # Total: 2 (A) + 0.5 (redistribute) + 1 (B) = 3.5 s.
+        def expand(job):
+            if job.scheduling_points_seen == 1:
+                job.pending_reconfiguration = ReconfigurationOrder(
+                    platform.nodes[:4], issued_at=env.now
+                )
+
+        batch.scheduler_hook = expand
+        job, proc = start_job(
+            two_phase_app(data_per_node="1e9"),
+            num_nodes=2,
+            job_type=JobType.MALLEABLE,
+            max_nodes=4,
+        )
+        env.run()
+        assert env.now == pytest.approx(3.5)
+        assert job.redistribution_bytes_moved == pytest.approx(1e9)
+
+
+class TestShrink:
+    def test_shrink_slows_next_phase_and_frees_nodes(
+        self, env, platform, batch, start_job
+    ):
+        # Phase A on 4 nodes: 1 s.  Shrink to 2 (free).  Phase B: 2 s.
+        def shrink(job):
+            if job.scheduling_points_seen == 1:
+                job.pending_reconfiguration = ReconfigurationOrder(
+                    platform.nodes[:2], issued_at=env.now
+                )
+
+        batch.scheduler_hook = shrink
+        job, proc = start_job(
+            two_phase_app(),
+            num_nodes=4,
+            job_type=JobType.MALLEABLE,
+            min_nodes=2,
+            max_nodes=4,
+        )
+        env.run()
+        assert env.now == pytest.approx(3.0)
+        assert len(job.assigned_nodes) == 2
+        assert platform.nodes[2].free
+        assert platform.nodes[3].free
+
+    def test_shrink_redistribution_cost(self, env, platform, batch, start_job):
+        # Leaving nodes 2,3 each push 1e9 over their 1e9 B/s uplinks → 1 s.
+        def shrink(job):
+            if job.scheduling_points_seen == 1:
+                job.pending_reconfiguration = ReconfigurationOrder(
+                    platform.nodes[:2], issued_at=env.now
+                )
+
+        batch.scheduler_hook = shrink
+        job, proc = start_job(
+            two_phase_app(data_per_node="1e9"),
+            num_nodes=4,
+            job_type=JobType.MALLEABLE,
+            min_nodes=2,
+            max_nodes=4,
+        )
+        env.run()
+        # 1 (A) + 1 (redistribute) + 2 (B) = 4 s.
+        assert env.now == pytest.approx(4.0)
+        assert job.redistribution_bytes_moved == pytest.approx(2e9)
+
+
+class TestNoOpAndUnordered:
+    def test_same_allocation_order_is_noop(self, env, platform, batch, start_job):
+        def same(job):
+            job.pending_reconfiguration = ReconfigurationOrder(
+                list(job.assigned_nodes), issued_at=env.now
+            )
+
+        batch.scheduler_hook = same
+        job, proc = start_job(
+            two_phase_app(data_per_node="1e9"),
+            num_nodes=2,
+            job_type=JobType.MALLEABLE,
+        )
+        env.run()
+        assert job.reconfigurations_applied == 0
+        assert env.now == pytest.approx(2.0 + 2.0)
+
+    def test_without_order_nothing_happens(self, env, batch, start_job):
+        job, proc = start_job(
+            two_phase_app(), num_nodes=2, job_type=JobType.MALLEABLE
+        )
+        env.run()
+        assert job.reconfigurations_applied == 0
+        assert len(batch.scheduling_points) == 1
+
+
+class TestEvolving:
+    def test_evolving_request_forwarded_and_granted(
+        self, env, platform, batch, start_job
+    ):
+        # App: compute on 2 nodes, then request 4, then compute again.
+        app = ApplicationModel(
+            [
+                Phase(
+                    [CpuTask("4e9"), EvolvingRequest("4"), CpuTask("4e9")],
+                    scheduling_point=False,
+                )
+            ]
+        )
+
+        def grant(job, desired):
+            job.pending_reconfiguration = ReconfigurationOrder(
+                platform.nodes[:desired], issued_at=env.now
+            )
+
+        batch.evolving_hook = grant
+        job, proc = start_job(
+            app, num_nodes=2, job_type=JobType.EVOLVING, max_nodes=4
+        )
+        env.run()
+        assert batch.evolving_requests == [(1, 4)]
+        # 2 s on 2 nodes + 1 s on 4 nodes.
+        assert env.now == pytest.approx(3.0)
+        assert job.evolving_request is None
+
+    def test_evolving_request_denied_continues(self, env, batch, start_job):
+        app = ApplicationModel(
+            [
+                Phase(
+                    [CpuTask("4e9"), EvolvingRequest("4"), CpuTask("4e9")],
+                    scheduling_point=False,
+                )
+            ]
+        )
+        # No evolving_hook: request recorded but not granted.
+        job, proc = start_job(
+            app, num_nodes=2, job_type=JobType.EVOLVING, max_nodes=4
+        )
+        env.run()
+        assert batch.evolving_requests == [(1, 4)]
+        assert env.now == pytest.approx(4.0)  # both phases on 2 nodes
+
+    def test_request_for_current_size_not_forwarded(self, env, batch, start_job):
+        app = ApplicationModel(
+            [Phase([EvolvingRequest("num_nodes"), CpuTask("4e9")])]
+        )
+        job, proc = start_job(app, num_nodes=2, job_type=JobType.EVOLVING)
+        env.run()
+        assert batch.evolving_requests == []

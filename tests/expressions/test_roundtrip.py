@@ -1,0 +1,84 @@
+"""Property tests: expression serialization round-trips exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.application import expression_to_source
+from repro.expressions import (
+    BinaryOp,
+    Call,
+    Expression,
+    Number,
+    UnaryOp,
+    Variable,
+    compile_expression,
+    parse,
+)
+
+
+@st.composite
+def _random_asts(draw, depth=4) -> Expression:
+    if depth == 0 or draw(st.integers(0, 3)) == 0:
+        kind = draw(st.integers(0, 1))
+        if kind == 0:
+            return Number(
+                draw(
+                    st.one_of(
+                        st.integers(min_value=0, max_value=10**9),
+                        st.floats(
+                            min_value=0.0,
+                            max_value=1e15,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        ),
+                    )
+                )
+            )
+        return Variable(draw(st.sampled_from(["num_nodes", "x", "steps", "a_b"])))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "^", "//"]))
+        return BinaryOp(
+            op, draw(_random_asts(depth=depth - 1)), draw(_random_asts(depth=depth - 1))
+        )
+    if kind == 1:
+        return UnaryOp("-", draw(_random_asts(depth=depth - 1)))
+    name = draw(st.sampled_from(["min", "max", "pow"]))
+    arity = 2
+    return Call(name, [draw(_random_asts(depth=depth - 1)) for _ in range(arity)])
+
+
+def _eval_or_error(expr: Expression, variables):
+    from repro.expressions import ExpressionError
+
+    try:
+        return ("ok", expr.evaluate(variables))
+    except ExpressionError as exc:
+        return ("err", type(exc).__name__)
+
+
+@given(_random_asts())
+@settings(max_examples=300, deadline=None)
+def test_property_serialize_parse_roundtrip_preserves_semantics(ast):
+    source = expression_to_source(ast)
+    clone = compile_expression(source)
+    variables = {"num_nodes": 7, "x": 3.5, "steps": 12, "a_b": 2}
+    original = _eval_or_error(ast, variables)
+    roundtripped = _eval_or_error(clone, variables)
+    if original[0] == "ok" and isinstance(original[1], float):
+        assert roundtripped[0] == "ok"
+        import math
+
+        if math.isfinite(original[1]):
+            assert roundtripped[1] == original[1] or abs(
+                roundtripped[1] - original[1]
+            ) <= 1e-9 * abs(original[1])
+    else:
+        assert roundtripped == original
+
+
+@given(_random_asts())
+@settings(max_examples=300, deadline=None)
+def test_property_roundtrip_variables_preserved(ast):
+    source = expression_to_source(ast)
+    clone = compile_expression(source)
+    assert clone.variables() == ast.variables()

@@ -1,0 +1,185 @@
+"""Tests for the Job lifecycle, validation, and metrics."""
+
+import math
+
+import pytest
+
+from repro.application import ApplicationModel, CpuTask, Phase
+from repro.job import Job, JobError, JobState, JobType, ReconfigurationOrder
+
+
+@pytest.fixture()
+def app():
+    return ApplicationModel([Phase([CpuTask("1e10")])], name="tiny")
+
+
+def make_job(app, **kwargs):
+    defaults = dict(job_type=JobType.RIGID, num_nodes=4)
+    defaults.update(kwargs)
+    return Job(1, app, **defaults)
+
+
+class TestValidation:
+    def test_defaults(self, app):
+        job = make_job(app)
+        assert job.name == "job1"
+        assert job.state is JobState.PENDING
+        assert job.min_nodes == job.max_nodes == 4
+
+    def test_rigid_cannot_set_bounds(self, app):
+        with pytest.raises(JobError, match="Rigid"):
+            make_job(app, min_nodes=2)
+
+    def test_malleable_bounds_default(self, app):
+        job = make_job(app, job_type=JobType.MALLEABLE, num_nodes=8)
+        assert job.min_nodes == 1
+        assert job.max_nodes == 8
+
+    def test_malleable_explicit_bounds(self, app):
+        job = make_job(
+            app, job_type=JobType.MALLEABLE, num_nodes=8, min_nodes=2, max_nodes=16
+        )
+        assert (job.min_nodes, job.max_nodes) == (2, 16)
+
+    def test_invalid_bounds(self, app):
+        with pytest.raises(JobError):
+            make_job(app, job_type=JobType.MALLEABLE, num_nodes=4, min_nodes=8, max_nodes=2)
+
+    def test_num_nodes_outside_bounds(self, app):
+        with pytest.raises(JobError, match="outside bounds"):
+            make_job(app, job_type=JobType.MOLDABLE, num_nodes=20, min_nodes=1, max_nodes=10)
+
+    def test_negative_submit_time(self, app):
+        with pytest.raises(JobError):
+            make_job(app, submit_time=-1)
+
+    def test_bad_walltime(self, app):
+        with pytest.raises(JobError):
+            make_job(app, walltime=0)
+
+    def test_type_predicates(self, app):
+        assert make_job(app).is_rigid
+        assert not make_job(app).is_adaptive
+        malleable = make_job(app, job_type=JobType.MALLEABLE)
+        assert malleable.is_adaptive
+        evolving = make_job(app, job_type=JobType.EVOLVING)
+        assert evolving.is_adaptive
+        moldable = make_job(app, job_type=JobType.MOLDABLE)
+        assert not moldable.is_adaptive
+
+
+class TestLifecycle:
+    def test_start_complete(self, app):
+        job = make_job(app)
+        job.mark_started(["n0", "n1", "n2", "n3"], now=10.0)
+        assert job.state is JobState.RUNNING
+        assert job.start_time == 10.0
+        job.mark_completed(now=25.0)
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == 25.0
+
+    def test_start_twice_rejected(self, app):
+        job = make_job(app)
+        job.mark_started(["a"] * 4, now=0)
+        with pytest.raises(JobError):
+            job.mark_started(["a"] * 4, now=1)
+
+    def test_rigid_needs_exact_nodes(self, app):
+        job = make_job(app)
+        with pytest.raises(JobError, match="4"):
+            job.mark_started(["a", "b"], now=0)
+
+    def test_moldable_any_size_in_bounds(self, app):
+        job = make_job(app, job_type=JobType.MOLDABLE, num_nodes=8, min_nodes=2, max_nodes=8)
+        job.mark_started(["a"] * 5, now=0)
+        assert len(job.assigned_nodes) == 5
+
+    def test_allocation_outside_bounds_rejected(self, app):
+        job = make_job(app, job_type=JobType.MOLDABLE, num_nodes=8, min_nodes=4, max_nodes=8)
+        with pytest.raises(JobError, match="outside"):
+            job.mark_started(["a"] * 2, now=0)
+
+    def test_empty_allocation_rejected(self, app):
+        job = make_job(app)
+        with pytest.raises(JobError, match="empty"):
+            job.mark_started([], now=0)
+
+    def test_kill_records_reason(self, app):
+        job = make_job(app)
+        job.mark_started(["a"] * 4, now=0)
+        job.mark_killed(now=100.0, reason="walltime")
+        assert job.state is JobState.KILLED
+        assert job.kill_reason == "walltime"
+        assert job.finished
+
+    def test_complete_from_pending_rejected(self, app):
+        with pytest.raises(JobError):
+            make_job(app).mark_completed(now=1)
+
+    def test_kill_completed_rejected(self, app):
+        job = make_job(app)
+        job.mark_started(["a"] * 4, now=0)
+        job.mark_completed(now=1)
+        with pytest.raises(JobError):
+            job.mark_killed(now=2, reason="late")
+
+
+class TestMetrics:
+    def test_wait_runtime_turnaround(self, app):
+        job = make_job(app, submit_time=5.0)
+        assert job.wait_time is None
+        job.mark_started(["a"] * 4, now=15.0)
+        assert job.wait_time == 10.0
+        job.mark_completed(now=45.0)
+        assert job.runtime == 30.0
+        assert job.turnaround == 40.0
+
+    def test_bounded_slowdown(self, app):
+        job = make_job(app, submit_time=0.0)
+        job.mark_started(["a"] * 4, now=100.0)
+        job.mark_completed(now=200.0)
+        # (100 wait + 100 run) / max(100, 10) = 2.0
+        assert job.bounded_slowdown() == pytest.approx(2.0)
+
+    def test_bounded_slowdown_short_job_clamped(self, app):
+        job = make_job(app, submit_time=0.0)
+        job.mark_started(["a"] * 4, now=0.0)
+        job.mark_completed(now=1.0)
+        # (0 + 1) / max(1, 10) = 0.1 → clamped to 1.
+        assert job.bounded_slowdown() == 1.0
+
+    def test_pending_job_metrics_none(self, app):
+        job = make_job(app)
+        assert job.runtime is None
+        assert job.turnaround is None
+        assert job.bounded_slowdown() is None
+
+
+class TestExpressionVariables:
+    def test_includes_arguments_and_allocation(self, app):
+        job = make_job(
+            app,
+            job_type=JobType.MALLEABLE,
+            num_nodes=8,
+            arguments={"num_steps": 50},
+        )
+        variables = job.expression_variables()
+        assert variables["num_steps"] == 50
+        assert variables["num_nodes"] == 8  # pending: falls back to request
+        job.mark_started(["a"] * 6, now=0)
+        assert job.expression_variables()["num_nodes"] == 6
+
+    def test_extra_overrides(self, app):
+        job = make_job(app)
+        assert job.expression_variables(iteration=3)["iteration"] == 3
+
+
+class TestReconfigurationOrder:
+    def test_empty_target_rejected(self):
+        with pytest.raises(JobError):
+            ReconfigurationOrder([], issued_at=0.0)
+
+    def test_holds_target(self):
+        order = ReconfigurationOrder(["n1", "n2"], issued_at=7.0)
+        assert order.target == ["n1", "n2"]
+        assert order.issued_at == 7.0

@@ -1,0 +1,84 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro import Simulation, platform_from_dict
+from repro.monitoring import render_gantt
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@pytest.fixture()
+def run_monitor():
+    platform = platform_from_dict(
+        {
+            "nodes": {"count": 16, "flops": 1e12},
+            "network": {"topology": "star", "bandwidth": 1e10},
+        }
+    )
+    jobs = generate_workload(
+        WorkloadSpec(
+            num_jobs=6,
+            mean_interarrival=100.0,
+            max_request=16,
+            mean_runtime=200.0,
+            malleable_fraction=0.5,
+        ),
+        seed=3,
+    )
+    return Simulation(platform, jobs, algorithm="malleable").run()
+
+
+class TestRenderGantt:
+    def test_one_row_per_job_plus_frame(self, run_monitor):
+        text = render_gantt(run_monitor)
+        lines = text.splitlines()
+        assert len(lines) == 6 + 2  # header + jobs + time axis
+
+    def test_rows_have_requested_width(self, run_monitor):
+        text = render_gantt(run_monitor, width=40)
+        for line in text.splitlines()[1:-1]:
+            inner = line.split("|")[1]
+            assert len(inner) == 40
+
+    def test_job_names_present(self, run_monitor):
+        text = render_gantt(run_monitor)
+        for jid in range(1, 7):
+            assert f"job{jid}" in text
+
+    def test_running_glyphs_exist(self, run_monitor):
+        text = render_gantt(run_monitor)
+        assert any(g in text for g in "▁▂▃▄▅▆▇█")
+
+    def test_max_jobs_truncates(self, run_monitor):
+        text = render_gantt(run_monitor, max_jobs=2)
+        assert "job2" in text and "job3" not in text
+
+    def test_empty_monitor(self):
+        from repro.des import Environment
+        from repro.monitoring import Monitor
+
+        monitor = Monitor(Environment(), num_nodes=4)
+        assert render_gantt(monitor) == "(nothing ran)"
+
+    def test_queued_marker_for_waiting_jobs(self):
+        # Two 16-node jobs: the second queues behind the first.
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 16, "flops": 1e12},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        jobs = generate_workload(
+            WorkloadSpec(
+                num_jobs=3,
+                mean_interarrival=0.0,
+                min_request=16,
+                max_request=16,
+                mean_runtime=100.0,
+                runtime_sigma=0.0,
+            ),
+            seed=0,
+        )
+        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        text = render_gantt(monitor, width=30)
+        assert "·" in text  # queue time rendered

@@ -1,0 +1,187 @@
+"""Tests for the Monitor: series, summaries, exports."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.application import ApplicationModel, CpuTask, Phase
+from repro.des import Environment
+from repro.job import Job
+from repro.monitoring import Monitor
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def monitor(env):
+    return Monitor(env, num_nodes=8)
+
+
+class FakeNode:
+    def __init__(self, index):
+        self.index = index
+
+
+def make_job(jid, submit=0.0, num_nodes=2):
+    from repro.job import JobType
+
+    app = ApplicationModel([Phase([CpuTask(1)])])
+    # Moldable so tests can start it on any node count.
+    return Job(
+        jid,
+        app,
+        job_type=JobType.MOLDABLE,
+        num_nodes=num_nodes,
+        min_nodes=1,
+        max_nodes=8,
+        submit_time=submit,
+    )
+
+
+def run_job_through(env, monitor, job, start, end, nodes=2):
+    """Drive the monitor hooks the way the batch system would."""
+
+    def proc(env):
+        if env.now < job.submit_time:
+            yield env.timeout(job.submit_time - env.now)
+        monitor.on_submit(job)
+        yield env.timeout(start - env.now)
+        job.mark_started([FakeNode(i) for i in range(nodes)], env.now)
+        monitor.on_start(job)
+        monitor.set_allocated(nodes)
+        yield env.timeout(end - env.now)
+        job.mark_completed(env.now)
+        monitor.on_end(job)
+        monitor.set_allocated(0)
+
+    env.process(proc(env))
+
+
+class TestSeries:
+    def test_allocation_series_steps(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=2.0, end=5.0)
+        env.run()
+        monitor.finalize()
+        assert (2.0, 2) in monitor.allocation_series
+        assert (5.0, 0) in monitor.allocation_series
+
+    def test_set_allocated_dedupes(self, env, monitor):
+        monitor.set_allocated(0)  # no change from initial 0
+        assert monitor.allocation_series == [(0.0, 0)]
+
+    def test_queue_series(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=3.0, end=4.0)
+        env.run()
+        # Queued at t=0, dequeued at start.
+        assert (0.0, 1) in monitor.queue_series
+        assert (3.0, 0) in monitor.queue_series
+
+    def test_utilization_timeline_fractions(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=0.0, end=4.0, nodes=4)
+        env.run()
+        monitor.finalize()
+        timeline = monitor.utilization_timeline()
+        assert (0.0, 0.5) in timeline  # 4 of 8 nodes
+
+
+class TestUtilization:
+    def test_integral_full_span(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=0.0, end=10.0, nodes=4)
+        env.run()
+        monitor.finalize()
+        assert monitor.utilization_integral() == pytest.approx(40.0)
+        assert monitor.mean_utilization() == pytest.approx(0.5)
+
+    def test_integral_with_idle_prefix(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=5.0, end=10.0, nodes=8)
+        env.run()
+        monitor.finalize()
+        # 8 nodes x 5 s over a 10 s horizon → mean 0.5.
+        assert monitor.mean_utilization() == pytest.approx(0.5)
+
+    def test_zero_horizon(self, monitor):
+        assert monitor.mean_utilization() == 0.0
+        assert monitor.utilization_integral() == 0.0
+
+    def test_explicit_horizon(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=0.0, end=4.0, nodes=8)
+        env.run()
+        monitor.finalize()
+        assert monitor.mean_utilization(until=8.0) == pytest.approx(0.5)
+
+
+class TestSummary:
+    def test_empty_monitor_summary(self, monitor):
+        summary = monitor.summary()
+        assert summary.completed_jobs == 0
+        assert math.isnan(summary.mean_wait)
+
+    def test_single_job_summary(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=2.0, end=6.0)
+        env.run()
+        monitor.finalize()
+        summary = monitor.summary()
+        assert summary.completed_jobs == 1
+        assert summary.mean_wait == pytest.approx(2.0)
+        assert summary.mean_turnaround == pytest.approx(6.0)
+        assert summary.makespan == pytest.approx(6.0)
+
+    def test_as_dict_keys(self, monitor):
+        d = monitor.summary().as_dict()
+        assert "makespan" in d and "mean_utilization" in d
+
+
+class TestExports:
+    def test_job_csv(self, env, monitor, tmp_path):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=1.0, end=2.0)
+        env.run()
+        path = tmp_path / "jobs.csv"
+        monitor.write_job_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["jid"] == "1"
+        assert float(rows[0]["wait_time"]) == 1.0
+
+    def test_empty_csv(self, monitor, tmp_path):
+        path = tmp_path / "empty.csv"
+        monitor.write_job_csv(path)
+        assert path.read_text() == ""
+
+    def test_summary_json(self, env, monitor, tmp_path):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=0.0, end=1.0)
+        env.run()
+        monitor.finalize()
+        path = tmp_path / "summary.json"
+        monitor.write_summary_json(path)
+        data = json.loads(path.read_text())
+        assert data["completed_jobs"] == 1
+
+
+class TestSegments:
+    def test_segment_lifecycle(self, env, monitor):
+        job = make_job(1)
+        run_job_through(env, monitor, job, start=1.0, end=3.0, nodes=2)
+        env.run()
+        segments = monitor.segments(1)
+        assert len(segments) == 1
+        assert segments[0].start == 1.0
+        assert segments[0].end == 3.0
+        assert segments[0].node_indices == (0, 1)
+
+    def test_unknown_job_empty(self, monitor):
+        assert monitor.segments(99) == []

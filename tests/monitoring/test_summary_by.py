@@ -1,0 +1,143 @@
+"""Tests for grouped summaries (per type / per user)."""
+
+import pytest
+
+from repro.batch import Simulation
+from repro.job import JobType
+
+from tests.batch.conftest import make_job
+
+
+class TestSummaryBy:
+    def test_summary_by_type_buckets(self, platform):
+        jobs = [
+            make_job(1, total_flops=4e9, num_nodes=4),
+            make_job(
+                2,
+                total_flops=4e9,
+                job_type=JobType.MALLEABLE,
+                num_nodes=4,
+                min_nodes=2,
+                max_nodes=4,
+            ),
+        ]
+        monitor = Simulation(platform, jobs, algorithm="easy").run()
+        by_type = monitor.summary_by_type()
+        assert set(by_type) == {"rigid", "malleable"}
+        assert by_type["rigid"].completed_jobs == 1
+        assert by_type["malleable"].completed_jobs == 1
+
+    def test_summary_by_user_waits_differ(self, platform):
+        # alice's job runs first; bob's 8-node job waits behind it.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, user="alice"),
+            make_job(2, total_flops=8e9, num_nodes=8, submit_time=0.1, user="bob"),
+        ]
+        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        by_user = monitor.summary_by_user()
+        assert by_user["alice"].mean_wait == pytest.approx(0.0)
+        assert by_user["bob"].mean_wait > 1.0
+
+    def test_group_makespan_is_group_local(self, platform):
+        jobs = [
+            make_job(1, total_flops=8e9, num_nodes=8, user="early"),  # ends t=1
+            make_job(2, total_flops=8e9, num_nodes=8, submit_time=0.1, user="late"),
+        ]
+        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        by_user = monitor.summary_by_user()
+        assert by_user["early"].makespan == pytest.approx(1.0)
+        assert by_user["late"].makespan == pytest.approx(2.0)
+
+    def test_custom_key(self, platform):
+        jobs = [make_job(i, total_flops=4e9, num_nodes=4) for i in (1, 2, 3, 4)]
+        monitor = Simulation(platform, jobs, algorithm="easy").run()
+        by_parity = monitor.summary_by(lambda j: "even" if j.jid % 2 == 0 else "odd")
+        assert by_parity["even"].completed_jobs == 2
+        assert by_parity["odd"].completed_jobs == 2
+
+
+class TestCliExtensions:
+    def test_algorithms_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fcfs", "easy", "sjf", "fairshare", "malleable"):
+            assert name in out
+
+    def test_run_with_failures(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        platform_file = tmp_path / "p.json"
+        platform_file.write_text(
+            json.dumps(
+                {
+                    "nodes": {"count": 16, "flops": 1e12},
+                    "network": {"topology": "star", "bandwidth": 1e10},
+                }
+            )
+        )
+        workload_file = tmp_path / "w.json"
+        main(
+            [
+                "generate",
+                "--output",
+                str(workload_file),
+                "--num-jobs",
+                "5",
+                "--max-request",
+                "16",
+            ]
+        )
+        code = main(
+            [
+                "run",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--mtbf",
+                "500",
+                "--mean-repair",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injecting" in out
+
+
+class TestNodeUtilization:
+    def test_busy_seconds_per_node(self, platform):
+        from repro.batch import Simulation
+
+        # One 4-node job for 2 s on nodes 0..3; nodes 4..7 idle.
+        jobs = [make_job(1, total_flops=8e9, num_nodes=4)]
+        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        busy = monitor.node_busy_seconds()
+        assert busy == {0: 2.0, 1: 2.0, 2: 2.0, 3: 2.0}
+
+    def test_node_utilizations_fractions(self, platform):
+        from repro.batch import Simulation
+
+        jobs = [
+            make_job(1, total_flops=8e9, num_nodes=4),            # 2 s on 0-3
+            make_job(2, total_flops=4e9, num_nodes=4, submit_time=2.0),
+        ]
+        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        # Job 2 submits at the same instant job 1 completes; the submit
+        # invocation runs first, so job 2 lands on the still-free nodes
+        # 4..7.  Makespan 3 s: nodes 0-3 busy 2/3, nodes 4-7 busy 1/3.
+        utils = monitor.node_utilizations()
+        assert utils[0] == pytest.approx(2 / 3)
+        assert utils[4] == pytest.approx(1 / 3)
+
+    def test_empty_monitor(self):
+        from repro.des import Environment
+        from repro.monitoring import Monitor
+
+        monitor = Monitor(Environment(), num_nodes=4)
+        assert monitor.node_utilizations() == {}
+        assert monitor.node_busy_seconds() == {}

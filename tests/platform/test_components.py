@@ -1,0 +1,85 @@
+"""Tests for nodes, burst buffers, and the PFS."""
+
+import pytest
+
+from repro.platform import BurstBuffer, Node, Pfs, PlatformError
+
+
+class TestNode:
+    def test_defaults(self):
+        n = Node(3, 1e12)
+        assert n.name == "node0003"
+        assert n.free
+        assert n.cpu.capacity == 1e12
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            Node(0, 0)
+        with pytest.raises(PlatformError):
+            Node(0, 1e9, cores=0)
+
+    def test_allocate_deallocate_cycle(self):
+        n = Node(0, 1e9)
+        n.allocate("job-a")
+        assert not n.free
+        assert n.assigned_job == "job-a"
+        n.deallocate()
+        assert n.free
+        assert n.assigned_job is None
+
+    def test_double_allocation_raises(self):
+        n = Node(0, 1e9)
+        n.allocate("job-a")
+        with pytest.raises(PlatformError, match="already allocated"):
+            n.allocate("job-b")
+
+    def test_deallocate_free_node_raises(self):
+        n = Node(0, 1e9)
+        with pytest.raises(PlatformError):
+            n.deallocate()
+
+
+class TestBurstBuffer:
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            BurstBuffer("bb", read_bw=0, write_bw=1)
+        with pytest.raises(PlatformError):
+            BurstBuffer("bb", read_bw=1, write_bw=1, capacity=0)
+
+    def test_charge_and_release(self):
+        bb = BurstBuffer("bb", read_bw=1e9, write_bw=1e9, capacity=100.0)
+        bb.charge(60)
+        assert bb.used == 60
+        assert bb.available == 40
+        bb.release(20)
+        assert bb.used == 40
+
+    def test_overflow_raises(self):
+        bb = BurstBuffer("bb", read_bw=1e9, write_bw=1e9, capacity=100.0)
+        bb.charge(80)
+        with pytest.raises(PlatformError, match="overflow"):
+            bb.charge(30)
+
+    def test_release_clamps_at_zero(self):
+        bb = BurstBuffer("bb", read_bw=1e9, write_bw=1e9, capacity=100.0)
+        bb.charge(10)
+        bb.release(50)
+        assert bb.used == 0
+
+    def test_negative_amounts_rejected(self):
+        bb = BurstBuffer("bb", read_bw=1e9, write_bw=1e9)
+        with pytest.raises(PlatformError):
+            bb.charge(-1)
+        with pytest.raises(PlatformError):
+            bb.release(-1)
+
+
+class TestPfs:
+    def test_resources_named_and_sized(self):
+        pfs = Pfs(read_bw=100e9, write_bw=80e9)
+        assert pfs.read.capacity == 100e9
+        assert pfs.write.capacity == 80e9
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            Pfs(read_bw=0, write_bw=1)

@@ -1,0 +1,73 @@
+"""Property tests for topology routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.platform import StarTopology, build_dragonfly, build_fat_tree, build_torus
+from repro.platform.topology import PFS
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=1e6, max_value=1e12),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_star_all_pairs_routable(num_nodes, bandwidth):
+    topo = StarTopology(num_nodes, bandwidth=bandwidth)
+    for src in range(0, num_nodes, max(1, num_nodes // 5)):
+        for dst in range(0, num_nodes, max(1, num_nodes // 5)):
+            route = topo.route(src, dst)
+            if src == dst:
+                assert route.resources == ()
+            else:
+                assert len(route.resources) == 2
+        assert topo.route(src, PFS).resources
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_fat_tree_all_pairs_routable(num_nodes, arity):
+    topo = build_fat_tree(num_nodes, arity=arity, leaf_bandwidth=1e9)
+    step = max(1, num_nodes // 4)
+    for src in range(0, num_nodes, step):
+        for dst in range(0, num_nodes, step):
+            route = topo.route(src, dst)
+            if src != dst:
+                assert route.resources
+                # Node-leaf(-spine-leaf)-node: 2 or 4 hops.
+                assert len(route.resources) in (2, 4)
+        assert topo.route(src, PFS).resources
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_torus_symmetric_hop_counts(dims):
+    topo = build_torus(tuple(dims), bandwidth=1e9)
+    n = 1
+    for d in dims:
+        n *= d
+    for src in range(0, n, max(1, n // 4)):
+        for dst in range(0, n, max(1, n // 4)):
+            fwd = topo.route(src, dst)
+            rev = topo.route(dst, src)
+            assert len(fwd.resources) == len(rev.resources)
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_dragonfly_all_reachable(groups, routers, per_router):
+    topo = build_dragonfly(groups, routers, per_router, node_bandwidth=1e9)
+    n = groups * routers * per_router
+    for src in range(n):
+        assert topo.route(src, PFS).resources
+        route = topo.route(src, (src + 1) % n)
+        if n > 1:
+            assert route.resources

@@ -1,0 +1,178 @@
+"""Tests for routing over star, fat-tree, torus, and dragonfly topologies."""
+
+import pytest
+
+from repro.platform import (
+    GraphTopology,
+    Link,
+    Node,
+    Platform,
+    PlatformError,
+    StarTopology,
+    build_dragonfly,
+    build_fat_tree,
+    build_torus,
+)
+from repro.platform.topology import PFS
+
+
+class TestLink:
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            Link("l", bandwidth=0)
+        with pytest.raises(PlatformError):
+            Link("l", bandwidth=1, latency=-1)
+
+    def test_bandwidth_property(self):
+        assert Link("l", bandwidth=5e9).bandwidth == 5e9
+
+
+class TestStarTopology:
+    def test_node_to_node_route_crosses_two_links(self):
+        topo = StarTopology(4, bandwidth=1e9, latency=1e-6)
+        route = topo.route(0, 3)
+        assert len(route.resources) == 2
+        assert route.latency == pytest.approx(2e-6)
+        names = [r.name for r in route.resources]
+        assert names == ["node0000.up", "node0003.down"]
+
+    def test_loopback_route_is_empty(self):
+        topo = StarTopology(4, bandwidth=1e9)
+        route = topo.route(2, 2)
+        assert route.resources == ()
+        assert route.latency == 0.0
+
+    def test_pfs_routes(self):
+        topo = StarTopology(4, bandwidth=1e9, pfs_bandwidth=10e9)
+        to_pfs = topo.route(1, PFS)
+        from_pfs = topo.route(PFS, 1)
+        assert [r.name for r in to_pfs.resources] == ["node0001.up", "pfs.link.in"]
+        assert [r.name for r in from_pfs.resources] == ["pfs.link.out", "node0001.down"]
+        assert to_pfs.resources[1].capacity == 10e9
+
+    def test_out_of_range_raises(self):
+        topo = StarTopology(4, bandwidth=1e9)
+        with pytest.raises(PlatformError):
+            topo.route(0, 7)
+
+    def test_attach_nodes_sets_nics(self):
+        topo = StarTopology(2, bandwidth=1e9)
+        nodes = [Node(0, 1e9), Node(1, 1e9)]
+        topo.attach_nodes(nodes)
+        assert nodes[0].up.name == "node0000.up"
+        assert nodes[1].down.name == "node0001.down"
+
+    def test_attach_wrong_count_raises(self):
+        topo = StarTopology(2, bandwidth=1e9)
+        with pytest.raises(PlatformError):
+            topo.attach_nodes([Node(0, 1e9)])
+
+
+class TestFatTree:
+    def test_same_leaf_route_avoids_spine(self):
+        topo = build_fat_tree(16, arity=4, leaf_bandwidth=1e9)
+        route = topo.route(0, 1)  # both under leaf 0
+        names = [r.name for r in route.resources]
+        assert len(names) == 2
+        assert all("spine" not in n for n in names)
+
+    def test_cross_leaf_route_crosses_spine(self):
+        topo = build_fat_tree(16, arity=4, leaf_bandwidth=1e9)
+        route = topo.route(0, 5)  # leaf 0 → leaf 1
+        names = [r.name for r in route.resources]
+        assert len(names) == 4
+        assert any("spine" in n for n in names)
+
+    def test_pfs_reachable(self):
+        topo = build_fat_tree(8, arity=4, leaf_bandwidth=1e9)
+        route = topo.route(3, PFS)
+        assert route.resources  # non-empty
+
+    def test_route_caching_returns_same_object(self):
+        topo = build_fat_tree(8, arity=4, leaf_bandwidth=1e9)
+        assert topo.route(0, 5) is topo.route(0, 5)
+
+    def test_default_spine_is_full_bisection(self):
+        topo = build_fat_tree(8, arity=4, leaf_bandwidth=1e9)
+        route = topo.route(0, 5)
+        spine_links = [r for r in route.resources if "spine" in r.name]
+        assert all(r.capacity == 4e9 for r in spine_links)
+
+
+class TestTorus:
+    def test_ring_neighbours_one_hop(self):
+        topo = build_torus((4,), bandwidth=1e9)
+        assert len(topo.route(0, 1).resources) == 1
+
+    def test_ring_wraparound(self):
+        topo = build_torus((4,), bandwidth=1e9)
+        assert len(topo.route(0, 3).resources) == 1  # wrap link
+
+    def test_2d_torus_diagonal(self):
+        topo = build_torus((3, 3), bandwidth=1e9)
+        assert len(topo.route(0, 4).resources) == 2  # (0,0) → (1,1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(PlatformError):
+            build_torus((), bandwidth=1e9)
+        with pytest.raises(PlatformError):
+            build_torus((0, 2), bandwidth=1e9)
+
+    def test_pfs_attached(self):
+        topo = build_torus((2, 2), bandwidth=1e9)
+        assert topo.route(3, PFS).resources
+
+
+class TestDragonfly:
+    def test_shape_and_local_route(self):
+        topo = build_dragonfly(2, 2, 2, node_bandwidth=1e9)
+        assert topo.num_nodes == 8
+        # Same router: node0, node1 → 2 hops (node-router, router-node).
+        assert len(topo.route(0, 1).resources) == 2
+
+    def test_cross_group_route_uses_global_link(self):
+        topo = build_dragonfly(2, 2, 2, node_bandwidth=1e9)
+        route = topo.route(0, 7)
+        names = [r.name for r in route.resources]
+        assert any(n.startswith("global") for n in names)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PlatformError):
+            build_dragonfly(0, 1, 1, node_bandwidth=1e9)
+
+
+class TestGraphTopologyValidation:
+    def test_edge_without_link_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(("node", 0), "spine")
+        with pytest.raises(PlatformError, match="lacks a Link"):
+            GraphTopology(g, 1)
+
+    def test_missing_node_vertex_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(("node", 0), "x", link=Link("l", 1e9))
+        with pytest.raises(PlatformError, match="lacks vertex"):
+            GraphTopology(g, 2)
+
+    def test_no_pfs_vertex(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(("node", 0), ("node", 1), link=Link("l", 1e9))
+        topo = GraphTopology(g, 2)
+        with pytest.raises(PlatformError, match="no 'pfs'"):
+            topo.route(0, PFS)
+
+    def test_disconnected_raises(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(("node", 0), "s1", link=Link("a", 1e9))
+        g.add_node(("node", 1))
+        topo = GraphTopology(g, 2)
+        with pytest.raises(PlatformError, match="No route"):
+            topo.route(0, 1)

@@ -1,0 +1,3 @@
+"""Reuse the batch test platform fixture for scheduler tests."""
+
+from tests.batch.conftest import platform  # noqa: F401

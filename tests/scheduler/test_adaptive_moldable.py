@@ -1,0 +1,114 @@
+"""Tests for the finish-time-minimizing moldable policy."""
+
+import pytest
+
+from repro.batch import Simulation
+from repro.job import JobState, JobType
+from repro.scheduler import AdaptiveMoldableScheduler, get_algorithm
+
+from tests.batch.conftest import make_job
+
+
+class TestAdaptiveMoldable:
+    def test_registry(self):
+        assert isinstance(
+            get_algorithm("adaptive-moldable"), AdaptiveMoldableScheduler
+        )
+
+    def test_empty_machine_starts_at_max(self, platform):
+        job = make_job(
+            1,
+            total_flops=8e9,
+            job_type=JobType.MOLDABLE,
+            num_nodes=4,
+            min_nodes=1,
+            max_nodes=8,
+            walltime=10.0,
+        )
+        Simulation(platform, [job], algorithm="adaptive-moldable").run()
+        # On an empty machine, wider is strictly better (perfect scaling).
+        assert len(job.assigned_nodes) == 8
+        assert job.end_time == pytest.approx(1.0)
+
+    def test_waits_for_wide_slot_when_worth_it(self, platform):
+        # 6 nodes busy for 1 s.  Moldable job: walltime 16 s at 4 nodes.
+        # Start now on 2 free nodes: finish ~ 0 + 16*4/2 = 32 s.
+        # Wait 1 s for 8 nodes:      finish ~ 1 + 16*4/8 = 9 s.  → wait.
+        blocker = make_job(1, total_flops=6e9, num_nodes=6, walltime=2.0)
+        moldable = make_job(
+            2,
+            total_flops=32e9,
+            job_type=JobType.MOLDABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+            walltime=16.0,
+            submit_time=0.1,
+        )
+        Simulation(platform, [blocker, moldable], algorithm="adaptive-moldable").run()
+        assert moldable.start_time >= blocker.end_time  # waited
+        assert len(moldable.assigned_nodes) == 8
+
+    def test_starts_immediately_when_narrow_wins(self, platform):
+        # Long blocker (walltime 100 s) on 4 nodes; moldable can use 4 now.
+        # Start now on 4: finish 0.1 + 8*4/4 = 8.1.  Waiting for 8 means
+        # t=100 → hopeless.  → start now.
+        blocker = make_job(1, total_flops=400e9, num_nodes=4, walltime=100.0)
+        moldable = make_job(
+            2,
+            total_flops=16e9,
+            job_type=JobType.MOLDABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+            walltime=8.0,
+            submit_time=0.1,
+        )
+        Simulation(platform, [blocker, moldable], algorithm="adaptive-moldable").run()
+        assert moldable.start_time == pytest.approx(0.1)
+        assert len(moldable.assigned_nodes) == 4
+
+    def test_rigid_jobs_keep_fcfs(self, platform):
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=10),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.1),
+        ]
+        Simulation(platform, jobs, algorithm="adaptive-moldable").run()
+        assert jobs[1].start_time == pytest.approx(jobs[0].end_time)
+
+    def test_no_walltime_falls_back_to_free_nodes(self, platform):
+        job = make_job(
+            1,
+            total_flops=8e9,
+            job_type=JobType.MOLDABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+        )
+        Simulation(platform, [job], algorithm="adaptive-moldable").run()
+        assert job.state is JobState.COMPLETED
+        assert len(job.assigned_nodes) == 8
+
+    def test_mixed_stream_all_complete(self, platform):
+        jobs = []
+        for i in range(1, 9):
+            if i % 2:
+                jobs.append(
+                    make_job(i, total_flops=4e9, num_nodes=4, walltime=5.0,
+                             submit_time=0.3 * i)
+                )
+            else:
+                jobs.append(
+                    make_job(
+                        i,
+                        total_flops=4e9,
+                        job_type=JobType.MOLDABLE,
+                        num_nodes=4,
+                        min_nodes=1,
+                        max_nodes=8,
+                        walltime=5.0,
+                        submit_time=0.3 * i,
+                    )
+                )
+        Simulation(platform, jobs, algorithm="adaptive-moldable").run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)

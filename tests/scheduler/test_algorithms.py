@@ -1,0 +1,342 @@
+"""Behavioural tests for the built-in scheduling algorithms."""
+
+import pytest
+
+from repro.batch import Simulation
+from repro.job import JobState, JobType
+from repro.scheduler import (
+    ConservativeBackfillingScheduler,
+    EasyBackfillingScheduler,
+    FcfsScheduler,
+    MalleableScheduler,
+    MoldableScheduler,
+    get_algorithm,
+)
+
+from tests.batch.conftest import make_job
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name, cls in [
+            ("fcfs", FcfsScheduler),
+            ("easy", EasyBackfillingScheduler),
+            ("conservative", ConservativeBackfillingScheduler),
+            ("moldable", MoldableScheduler),
+            ("malleable", MalleableScheduler),
+        ]:
+            assert isinstance(get_algorithm(name), cls)
+
+
+class TestFcfs:
+    def test_head_of_queue_blocks_backfill(self, platform):
+        # j1 takes the whole machine for 2 s; j2 needs 8 (waits);
+        # j3 needs 1 and could run now — FCFS must NOT start it early.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=100),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=100, submit_time=0.1),
+            make_job(3, total_flops=1e9, num_nodes=1, walltime=100, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="fcfs").run()
+        assert jobs[2].start_time >= jobs[1].start_time
+
+
+class TestEasyBackfilling:
+    def test_small_job_backfills_into_hole(self, platform):
+        # j1: 4 nodes for 4 s.  j2: 8 nodes → must wait until t=4 (shadow).
+        # j3: 4 nodes, walltime 2 s → fits in the hole before the shadow.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=4, walltime=4.0),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=100, submit_time=0.1),
+            make_job(3, total_flops=4e9, num_nodes=4, walltime=2.0, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="easy").run()
+        assert jobs[2].start_time == pytest.approx(0.2)  # backfilled
+        assert jobs[1].start_time == pytest.approx(4.0)  # not delayed
+
+    def test_backfill_never_delays_head(self, platform):
+        # j3's walltime (5 s) exceeds the shadow (4 s) and it would take
+        # nodes the head needs → it must NOT backfill.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=4, walltime=4.0),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=100, submit_time=0.1),
+            make_job(3, total_flops=4e9, num_nodes=4, walltime=5.0, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="easy").run()
+        assert jobs[1].start_time == pytest.approx(4.0)
+        assert jobs[2].start_time >= jobs[1].start_time
+
+    def test_backfill_on_spare_nodes_beyond_shadow(self, platform):
+        # Head needs 6 nodes at the shadow; 2 nodes remain spare even then,
+        # so a long 2-node job may backfill.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=4, walltime=4.0),
+            make_job(2, total_flops=6e9, num_nodes=6, walltime=100, submit_time=0.1),
+            make_job(3, total_flops=2e9, num_nodes=2, walltime=1000, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="easy").run()
+        assert jobs[2].start_time == pytest.approx(0.2)
+        assert jobs[1].start_time == pytest.approx(4.0)
+
+    def test_easy_beats_fcfs_makespan_on_mixed_load(self, platform):
+        def build():
+            return [
+                make_job(1, total_flops=16e9, num_nodes=4, walltime=4.0),
+                make_job(2, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.1),
+                make_job(3, total_flops=4e9, num_nodes=4, walltime=2.0, submit_time=0.2),
+            ]
+
+        fcfs = Simulation(platform, build(), algorithm="fcfs").run().makespan()
+        import copy
+
+        from repro.platform import platform_from_dict
+        from tests.batch.conftest import make_job as _  # noqa: F401
+
+        platform2 = platform_from_dict(
+            {
+                "name": "batch-test",
+                "nodes": {"count": 8, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+                "pfs": {"read_bw": 1e10, "write_bw": 1e10},
+            }
+        )
+        easy = Simulation(platform2, build(), algorithm="easy").run().makespan()
+        assert easy <= fcfs
+
+
+class TestConservative:
+    def test_backfills_without_delaying_any_reservation(self, platform):
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=4, walltime=4.0),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.1),
+            make_job(3, total_flops=4e9, num_nodes=4, walltime=2.0, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="conservative").run()
+        assert jobs[2].start_time == pytest.approx(0.2)
+        assert jobs[1].start_time == pytest.approx(4.0)
+
+    def test_no_starvation_under_stream_of_small_jobs(self, platform):
+        # Conservative guarantees the big job a reservation even as small
+        # jobs keep arriving.
+        jobs = [make_job(1, total_flops=8e9, num_nodes=4, walltime=3.0)]
+        jobs.append(
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.1)
+        )
+        for i in range(3, 9):
+            jobs.append(
+                make_job(
+                    i,
+                    total_flops=2e9,
+                    num_nodes=4,
+                    walltime=10.0,
+                    submit_time=0.2 + 0.01 * i,
+                )
+            )
+        Simulation(platform, jobs, algorithm="conservative").run()
+        big = jobs[1]
+        assert big.state is JobState.COMPLETED
+        # The head job's walltime is 3 s but it actually finishes at t=2;
+        # no small job may backfill ahead of the big job's reservation, so
+        # the big job starts as soon as the machine drains.
+        assert big.start_time == pytest.approx(2.0)
+
+
+class TestMoldable:
+    def test_moldable_job_takes_all_free_nodes(self, platform):
+        job = make_job(
+            1,
+            total_flops=8e9,
+            job_type=JobType.MOLDABLE,
+            num_nodes=4,
+            min_nodes=1,
+            max_nodes=8,
+        )
+        Simulation(platform, [job], algorithm="moldable").run()
+        assert len(job.assigned_nodes) == 8
+        assert job.end_time == pytest.approx(1.0)  # 8e9 / (8 x 1e9)
+
+    def test_moldable_respects_max(self, platform):
+        job = make_job(
+            1,
+            total_flops=8e9,
+            job_type=JobType.MOLDABLE,
+            num_nodes=2,
+            min_nodes=1,
+            max_nodes=2,
+        )
+        Simulation(platform, [job], algorithm="moldable").run()
+        assert len(job.assigned_nodes) == 2
+
+    def test_moldable_starts_early_at_min(self, platform):
+        # Rigid 6-node job holds the machine; a moldable (min 2) starts on
+        # the 2 leftover nodes instead of waiting.
+        jobs = [
+            make_job(1, total_flops=12e9, num_nodes=6, walltime=100),
+            make_job(
+                2,
+                total_flops=4e9,
+                job_type=JobType.MOLDABLE,
+                num_nodes=4,
+                min_nodes=2,
+                max_nodes=4,
+                submit_time=0.1,
+            ),
+        ]
+        Simulation(platform, jobs, algorithm="moldable").run()
+        assert jobs[1].start_time == pytest.approx(0.1)
+        assert len(jobs[1].assigned_nodes) == 2
+
+    def test_rigid_jobs_still_fcfs(self, platform):
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=100),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=100, submit_time=0.1),
+        ]
+        Simulation(platform, jobs, algorithm="moldable").run()
+        assert jobs[1].start_time == pytest.approx(jobs[0].end_time)
+
+
+class TestMalleable:
+    def test_lone_flexible_job_starts_at_fair_share_of_whole_machine(self, platform):
+        job = make_job(
+            1,
+            total_flops=32e9,
+            phases=4,
+            job_type=JobType.MALLEABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+        )
+        Simulation(platform, [job], algorithm="malleable").run()
+        # Alone on the machine, the fair share is everything.
+        assert len(job.assigned_nodes) == 8
+        assert job.end_time == pytest.approx(4.0)  # 32e9 / 8e9
+
+    def test_expand_into_nodes_freed_by_completion(self, platform):
+        # A rigid blocker holds 4 nodes for 1 s; the malleable job starts
+        # on the other 4 and expands once the blocker completes.
+        blocker = make_job(1, total_flops=4e9, num_nodes=4, walltime=100)
+        malleable = make_job(
+            2,
+            total_flops=32e9,
+            phases=4,
+            job_type=JobType.MALLEABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+            submit_time=0.0,
+        )
+        Simulation(platform, [blocker, malleable], algorithm="malleable").run()
+        assert malleable.reconfigurations_applied >= 1
+        assert len(malleable.assigned_nodes) == 8
+        # Far faster than staying on 4 nodes (32e9 / 4e9 = 8 s).
+        assert malleable.end_time < 8.0
+
+    def test_shrink_to_admit_queued_rigid_job(self, platform):
+        # Malleable job holds all 8; a rigid 4-node job arrives; the
+        # malleable must shrink at its next scheduling point to admit it.
+        malleable = make_job(
+            1,
+            total_flops=32e9,
+            phases=8,
+            job_type=JobType.MALLEABLE,
+            num_nodes=8,
+            min_nodes=2,
+            max_nodes=8,
+        )
+        rigid = make_job(2, total_flops=4e9, num_nodes=4, submit_time=0.5)
+        Simulation(platform, [malleable, rigid], algorithm="malleable").run()
+        assert rigid.state is JobState.COMPLETED
+        assert malleable.state is JobState.COMPLETED
+        assert malleable.reconfigurations_applied >= 1
+        assert rigid.start_time < malleable.end_time  # ran concurrently
+
+    def test_malleable_mix_beats_rigid_fcfs(self, platform):
+        # The headline effect (E2): jobs requesting 5 of 8 nodes pack badly
+        # when rigid (3 nodes always idle); malleability reclaims the waste.
+        def build(job_type):
+            kwargs = {}
+            if job_type is not JobType.RIGID:
+                kwargs = dict(min_nodes=1, max_nodes=8)
+            return [
+                make_job(
+                    i,
+                    total_flops=8e9,
+                    phases=4,
+                    job_type=job_type,
+                    num_nodes=5,
+                    submit_time=0.1 * i,
+                    **kwargs,
+                )
+                for i in range(1, 7)
+            ]
+
+        from repro.platform import platform_from_dict
+
+        spec = {
+            "nodes": {"count": 8, "flops": 1e9},
+            "network": {"topology": "star", "bandwidth": 1e10},
+            "pfs": {"read_bw": 1e10, "write_bw": 1e10},
+        }
+        rigid_res = Simulation(
+            platform_from_dict(spec), build(JobType.RIGID), algorithm="fcfs"
+        ).run()
+        malleable_res = Simulation(
+            platform_from_dict(spec), build(JobType.MALLEABLE), algorithm="malleable"
+        ).run()
+        assert malleable_res.makespan() <= rigid_res.makespan()
+        assert malleable_res.mean_utilization() >= rigid_res.mean_utilization() - 1e-9
+
+    def test_evolving_request_granted_when_nodes_free(self, platform):
+        from repro.application import (
+            ApplicationModel,
+            CpuTask,
+            EvolvingRequest,
+            Phase,
+        )
+        from repro.job import Job
+
+        app = ApplicationModel(
+            [
+                Phase(
+                    [CpuTask("8e9"), EvolvingRequest("8"), CpuTask("8e9")],
+                    scheduling_point=False,
+                )
+            ]
+        )
+        # The blocker has the lower id, so it starts first at t=0 and the
+        # evolving job molds onto the remaining 4 nodes.
+        blocker = make_job(1, total_flops=4e9, num_nodes=4, walltime=100)
+        job = Job(
+            2,
+            app,
+            job_type=JobType.EVOLVING,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+            submit_time=0.0,
+        )
+        Simulation(platform, [blocker, job], algorithm="malleable").run()
+        # Evolving job starts on the 4 nodes the blocker left, computes 2 s,
+        # then asks for 8; the blocker is long gone, so the grant succeeds.
+        assert len(job.assigned_nodes) == 8
+        # 8e9/4e9 = 2 s + 8e9/8e9 = 1 s.
+        assert job.end_time == pytest.approx(3.0)
+
+    def test_no_expand_flag(self, platform):
+        # With expansion disabled, the malleable job stays on the 4 nodes
+        # it started with even after the blocker frees the other 4.
+        blocker = make_job(1, total_flops=4e9, num_nodes=4, walltime=100)
+        job = make_job(
+            2,
+            total_flops=32e9,
+            phases=4,
+            job_type=JobType.MALLEABLE,
+            num_nodes=4,
+            min_nodes=2,
+            max_nodes=8,
+        )
+        Simulation(
+            platform, [blocker, job], algorithm=MalleableScheduler(expand=False)
+        ).run()
+        assert job.reconfigurations_applied == 0
+        assert job.end_time == pytest.approx(8.0)  # 32e9 / 4e9

@@ -1,0 +1,220 @@
+"""Validation tests for the SchedulerContext decision methods.
+
+Algorithm bugs must surface at the decision call site with a clear
+SchedulerError — never as corrupted simulator state.
+"""
+
+import pytest
+
+from repro.batch import Simulation
+from repro.des import Environment
+from repro.job import JobState, JobType
+from repro.scheduler import Algorithm, SchedulerError
+
+from tests.batch.conftest import make_job
+
+
+class Scripted(Algorithm):
+    """Runs a user lambda once, as soon as ``when`` holds."""
+
+    name = "scripted"
+
+    def __init__(self, script, when=None):
+        self.script = script
+        self.when = when or (lambda ctx: True)
+        self.errors = []
+        self.ran = False
+
+    def schedule(self, ctx, invocation):
+        if self.ran or not self.when(ctx):
+            return
+        self.ran = True
+        try:
+            self.script(ctx)
+        except SchedulerError as exc:
+            self.errors.append(exc)
+
+
+def run_script(platform, jobs, script, when=None):
+    algo = Scripted(script, when=when)
+    sim = Simulation(platform, jobs, algorithm=algo)
+    try:
+        sim.run(until=1000.0)
+    except Exception:
+        pass
+    return algo
+
+
+class TestStartValidation:
+    def test_start_with_busy_node_rejected(self, platform):
+        jobs = [make_job(1, num_nodes=4), make_job(2, num_nodes=4)]
+
+        def script(ctx):
+            all_nodes = ctx.platform.nodes
+            ctx.start_job(ctx.pending_jobs[0], all_nodes[:4])
+            # Reuse an already-allocated node for job 2.
+            ctx.start_job(ctx.pending_jobs[0], all_nodes[3:7])
+
+        algo = run_script(
+            platform, jobs, script, when=lambda ctx: len(ctx.pending_jobs) == 2
+        )
+        assert len(algo.errors) == 1
+        assert "not free" in str(algo.errors[0])
+
+    def test_start_duplicate_nodes_rejected(self, platform):
+        jobs = [make_job(1, num_nodes=4)]
+
+        def script(ctx):
+            node = ctx.free_nodes()[0]
+            ctx.start_job(ctx.pending_jobs[0], [node, node, node, node])
+
+        algo = run_script(platform, jobs, script)
+        assert "duplicate" in str(algo.errors[0])
+
+    def test_start_wrong_size_rejected(self, platform):
+        jobs = [make_job(1, num_nodes=4)]
+
+        def script(ctx):
+            ctx.start_job(ctx.pending_jobs[0], ctx.free_nodes()[:2])
+
+        algo = run_script(platform, jobs, script)
+        assert "outside" in str(algo.errors[0])
+
+    def test_start_running_job_rejected(self, platform):
+        jobs = [make_job(1, num_nodes=4)]
+
+        def script(ctx):
+            job = ctx.pending_jobs[0]
+            ctx.start_job(job, ctx.free_nodes()[:4])
+            ctx.start_job(job, ctx.free_nodes()[:4])
+
+        algo = run_script(platform, jobs, script)
+        assert "not pending" in str(algo.errors[0])
+
+
+class TestReconfigureValidation:
+    def test_reconfigure_rigid_rejected(self, platform):
+        jobs = [make_job(1, num_nodes=4)]
+
+        def script(ctx):
+            job = ctx.pending_jobs[0]
+            ctx.start_job(job, ctx.free_nodes()[:4])
+            ctx.reconfigure_job(job, ctx.platform.nodes[:2])
+
+        algo = run_script(platform, jobs, script)
+        assert "only malleable/evolving" in str(algo.errors[0])
+
+    def test_reconfigure_pending_job_rejected(self, platform):
+        jobs = [
+            make_job(1, job_type=JobType.MALLEABLE, num_nodes=4, min_nodes=2)
+        ]
+
+        def script(ctx):
+            ctx.reconfigure_job(ctx.pending_jobs[0], ctx.free_nodes()[:2])
+
+        algo = run_script(platform, jobs, script)
+        assert "not running" in str(algo.errors[0])
+
+    def test_double_order_rejected(self, platform):
+        jobs = [
+            make_job(
+                1, job_type=JobType.MALLEABLE, num_nodes=4, min_nodes=2, max_nodes=8
+            )
+        ]
+
+        def script(ctx):
+            job = ctx.pending_jobs[0]
+            ctx.start_job(job, ctx.free_nodes()[:4])
+            ctx.reconfigure_job(job, job.assigned_nodes[:2])
+            ctx.reconfigure_job(job, job.assigned_nodes[:3])
+
+        algo = run_script(platform, jobs, script)
+        assert "pending order" in str(algo.errors[0])
+
+    def test_target_with_foreign_busy_node_rejected(self, platform):
+        jobs = [
+            make_job(
+                1, job_type=JobType.MALLEABLE, num_nodes=2, min_nodes=1, max_nodes=8
+            ),
+            make_job(2, num_nodes=2),
+        ]
+
+        def script(ctx):
+            j1, j2 = ctx.pending_jobs
+            ctx.start_job(j1, ctx.free_nodes()[:2])
+            ctx.start_job(j2, ctx.free_nodes()[:2])
+            # Try to steal one of j2's nodes for j1.
+            ctx.reconfigure_job(j1, list(j1.assigned_nodes) + [j2.assigned_nodes[0]])
+
+        algo = run_script(
+            platform, jobs, script, when=lambda ctx: len(ctx.pending_jobs) == 2
+        )
+        assert "neither free" in str(algo.errors[0])
+
+    def test_target_outside_bounds_rejected(self, platform):
+        jobs = [
+            make_job(
+                1, job_type=JobType.MALLEABLE, num_nodes=4, min_nodes=2, max_nodes=4
+            )
+        ]
+
+        def script(ctx):
+            job = ctx.pending_jobs[0]
+            ctx.start_job(job, ctx.free_nodes()[:4])
+            ctx.reconfigure_job(job, ctx.platform.nodes[:8])
+
+        algo = run_script(platform, jobs, script)
+        assert "outside" in str(algo.errors[0])
+
+
+class TestKillValidation:
+    def test_kill_pending_job(self, platform):
+        jobs = [make_job(1, num_nodes=4), make_job(2, num_nodes=4)]
+
+        def script(ctx):
+            ctx.kill_job(ctx.pending_jobs[1], reason="policy")
+            ctx.start_job(ctx.pending_jobs[0], ctx.free_nodes()[:4])
+
+        run_script(
+            platform, jobs, script, when=lambda ctx: len(ctx.pending_jobs) == 2
+        )
+        assert jobs[1].state is JobState.KILLED
+        assert jobs[1].kill_reason == "policy"
+        assert jobs[0].state is JobState.COMPLETED
+
+    def test_kill_running_job(self, platform):
+        jobs = [make_job(1, num_nodes=4, total_flops=800e9)]
+
+        class KillLater(Algorithm):
+            name = "kill-later"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    ctx.start_job(job, ctx.free_nodes()[:4])
+                for job in ctx.running_jobs:
+                    if ctx.now >= 0:
+                        ctx.kill_job(job, reason="admin")
+
+        sim = Simulation(platform, jobs, algorithm=KillLater())
+        sim.run()
+        assert jobs[0].state is JobState.KILLED
+        assert platform.num_free_nodes() == 8
+
+    def test_kill_finished_job_rejected(self, platform):
+        jobs = [make_job(1, num_nodes=4)]
+        caught = []
+
+        class KillAfter(Algorithm):
+            name = "kill-after"
+
+            def schedule(self, ctx, invocation):
+                for job in ctx.pending_jobs:
+                    ctx.start_job(job, ctx.free_nodes()[:4])
+                if invocation.type.value == "job_completion":
+                    try:
+                        ctx.kill_job(invocation.job)
+                    except SchedulerError as exc:
+                        caught.append(exc)
+
+        Simulation(platform, jobs, algorithm=KillAfter()).run()
+        assert caught and "finished" in str(caught[0])

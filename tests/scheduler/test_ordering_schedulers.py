@@ -1,0 +1,125 @@
+"""Tests for the queue-reordering schedulers: SJF and user fair-share."""
+
+import pytest
+
+from repro.batch import Simulation
+from repro.job import JobState
+from repro.scheduler import (
+    SjfBackfillingScheduler,
+    UserFairShareScheduler,
+    get_algorithm,
+)
+
+from tests.batch.conftest import make_job
+
+
+class TestSjf:
+    def test_registry(self):
+        assert isinstance(get_algorithm("sjf"), SjfBackfillingScheduler)
+
+    def test_short_job_jumps_long_queue(self, platform):
+        # Machine busy until t=2; queue: long job (walltime 100) then short
+        # (walltime 1).  SJF starts the short one first when nodes free.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=10),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=100, submit_time=0.1),
+            make_job(3, total_flops=4e9, num_nodes=8, walltime=1.0, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="sjf").run()
+        assert jobs[2].start_time < jobs[1].start_time
+
+    def test_fcfs_order_when_walltimes_equal(self, platform):
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=10),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=5, submit_time=0.1),
+            make_job(3, total_flops=8e9, num_nodes=8, walltime=5, submit_time=0.2),
+        ]
+        Simulation(platform, jobs, algorithm="sjf").run()
+        assert jobs[1].start_time < jobs[2].start_time
+
+    def test_sjf_improves_mean_wait_on_skewed_queue(self, platform):
+        def build():
+            jobs = [make_job(1, total_flops=16e9, num_nodes=8, walltime=10)]
+            # One long job then many short ones, all 8-node (no backfill).
+            jobs.append(
+                make_job(2, total_flops=40e9, num_nodes=8, walltime=20, submit_time=0.1)
+            )
+            for i in range(3, 8):
+                jobs.append(
+                    make_job(
+                        i,
+                        total_flops=2e9,
+                        num_nodes=8,
+                        walltime=1.0,
+                        submit_time=0.1 + 0.01 * i,
+                    )
+                )
+            return jobs
+
+        from repro.platform import platform_from_dict
+
+
+        spec = {
+            "nodes": {"count": 8, "flops": 1e9},
+            "network": {"topology": "star", "bandwidth": 1e10},
+        }
+        fcfs_jobs = build()
+        Simulation(platform_from_dict(spec), fcfs_jobs, algorithm="easy").run()
+        sjf_jobs = build()
+        Simulation(platform_from_dict(spec), sjf_jobs, algorithm="sjf").run()
+
+        def mean_wait(jobs):
+            return sum(j.wait_time for j in jobs) / len(jobs)
+
+        assert mean_wait(sjf_jobs) < mean_wait(fcfs_jobs)
+
+
+class TestFairShare:
+    def test_registry(self):
+        assert isinstance(get_algorithm("fairshare"), UserFairShareScheduler)
+
+    def test_light_user_overtakes_heavy_user(self, platform):
+        # Heavy user runs one machine-filling job; then both users queue
+        # one job each (heavy first).  Fair share starts the light user's
+        # job first because heavy already consumed node-seconds.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=10, user="heavy"),
+            make_job(
+                2, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.1,
+                user="heavy",
+            ),
+            make_job(
+                3, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.2,
+                user="light",
+            ),
+        ]
+        Simulation(platform, jobs, algorithm="fairshare").run()
+        assert jobs[2].start_time < jobs[1].start_time  # light first
+
+    def test_usage_accumulates_across_jobs(self, platform):
+        algo = UserFairShareScheduler()
+        jobs = [
+            make_job(1, total_flops=8e9, num_nodes=4, user="alice"),
+            make_job(2, total_flops=8e9, num_nodes=4, user="bob"),
+        ]
+        Simulation(platform, jobs, algorithm=algo).run()
+        # Both ran 2 s on 4 nodes → 8 node-seconds each.
+        assert algo.usage["alice"] == pytest.approx(8.0)
+        assert algo.usage["bob"] == pytest.approx(8.0)
+
+    def test_equal_usage_falls_back_to_fcfs(self, platform):
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=10, user="a"),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.1, user="b"),
+            make_job(3, total_flops=8e9, num_nodes=8, walltime=10, submit_time=0.2, user="c"),
+        ]
+        Simulation(platform, jobs, algorithm="fairshare").run()
+        assert jobs[1].start_time < jobs[2].start_time
+
+    def test_all_jobs_complete(self, platform):
+        jobs = [
+            make_job(i, total_flops=4e9, num_nodes=4, user=f"u{i % 3}")
+            for i in range(1, 9)
+        ]
+        Simulation(platform, jobs, algorithm="fairshare").run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)

@@ -1,0 +1,137 @@
+"""Tests for the priority/preemption scheduler."""
+
+import pytest
+
+from repro.batch import Simulation
+from repro.job import JobState
+from repro.scheduler import PreemptivePriorityScheduler, get_algorithm
+
+from tests.batch.conftest import make_job
+
+
+class TestPriorityOrdering:
+    def test_registry(self):
+        assert isinstance(
+            get_algorithm("priority-preempt"), PreemptivePriorityScheduler
+        )
+
+    def test_high_priority_jumps_queue(self, platform):
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8, walltime=10),
+            make_job(2, total_flops=8e9, num_nodes=8, walltime=10,
+                     submit_time=0.1, priority=0),
+            make_job(3, total_flops=8e9, num_nodes=8, walltime=10,
+                     submit_time=0.2, priority=5),
+        ]
+        Simulation(
+            platform, jobs, algorithm=PreemptivePriorityScheduler(preempt=False)
+        ).run()
+        assert jobs[2].start_time < jobs[1].start_time
+
+
+class TestPreemption:
+    def test_high_priority_preempts_running_low(self, platform):
+        # Low-priority job holds the machine for 10 s; a priority-5 job
+        # arrives at t=1 → the low job is preempted, requeued, and redone.
+        low = make_job(1, total_flops=80e9, num_nodes=8, priority=0)
+        high = make_job(
+            2, total_flops=8e9, num_nodes=8, submit_time=1.0, priority=5
+        )
+        sim = Simulation(platform, [low, high], algorithm="priority-preempt")
+        monitor = sim.run()
+        assert low.state is JobState.KILLED
+        assert low.kill_reason == "preempted"
+        assert high.start_time == pytest.approx(1.0)
+        # The preempted job was requeued automatically and completed.
+        retry = next(j for j in sim.batch.jobs if j.origin_jid == 1)
+        assert retry.state is JobState.COMPLETED
+        assert retry.start_time == pytest.approx(high.end_time)
+
+    def test_equal_priority_never_preempts(self, platform):
+        low = make_job(1, total_flops=80e9, num_nodes=8, priority=3)
+        other = make_job(
+            2, total_flops=8e9, num_nodes=8, submit_time=1.0, priority=3
+        )
+        sim = Simulation(platform, [low, other], algorithm="priority-preempt")
+        sim.run()
+        assert low.state is JobState.COMPLETED
+        assert other.start_time == pytest.approx(low.end_time)
+
+    def test_useless_preemption_avoided(self, platform):
+        # Head needs 8 nodes but only a 4-node low-priority job runs next
+        # to a 4-node SAME-priority job: killing the low one alone cannot
+        # admit the head → nothing is preempted.
+        low = make_job(1, total_flops=40e9, num_nodes=4, priority=0)
+        peer = make_job(2, total_flops=40e9, num_nodes=4, priority=5)
+        high = make_job(
+            3, total_flops=8e9, num_nodes=8, submit_time=1.0, priority=5
+        )
+        sim = Simulation(platform, [low, peer, high], algorithm="priority-preempt")
+        sim.run()
+        assert low.state is JobState.COMPLETED  # never preempted
+        assert low.kill_reason is None
+
+    def test_preempt_disabled_flag(self, platform):
+        low = make_job(1, total_flops=80e9, num_nodes=8, priority=0)
+        high = make_job(
+            2, total_flops=8e9, num_nodes=8, submit_time=1.0, priority=5
+        )
+        Simulation(
+            platform,
+            [low, high],
+            algorithm=PreemptivePriorityScheduler(preempt=False),
+        ).run()
+        assert low.state is JobState.COMPLETED
+        assert high.start_time == pytest.approx(low.end_time)
+
+    def test_victim_selection_prefers_latest_start(self, platform):
+        # Two low-priority 4-node jobs; the later-started one is the victim
+        # (least work lost) when a priority job needs 4 nodes... but the
+        # head here needs 8, so both must go: verify both were preempted.
+        low_a = make_job(1, total_flops=400e9, num_nodes=4, priority=0)
+        low_b = make_job(
+            2, total_flops=400e9, num_nodes=4, priority=0, submit_time=0.5
+        )
+        high = make_job(
+            3, total_flops=8e9, num_nodes=8, submit_time=1.0, priority=9
+        )
+        sim = Simulation(platform, [low_a, low_b, high], algorithm="priority-preempt")
+        sim.run()
+        assert low_a.kill_reason == "preempted"
+        assert low_b.kill_reason == "preempted"
+        assert high.start_time == pytest.approx(1.0)
+
+
+class TestPreemptionWithCheckpointRestart:
+    def test_preempted_job_resumes_from_checkpoint(self):
+        from repro.application import ApplicationModel, CpuTask, Phase
+        from repro.job import Job
+        from repro.platform import platform_from_dict
+
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 8, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        # 10 x 1 s iterations; preempted at t=3.5 (mid-iteration 4, with
+        # 3 iterations checkpointed at scheduling points).
+        app = ApplicationModel(
+            [Phase([CpuTask("8e9")], iterations=10, name="solve")]
+        )
+        low = Job(1, app, num_nodes=8, priority=0)
+        high = make_job(2, total_flops=16e9, num_nodes=8, submit_time=3.5, priority=5)
+        sim = Simulation(
+            platform,
+            [low, high],
+            algorithm="priority-preempt",
+            checkpoint_restart=True,
+        )
+        sim.run()
+        retry = next(j for j in sim.batch.jobs if j.origin_jid == 1)
+        assert retry.state is JobState.COMPLETED
+        # High job runs 3.5..5.5; retry does the remaining 7 iterations
+        # (the half-done 4th iteration is lost — checkpoints live only at
+        # scheduling points).
+        assert retry.runtime == pytest.approx(7.0)
+        assert retry.end_time == pytest.approx(12.5)

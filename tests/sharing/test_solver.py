@@ -1,0 +1,189 @@
+"""Unit and property tests for the max-min fair-share solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sharing import Activity, SharedResource, solve_max_min
+
+
+def test_resource_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        SharedResource("r", 0)
+    with pytest.raises(ValueError):
+        SharedResource("r", -5)
+
+
+def test_activity_validation():
+    r = SharedResource("r", 10)
+    with pytest.raises(ValueError):
+        Activity(-1, {r: 1.0})
+    with pytest.raises(ValueError):
+        Activity(1, {r: 1.0}, weight=0)
+    with pytest.raises(ValueError):
+        Activity(1, {r: 1.0}, bound=0)
+    with pytest.raises(ValueError):
+        Activity(1, {r: 0.0})
+
+
+def test_single_activity_gets_full_capacity():
+    r = SharedResource("r", 100.0)
+    a = Activity(1000, {r: 1.0})
+    solve_max_min([a])
+    assert a.rate == pytest.approx(100.0)
+
+
+def test_equal_split_between_two_activities():
+    r = SharedResource("r", 100.0)
+    a, b = Activity(1, {r: 1.0}), Activity(1, {r: 1.0})
+    solve_max_min([a, b])
+    assert a.rate == pytest.approx(50.0)
+    assert b.rate == pytest.approx(50.0)
+
+
+def test_weighted_split():
+    r = SharedResource("r", 90.0)
+    a = Activity(1, {r: 1.0}, weight=1.0)
+    b = Activity(1, {r: 1.0}, weight=2.0)
+    solve_max_min([a, b])
+    assert a.rate == pytest.approx(30.0)
+    assert b.rate == pytest.approx(60.0)
+
+
+def test_bound_caps_rate_and_releases_capacity():
+    r = SharedResource("r", 100.0)
+    a = Activity(1, {r: 1.0}, bound=10.0)
+    b = Activity(1, {r: 1.0})
+    solve_max_min([a, b])
+    assert a.rate == pytest.approx(10.0)
+    assert b.rate == pytest.approx(90.0)
+
+
+def test_usage_factor_scales_consumption():
+    # An activity with usage factor 2 consumes twice its rate.
+    r = SharedResource("r", 100.0)
+    a = Activity(1, {r: 2.0})
+    solve_max_min([a])
+    assert a.rate == pytest.approx(50.0)
+
+
+def test_multi_resource_activity_limited_by_bottleneck():
+    fast = SharedResource("fast", 100.0)
+    slow = SharedResource("slow", 10.0)
+    a = Activity(1, {fast: 1.0, slow: 1.0})
+    solve_max_min([a])
+    assert a.rate == pytest.approx(10.0)
+
+
+def test_three_flows_two_links_classic_maxmin():
+    # Classic example: link1 cap 10 shared by f1,f2; link2 cap 100 by f2,f3.
+    # Max-min: f1=f2=5, f3=95.
+    l1 = SharedResource("l1", 10.0)
+    l2 = SharedResource("l2", 100.0)
+    f1 = Activity(1, {l1: 1.0})
+    f2 = Activity(1, {l1: 1.0, l2: 1.0})
+    f3 = Activity(1, {l2: 1.0})
+    solve_max_min([f1, f2, f3])
+    assert f2.rate == pytest.approx(5.0)
+    assert f1.rate == pytest.approx(5.0)
+    assert f3.rate == pytest.approx(95.0)
+
+
+def test_no_usages_unbounded_gets_infinite_rate():
+    a = Activity(1, {})
+    solve_max_min([a])
+    assert a.rate == math.inf
+
+
+def test_no_usages_bounded_gets_bound():
+    a = Activity(1, {}, bound=7.0)
+    solve_max_min([a])
+    assert a.rate == pytest.approx(7.0)
+
+
+def test_empty_activity_list_is_noop():
+    solve_max_min([])  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _systems(draw):
+    """Random resources + activities with random sparse usage patterns."""
+    n_res = draw(st.integers(min_value=1, max_value=5))
+    resources = [
+        SharedResource(f"r{i}", draw(st.floats(min_value=0.1, max_value=1000.0)))
+        for i in range(n_res)
+    ]
+    n_act = draw(st.integers(min_value=1, max_value=8))
+    activities = []
+    for i in range(n_act):
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_res - 1),
+                min_size=1,
+                max_size=n_res,
+                unique=True,
+            )
+        )
+        usages = {
+            resources[j]: draw(st.floats(min_value=0.1, max_value=3.0))
+            for j in indices
+        }
+        weight = draw(st.floats(min_value=0.1, max_value=5.0))
+        bounded = draw(st.booleans())
+        bound = draw(st.floats(min_value=0.5, max_value=100.0)) if bounded else math.inf
+        activities.append(Activity(1.0, usages, weight=weight, bound=bound))
+    return resources, activities
+
+
+@given(_systems())
+@settings(max_examples=200, deadline=None)
+def test_property_no_resource_oversubscription(system):
+    resources, activities = system
+    solve_max_min(activities)
+    for res in resources:
+        used = sum(a.usages.get(res, 0.0) * a.rate for a in activities)
+        assert used <= res.capacity * (1 + 1e-6)
+
+
+@given(_systems())
+@settings(max_examples=200, deadline=None)
+def test_property_all_rates_positive_and_bounded(system):
+    _, activities = system
+    solve_max_min(activities)
+    for a in activities:
+        assert a.rate > 0
+        assert a.rate <= a.bound * (1 + 1e-9)
+
+
+@given(_systems())
+@settings(max_examples=200, deadline=None)
+def test_property_work_conserving(system):
+    """Every activity is blocked by a saturated resource or its bound."""
+    resources, activities = system
+    solve_max_min(activities)
+    for a in activities:
+        if a.rate >= a.bound * (1 - 1e-6):
+            continue  # blocked by its own bound
+        blocked = False
+        for res in a.usages:
+            used = sum(b.usages.get(res, 0.0) * b.rate for b in activities)
+            if used >= res.capacity * (1 - 1e-6):
+                blocked = True
+                break
+        assert blocked, f"{a!r} could progress faster: not at bound, no saturated resource"
+
+
+@given(_systems())
+@settings(max_examples=100, deadline=None)
+def test_property_solver_deterministic(system):
+    _, activities = system
+    solve_max_min(activities)
+    first = [a.rate for a in activities]
+    solve_max_min(activities)
+    second = [a.rate for a in activities]
+    assert first == second

@@ -1,0 +1,114 @@
+"""Tests for checkpoint/restart requeue (resume from last scheduling point)."""
+
+import pytest
+
+from repro import Simulation
+from repro.application import ApplicationModel, CpuTask, Phase
+from repro.failures import Failure
+from repro.job import Job, JobState
+
+from tests.batch.conftest import make_job
+
+
+def iterated_job(jid=1, iterations=10, flops_per_iter=8e9, **kwargs):
+    """10 iterations x 1 s on 8 nodes, scheduling point after each."""
+    app = ApplicationModel(
+        [Phase([CpuTask(flops_per_iter)], iterations=iterations, name="solve")]
+    )
+    defaults = dict(num_nodes=8)
+    defaults.update(kwargs)
+    return Job(jid, app, **defaults)
+
+
+class TestCheckpointMarker:
+    def test_marker_advances_with_iterations(self, platform):
+        job = iterated_job()
+        Simulation(platform, [job], algorithm="fcfs").run()
+        assert job.checkpoint_marker == (0, 10, 10)
+
+    def test_marker_none_without_scheduling_points(self, platform):
+        app = ApplicationModel(
+            [Phase([CpuTask("8e9")], iterations=3, scheduling_point=False)]
+        )
+        job = Job(1, app, num_nodes=8)
+        Simulation(platform, [job], algorithm="fcfs").run()
+        assert job.checkpoint_marker is None
+
+
+class TestResumeTrimming:
+    def test_clone_resumes_mid_phase(self, platform):
+        job = iterated_job()
+        job.checkpoint_marker = (0, 4, 10)
+        clone = job.clone_for_requeue(2, submit_time=0.0, resume=True)
+        phase = clone.application.phases[0]
+        assert phase.num_iterations({}) == 6
+        assert phase.name.endswith("~resumed")
+
+    def test_clone_skips_completed_phases(self, platform):
+        app = ApplicationModel(
+            [
+                Phase([CpuTask("8e9")], iterations=2, name="a"),
+                Phase([CpuTask("8e9")], iterations=3, name="b"),
+            ]
+        )
+        job = Job(1, app, num_nodes=8)
+        job.checkpoint_marker = (0, 2, 2)  # phase a fully done
+        clone = job.clone_for_requeue(2, submit_time=0.0, resume=True)
+        assert [p.name for p in clone.application.phases] == ["b"]
+
+    def test_clone_with_everything_done_is_epilogue(self, platform):
+        job = iterated_job()
+        job.checkpoint_marker = (0, 10, 10)
+        clone = job.clone_for_requeue(2, submit_time=0.0, resume=True)
+        assert clone.application.phases[0].name == "resume-epilogue"
+
+    def test_no_marker_restarts_from_scratch(self, platform):
+        job = iterated_job()
+        clone = job.clone_for_requeue(2, submit_time=0.0, resume=True)
+        assert clone.application is job.application
+
+
+class TestEndToEnd:
+    def _run(self, checkpoint_restart):
+        # 10 x 1 s job; node fails at t=4.5 (4 iterations checkpointed),
+        # node returns 0.5 s later.
+        from repro.platform import platform_from_dict
+
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 8, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        job = iterated_job()
+        sim = Simulation(
+            platform,
+            [job],
+            algorithm="fcfs",
+            failures=[Failure(time=4.5, node_index=0, downtime=0.5)],
+            requeue_on_failure=True,
+            checkpoint_restart=checkpoint_restart,
+        )
+        monitor = sim.run()
+        retry = next(j for j in sim.batch.jobs if j.origin_jid == 1)
+        return job, retry, monitor
+
+    def test_scratch_restart_redoes_everything(self):
+        job, retry, monitor = self._run(checkpoint_restart=False)
+        assert retry.state is JobState.COMPLETED
+        # Retry starts at repair (t=5) and redoes all 10 iterations.
+        assert retry.runtime == pytest.approx(10.0)
+        assert monitor.makespan() == pytest.approx(15.0)
+
+    def test_checkpoint_restart_resumes(self):
+        job, retry, monitor = self._run(checkpoint_restart=True)
+        assert retry.state is JobState.COMPLETED
+        # 4 iterations were checkpointed before the kill at t=4.5; the
+        # retry only runs the remaining 6.
+        assert retry.runtime == pytest.approx(6.0)
+        assert monitor.makespan() == pytest.approx(11.0)
+
+    def test_checkpoint_restart_preserves_total_completed_iterations(self):
+        job, retry, monitor = self._run(checkpoint_restart=True)
+        total_points = job.scheduling_points_seen + retry.scheduling_points_seen
+        assert total_points == 10

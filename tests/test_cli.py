@@ -1,0 +1,190 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+PLATFORM = {
+    "name": "cli-test",
+    "nodes": {"count": 16, "flops": 1e12},
+    "network": {"topology": "star", "bandwidth": 1e10, "pfs_bandwidth": 1e11},
+    "pfs": {"read_bw": 1e11, "write_bw": 1e11},
+}
+
+
+@pytest.fixture()
+def platform_file(tmp_path):
+    path = tmp_path / "platform.json"
+    path.write_text(json.dumps(PLATFORM))
+    return path
+
+
+@pytest.fixture()
+def workload_file(tmp_path):
+    # Generate through the CLI itself so the round-trip is covered.
+    path = tmp_path / "workload.json"
+    code = main(
+        [
+            "generate",
+            "--output",
+            str(path),
+            "--num-jobs",
+            "5",
+            "--seed",
+            "1",
+            "--max-request",
+            "16",
+            "--malleable-fraction",
+            "0.4",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_valid_workload(self, workload_file):
+        spec = json.loads(workload_file.read_text())
+        assert len(spec["jobs"]) == 5
+        types = {j["type"] for j in spec["jobs"]}
+        assert "malleable" in types
+
+    def test_generated_workload_loads(self, workload_file):
+        from repro.workload import load_workload
+
+        jobs = load_workload(workload_file)
+        assert len(jobs) == 5
+
+
+class TestValidate:
+    def test_validate_platform_and_workload(self, platform_file, workload_file, capsys):
+        assert main(
+            ["validate", "--platform", str(platform_file), "--workload", str(workload_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "platform OK" in out
+        assert "workload OK" in out
+
+    def test_validate_nothing_is_error(self, capsys):
+        assert main(["validate"]) == 2
+
+    def test_validate_bad_platform(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["validate", "--platform", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_prints_summary(self, platform_file, workload_file, capsys):
+        code = main(
+            [
+                "run",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--algorithm",
+                "malleable",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "completed_jobs" in out
+
+    def test_run_writes_outputs(self, platform_file, workload_file, tmp_path, capsys):
+        outdir = tmp_path / "results"
+        code = main(
+            [
+                "run",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--output-dir",
+                str(outdir),
+            ]
+        )
+        assert code == 0
+        assert (outdir / "jobs.csv").exists()
+        assert (outdir / "summary.json").exists()
+        assert (outdir / "utilization.json").exists()
+        summary = json.loads((outdir / "summary.json").read_text())
+        assert summary["completed_jobs"] + summary["killed_jobs"] == 5
+
+    def test_run_unknown_algorithm_fails_cleanly(
+        self, platform_file, workload_file, capsys
+    ):
+        code = main(
+            [
+                "run",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--algorithm",
+                "wishful",
+            ]
+        )
+        assert code == 1
+        assert "Unknown algorithm" in capsys.readouterr().err
+
+    def test_run_missing_file_fails_cleanly(self, platform_file, capsys):
+        code = main(
+            ["run", "--platform", str(platform_file), "--workload", "ghost.json"]
+        )
+        assert code == 1
+
+
+class TestRoundTrip:
+    def test_workload_roundtrip_preserves_jobs(self, tmp_path):
+        from repro.workload import (
+            WorkloadSpec,
+            generate_workload,
+            load_workload,
+            workload_to_dict,
+        )
+
+        jobs = generate_workload(
+            WorkloadSpec(num_jobs=8, malleable_fraction=0.5, data_per_node=1e9),
+            seed=5,
+        )
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(workload_to_dict(jobs)))
+        loaded = load_workload(path)
+        assert [j.jid for j in loaded] == [j.jid for j in jobs]
+        assert [j.type for j in loaded] == [j.type for j in jobs]
+        assert [j.num_nodes for j in loaded] == [j.num_nodes for j in jobs]
+        assert [j.walltime for j in loaded] == pytest.approx(
+            [j.walltime for j in jobs]
+        )
+
+    def test_application_roundtrip(self):
+        from repro.application import application_from_dict, application_to_dict
+        from repro.workload import iterative_application
+
+        app = iterative_application(
+            total_flops=1e12,
+            iterations=7,
+            comm_bytes_per_msg=1e6,
+            input_bytes=1e9,
+            output_bytes=2e9,
+            checkpoint_bytes=5e8,
+            checkpoint_every=3,
+            data_per_node=2e9,
+        )
+        spec = application_to_dict(app)
+        clone = application_from_dict(spec)
+        assert len(clone.phases) == len(app.phases)
+        assert clone.phases[1].num_iterations({}) == 7
+        # Checkpoint expression survives the round trip.
+        ckpt_a = app.phases[1].tasks[-1]
+        ckpt_b = clone.phases[1].tasks[-1]
+        for it in range(7):
+            assert ckpt_a.bytes_per_node({"iteration": it}, 1) == ckpt_b.bytes_per_node(
+                {"iteration": it}, 1
+            )

@@ -1,0 +1,51 @@
+"""Smoke tests: the fast examples must run end to end.
+
+The two heavyweight examples (malleable_vs_rigid, swf_replay) are exercised
+by the benchmark suite's equivalent experiments instead — keeping the unit
+suite quick.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "io_checkpointing.py",
+    "custom_algorithm.py",
+    "evolving_jobs.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # produced a report
+
+
+def test_quickstart_reports_all_jobs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "job20" in out
+
+
+def test_custom_algorithm_compares_three_policies(capsys):
+    runpy.run_path(str(EXAMPLES / "custom_algorithm.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for name in ("fcfs", "easy", "smallest-first"):
+        assert name in out
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python"), script.name
+        assert '"""' in text.split("\n", 2)[1], f"{script.name} lacks a docstring"

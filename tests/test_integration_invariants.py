@@ -1,0 +1,163 @@
+"""System-level invariants over heavy mixed workloads.
+
+These tests run substantial simulations (all job types, I/O, comm,
+walltime kills, reconfigurations) and then audit the recorded history for
+properties that must hold regardless of policy:
+
+* a node is never committed to two jobs at once,
+* allocation counts never exceed the machine or go negative,
+* every job reaches a terminal state exactly once, timestamps are sane,
+* malleable allocations always stay within [min_nodes, max_nodes].
+"""
+
+import pytest
+
+from repro import Simulation, platform_from_dict
+from repro.job import JobState, JobType
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def heavy_platform():
+    return platform_from_dict(
+        {
+            "name": "invariant-test",
+            "nodes": {"count": 48, "flops": 1e12},
+            "network": {
+                "topology": "star",
+                "bandwidth": 10e9,
+                "latency": 1e-6,
+                "pfs_bandwidth": 1e11,
+            },
+            "pfs": {"read_bw": 5e10, "write_bw": 4e10},
+        }
+    )
+
+
+def heavy_workload(seed):
+    return generate_workload(
+        WorkloadSpec(
+            num_jobs=40,
+            mean_interarrival=8.0,
+            max_request=32,
+            mean_runtime=60.0,
+            runtime_sigma=0.7,
+            malleable_fraction=0.4,
+            moldable_fraction=0.2,
+            evolving_fraction=0.1,
+            comm_bytes=5e6,
+            input_bytes_per_flop=5e-5,
+            output_bytes_per_flop=5e-5,
+            data_per_node=5e8,
+            walltime_slack=4.0,
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module", params=["easy", "malleable", "moldable"])
+def completed_run(request):
+    platform = heavy_platform()
+    jobs = heavy_workload(seed=17)
+    monitor = Simulation(platform, jobs, algorithm=request.param).run()
+    return platform, jobs, monitor
+
+
+class TestNodeExclusivity:
+    def test_no_node_held_by_two_jobs_at_once(self, completed_run):
+        platform, jobs, monitor = completed_run
+        per_node = {}
+        for job in jobs:
+            for seg in monitor.segments(job.jid):
+                end = seg.end if seg.end is not None else monitor.makespan()
+                for idx in seg.node_indices:
+                    per_node.setdefault(idx, []).append((seg.start, end, job.jid))
+        for idx, intervals in per_node.items():
+            intervals.sort()
+            for (s1, e1, j1), (s2, e2, j2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9, (
+                    f"node {idx}: jobs {j1} and {j2} overlap "
+                    f"([{s1},{e1}] vs [{s2},{e2}])"
+                )
+
+    def test_all_nodes_free_at_end(self, completed_run):
+        platform, _, _ = completed_run
+        assert platform.num_free_nodes() == platform.num_nodes
+
+
+class TestAllocationSeries:
+    def test_series_within_machine_bounds(self, completed_run):
+        platform, _, monitor = completed_run
+        for _, count in monitor.allocation_series:
+            assert 0 <= count <= platform.num_nodes
+
+    def test_series_time_monotone(self, completed_run):
+        _, _, monitor = completed_run
+        times = [t for t, _ in monitor.allocation_series]
+        assert times == sorted(times)
+
+    def test_utilization_never_exceeds_one(self, completed_run):
+        _, _, monitor = completed_run
+        for _, frac in monitor.utilization_timeline():
+            assert 0.0 <= frac <= 1.0 + 1e-9
+
+
+class TestJobLifecycles:
+    def test_every_job_terminal(self, completed_run):
+        _, jobs, _ = completed_run
+        for job in jobs:
+            assert job.state in (JobState.COMPLETED, JobState.KILLED)
+            assert job.end_time is not None
+
+    def test_timestamps_ordered(self, completed_run):
+        _, jobs, _ = completed_run
+        for job in jobs:
+            if job.start_time is None:
+                continue  # killed while queued
+            assert job.submit_time <= job.start_time <= job.end_time
+
+    def test_allocations_within_bounds(self, completed_run):
+        _, jobs, monitor = completed_run
+        for job in jobs:
+            for seg in monitor.segments(job.jid):
+                assert job.min_nodes <= len(seg.node_indices) <= job.max_nodes
+
+    def test_rigid_jobs_never_resized(self, completed_run):
+        _, jobs, monitor = completed_run
+        for job in jobs:
+            if job.type is not JobType.RIGID:
+                continue
+            sizes = {len(s.node_indices) for s in monitor.segments(job.jid)}
+            assert sizes <= {job.num_nodes}
+            assert job.reconfigurations_applied == 0
+
+    def test_killed_jobs_respected_walltime(self, completed_run):
+        _, jobs, _ = completed_run
+        for job in jobs:
+            if job.state is JobState.KILLED and job.kill_reason == "walltime":
+                assert job.runtime == pytest.approx(job.walltime, rel=1e-6)
+
+    def test_event_log_consistent_with_states(self, completed_run):
+        _, jobs, monitor = completed_run
+        kinds_by_job = {}
+        for _, kind, jid, _ in monitor.events:
+            kinds_by_job.setdefault(jid, []).append(kind)
+        for job in jobs:
+            kinds = kinds_by_job[job.jid]
+            assert kinds[0] == "submit"
+            terminal = "complete" if job.state is JobState.COMPLETED else "kill"
+            assert kinds[-1] == terminal
+
+
+class TestCrossPolicyConsistency:
+    def test_total_work_independent_of_policy(self):
+        """Completed jobs' summed compute time x width is policy-invariant
+        modulo malleability (sanity: no policy loses or duplicates jobs)."""
+        counts = {}
+        for algorithm in ("fcfs", "easy", "malleable"):
+            platform = heavy_platform()
+            jobs = heavy_workload(seed=23)
+            Simulation(platform, jobs, algorithm=algorithm).run()
+            counts[algorithm] = sum(1 for j in jobs if j.state is JobState.COMPLETED)
+        # All policies run the same workload; completion counts may differ
+        # slightly via walltime kills but every job must be accounted for.
+        assert all(0 < c <= 40 for c in counts.values())

@@ -1,0 +1,110 @@
+"""Tests for automatic requeue of failure-killed jobs."""
+
+import pytest
+
+from repro import Simulation
+from repro.failures import Failure
+from repro.job import JobState
+
+from tests.batch.conftest import make_job
+
+
+class TestRequeue:
+    def test_failure_killed_job_is_resubmitted_and_completes(self, platform):
+        job = make_job(1, total_flops=80e9, num_nodes=8)  # 10 s
+        sim = Simulation(
+            platform,
+            [job],
+            algorithm="fcfs",
+            failures=[Failure(time=3.0, node_index=0, downtime=2.0)],
+            requeue_on_failure=True,
+        )
+        monitor = sim.run()
+        assert job.state is JobState.KILLED
+        clones = [j for j in sim.batch.jobs if j.origin_jid == 1]
+        assert len(clones) == 1
+        clone = clones[0]
+        assert clone.state is JobState.COMPLETED
+        assert clone.attempt == 2
+        assert clone.name == "job1.r2"
+        # Resubmitted at the kill instant, started after the repair (t=5).
+        assert clone.submit_time == pytest.approx(3.0)
+        assert clone.start_time == pytest.approx(5.0)
+
+    def test_walltime_kill_not_requeued(self, platform):
+        job = make_job(1, total_flops=80e9, num_nodes=8, walltime=1.0)
+        sim = Simulation(
+            platform, [job], algorithm="fcfs", requeue_on_failure=True
+        )
+        sim.run()
+        assert job.state is JobState.KILLED
+        assert job.kill_reason == "walltime"
+        assert len(sim.batch.jobs) == 1  # no clone
+
+    def test_requeue_disabled_by_default(self, platform):
+        job = make_job(1, total_flops=80e9, num_nodes=8)
+        sim = Simulation(
+            platform,
+            [job],
+            algorithm="fcfs",
+            failures=[Failure(time=3.0, node_index=0, downtime=2.0)],
+        )
+        sim.run()
+        assert len(sim.batch.jobs) == 1
+
+    def test_max_requeues_bounds_retries(self, platform):
+        # Node 0 fails every 2 s forever: the job can never finish its
+        # 10 s runtime, and retries must stop at max_requeues.
+        failures = [
+            Failure(time=2.0 + 3.0 * k, node_index=0, downtime=1.0)
+            for k in range(20)
+        ]
+        job = make_job(1, total_flops=80e9, num_nodes=8)
+        sim = Simulation(
+            platform,
+            [job],
+            algorithm="fcfs",
+            failures=failures,
+            requeue_on_failure=True,
+            max_requeues=2,
+        )
+        sim.run()
+        attempts = sorted(j.attempt for j in sim.batch.jobs)
+        assert attempts == [1, 2, 3]  # original + 2 retries
+        assert all(j.state is JobState.KILLED for j in sim.batch.jobs)
+
+    def test_retry_succeeds_after_node_returns(self, platform):
+        # Single failure: retry runs cleanly to completion; total
+        # completed work is preserved.
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8),  # dies at t=1
+            make_job(2, total_flops=8e9, num_nodes=4, submit_time=10.0),
+        ]
+        sim = Simulation(
+            platform,
+            jobs,
+            algorithm="easy",
+            failures=[Failure(time=1.0, node_index=3, downtime=1.0)],
+            requeue_on_failure=True,
+        )
+        monitor = sim.run()
+        states = {j.name: j.state for j in sim.batch.jobs}
+        assert states["job1"] is JobState.KILLED
+        assert states["job1.r2"] is JobState.COMPLETED
+        assert states["job2"] is JobState.COMPLETED
+
+    def test_monitor_counts_clone_as_separate_job(self, platform):
+        job = make_job(1, total_flops=80e9, num_nodes=8)
+        sim = Simulation(
+            platform,
+            [job],
+            algorithm="fcfs",
+            failures=[Failure(time=3.0, node_index=0, downtime=2.0)],
+            requeue_on_failure=True,
+        )
+        monitor = sim.run()
+        records = monitor.job_records()
+        assert len(records) == 2
+        summary = monitor.summary()
+        assert summary.completed_jobs == 1
+        assert summary.killed_jobs == 1

@@ -1,0 +1,96 @@
+"""Tests for workload profiling."""
+
+import pytest
+
+from repro.workload import (
+    WorkloadSpec,
+    format_profile,
+    generate_workload,
+    profile_workload,
+)
+from repro.workload.generator import iterative_application
+from repro.job import Job, JobType
+
+
+class TestProfileWorkload:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_workload([])
+
+    def test_counts_and_histogram(self):
+        app = iterative_application(total_flops=1e12, iterations=2)
+        jobs = [
+            Job(1, app, num_nodes=4),
+            Job(2, app, num_nodes=4, submit_time=10),
+            Job(
+                3,
+                app,
+                job_type=JobType.MALLEABLE,
+                num_nodes=8,
+                min_nodes=2,
+                submit_time=20,
+            ),
+        ]
+        profile = profile_workload(jobs)
+        assert profile.num_jobs == 3
+        assert profile.span_seconds == 20
+        assert profile.type_counts == {"rigid": 2, "malleable": 1}
+        assert profile.request_histogram == {4: 2, 8: 1}
+        assert profile.mean_request == pytest.approx(16 / 3)
+
+    def test_total_flops_counts_iterations(self):
+        app = iterative_application(total_flops=1e12, iterations=5)
+        jobs = [Job(1, app, num_nodes=4)]
+        profile = profile_workload(jobs)
+        assert profile.total_flops == pytest.approx(1e12)
+
+    def test_runtime_estimates(self):
+        app = iterative_application(total_flops=4e12, iterations=1)
+        jobs = [Job(1, app, num_nodes=4, submit_time=0)]
+        profile = profile_workload(jobs, node_flops=1e12)
+        # 4e12 over 4 x 1e12 nodes → 1 s.
+        assert profile.mean_runtime_estimate == pytest.approx(1.0)
+
+    def test_offered_load_formula(self):
+        app = iterative_application(total_flops=1e14, iterations=1)
+        jobs = [Job(1, app, num_nodes=4), Job(2, app, num_nodes=4, submit_time=100)]
+        profile = profile_workload(jobs)
+        # 2e14 flops over 100 s on 10 x 1e12 = 0.2.
+        assert profile.offered_load(10, 1e12) == pytest.approx(0.2)
+
+    def test_zero_span_gives_inf_load(self):
+        app = iterative_application(total_flops=1e12)
+        jobs = [Job(1, app, num_nodes=2), Job(2, app, num_nodes=2)]
+        profile = profile_workload(jobs)
+        assert profile.offered_load(4, 1e12) == float("inf")
+
+    def test_generated_workload_hits_target_load(self):
+        """The E-series sizing math: generated offered load ≈ requested."""
+        import numpy as np
+
+        max_request = 64
+        exps = np.arange(0, int(np.log2(max_request)) + 1)
+        mean_request = float(np.mean(2.0**exps))
+        target = 0.9
+        mean_runtime = target * 20.0 * 128 / mean_request
+        jobs = generate_workload(
+            WorkloadSpec(
+                num_jobs=400,
+                mean_interarrival=20.0,
+                max_request=max_request,
+                mean_runtime=mean_runtime,
+                comm_bytes=0.0,
+            ),
+            seed=5,
+        )
+        profile = profile_workload(jobs, node_flops=1e12)
+        load = profile.offered_load(128, 1e12)
+        assert load == pytest.approx(target, rel=0.25)
+
+    def test_format_profile_mentions_key_figures(self):
+        app = iterative_application(total_flops=1e12)
+        jobs = [Job(1, app, num_nodes=4, user="alice")]
+        text = format_profile(profile_workload(jobs), 8, 1e12)
+        assert "offered load" in text
+        assert "request histogram" in text
+        assert "users" in text
