@@ -4,6 +4,11 @@ Measures wall-clock simulation time and event throughput as the workload
 and machine grow.  Expected shape: wall-clock time grows near-linearly
 with the number of processed events; clusters in the thousands of nodes
 with hundreds of jobs simulate in seconds on a laptop.
+
+Besides the printed table, the run emits ``BENCH_E5.json`` (see
+``common.write_bench_json``) with per-configuration event counts, solver
+re-solve counts, and the incremental solver's scope counters, so the perf
+trajectory is tracked across PRs.
 """
 
 import time
@@ -11,10 +16,8 @@ import time
 import pytest
 
 from repro import Simulation
-from repro.application import ApplicationModel, CpuTask, Phase
-from repro.job import Job
 
-from benchmarks.common import evaluation_workload, print_table, reference_platform
+from benchmarks.common import evaluation_workload, print_table, reference_platform, write_bench_json
 
 _rows = []
 
@@ -33,7 +36,32 @@ def _simulate(num_jobs: int, num_nodes: int):
     start = time.perf_counter()
     sim.run()
     wall = time.perf_counter() - start
-    return wall, sim.env.processed_events, sim.batch.invocations
+    model = sim.batch.model
+    return (
+        wall,
+        sim.env.processed_events,
+        sim.batch.invocations,
+        model.resolves,
+        model.solved_activities,
+        model.peak_components,
+        model.solver_time,
+    )
+
+
+def _record(label, wall, events, invocations, resolves, scope, peak, solver_time):
+    _rows.append(
+        [
+            label,
+            events,
+            invocations,
+            wall,
+            events / wall,
+            resolves,
+            scope / resolves if resolves else 0.0,
+            peak,
+            solver_time,
+        ]
+    )
 
 
 @pytest.mark.benchmark(group="e5-performance")
@@ -42,10 +70,9 @@ def test_e5_scaling_jobs(benchmark, num_jobs):
     def run():
         return _simulate(num_jobs, 128)
 
-    wall, events, invocations = benchmark.pedantic(run, rounds=1, iterations=1)
-    _rows.append([f"{num_jobs} jobs / 128 nodes", events, invocations, wall,
-                  events / wall])
-    assert events > 0
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(f"{num_jobs} jobs / 128 nodes", *result)
+    assert result[1] > 0
 
 
 @pytest.mark.benchmark(group="e5-performance")
@@ -54,11 +81,22 @@ def test_e5_scaling_nodes(benchmark, num_nodes):
     def run():
         return _simulate(200, num_nodes)
 
-    wall, events, invocations = benchmark.pedantic(run, rounds=1, iterations=1)
-    _rows.append(
-        [f"200 jobs / {num_nodes} nodes", events, invocations, wall, events / wall]
-    )
-    assert events > 0
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(f"200 jobs / {num_nodes} nodes", *result)
+    assert result[1] > 0
+
+
+_HEADER = [
+    "configuration",
+    "events",
+    "invocations",
+    "wall_s",
+    "events_per_s",
+    "resolves",
+    "mean_solve_scope",
+    "peak_components",
+    "solver_time_s",
+]
 
 
 @pytest.mark.benchmark(group="e5-performance")
@@ -69,9 +107,19 @@ def test_e5_report_and_shape(benchmark):
     benchmark.pedantic(noop, rounds=1, iterations=1)
     print_table(
         "E5: simulator performance",
-        ["configuration", "events", "invocations", "wall_s", "events_per_s"],
+        _HEADER,
         _rows,
         note="pure-Python DES; events/s is the throughput figure of merit",
+    )
+    write_bench_json(
+        "E5",
+        title="E5: simulator performance",
+        header=_HEADER,
+        rows=_rows,
+        extra={
+            "total_wall_s": sum(row[3] for row in _rows),
+            "total_events": sum(row[1] for row in _rows),
+        },
     )
     # Shape: every configuration completes in reasonable wall time and the
     # event throughput stays within one order of magnitude across scales

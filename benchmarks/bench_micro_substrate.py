@@ -6,10 +6,14 @@ numbers decompose into.  Run with real repetition (these are fast), so the
 pytest-benchmark statistics are meaningful here.
 """
 
+import time
+
 import pytest
 
 from repro.des import Environment
 from repro.sharing import Activity, FairShareModel, SharedResource, solve_max_min
+
+from benchmarks.common import print_table, write_bench_json
 
 
 @pytest.mark.benchmark(group="micro-des")
@@ -102,3 +106,113 @@ def test_micro_model_churn(benchmark):
 
     resolves = benchmark(run)
     assert resolves > 0
+
+
+def _component_churn(partition: bool, num_nodes: int = 512):
+    """K disjoint per-node jobs churning while one shared-PFS component
+    stays hot — the scenario the component partition exists for.
+
+    Returns (wall seconds, model) so callers can compare the incremental
+    solver (``partition=True``) against the global reference
+    (``partition=False``, the pre-incremental behaviour).
+    """
+    env = Environment()
+    model = FairShareModel(env, partition=partition)
+    nodes = [SharedResource(f"n{i}", 1e9) for i in range(num_nodes)]
+    pfs = SharedResource("pfs", 1e10)
+
+    def job(env, i):
+        # Work sized so hundreds of jobs overlap: each start/finish event
+        # perturbs exactly one single-activity component.
+        yield env.timeout(i * 0.01)
+        for _ in range(4):
+            act = Activity(1e9 * (1 + (i % 7) * 0.13), {nodes[i]: 1.0})
+            model.execute(act)
+            yield act.done
+
+    def stream(env, i):
+        yield env.timeout(i * 0.05)
+        for _ in range(8):
+            act = Activity(2e9, {pfs: 1.0})
+            model.execute(act)
+            yield act.done
+
+    for i in range(num_nodes):
+        env.process(job(env, i))
+    for i in range(16):
+        env.process(stream(env, i))
+    start = time.perf_counter()
+    env.run()
+    return time.perf_counter() - start, model
+
+
+@pytest.mark.benchmark(group="micro-model")
+def test_micro_component_churn_speedup(benchmark):
+    """Old-vs-new asymptotics: component-scoped solves on disjoint churn.
+
+    The global solver pays O(total activities) per event; the partitioned
+    solver pays O(touched component).  With 512 disjoint jobs the wall-clock
+    gap is the paper's E5 scalability claim in microcosm.
+    """
+
+    def run_partitioned():
+        return _component_churn(partition=True)
+
+    wall_new, model_new = benchmark.pedantic(run_partitioned, rounds=1, iterations=1)
+    wall_old, model_old = _component_churn(partition=False)
+
+    header = [
+        "solver",
+        "wall_s",
+        "events",
+        "resolves",
+        "solved_activities",
+        "mean_solve_scope",
+        "peak_components",
+        "solver_time_s",
+    ]
+    rows = [
+        [
+            "incremental (component-partitioned)",
+            wall_new,
+            model_new.env.processed_events,
+            model_new.resolves,
+            model_new.solved_activities,
+            model_new.solved_activities / model_new.resolves,
+            model_new.peak_components,
+            model_new.solver_time,
+        ],
+        [
+            "global reference (partition=False)",
+            wall_old,
+            model_old.env.processed_events,
+            model_old.resolves,
+            model_old.solved_activities,
+            model_old.solved_activities / model_old.resolves,
+            model_old.peak_components,
+            model_old.solver_time,
+        ],
+    ]
+    speedup = wall_old / wall_new
+    print_table(
+        "micro: component churn (512 disjoint jobs + hot PFS component)",
+        header,
+        rows,
+        note=f"speedup {speedup:.1f}x; scope ratio "
+        f"{model_old.solved_activities / model_new.solved_activities:.1f}x",
+    )
+    write_bench_json(
+        "MICRO_CHURN",
+        title="component churn, 512 disjoint jobs + hot PFS component",
+        header=header,
+        rows=rows,
+        extra={"speedup": speedup},
+    )
+
+    # The partition must actually scope the work: hundreds of concurrent
+    # single-activity components, and a far smaller cumulative solve scope.
+    assert model_new.peak_components > 256
+    assert model_old.solved_activities > 10 * model_new.solved_activities
+    # Acceptance: >= 3x end-to-end on the 512-node disjoint-jobs scenario
+    # (typically ~30-40x; 3x leaves headroom for noisy CI machines).
+    assert speedup >= 3.0

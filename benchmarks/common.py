@@ -11,6 +11,9 @@ regenerates the numbers recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro import Simulation, platform_from_dict
@@ -126,6 +129,47 @@ def print_table(
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     if note:
         print(f"note: {note}")
+
+
+def bench_results_dir() -> Path:
+    """Directory benchmark JSON artefacts land in.
+
+    Defaults to ``benchmarks/results/`` next to this file; override with the
+    ``BENCH_RESULTS_DIR`` environment variable (CI points it at a scratch
+    directory).  Created on demand.
+    """
+    root = Path(os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_bench_json(
+    bench_id: str,
+    *,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Emit ``BENCH_<id>.json`` alongside the printed table.
+
+    The machine-readable twin of :func:`print_table`: the same rows, keyed
+    by the header, plus any ``extra`` run-level metrics (wall-clock,
+    ``env.processed_events``, ``model.resolves``, solver counters, …).
+    Written every run so the perf trajectory is diffable across PRs.
+    """
+    header = [str(h) for h in header]
+    payload: Dict[str, Any] = {
+        "bench": bench_id,
+        "title": title,
+        "header": header,
+        "rows": [dict(zip(header, row)) for row in rows],
+    }
+    if extra:
+        payload.update(extra)
+    path = bench_results_dir() / f"BENCH_{bench_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False, default=str))
+    return path
 
 
 def _fmt(value: Any) -> str:

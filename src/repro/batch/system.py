@@ -376,6 +376,7 @@ class Simulation:
         """
         if until is not None:
             self.env.run(until=until)
+            self.monitor.attach_solver_stats(self.batch.model)
             self.monitor.finalize()
             return self.monitor
         try:
@@ -388,5 +389,6 @@ class Simulation:
                 "Jobs cannot start (e.g. they need more nodes than the "
                 "scheduler will ever free)."
             ) from None
+        self.monitor.attach_solver_stats(self.batch.model)
         self.monitor.finalize()
         return self.monitor

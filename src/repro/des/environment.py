@@ -14,6 +14,7 @@ from repro.des.events import (
     NORMAL,
     PENDING,
     Timeout,
+    URGENT,
 )
 from repro.des.exceptions import SimulationError, StopSimulation
 from repro.des.process import Process
@@ -94,6 +95,26 @@ class Environment:
             raise ValueError(f"Negative delay {delay}")
         heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
+    def schedule_at(
+        self,
+        event: Event,
+        time: float,
+        priority: int = NORMAL,
+    ) -> None:
+        """Queue ``event`` at absolute simulated ``time``.
+
+        Unlike :meth:`schedule`, no ``now + delay`` rounding occurs: the
+        event fires at exactly the float passed in, which is what heap-based
+        wake-up bookkeeping (the fair-share model's completion horizons)
+        needs to match queued times bit-for-bit.  Times in the past are
+        clamped to the current instant.
+        """
+        if time != time:  # NaN would corrupt the heap invariant
+            raise ValueError("Cannot schedule at time NaN")
+        if time < self._now:
+            time = self._now
+        heappush(self._queue, (time, priority, next(self._eid), event))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else inf
@@ -114,9 +135,11 @@ class Environment:
             # Event was already processed (e.g. cancelled duplicates);
             # nothing to do.
             return
+        # Count before running callbacks: a raising callback (including the
+        # StopSimulation control flow) must not desync the E5 event count.
+        self.processed_events += 1
         for callback in callbacks:
             callback(event)
-        self.processed_events += 1
 
         if not event._ok and not event._defused:
             # Nobody handled this failure: crash the run loudly.
@@ -152,7 +175,7 @@ class Environment:
                 stop._ok = True
                 stop._value = None
                 # URGENT so that the stop fires before user events at `at`.
-                self.schedule(stop, priority=0, delay=at - self._now)
+                self.schedule(stop, priority=URGENT, delay=at - self._now)
                 stop.callbacks.append(self._stop_callback)
 
         try:

@@ -15,5 +15,12 @@ paper-style tables without extra dependencies.
 
 from repro.monitoring.monitor import AllocationSegment, Monitor, SummaryStatistics
 from repro.monitoring.gantt import render_gantt
+from repro.monitoring.solver_stats import SolverStats
 
-__all__ = ["AllocationSegment", "Monitor", "SummaryStatistics", "render_gantt"]
+__all__ = [
+    "AllocationSegment",
+    "Monitor",
+    "SolverStats",
+    "SummaryStatistics",
+    "render_gantt",
+]

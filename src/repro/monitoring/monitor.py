@@ -12,6 +12,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.des import Environment
 from repro.job import Job
+from repro.monitoring.solver_stats import SolverStats
 
 
 @dataclass
@@ -76,6 +77,8 @@ class Monitor:
         self._queued = 0
         self._jobs: Dict[int, Job] = {}
         self._finalized_at: Optional[float] = None
+        #: Fair-share solver counters, attached at the end of a run.
+        self.solver: Optional[SolverStats] = None
 
     # -- hooks ------------------------------------------------------------
 
@@ -147,6 +150,15 @@ class Monitor:
         self._finalized_at = self.env.now
         self.allocation_series.append((self.env.now, self._allocated))
         self.queue_series.append((self.env.now, self._queued))
+
+    def attach_solver_stats(self, model: Any) -> None:
+        """Snapshot a :class:`~repro.sharing.FairShareModel`'s perf counters.
+
+        Called by :meth:`repro.batch.Simulation.run` so experiments can read
+        per-event solve scope, component count/size histogram, and cumulative
+        solver time from :attr:`solver` after the run.
+        """
+        self.solver = SolverStats.from_model(model)
 
     # -- internals ------------------------------------------------------------
 

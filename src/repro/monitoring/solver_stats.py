@@ -1,0 +1,93 @@
+"""Performance counters of the incremental fair-share solver.
+
+The :class:`~repro.sharing.FairShareModel` partitions activities into
+connected components and re-solves only the components touched by each
+event.  :class:`SolverStats` snapshots the counters that quantify how well
+that scoping worked for a run — the supporting data behind the E5
+simulator-performance benchmark and the micro-substrate churn benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class SolverStats:
+    """Snapshot of a :class:`~repro.sharing.FairShareModel`'s counters.
+
+    Attributes
+    ----------
+    resolves:
+        Component rate re-computations performed (one per dirty component
+        per solve event).
+    solve_events:
+        Coalesced dirty-set flushes (at most one per simulated instant that
+        perturbed the activity set).
+    solved_activities:
+        Cumulative activities across all component solves — the total
+        "solve scope".  ``solved_activities / resolves`` is the mean number
+        of activities a re-solve had to look at; a global (non-partitioned)
+        solver pays the full running-set size here every time.
+    max_solve_scope:
+        Largest single component ever solved.
+    solver_time:
+        Cumulative wall-clock seconds inside ``solve_max_min``.
+    merges / splits:
+        Component-graph maintenance events (activity starts joining
+        components / removals disconnecting one).
+    component_count:
+        Live components at snapshot time.
+    peak_components:
+        Most live components observed at once.
+    size_histogram:
+        Component size → count, at snapshot time.
+    """
+
+    resolves: int = 0
+    solve_events: int = 0
+    solved_activities: int = 0
+    max_solve_scope: int = 0
+    solver_time: float = 0.0
+    merges: int = 0
+    splits: int = 0
+    component_count: int = 0
+    peak_components: int = 0
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_solve_scope(self) -> float:
+        """Average activities per component re-solve (0 when none ran)."""
+        return self.solved_activities / self.resolves if self.resolves else 0.0
+
+    @classmethod
+    def from_model(cls, model: Any) -> "SolverStats":
+        """Snapshot ``model`` (a :class:`~repro.sharing.FairShareModel`)."""
+        return cls(
+            resolves=model.resolves,
+            solve_events=model.solve_events,
+            solved_activities=model.solved_activities,
+            max_solve_scope=model.max_solve_scope,
+            solver_time=model.solver_time,
+            merges=model.merges,
+            splits=model.splits,
+            component_count=model.component_count,
+            peak_components=model.peak_components,
+            size_histogram=model.component_size_histogram(),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "resolves": self.resolves,
+            "solve_events": self.solve_events,
+            "solved_activities": self.solved_activities,
+            "mean_solve_scope": self.mean_solve_scope,
+            "max_solve_scope": self.max_solve_scope,
+            "solver_time": self.solver_time,
+            "merges": self.merges,
+            "splits": self.splits,
+            "component_count": self.component_count,
+            "peak_components": self.peak_components,
+            "size_histogram": {str(k): v for k, v in self.size_histogram.items()},
+        }

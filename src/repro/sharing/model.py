@@ -10,17 +10,26 @@ every activity ``a`` progresses at a rate ``r_a`` subject to
 with the *weighted max-min fair* solution computed by progressive filling:
 all unfrozen activities' rates grow proportionally to their weights until a
 resource saturates (or a bound is hit); the involved activities freeze; the
-process repeats.  Completion times then follow from ``remaining / r_a``, and
-the model re-solves whenever the activity set changes — exactly SimGrid's
-"lazy update on actions" behaviour, which keeps simulated time faithful to
-the fluid model while doing work only at discrete events.
+process repeats.  Completion times then follow from ``remaining / r_a``.
+
+Because max-min fairness decomposes exactly over the *connected components*
+of the bipartite activity↔resource graph (two activities can only influence
+each other's rates through a chain of shared resources), the model keeps
+that partition incrementally and re-solves only the components actually
+touched by a start/cancel/finish — SimGrid's lazy partial invalidation.
+Jobs on disjoint nodes stop paying for each other at every event; progress
+(``remaining -= rate * dt``) is likewise integrated lazily, only when a
+component is perturbed or completes, which is exact because rates are
+constant between the events that touch a component.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from itertools import count
 from math import inf
-from typing import Any, Dict, Iterable, Optional
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.des.environment import Environment
 from repro.des.events import Event, URGENT
@@ -266,30 +275,124 @@ def solve_max_min(activities: Iterable[Activity]) -> None:
             bounded.pop(act, None)
 
 
+class Component:
+    """One connected component of the activity↔resource graph.
+
+    Carries everything the incremental model needs to leave the component
+    alone while nothing touches it: its member activities (ordered dict =
+    deterministic iteration), the simulated time its members' ``remaining``
+    was last integrated to, and a version stamp that lazily invalidates
+    horizon-heap entries pushed for earlier solves.
+    """
+
+    __slots__ = ("id", "acts", "last_update", "version", "alive")
+
+    def __init__(self, cid: int, now: float) -> None:
+        self.id = cid
+        self.acts: Dict[Activity, None] = {}
+        self.last_update = now
+        self.version = 0
+        self.alive = True
+
+    def __repr__(self) -> str:
+        return f"<Component #{self.id} acts={len(self.acts)}>"
+
+
 class FairShareModel:
     """Drives activities to completion on a DES environment.
 
-    The model keeps the set of running activities, recomputes fair rates
-    whenever the set changes, and schedules a single wake-up event at the
-    earliest projected completion.  Event-count bookkeeping (`resolves`)
-    feeds the E5 simulator-performance benchmark.
+    The model partitions running activities into connected components of
+    the activity↔resource graph, maintained incrementally: executing an
+    activity merges the components of the resources it touches; removing
+    one (finish/cancel) rebuilds — scoped to that component only — the
+    partition via adjacency flood-fill (skipped when the removed activity
+    used at most one resource, which cannot disconnect anything).
+
+    Only components *touched* by a start/cancel/finish are marked dirty and
+    re-solved; every other component keeps its rates, horizon, and
+    remaining-work untouched.  Each component records the time its progress
+    was last integrated, so ``remaining -= rate * dt`` sweeps are lazy and
+    exact (rates are constant between perturbations).  Completion wake-ups
+    come from a min-heap of per-component earliest-completion horizons with
+    lazy invalidation via component version stamps.
+
+    Determinism: within a component, solving and completion stay pinned to
+    activity creation order, and completion events at equal times keep the
+    environment's ``(time, priority, insertion id)`` order — workloads
+    forming a single component are bit-identical to a global re-solve.
+
+    Parameters
+    ----------
+    env:
+        The DES environment to schedule wake-ups on.
+    partition:
+        ``False`` forces every activity into one global component — the
+        pre-incremental behaviour, kept as a bit-exact reference for tests
+        and old-vs-new benchmarks.
+
+    Event-count bookkeeping (``resolves`` et al.) feeds the E5 simulator
+    performance benchmark; see :class:`repro.monitoring.SolverStats`.
     """
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, *, partition: bool = True) -> None:
         self.env = env
-        self._activities: set[Activity] = set()
-        self._last_update: float = env.now
+        self._partition = partition
+        #: activity → owning component (also the running-activity registry).
+        self._comp_of: Dict[Activity, Component] = {}
+        #: resource → ordered dict of current users (adjacency index).
+        self._res_users: Dict[SharedResource, Dict[Activity, None]] = {}
+        #: live components, in creation order.
+        self._components: Dict[Component, None] = {}
+        #: components awaiting a re-solve at the current instant.
+        self._dirty: Dict[Component, None] = {}
+        #: lazily-invalidated min-heap of (horizon, entry id, comp, version).
+        self._horizon_heap: List[tuple] = []
+        self._entry_ids = count()
+        self._comp_ids = count()
         self._wake_version: int = 0
         self._resolve_scheduled: bool = False
-        #: Number of rate re-computations performed (diagnostics).
+
+        # -- diagnostics / perf counters (see monitoring.SolverStats) -----
+        #: Number of component rate re-computations performed.
         self.resolves: int = 0
+        #: Number of coalesced solve events (dirty-set flushes).
+        self.solve_events: int = 0
+        #: Cumulative activities across all component solves ("solve scope").
+        self.solved_activities: int = 0
+        #: Largest single component ever solved.
+        self.max_solve_scope: int = 0
+        #: Cumulative wall-clock seconds spent inside ``solve_max_min``.
+        self.solver_time: float = 0.0
+        #: Component merges (activity start joining components).
+        self.merges: int = 0
+        #: Component splits (activity removal disconnecting a component).
+        self.splits: int = 0
+        #: Most live components observed at once.
+        self.peak_components: int = 0
 
     # -- public API -------------------------------------------------------
 
     @property
     def activities(self) -> frozenset[Activity]:
         """Snapshot of the running activities."""
-        return frozenset(self._activities)
+        return frozenset(self._comp_of)
+
+    @property
+    def component_count(self) -> int:
+        """Number of live connected components."""
+        return len(self._components)
+
+    def component_sizes(self) -> List[int]:
+        """Sizes of the live components, in component-creation order."""
+        return [len(comp.acts) for comp in self._components]
+
+    def component_size_histogram(self) -> Dict[int, int]:
+        """Mapping of component size → number of components of that size."""
+        histogram: Dict[int, int] = {}
+        for comp in self._components:
+            size = len(comp.acts)
+            histogram[size] = histogram.get(size, 0) + 1
+        return dict(sorted(histogram.items()))
 
     def execute(self, activity: Activity) -> Activity:
         """Start ``activity``; its ``done`` event fires at completion."""
@@ -307,8 +410,13 @@ class FairShareModel:
             if res.capacity <= 0:  # defensive; constructor forbids it
                 raise ValueError(f"Cannot execute on zero-capacity {res!r}")
         activity._model = self
-        self._update_progress()
-        self._activities.add(activity)
+
+        comp = self._join(activity)
+        comp.acts[activity] = None
+        self._comp_of[activity] = comp
+        for res in activity.usages:
+            self._res_users.setdefault(res, {})[activity] = None
+        self._mark_dirty(comp)
         self._request_resolve()
         return activity
 
@@ -320,8 +428,8 @@ class FairShareModel:
         """
         if activity._model is not self:
             return
-        self._update_progress()
-        self._activities.discard(activity)
+        self._integrate(self._comp_of[activity])
+        self._remove(activity)
         activity._model = None
         activity.rate = 0.0
         if activity.done is not None and not activity.done.triggered:
@@ -330,18 +438,141 @@ class FairShareModel:
             activity.done.defuse()
         self._request_resolve()
 
-    # -- internals ----------------------------------------------------------
+    def sync_progress(self) -> None:
+        """Integrate every component's ``remaining`` up to the current time.
 
-    def _update_progress(self) -> None:
-        """Integrate remaining work since the last solver step."""
-        dt = self.env.now - self._last_update
+        Lazy accounting leaves untouched components' ``remaining`` stale (at
+        the value of their last perturbation, with rates constant since).
+        Call this before inspecting ``Activity.remaining`` mid-run; the model
+        itself never needs it.
+        """
+        for comp in self._components:
+            self._integrate(comp)
+
+    # -- component maintenance --------------------------------------------
+
+    def _join(self, activity: Activity) -> Component:
+        """Find-or-create the component a starting activity belongs to,
+        merging every component reachable through its resources."""
+        involved: List[Component] = []
+        if self._partition:
+            seen: set[int] = set()
+            for res in activity.usages:
+                users = self._res_users.get(res)
+                if not users:
+                    continue
+                comp = self._comp_of[next(iter(users))]
+                if comp.id not in seen:
+                    seen.add(comp.id)
+                    involved.append(comp)
+        else:
+            involved = list(self._components)
+
+        if not involved:
+            comp = Component(next(self._comp_ids), self.env.now)
+            self._components[comp] = None
+            if len(self._components) > self.peak_components:
+                self.peak_components = len(self._components)
+            return comp
+
+        # Union by size (ties: oldest component) keeps merge cost amortized.
+        target = max(involved, key=lambda c: (len(c.acts), -c.id))
+        self._integrate(target)
+        for comp in involved:
+            if comp is target:
+                continue
+            self._integrate(comp)
+            for act in comp.acts:
+                target.acts[act] = None
+                self._comp_of[act] = target
+            comp.acts.clear()
+            comp.alive = False
+            comp.version += 1
+            self._components.pop(comp, None)
+            self._dirty.pop(comp, None)
+            self.merges += 1
+        return target
+
+    def _remove(self, activity: Activity) -> None:
+        """Detach an activity; rebuild the partition of its component if the
+        removal can have disconnected it (scoped flood-fill, never global)."""
+        comp = self._comp_of.pop(activity)
+        del comp.acts[activity]
+        for res in activity.usages:
+            users = self._res_users[res]
+            del users[activity]
+            if not users:
+                del self._res_users[res]
+        if not comp.acts:
+            comp.alive = False
+            comp.version += 1
+            self._components.pop(comp, None)
+            self._dirty.pop(comp, None)
+            return
+        # An activity on <= 1 resource is a leaf of the bipartite graph:
+        # removing it cannot disconnect the remainder.
+        if self._partition and len(activity.usages) > 1:
+            self._split(comp)
+        else:
+            self._mark_dirty(comp)
+
+    def _split(self, comp: Component) -> None:
+        """Re-derive connected groups of ``comp`` after a removal."""
+        unvisited = dict.fromkeys(comp.acts)
+        groups: List[List[Activity]] = []
+        for seed in comp.acts:
+            if seed not in unvisited:
+                continue
+            del unvisited[seed]
+            group = [seed]
+            stack = [seed]
+            while stack:
+                act = stack.pop()
+                for res in act.usages:
+                    for other in self._res_users[res]:
+                        if other in unvisited:
+                            del unvisited[other]
+                            group.append(other)
+                            stack.append(other)
+            groups.append(group)
+
+        if len(groups) == 1:
+            self._mark_dirty(comp)
+            return
+
+        comp.alive = False
+        comp.version += 1
+        self._components.pop(comp, None)
+        self._dirty.pop(comp, None)
+        self.splits += 1
+        for group in groups:
+            new = Component(next(self._comp_ids), comp.last_update)
+            for act in group:
+                new.acts[act] = None
+                self._comp_of[act] = new
+            self._components[new] = None
+            self._mark_dirty(new)
+        if len(self._components) > self.peak_components:
+            self.peak_components = len(self._components)
+
+    # -- lazy progress ------------------------------------------------------
+
+    def _integrate(self, comp: Component) -> None:
+        """Integrate a component's remaining work up to the current time."""
+        dt = self.env.now - comp.last_update
         if dt > 0:
-            for act in self._activities:
-                if act.rate == inf:
+            for act in comp.acts:
+                rate = act.rate
+                if rate == inf:
                     act.remaining = 0.0
-                elif act.rate > 0:
-                    act.remaining = max(0.0, act.remaining - act.rate * dt)
-        self._last_update = self.env.now
+                elif rate > 0:
+                    act.remaining = max(0.0, act.remaining - rate * dt)
+        comp.last_update = self.env.now
+
+    # -- solving ------------------------------------------------------------
+
+    def _mark_dirty(self, comp: Component) -> None:
+        self._dirty[comp] = None
 
     def _request_resolve(self) -> None:
         """Coalesce same-instant set changes into a single re-solve.
@@ -363,52 +594,113 @@ class FairShareModel:
 
     def _do_resolve(self) -> None:
         self._resolve_scheduled = False
-        self._reschedule()
+        self._flush()
 
-    def _reschedule(self) -> None:
-        """Re-solve rates and arm the wake-up at the next completion."""
+    def _flush(self) -> None:
+        """Re-solve every dirty component and re-arm the completion wake."""
+        if self._dirty:
+            self.solve_events += 1
+            dirty, self._dirty = self._dirty, {}
+            now = self.env.now
+            for comp in dirty:
+                if not comp.alive or not comp.acts:
+                    continue
+                started = perf_counter()
+                solve_max_min(comp.acts)
+                self.solver_time += perf_counter() - started
+                self.resolves += 1
+                size = len(comp.acts)
+                self.solved_activities += size
+                if size > self.max_solve_scope:
+                    self.max_solve_scope = size
+
+                horizon = inf
+                for act in comp.acts:
+                    if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work):
+                        horizon = 0.0
+                        break
+                    if act.rate > 0:
+                        horizon = min(horizon, act.remaining / act.rate)
+                if horizon == inf:
+                    # Nothing can progress (all rates zero) — should not
+                    # happen with positive capacities; avoid hanging silently.
+                    raise RuntimeError(
+                        "FairShareModel deadlock: no activity can progress"
+                    )
+                comp.version += 1
+                heappush(
+                    self._horizon_heap,
+                    (now + horizon, next(self._entry_ids), comp, comp.version),
+                )
+            self._compact_heap()
+        self._arm_wake()
+
+    def _compact_heap(self) -> None:
+        """Drop stale horizon entries once they dominate the heap."""
+        heap = self._horizon_heap
+        if len(heap) > 64 and len(heap) > 4 * len(self._components):
+            self._horizon_heap = [
+                entry for entry in heap if entry[3] == entry[2].version and entry[2].alive
+            ]
+            heapify(self._horizon_heap)
+
+    # -- completion wake-ups -------------------------------------------------
+
+    def _arm_wake(self) -> None:
+        """Schedule one wake-up at the earliest valid component horizon."""
         self._wake_version += 1
-        if not self._activities:
+        heap = self._horizon_heap
+        while heap:
+            _, _, comp, version = heap[0]
+            if version != comp.version or not comp.alive or not comp.acts:
+                heappop(heap)
+                continue
+            break
+        if not heap:
             return
-        solve_max_min(self._activities)
-        self.resolves += 1
-
-        horizon = inf
-        for act in self._activities:
-            if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work):
-                horizon = 0.0
-                break
-            if act.rate > 0:
-                horizon = min(horizon, act.remaining / act.rate)
-        if horizon is inf:
-            # Nothing can progress (all rates zero) — should not happen with
-            # positive capacities, but avoid hanging silently.
-            raise RuntimeError("FairShareModel deadlock: no activity can progress")
-
         version = self._wake_version
         wake = Event(self.env)
         wake._ok = True
         wake._value = None
         wake.callbacks.append(lambda _e: self._on_wake(version))
-        self.env.schedule(wake, priority=URGENT, delay=horizon)
+        self.env.schedule_at(wake, heap[0][0], priority=URGENT)
 
     def _on_wake(self, version: int) -> None:
         if version != self._wake_version:
             return  # stale wake-up; the activity set changed since
-        self._update_progress()
-        finished = sorted(
-            (
-                act
-                for act in self._activities
-                if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work)
-            ),
-            key=lambda a: a._seq,  # deterministic completion order
-        )
+        now = self.env.now
+        heap = self._horizon_heap
+        due: List[Component] = []
+        while heap:
+            horizon, _, comp, entry_version = heap[0]
+            if entry_version != comp.version or not comp.alive or not comp.acts:
+                heappop(heap)
+                continue
+            if horizon > now:
+                break
+            heappop(heap)
+            due.append(comp)
+        if not due:
+            self._arm_wake()
+            return
+
+        finished: List[Activity] = []
+        for comp in due:
+            self._integrate(comp)
+            for act in comp.acts:
+                if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work):
+                    finished.append(act)
+            # Always re-solve a component that reached its horizon, even if
+            # float drift left nothing quite finished: the new (shorter)
+            # horizon re-arms and converges within tolerance.
+            self._mark_dirty(comp)
+
+        finished.sort(key=lambda a: a._seq)  # deterministic completion order
         for act in finished:
-            self._activities.discard(act)
+            self._remove(act)
             act._model = None
             act.remaining = 0.0
             act.rate = 0.0
-            act.finished_at = self.env.now
+            act.finished_at = now
             act.done.succeed(act)
-        self._reschedule()
+        self._flush()

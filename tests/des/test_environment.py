@@ -151,6 +151,74 @@ def test_processed_events_counter_increases():
     assert env.processed_events >= 2
 
 
+def test_processed_events_counts_event_with_raising_callback():
+    # The count increments before callbacks run, so a raising callback
+    # cannot desync the E5 event count.
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    event.defuse()
+    event.callbacks.append(lambda _e: (_ for _ in ()).throw(RuntimeError("boom")))
+    with pytest.raises(RuntimeError):
+        env.run()
+    assert env.processed_events == 1
+
+
+def test_run_until_time_counts_the_stop_event():
+    env = Environment()
+    env.timeout(1)
+    env.run(until=2.0)
+    assert env.processed_events == 2  # the timeout and the stop event
+
+
+def test_schedule_at_fires_at_exact_absolute_time():
+    env = Environment()
+    seen = []
+    event = env.event()
+    event._ok = True
+    event._value = None
+    event.callbacks.append(lambda _e: seen.append(env.now))
+    # A time that now + (t - now) would not round-trip exactly through
+    # delay-based scheduling.
+    target = 0.1 + 0.2
+    env.schedule_at(event, target)
+    env.run()
+    assert seen == [target]
+
+
+def test_schedule_at_past_time_clamps_to_now():
+    env = Environment(initial_time=5.0)
+    seen = []
+    event = env.event()
+    event._ok = True
+    event._value = None
+    event.callbacks.append(lambda _e: seen.append(env.now))
+    env.schedule_at(event, 1.0)
+    env.run()
+    assert seen == [5.0]
+
+
+def test_schedule_at_rejects_nan():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule_at(env.event(), math.nan)
+
+
+def test_schedule_at_orders_with_priority():
+    from repro.des.events import NORMAL, URGENT
+
+    env = Environment()
+    order = []
+    for label, priority in [("normal", NORMAL), ("urgent", URGENT)]:
+        event = env.event()
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _e, label=label: order.append(label))
+        env.schedule_at(event, 3.0, priority=priority)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
 def test_clock_never_goes_backwards():
     env = Environment()
     stamps = []

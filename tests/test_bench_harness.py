@@ -1,0 +1,40 @@
+"""Tests for the benchmark harness's machine-readable output."""
+
+import json
+
+from benchmarks.common import write_bench_json
+
+
+def test_write_bench_json_emits_rows_and_extras(tmp_path, monkeypatch):
+    monkeypatch.setenv("BENCH_RESULTS_DIR", str(tmp_path))
+    path = write_bench_json(
+        "TEST",
+        title="a test table",
+        header=["configuration", "wall_s"],
+        rows=[["small", 0.5], ["large", 2.0]],
+        extra={"processed_events": 123, "resolves": 7},
+    )
+    assert path == tmp_path / "BENCH_TEST.json"
+    payload = json.loads(path.read_text())
+    assert payload["bench"] == "TEST"
+    assert payload["title"] == "a test table"
+    assert payload["rows"] == [
+        {"configuration": "small", "wall_s": 0.5},
+        {"configuration": "large", "wall_s": 2.0},
+    ]
+    assert payload["processed_events"] == 123
+    assert payload["resolves"] == 7
+
+
+def test_write_bench_json_stringifies_unserializable(tmp_path, monkeypatch):
+    monkeypatch.setenv("BENCH_RESULTS_DIR", str(tmp_path))
+
+    class Odd:
+        def __repr__(self):
+            return "odd-object"
+
+    path = write_bench_json(
+        "TEST2", title="t", header=["x"], rows=[[Odd()]], extra=None
+    )
+    payload = json.loads(path.read_text())
+    assert payload["rows"] == [{"x": "odd-object"}]
