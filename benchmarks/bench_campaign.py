@@ -1,0 +1,178 @@
+"""Campaign harness benchmark: parallel fan-out + content-addressed cache.
+
+Runs a 32-scenario evaluation sweep (algorithm x load x malleable-share x
+seed) three ways and writes ``BENCH_campaign.json``:
+
+* ``serial-loop``   — the plain one-`Simulation`-at-a-time loop the
+  campaign runner replaces (the pre-campaign baseline);
+* ``parallel-cold`` — :class:`CampaignRunner` over all cores, empty cache;
+* ``cache-warm``    — the same campaign again, answered from the cache.
+
+Asserted floors (the PR's acceptance criteria): with >= 8 cores the
+parallel campaign must beat the serial loop >= 3x, and the warm re-run
+must finish in under 10% of the cold time on any machine.  The parallel
+records must also be *fingerprint-identical* to serial execution — speed
+never buys a different answer.
+
+The deterministic aggregate report lands in
+``<results>/campaign_bench/campaign.json``; CI diffs it against
+``benchmarks/baselines/campaign_bench.json``.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.common import (
+    evaluation_scenario,
+    print_table,
+    reference_platform,
+    run_sim,
+    bench_results_dir,
+    write_bench_json,
+)
+from repro.campaign import CampaignRunner, ResultCache, result_fingerprint
+from repro.workload import WorkloadSpec, generate_workload
+
+ALGORITHMS = ["easy", "malleable"]
+LOADS = [0.7, 1.1]
+SHARES = [0.0, 0.5]
+SEEDS = [11, 12, 13, 14]
+NUM_JOBS = 25
+NUM_NODES = 32
+MAX_REQUEST = 16
+
+#: The acceptance floor only binds where the hardware can deliver it.
+PARALLEL_FLOOR = 3.0
+PARALLEL_FLOOR_MIN_CORES = 8
+WARM_FRACTION_CEILING = 0.10
+
+
+def _grid():
+    return [
+        evaluation_scenario(
+            algorithm=algorithm,
+            seed=seed,
+            num_jobs=NUM_JOBS,
+            num_nodes=NUM_NODES,
+            max_request=MAX_REQUEST,
+            load=load,
+            malleable_fraction=share,
+            params={"load": load, "share": share},
+        )
+        for algorithm in ALGORITHMS
+        for load in LOADS
+        for share in SHARES
+        for seed in SEEDS
+    ]
+
+
+def _serial_loop(scenarios):
+    """The pre-campaign workflow: generate, build, run — one at a time."""
+    summaries = []
+    for scenario in scenarios:
+        generate = dict(scenario.workload["generate"])
+        jobs = generate_workload(WorkloadSpec(**generate), seed=scenario.seed)
+        platform = reference_platform(NUM_NODES)
+        summaries.append(run_sim(platform, jobs, scenario.algorithm).summary())
+    return summaries
+
+
+@pytest.fixture(scope="module")
+def campaign_timings(tmp_path_factory):
+    scenarios = _grid()
+    assert len(scenarios) == 32
+
+    t0 = time.perf_counter()
+    serial_summaries = _serial_loop(scenarios)
+    serial_s = time.perf_counter() - t0
+
+    cache = ResultCache(tmp_path_factory.mktemp("campaign-cache"))
+    workers = min(PARALLEL_FLOOR_MIN_CORES, os.cpu_count() or 1)
+    runner = CampaignRunner(scenarios, name="bench", workers=workers, cache=cache)
+    t0 = time.perf_counter()
+    cold = runner.run()
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = CampaignRunner(
+        scenarios, name="bench", workers=workers, cache=cache
+    ).run()
+    warm_s = time.perf_counter() - t0
+
+    return {
+        "scenarios": scenarios,
+        "serial_summaries": serial_summaries,
+        "serial_s": serial_s,
+        "cold": cold,
+        "cold_s": cold_s,
+        "warm": warm,
+        "warm_s": warm_s,
+        "workers": workers,
+    }
+
+
+def test_parallel_matches_serial_loop(campaign_timings):
+    """The campaign runner must reproduce the serial loop exactly."""
+    cold = campaign_timings["cold"]
+    assert len(cold.failed) == 0
+    for record, summary in zip(cold.records, campaign_timings["serial_summaries"]):
+        got = record["result"]["summary"]
+        assert got["makespan"] == summary.makespan
+        assert got["completed_jobs"] == summary.completed_jobs
+        assert got["total_reconfigurations"] == summary.total_reconfigurations
+
+
+def test_warm_rerun_is_fingerprint_identical(campaign_timings):
+    cold, warm = campaign_timings["cold"], campaign_timings["warm"]
+    assert warm.cache_hits == len(warm.records)
+    for a, b in zip(cold.records, warm.records):
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_campaign_speedups_and_report(campaign_timings):
+    serial_s = campaign_timings["serial_s"]
+    cold_s = campaign_timings["cold_s"]
+    warm_s = campaign_timings["warm_s"]
+    workers = campaign_timings["workers"]
+    cores = os.cpu_count() or 1
+
+    speedup = serial_s / cold_s if cold_s > 0 else float("inf")
+    warm_fraction = warm_s / cold_s if cold_s > 0 else 0.0
+    rows = [
+        ["serial-loop", 32, serial_s, 1.0],
+        ["parallel-cold", 32, cold_s, speedup],
+        ["cache-warm", 32, warm_s, serial_s / warm_s if warm_s > 0 else float("inf")],
+    ]
+    print_table(
+        "campaign: 32-scenario sweep, serial loop vs campaign runner",
+        ["mode", "scenarios", "wall_s", "speedup_vs_serial"],
+        rows,
+        note=f"{cores} cores, {workers} workers; warm fraction "
+        f"{warm_fraction:.3f} (ceiling {WARM_FRACTION_CEILING})",
+    )
+    out = campaign_timings["cold"].write(bench_results_dir() / "campaign_bench")
+    write_bench_json(
+        "campaign",
+        title="campaign harness: parallel fan-out + result cache",
+        header=["mode", "scenarios", "wall_s", "speedup_vs_serial"],
+        rows=rows,
+        extra={
+            "cpu_count": cores,
+            "workers": workers,
+            "warm_fraction": warm_fraction,
+            "warm_cache_hits": campaign_timings["warm"].cache_hits,
+            "parallel_floor_asserted": cores >= PARALLEL_FLOOR_MIN_CORES,
+            "aggregate_report": str(out["aggregate"]),
+        },
+    )
+
+    # An immediate re-run must be answered from the cache, near-free.
+    assert warm_fraction < WARM_FRACTION_CEILING
+    # The parallel floor binds only where the cores exist to deliver it.
+    if cores >= PARALLEL_FLOOR_MIN_CORES:
+        assert speedup >= PARALLEL_FLOOR, (
+            f"campaign speedup {speedup:.2f}x below the {PARALLEL_FLOOR}x floor "
+            f"on {cores} cores"
+        )

@@ -134,7 +134,6 @@ def test_e6_report(benchmark):
 @pytest.mark.benchmark(group="e6-validation")
 def test_e6_malleable_expansion_analytic(benchmark):
     """Expansion timing: phase A on 2 nodes, redistribution, phase B on 4."""
-    from repro.job import ReconfigurationOrder
     from repro.scheduler import Algorithm
 
     class ExpandOnce(Algorithm):

@@ -14,14 +14,15 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 from repro import Simulation, platform_from_dict
+from repro.campaign import CampaignReport, CampaignRunner, ResultCache, ScenarioSpec
 from repro.monitoring import Monitor
 from repro.workload import WorkloadSpec, generate_workload
 
 
-def reference_platform(
+def reference_platform_dict(
     num_nodes: int = 128,
     *,
     node_flops: float = 1e12,
@@ -29,8 +30,8 @@ def reference_platform(
     pfs_read: float = 100e9,
     pfs_write: float = 80e9,
     burst_buffers: bool = False,
-):
-    """The evaluation platform: flat cluster, shared PFS, optional BBs."""
+) -> Dict[str, Any]:
+    """The evaluation platform as a plain spec dict (campaign-friendly)."""
     spec: Dict[str, Any] = {
         "name": f"eval-{num_nodes}",
         "nodes": {"count": num_nodes, "flops": node_flops},
@@ -48,13 +49,17 @@ def reference_platform(
             "write_bw": 5e9,
             "capacity": 1e13,
         }
-    return platform_from_dict(spec)
+    return spec
 
 
-def evaluation_workload(
+def reference_platform(num_nodes: int = 128, **kwargs):
+    """The evaluation platform: flat cluster, shared PFS, optional BBs."""
+    return platform_from_dict(reference_platform_dict(num_nodes, **kwargs))
+
+
+def evaluation_generate_spec(
     *,
     num_jobs: int = 100,
-    seed: int = 42,
     malleable_fraction: float = 0.0,
     evolving_fraction: float = 0.0,
     data_per_node: float = 0.0,
@@ -67,13 +72,14 @@ def evaluation_workload(
     num_nodes: int = 128,
     node_flops: float = 1e12,
     work_sigma: float = 0.8,
-):
-    """The iterative-application job mix used across experiments.
+) -> Dict[str, Any]:
+    """The evaluation job mix as :class:`WorkloadSpec` kwargs.
 
     Job work is sized so the *offered load* — mean arriving flops per
     second over machine capacity — equals ``load``; this is what makes the
     scheduling comparisons meaningful (an empty machine hides all policy
-    differences).
+    differences).  Returned as a plain dict so the same mix can feed
+    either :func:`evaluation_workload` or a campaign's ``generate`` block.
     """
     # Offered load = (mean_runtime x mean_request) / (interarrival x N);
     # solve for mean_runtime given the power-of-two request distribution.
@@ -82,24 +88,77 @@ def evaluation_workload(
     exps = np.arange(0, int(np.log2(max_request)) + 1)
     mean_request = float(np.mean(2.0**exps))
     mean_runtime = load * mean_interarrival * num_nodes / mean_request
-    spec = WorkloadSpec(
-        num_jobs=num_jobs,
-        mean_interarrival=mean_interarrival,
-        min_request=1,
-        max_request=max_request,
-        mean_runtime=mean_runtime,
-        runtime_sigma=work_sigma,
-        malleable_fraction=malleable_fraction,
-        evolving_fraction=evolving_fraction,
-        data_per_node=data_per_node,
-        comm_bytes=comm_bytes,
-        serial_fraction=serial_fraction,
-        input_bytes_per_flop=1e-4 if io else 0.0,
-        output_bytes_per_flop=2e-4 if io else 0.0,
-        walltime_slack=10.0,
-        node_flops=node_flops,
+    return {
+        "num_jobs": num_jobs,
+        "mean_interarrival": mean_interarrival,
+        "min_request": 1,
+        "max_request": max_request,
+        "mean_runtime": mean_runtime,
+        "runtime_sigma": work_sigma,
+        "malleable_fraction": malleable_fraction,
+        "evolving_fraction": evolving_fraction,
+        "data_per_node": data_per_node,
+        "comm_bytes": comm_bytes,
+        "serial_fraction": serial_fraction,
+        "input_bytes_per_flop": 1e-4 if io else 0.0,
+        "output_bytes_per_flop": 2e-4 if io else 0.0,
+        "walltime_slack": 10.0,
+        "node_flops": node_flops,
+    }
+
+
+def evaluation_workload(*, seed: int = 42, **kwargs):
+    """The iterative-application job mix used across experiments."""
+    return generate_workload(WorkloadSpec(**evaluation_generate_spec(**kwargs)), seed=seed)
+
+
+def evaluation_scenario(
+    *,
+    algorithm: str = "easy",
+    seed: int = 42,
+    num_nodes: int = 128,
+    platform_kwargs: Optional[Dict[str, Any]] = None,
+    sim: Optional[Dict[str, Any]] = None,
+    params: Optional[Dict[str, Any]] = None,
+    **workload_kwargs,
+) -> ScenarioSpec:
+    """One evaluation-grid point as a campaign scenario.
+
+    Runs the exact same physics as ``run_sim(reference_platform(...),
+    evaluation_workload(...), algorithm)`` — the workload kwargs land in
+    the scenario's ``generate`` block and are re-generated (same seed,
+    same spec, same jobs) inside the campaign worker.
+    """
+    return ScenarioSpec(
+        platform=reference_platform_dict(num_nodes, **(platform_kwargs or {})),
+        workload={
+            "generate": evaluation_generate_spec(num_nodes=num_nodes, **workload_kwargs)
+        },
+        algorithm=algorithm,
+        seed=seed,
+        sim=dict(sim or {}),
+        params=dict(params or {}),
     )
-    return generate_workload(spec, seed=seed)
+
+
+def run_campaign(
+    scenarios: Sequence[ScenarioSpec],
+    *,
+    name: str = "bench",
+    workers: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+    force: bool = False,
+) -> CampaignReport:
+    """Run a scenario sweep through the campaign runner.
+
+    The benchmark-side twin of ``elastisim campaign run``: parallel across
+    cores by default, cached under ``cache_dir`` when given (pass ``None``
+    to disable caching — benchmark timing runs must not be memoised away).
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return CampaignRunner(
+        scenarios, name=name, workers=workers, cache=cache, force=force
+    ).run()
 
 
 def run_sim(platform, jobs, algorithm, **kwargs) -> Monitor:

@@ -1,72 +1,89 @@
 #!/usr/bin/env python
 """Scripting your own experiment: a malleable-share x load sweep.
 
-Shows the intended research workflow: build a parameter grid, run one
-simulation per point (fresh platform each run — platforms carry node
-state), and collect a tidy results table you can feed to any plotting
-tool.  This is a miniature of the E2 experiment from EXPERIMENTS.md with
-a second axis.
+Shows the intended research workflow since the campaign subsystem
+landed: declare the parameter grid, hand it to :class:`CampaignRunner`,
+and read the tidy per-scenario records back.  The runner fans scenarios
+out over all cores and memoises results in a content-addressed cache —
+re-running this script is near-instant, and editing any parameter only
+recomputes the scenarios it touches.  This is a miniature of the E2
+experiment from EXPERIMENTS.md with a second axis.
 
 Run with::
 
     python examples/parameter_sweep.py
+
+(Equivalent declarative form: ``elastisim campaign run --spec
+docs/examples/sweep.json`` — see docs/CAMPAIGNS.md.)
 """
 
 import numpy as np
 
-from repro import Simulation, platform_from_dict
-from repro.workload import WorkloadSpec, generate_workload
+from repro.campaign import CampaignRunner, ResultCache, ScenarioSpec, scenarios_from_grid
 
 NUM_NODES = 64
 NODE_FLOPS = 1e12
 NUM_JOBS = 30
 SEED = 1234
 
-
-def build_platform():
-    return platform_from_dict(
-        {
-            "nodes": {"count": NUM_NODES, "flops": NODE_FLOPS},
-            "network": {"topology": "star", "bandwidth": 10e9},
-        }
-    )
+PLATFORM = {
+    "nodes": {"count": NUM_NODES, "flops": NODE_FLOPS},
+    "network": {"topology": "star", "bandwidth": 10e9},
+}
 
 
-def build_jobs(malleable_share: float, load: float):
+def build_scenario(load: float, share: float) -> ScenarioSpec:
     mean_interarrival = 20.0
     exps = np.arange(0, int(np.log2(32)) + 1)
     mean_request = float(np.mean(2.0**exps))
     mean_runtime = load * mean_interarrival * NUM_NODES / mean_request
-    spec = WorkloadSpec(
-        num_jobs=NUM_JOBS,
-        mean_interarrival=mean_interarrival,
-        max_request=32,
-        mean_runtime=mean_runtime,
-        malleable_fraction=malleable_share,
-        walltime_slack=10.0,
-        node_flops=NODE_FLOPS,
+    return ScenarioSpec(
+        platform=PLATFORM,
+        workload={
+            "generate": {
+                "num_jobs": NUM_JOBS,
+                "mean_interarrival": mean_interarrival,
+                "max_request": 32,
+                "mean_runtime": mean_runtime,
+                "malleable_fraction": share,
+                "walltime_slack": 10.0,
+                "node_flops": NODE_FLOPS,
+            }
+        },
+        algorithm="malleable" if share > 0 else "easy",
+        seed=SEED,
+        params={"load": load, "share": share},
     )
-    return generate_workload(spec, seed=SEED)
 
 
 def main() -> None:
-    shares = [0.0, 0.5, 1.0]
-    loads = [0.5, 0.9, 1.3]
+    scenarios = scenarios_from_grid(
+        {"load": [0.5, 0.9, 1.3], "share": [0.0, 0.5, 1.0]}, build_scenario
+    )
+    report = CampaignRunner(
+        scenarios, name="parameter-sweep", cache=ResultCache()
+    ).run()
+    print(
+        f"{len(report.ok)}/{len(report.records)} scenarios "
+        f"({report.cache_hits} cached) in {report.wall_s:.2f}s "
+        f"on {report.workers} workers\n"
+    )
 
     print(f"{'load':>6} {'malleable_%':>12} {'makespan_s':>11} "
           f"{'mean_wait_s':>12} {'mean_util':>10}")
     print("-" * 56)
-    for load in loads:
-        for share in shares:
-            jobs = build_jobs(share, load)
-            algorithm = "malleable" if share > 0 else "easy"
-            monitor = Simulation(build_platform(), jobs, algorithm=algorithm).run()
-            s = monitor.summary()
-            print(
-                f"{load:>6.1f} {int(share * 100):>12} {s.makespan:>11.1f} "
-                f"{s.mean_wait:>12.1f} {s.mean_utilization:>10.2f}"
-            )
-        print()
+    last_load = None
+    for record in report.records:
+        load, share = record["params"]["load"], record["params"]["share"]
+        if last_load is not None and load != last_load:
+            print()
+        last_load = load
+        s = record["result"]["summary"]
+        print(
+            f"{load:>6.1f} {int(share * 100):>12} {s['makespan']:>11.1f} "
+            f"{s['mean_wait']:>12.1f} {s['mean_utilization']:>10.2f}"
+        )
+    print()
     print("reading guide: malleability matters most when the machine is")
     print("oversubscribed (load > 1) — at low load every policy looks fine.")
 

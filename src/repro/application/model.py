@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence
 
 from repro.application.tasks import ApplicationError, EvolvingRequest, ExprLike, Task
 from repro.expressions import Expression, ExpressionError, compile_expression

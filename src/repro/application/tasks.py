@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from enum import Enum
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Mapping, Optional, Union
 
 from repro.expressions import Expression, ExpressionError, compile_expression
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from math import inf
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.des import Environment, Event, Process, SimulationError
 from repro.engine import JobExecutor
@@ -362,6 +362,80 @@ class Simulation:
             requeue_on_failure=requeue_on_failure,
             max_requeues=max_requeues,
             checkpoint_restart=checkpoint_restart,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "Simulation":
+        """Build a simulation from a plain-dict scenario spec.
+
+        The worker-safe construction path used by campaign workers
+        (:mod:`repro.campaign`): everything crosses the process boundary
+        as JSON-compatible data and is materialised here, inside the
+        worker — platforms carry node state and must never be shared
+        between runs, let alone pickled across processes mid-flight.
+
+        Recognised keys: ``platform`` (a :func:`platform_from_dict` spec),
+        ``workload`` (either ``{"generate": {<WorkloadSpec fields>}}`` or
+        ``{"file": <path>}``), ``algorithm``, ``seed``, and ``sim``
+        (``invocation_interval``, ``requeue_on_failure``, ``max_requeues``,
+        ``checkpoint_restart``, and optional ``failures`` with
+        ``mtbf``/``mean_repair``/``seed``).  Unknown top-level keys (report
+        labels like ``name``/``params``) are ignored.
+        """
+        from repro.failures import generate_failures
+        from repro.platform import platform_from_dict
+        from repro.workload import WorkloadSpec, generate_workload, load_workload
+
+        try:
+            platform_spec = dict(spec["platform"])
+            workload_spec = dict(spec["workload"])
+        except (KeyError, TypeError) as exc:
+            raise BatchError(f"scenario spec needs 'platform' and 'workload': {exc}")
+        platform = platform_from_dict(platform_spec)
+
+        seed = int(spec.get("seed", 0))
+        if "generate" in workload_spec:
+            generate = dict(workload_spec["generate"])
+            seed = int(generate.pop("seed", seed))
+            try:
+                workload = generate_workload(WorkloadSpec(**generate), seed=seed)
+            except TypeError as exc:
+                raise BatchError(f"bad workload generate block: {exc}") from None
+        elif "file" in workload_spec:
+            workload = load_workload(workload_spec["file"])
+        else:
+            raise BatchError("workload spec needs a 'generate' block or a 'file' path")
+
+        sim = dict(spec.get("sim", {}))
+        sim.pop("until", None)  # a run() argument, not a constructor one
+        failures = None
+        failure_spec = sim.pop("failures", None)
+        if failure_spec:
+            horizon = failure_spec.get("horizon")
+            if horizon is None:
+                horizon = max(j.submit_time for j in workload) + 10 * max(
+                    (j.walltime for j in workload if j.walltime != inf),
+                    default=86400.0,
+                )
+            failures = generate_failures(
+                num_nodes=platform.num_nodes,
+                horizon=horizon,
+                mtbf=failure_spec["mtbf"],
+                mean_repair=failure_spec.get("mean_repair", 300.0),
+                seed=int(failure_spec.get("seed", seed)),
+            )
+        interval = sim.pop("invocation_interval", None)
+        known = {"requeue_on_failure", "max_requeues", "checkpoint_restart"}
+        unknown = set(sim) - known
+        if unknown:
+            raise BatchError(f"unknown sim options: {sorted(unknown)}")
+        return cls(
+            platform,
+            workload,
+            algorithm=spec.get("algorithm", "easy"),
+            invocation_interval=interval,
+            failures=failures,
+            **sim,
         )
 
     @property

@@ -1,0 +1,81 @@
+"""Campaigns: declarative scenario grids run in parallel with caching.
+
+The scaling axis *across* simulations: where :class:`repro.Simulation`
+runs one scenario, a campaign runs a whole parameter grid — fanned out
+over worker processes, memoised in a content-addressed result cache, and
+reported in a machine-readable form CI can diff against baselines.
+
+    >>> from repro.campaign import CampaignRunner, ScenarioSpec
+    >>> scenarios = [
+    ...     ScenarioSpec(
+    ...         platform={"nodes": {"count": 16, "flops": 1e12},
+    ...                   "network": {"topology": "star", "bandwidth": 1e10}},
+    ...         workload={"generate": {"num_jobs": 10}},
+    ...         algorithm=algorithm,
+    ...     )
+    ...     for algorithm in ("easy", "malleable")
+    ... ]
+    >>> report = CampaignRunner(scenarios, workers=2).run()
+    >>> len(report.ok)
+    2
+
+See ``docs/CAMPAIGNS.md`` for the campaign-file format and CLI usage.
+"""
+
+from repro.campaign.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.campaign.compare import (
+    Comparison,
+    CompareError,
+    Delta,
+    compare_reports,
+    load_report,
+)
+from repro.campaign.runner import (
+    REPORT_METRICS,
+    CampaignReport,
+    CampaignRunner,
+    result_fingerprint,
+    run_scenario,
+)
+from repro.campaign.spec import (
+    CAMPAIGN_FORMAT,
+    DEFAULT_SALT,
+    CampaignError,
+    ScenarioSpec,
+    campaign_name,
+    canonical_json,
+    canonicalize,
+    derive_seed,
+    expand_campaign,
+    load_campaign,
+    scenario_key,
+    scenarios_from_grid,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CAMPAIGN_FORMAT",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignRunner",
+    "Comparison",
+    "CompareError",
+    "DEFAULT_SALT",
+    "Delta",
+    "REPORT_METRICS",
+    "ResultCache",
+    "ScenarioSpec",
+    "campaign_name",
+    "canonical_json",
+    "canonicalize",
+    "compare_reports",
+    "default_cache_dir",
+    "derive_seed",
+    "expand_campaign",
+    "load_campaign",
+    "load_report",
+    "result_fingerprint",
+    "run_scenario",
+    "scenario_key",
+    "scenarios_from_grid",
+]

@@ -1,0 +1,285 @@
+"""Parallel campaign execution with cache reuse and failure isolation.
+
+:class:`CampaignRunner` takes an expanded scenario list and produces a
+:class:`CampaignReport`:
+
+* cache hits are answered without touching a worker;
+* misses fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``workers <= 1`` degrades to a plain in-process loop — same results,
+  same report);
+* one crashing scenario is recorded as ``status="failed"`` and the rest
+  of the campaign carries on, including after a hard worker death
+  (:class:`~concurrent.futures.process.BrokenProcessPool`).
+
+Scenario records keep the deterministic physics (``result``) strictly
+separated from volatile run metadata (``wall_s``, ``cached``): the same
+spec and seed always produce a byte-identical ``result`` section, which
+is what the regression checker (:mod:`repro.campaign.compare`) diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import DEFAULT_SALT, CampaignError, ScenarioSpec, canonical_json
+
+#: Metrics promoted from the summary into aggregate report rows.
+REPORT_METRICS = (
+    "makespan",
+    "mean_wait",
+    "mean_bounded_slowdown",
+    "mean_utilization",
+    "completed_jobs",
+    "killed_jobs",
+    "total_reconfigurations",
+)
+
+
+def run_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one scenario record end to end (runs inside workers).
+
+    Never raises: any failure — bad spec, unknown algorithm, stalled
+    simulation — comes back as a ``status="failed"`` record so a single
+    rotten grid point cannot take down the campaign.
+    """
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "name": scenario.get("name", "scenario"),
+        "params": scenario.get("params", {}),
+    }
+    try:
+        from repro.batch import Simulation
+
+        sim = Simulation.from_spec(scenario)
+        until = scenario.get("sim", {}).get("until")
+        monitor = sim.run(until=until)
+        result = monitor.run_record()
+        result["invocations"] = sim.batch.invocations
+        record["status"] = "ok"
+        record["result"] = result
+    except Exception as exc:  # noqa: BLE001 - isolation boundary by design
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    record["wall_s"] = time.perf_counter() - started
+    return record
+
+
+class CampaignReport:
+    """Ordered scenario records plus campaign-level accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        records: List[Dict[str, Any]],
+        *,
+        wall_s: float,
+        cache_hits: int,
+        executed: int,
+        workers: int,
+    ) -> None:
+        self.name = name
+        self.records = records
+        self.wall_s = wall_s
+        self.cache_hits = cache_hits
+        self.executed = executed
+        self.workers = workers
+
+    @property
+    def failed(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("status") != "ok"]
+
+    @property
+    def ok(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    def rows(self, metrics: Sequence[str] = REPORT_METRICS) -> List[List[Any]]:
+        """Aggregate table rows: one per scenario, labels then metrics."""
+        rows = []
+        for record in self.records:
+            summary = record.get("result", {}).get("summary", {})
+            rows.append(
+                [record["name"], record.get("status", "failed")]
+                + [summary.get(metric) for metric in metrics]
+            )
+        return rows
+
+    def header(self, metrics: Sequence[str] = REPORT_METRICS) -> List[str]:
+        return ["scenario", "status", *metrics]
+
+    def as_dict(self, metrics: Sequence[str] = REPORT_METRICS) -> Dict[str, Any]:
+        """Aggregate report, same shape as ``BENCH_*.json`` artefacts."""
+        header = self.header(metrics)
+        return {
+            "bench": f"campaign_{self.name}",
+            "title": f"campaign {self.name}",
+            "header": header,
+            "rows": [dict(zip(header, row)) for row in self.rows(metrics)],
+            "campaign": {
+                "name": self.name,
+                "scenarios": len(self.records),
+                "failed": len(self.failed),
+                "cache_hits": self.cache_hits,
+                "executed": self.executed,
+                "workers": self.workers,
+                "wall_s": self.wall_s,
+            },
+        }
+
+    def write(self, output_dir: Union[str, Path]) -> Dict[str, Path]:
+        """Write ``scenarios.jsonl`` + aggregate ``campaign.json``.
+
+        The JSONL stream carries the full per-scenario records (canonical
+        spec included); the aggregate is the compact table CI diffs.
+        """
+        out = Path(output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        jsonl = out / "scenarios.jsonl"
+        with jsonl.open("w") as stream:
+            for record in self.records:
+                stream.write(json.dumps(record, sort_keys=True))
+                stream.write("\n")
+        aggregate = out / "campaign.json"
+        aggregate.write_text(json.dumps(self.as_dict(), indent=2))
+        return {"scenarios": jsonl, "aggregate": aggregate}
+
+
+class CampaignRunner:
+    """Run a scenario grid in parallel, reusing cached results."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        name: str = "campaign",
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        force: bool = False,
+        salt: str = DEFAULT_SALT,
+    ) -> None:
+        if not scenarios:
+            raise CampaignError("campaign has no scenarios")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise CampaignError("scenario names must be unique within a campaign")
+        self.scenarios = list(scenarios)
+        self.name = name
+        self.workers = max(1, int(workers)) if workers is not None else _default_workers()
+        self.cache = cache
+        self.force = force
+        self.salt = salt
+
+    def run(
+        self,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> CampaignReport:
+        started = time.perf_counter()
+        payloads = [scenario.as_record() for scenario in self.scenarios]
+        keys = [scenario.key(salt=self.salt) for scenario in self.scenarios]
+        records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+
+        pending: List[int] = []
+        cache_hits = 0
+        for index, key in enumerate(keys):
+            cached = None
+            if self.cache is not None and not self.force:
+                cached = self.cache.lookup(key)
+            if cached is not None:
+                cached["cached"] = True
+                # Labels may legitimately differ between campaigns sharing
+                # a cache: this campaign's names win.
+                cached["name"] = payloads[index]["name"]
+                cached["params"] = payloads[index]["params"]
+                records[index] = cached
+                cache_hits += 1
+                if progress is not None:
+                    progress(cached)
+            else:
+                pending.append(index)
+
+        def finish(index: int, record: Dict[str, Any]) -> None:
+            record.setdefault("cached", False)
+            record["key"] = keys[index]
+            record["scenario"] = payloads[index]
+            records[index] = record
+            if self.cache is not None:
+                self.cache.store(keys[index], record)
+            if progress is not None:
+                progress(record)
+
+        if self.workers <= 1 or len(pending) <= 1:
+            for index in pending:
+                finish(index, run_scenario(payloads[index]))
+        else:
+            self._run_pool(payloads, pending, finish)
+
+        final = [r for r in records if r is not None]
+        assert len(final) == len(payloads)
+        return CampaignReport(
+            self.name,
+            final,
+            wall_s=time.perf_counter() - started,
+            cache_hits=cache_hits,
+            executed=len(pending),
+            workers=self.workers,
+        )
+
+    def _run_pool(
+        self,
+        payloads: List[Dict[str, Any]],
+        pending: List[int],
+        finish: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        """Fan pending scenarios out over a process pool.
+
+        ``run_scenario`` already converts ordinary exceptions into failed
+        records inside the worker, so the only thing that reaches this
+        level is a worker dying hard (OOM kill, segfault) — which poisons
+        every in-flight future with :class:`BrokenProcessPool`.  The
+        scenarios left hanging are re-run in-process, where the same
+        per-scenario isolation applies, instead of killing the campaign.
+        """
+        completed: set = set()
+        futures: Dict[Future, int] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+                for index in pending:
+                    futures[pool.submit(run_scenario, payloads[index])] = index
+                for future in as_completed(futures):
+                    index = futures[future]
+                    finish(index, future.result())
+                    completed.add(index)
+        except BrokenProcessPool:
+            pass
+        for index in pending:
+            if index not in completed:
+                finish(index, run_scenario(payloads[index]))
+
+
+def result_fingerprint(record: Dict[str, Any]) -> str:
+    """Canonical serialisation of the deterministic part of a record.
+
+    Two runs of the same scenario spec — serial or parallel, cached or
+    fresh — must agree byte-for-byte on this string.
+    """
+    return canonical_json(record.get("result", {}))
+
+
+def _default_workers() -> int:
+    import os
+
+    return os.cpu_count() or 1
+
+
+__all__ = [
+    "REPORT_METRICS",
+    "CampaignReport",
+    "CampaignRunner",
+    "result_fingerprint",
+    "run_scenario",
+]

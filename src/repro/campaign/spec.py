@@ -1,0 +1,388 @@
+"""Declarative scenario grids for simulation campaigns.
+
+A *campaign* is a cartesian product of axes — platform x workload x
+algorithm x seeds x arbitrary named grid axes — expanded into a flat list
+of :class:`ScenarioSpec` instances.  Every scenario is fully described by
+plain JSON-serialisable data, which buys three properties at once:
+
+* **worker safety** — scenarios cross process boundaries as dicts and are
+  materialised into live objects inside the worker
+  (:meth:`repro.batch.Simulation.from_spec`);
+* **content addressing** — the SHA-256 of the canonical serialisation
+  (plus a simulator-version salt) keys the on-disk result cache
+  (:mod:`repro.campaign.cache`);
+* **reproducibility** — the canonical form *is* the experiment record.
+
+Grid axes may be referenced from workload/platform fields as expression
+strings evaluated with :mod:`repro.expressions` — e.g. a campaign file::
+
+    {
+      "name": "load-sweep",
+      "platform": {"nodes": {"count": 64, "flops": 1e12},
+                   "network": {"topology": "star", "bandwidth": 1e10}},
+      "workload": {"generate": {"num_jobs": 30,
+                                "malleable_fraction": "share",
+                                "mean_runtime": "load * 20 * 64 / 6.3"}},
+      "algorithms": ["easy", "malleable"],
+      "seeds": [0, 1],
+      "grid": {"load": [0.5, 0.9, 1.3], "share": [0.0, 0.5, 1.0]}
+    }
+
+expands to 2 x 2 x 3 x 3 = 36 scenarios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+
+
+from repro import __version__
+from repro.expressions import ExpressionError, compile_expression
+
+#: Bump when the scenario schema or result-record schema changes in a way
+#: that invalidates previously cached results.
+CAMPAIGN_FORMAT = 1
+
+#: Default cache salt: old caches are dead weight, never wrong results.
+DEFAULT_SALT = f"elastisim-campaign-f{CAMPAIGN_FORMAT}-v{__version__}"
+
+#: Dict keys whose string values are never treated as grid expressions.
+_LITERAL_KEYS = frozenset({"name", "topology", "file"})
+
+
+class CampaignError(Exception):
+    """Raised for malformed campaign or scenario specifications."""
+
+
+# -- canonicalisation ---------------------------------------------------------
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalise a spec fragment into canonical JSON-compatible data.
+
+    Mappings are rebuilt with sorted string keys, sequences become lists,
+    and integral floats collapse to ints so ``32`` and ``32.0`` hash the
+    same.  Raises :class:`CampaignError` on non-JSON-serialisable input.
+    """
+    if isinstance(value, Mapping):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise CampaignError(f"spec keys must be strings, got {key!r}")
+            out[key] = canonicalize(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise CampaignError(f"non-finite numbers are not canonical: {value!r}")
+        return int(value) if value.is_integer() else value
+    if isinstance(value, (int, str)):
+        return value
+    raise CampaignError(f"not JSON-serialisable: {value!r} ({type(value).__name__})")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical single-line serialisation used for hashing and reports."""
+    return json.dumps(canonicalize(value), sort_keys=True, separators=(",", ":"))
+
+
+def scenario_key(scenario: Mapping[str, Any], *, salt: str = DEFAULT_SALT) -> str:
+    """Content address of a scenario: SHA-256 over salt + canonical spec."""
+    digest = hashlib.sha256()
+    digest.update(salt.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical_json(scenario).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """A deterministic 63-bit seed derived from a base seed and labels.
+
+    Used to fan one campaign-level seed out into per-scenario seeds that
+    are stable under grid reordering (they depend on the *labels*, not the
+    expansion index).
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(base_seed)).encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(canonical_json(part).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") >> 1
+
+
+# -- scenario ----------------------------------------------------------------
+
+
+@dataclass
+class ScenarioSpec:
+    """One grid point: everything needed to run a single simulation.
+
+    ``platform``/``workload``/``algorithm``/``seed``/``sim`` define the
+    physics and are hashed into the content key; ``name`` and ``params``
+    are report labels and deliberately excluded from it.
+    """
+
+    platform: Dict[str, Any]
+    workload: Dict[str, Any]
+    algorithm: str = "easy"
+    seed: int = 0
+    sim: Dict[str, Any] = field(default_factory=dict)
+    #: Grid-point coordinates, carried into report rows.
+    params: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.algorithm, str) or not self.algorithm:
+            raise CampaignError(f"algorithm must be a non-empty string: {self.algorithm!r}")
+        if "generate" not in self.workload and "file" not in self.workload:
+            raise CampaignError(
+                "workload spec needs a 'generate' block or a 'file' path"
+            )
+        if not self.name:
+            self.name = self._auto_name()
+
+    def _auto_name(self) -> str:
+        coords = [f"{k}={self.params[k]}" for k in sorted(self.params)]
+        return "/".join([self.algorithm, *coords, f"seed={self.seed}"])
+
+    def canonical(self) -> Dict[str, Any]:
+        """The hashed portion of the spec in canonical form."""
+        return canonicalize(
+            {
+                "platform": self.platform,
+                "workload": self.workload,
+                "algorithm": self.algorithm,
+                "seed": int(self.seed),
+                "sim": self.sim,
+            }
+        )
+
+    def key(self, *, salt: str = DEFAULT_SALT) -> str:
+        return scenario_key(self.canonical(), salt=salt)
+
+    def as_record(self) -> Dict[str, Any]:
+        """Full serialisable form (labels included) for reports."""
+        record = self.canonical()
+        record["name"] = self.name
+        record["params"] = canonicalize(self.params)
+        return record
+
+
+# -- grid expansion ----------------------------------------------------------
+
+
+def _resolve(value: Any, variables: Mapping[str, Any]) -> Any:
+    """Substitute grid variables into a spec fragment.
+
+    String leaves (outside :data:`_LITERAL_KEYS`) are compiled with the
+    repro expression language and evaluated against the grid point; strings
+    that do not parse or reference unknown variables pass through verbatim.
+    """
+    if isinstance(value, Mapping):
+        return {
+            k: (v if k in _LITERAL_KEYS else _resolve(v, variables))
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_resolve(v, variables) for v in value]
+    if isinstance(value, str):
+        try:
+            return compile_expression(value).evaluate(variables)
+        except ExpressionError:
+            return value
+    return value
+
+
+def _as_list(spec: Mapping[str, Any], singular: str, plural: str, default: Any) -> List[Any]:
+    if singular in spec and plural in spec:
+        raise CampaignError(f"give either {singular!r} or {plural!r}, not both")
+    if plural in spec:
+        values = spec[plural]
+        if not isinstance(values, (list, tuple)) or not values:
+            raise CampaignError(f"{plural!r} must be a non-empty list")
+        return list(values)
+    if singular in spec:
+        return [spec[singular]]
+    if default is None:
+        raise CampaignError(f"campaign spec needs {singular!r} or {plural!r}")
+    return [default]
+
+
+def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
+    """Expand a campaign mapping into its flat scenario list.
+
+    Recognised keys: ``name``, ``platform``/``platforms``,
+    ``workload``/``workloads``, ``algorithm``/``algorithms``, ``seeds``
+    (or ``num_seeds`` + optional ``base_seed``), ``sim``, ``grid``.
+    """
+    unknown = set(spec) - {
+        "name",
+        "platform",
+        "platforms",
+        "workload",
+        "workloads",
+        "algorithm",
+        "algorithms",
+        "seeds",
+        "num_seeds",
+        "base_seed",
+        "sim",
+        "grid",
+    }
+    if unknown:
+        raise CampaignError(f"unknown campaign keys: {sorted(unknown)}")
+
+    platforms = _as_list(spec, "platform", "platforms", None)
+    workloads = _as_list(spec, "workload", "workloads", None)
+    algorithms = _as_list(spec, "algorithm", "algorithms", "easy")
+    for algorithm in algorithms:
+        if not isinstance(algorithm, str):
+            raise CampaignError(f"algorithm names must be strings: {algorithm!r}")
+
+    if "seeds" in spec and "num_seeds" in spec:
+        raise CampaignError("give either 'seeds' or 'num_seeds', not both")
+    if "num_seeds" in spec:
+        base = int(spec.get("base_seed", 0))
+        seeds = [derive_seed(base, i) for i in range(int(spec["num_seeds"]))]
+    else:
+        seeds = [int(s) for s in spec.get("seeds", [0])]
+        if not seeds:
+            raise CampaignError("'seeds' must be a non-empty list")
+
+    sim = dict(spec.get("sim", {}))
+    grid = dict(spec.get("grid", {}))
+    for axis, values in grid.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise CampaignError(f"grid axis {axis!r} must be a non-empty list")
+    axis_names = sorted(grid)
+    axis_values = [grid[name] for name in axis_names]
+
+    scenarios: List[ScenarioSpec] = []
+    label_platform = len(platforms) > 1
+    label_workload = len(workloads) > 1
+    for p_index, platform in enumerate(platforms):
+        for w_index, workload in enumerate(workloads):
+            for algorithm in algorithms:
+                for seed in seeds:
+                    for point in itertools.product(*axis_values) if axis_names else [()]:
+                        variables = dict(zip(axis_names, point))
+                        variables["seed"] = seed
+                        params = dict(zip(axis_names, point))
+                        if label_platform:
+                            params["platform"] = platform.get("name", f"p{p_index}")
+                        if label_workload:
+                            params["workload"] = f"w{w_index}"
+                        scenarios.append(
+                            ScenarioSpec(
+                                platform=_resolve(platform, variables),
+                                workload=_resolve(workload, variables),
+                                algorithm=algorithm,
+                                seed=seed,
+                                sim=_resolve(sim, variables),
+                                params=params,
+                            )
+                        )
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        for index, scenario in enumerate(scenarios):
+            scenario.name = f"{scenario.name}#{index}"
+    return scenarios
+
+
+def load_campaign(path: Union[str, Path]) -> List[ScenarioSpec]:
+    """Load and expand a campaign file (JSON, or TOML by extension)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign file: {exc}") from None
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            spec = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise CampaignError(f"invalid TOML in {path}: {exc}") from None
+    else:
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"invalid JSON in {path}: {exc}") from None
+    if not isinstance(spec, Mapping):
+        raise CampaignError(f"campaign file must hold an object, got {type(spec).__name__}")
+    scenarios = expand_campaign(spec)
+    base = path.parent
+    for scenario in scenarios:
+        _pin_workload_file(scenario, base)
+    return scenarios
+
+
+def _pin_workload_file(scenario: ScenarioSpec, base: Path) -> None:
+    """Resolve a ``workload.file`` path and pin its content hash.
+
+    The file's SHA-256 is embedded into the spec so the content address —
+    and therefore the result cache — tracks the file's *content*, not its
+    name.
+    """
+    ref = scenario.workload.get("file")
+    if ref is None:
+        return
+    resolved = Path(ref)
+    if not resolved.is_absolute():
+        resolved = base / resolved
+    try:
+        payload = resolved.read_bytes()
+    except OSError as exc:
+        raise CampaignError(f"cannot read workload file {resolved}: {exc}") from None
+    scenario.workload["file"] = str(resolved)
+    scenario.workload["sha256"] = hashlib.sha256(payload).hexdigest()
+
+
+def campaign_name(spec: Mapping[str, Any], default: str = "campaign") -> str:
+    name = spec.get("name", default)
+    if not isinstance(name, str) or not name:
+        raise CampaignError(f"campaign name must be a non-empty string: {name!r}")
+    return name
+
+
+def scenarios_from_grid(
+    axes: Mapping[str, Sequence[Any]],
+    build: Any,
+) -> List[ScenarioSpec]:
+    """Python-side grid helper: call ``build(**point)`` per grid point.
+
+    ``build`` returns a :class:`ScenarioSpec` (or ``None`` to skip the
+    point).  Axis order follows the mapping's iteration order.
+    """
+    names = list(axes)
+    scenarios: List[ScenarioSpec] = []
+    for point in itertools.product(*(axes[name] for name in names)):
+        scenario = build(**dict(zip(names, point)))
+        if scenario is not None:
+            scenarios.append(scenario)
+    return scenarios
+
+
+__all__ = [
+    "CAMPAIGN_FORMAT",
+    "DEFAULT_SALT",
+    "CampaignError",
+    "ScenarioSpec",
+    "campaign_name",
+    "canonical_json",
+    "canonicalize",
+    "derive_seed",
+    "expand_campaign",
+    "load_campaign",
+    "scenario_key",
+    "scenarios_from_grid",
+]

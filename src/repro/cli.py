@@ -5,9 +5,29 @@ Subcommands::
     elastisim run       --platform p.json --workload w.json --algorithm easy
     elastisim generate  --num-jobs 100 --seed 0 --output w.json [mix options]
     elastisim validate  --platform p.json [--workload w.json]
+    elastisim campaign run     --spec campaign.json [--workers N] [...]
+    elastisim campaign compare current.json baseline.json [...]
+    elastisim algorithms
 
 ``run`` prints the summary table and optionally writes per-job CSV /
-summary JSON / utilization series to ``--output-dir``.
+summary JSON / utilization series to ``--output-dir``.  ``campaign run``
+executes a whole scenario grid in parallel with result caching (see
+``docs/CAMPAIGNS.md``).
+
+Errors are reported on stderr — never as tracebacks — with distinct exit
+codes so scripts and CI can tell failure classes apart:
+
+====  ========================================================
+code  meaning
+====  ========================================================
+0     success
+1     regression found (``campaign compare``)
+2     usage error (bad flags, nothing to do)
+3     bad input (platform / workload / campaign files)
+4     unknown algorithm or scheduler misconfiguration
+5     simulation or campaign runtime failure
+70    internal error (a bug worth reporting)
+====  ========================================================
 """
 
 from __future__ import annotations
@@ -19,6 +39,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.batch import BatchError, Simulation
+from repro.campaign import (
+    CampaignError,
+    CampaignRunner,
+    ResultCache,
+    load_campaign,
+)
+from repro.campaign import compare as campaign_compare
 from repro.platform import PlatformError, load_platform
 from repro.scheduler import SchedulerError
 from repro.workload import (
@@ -28,6 +55,14 @@ from repro.workload import (
     load_workload,
     workload_to_dict,
 )
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_INPUT = 3
+EXIT_ALGORITHM = 4
+EXIT_RUNTIME = 5
+EXIT_INTERNAL = 70
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -98,6 +133,48 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--platform", default=None)
     val.add_argument("--workload", default=None)
 
+    campaign = sub.add_parser(
+        "campaign", help="run scenario-grid campaigns and check regressions"
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser("run", help="execute a campaign file")
+    crun.add_argument("--spec", required=True, help="campaign JSON/TOML file")
+    crun.add_argument(
+        "--name", default=None, help="campaign name (default: spec file stem)"
+    )
+    crun.add_argument(
+        "--output-dir",
+        default=None,
+        help="report directory (default campaign-results/<name>)",
+    )
+    crun.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    crun.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache root (default $ELASTISIM_CACHE_DIR or ~/.cache)",
+    )
+    crun.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    crun.add_argument(
+        "--force", action="store_true", help="recompute everything, refresh the cache"
+    )
+    crun.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario progress lines"
+    )
+
+    ccompare = csub.add_parser(
+        "compare", help="diff a campaign/bench report against a baseline"
+    )
+    # Delegated wholesale to repro.campaign.compare's own parser.
+    ccompare.add_argument("compare_args", nargs=argparse.REMAINDER)
+
     sub.add_parser("algorithms", help="list built-in scheduling algorithms")
 
     return parser
@@ -154,7 +231,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         (out / "gantt.txt").write_text(render_gantt(monitor))
         print(f"results written to {out}/")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -179,21 +256,72 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
         profile = profile_workload(jobs, node_flops=args.node_flops)
         print(format_profile(profile, args.report, args.node_flops))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     if args.platform is None and args.workload is None:
         print("nothing to validate: pass --platform and/or --workload",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.platform is not None:
         platform = load_platform(args.platform)
         print(f"platform OK: {platform.name} ({platform.num_nodes} nodes)")
     if args.workload is not None:
         jobs = load_workload(args.workload)
         print(f"workload OK: {len(jobs)} jobs")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    scenarios = load_campaign(args.spec)
+    name = args.name or Path(args.spec).stem
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = CampaignRunner(
+        scenarios,
+        name=name,
+        workers=args.workers,
+        cache=cache,
+        force=args.force,
+    )
+
+    def progress(record: dict) -> None:
+        status = record.get("status", "?")
+        cached = " (cached)" if record.get("cached") else ""
+        line = f"[{status:>6s}] {record['name']}{cached}"
+        if status == "failed":
+            line += f" - {record.get('error', 'unknown error')}"
+        print(line)
+
+    print(f"campaign {name}: {len(scenarios)} scenarios, {runner.workers} workers")
+    report = runner.run(progress=None if args.quiet else progress)
+
+    output_dir = Path(args.output_dir or Path("campaign-results") / name)
+    files = report.write(output_dir)
+    print("-" * 46)
+    print(
+        f"{len(report.ok)}/{len(report.records)} scenarios ok, "
+        f"{report.cache_hits} cache hits, {report.executed} executed "
+        f"in {report.wall_s:.2f}s on {report.workers} workers"
+    )
+    print(f"report: {files['aggregate']}")
+    if report.failed:
+        for record in report.failed:
+            print(
+                f"failed: {record['name']}: {record.get('error', '?')}",
+                file=sys.stderr,
+            )
+        return EXIT_RUNTIME
+    return EXIT_OK
+
+
+def _cmd_algorithms() -> int:
+    from repro.scheduler.algorithms import _REGISTRY
+
+    for name, cls in sorted(_REGISTRY.items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:14s} {doc}")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -205,17 +333,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "validate":
             return _cmd_validate(args)
+        if args.command == "campaign":
+            if args.campaign_command == "compare":
+                return campaign_compare.main(args.compare_args)
+            return _cmd_campaign_run(args)
         if args.command == "algorithms":
-            from repro.scheduler.algorithms import _REGISTRY
-
-            for name, cls in sorted(_REGISTRY.items()):
-                doc = (cls.__doc__ or "").strip().splitlines()[0]
-                print(f"{name:14s} {doc}")
-            return 0
-    except (PlatformError, WorkloadError, SchedulerError, BatchError) as exc:
+            return _cmd_algorithms()
+    except (PlatformError, WorkloadError, CampaignError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    return 2  # pragma: no cover - unreachable
+        return EXIT_INPUT
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    except SchedulerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ALGORITHM
+    except BatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+    except Exception as exc:  # noqa: BLE001 - last-resort traceback shield
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_USAGE  # pragma: no cover - unreachable
 
 
 if __name__ == "__main__":  # pragma: no cover

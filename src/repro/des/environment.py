@@ -12,7 +12,6 @@ from repro.des.events import (
     AnyOf,
     Event,
     NORMAL,
-    PENDING,
     Timeout,
     URGENT,
 )

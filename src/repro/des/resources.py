@@ -13,7 +13,6 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from repro.des.events import Event
-from repro.des.exceptions import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.des.environment import Environment

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, Protocol, Sequence
+from typing import Any, Generator, List, Optional, Protocol, Sequence
 
 from repro.application import (
     BbReadTask,
@@ -18,7 +18,6 @@ from repro.application import (
     Task,
 )
 from repro.des import Environment, Event, Interrupt
-from repro.des.events import Condition
 from repro.job import Job
 from repro.platform import Node, Platform, Route
 from repro.sharing import Activity, FairShareModel
@@ -41,7 +40,9 @@ class BatchCallbacks(Protocol):
     def on_evolving_request(self, job: Job, desired_nodes: int) -> None:  # pragma: no cover
         ...
 
-    def commit_reconfiguration(self, job: Job, new_nodes: Sequence[Node]) -> None:  # pragma: no cover
+    def commit_reconfiguration(  # pragma: no cover
+        self, job: Job, new_nodes: Sequence[Node]
+    ) -> None:
         ...
 
 

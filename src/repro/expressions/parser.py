@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import re
-from typing import Iterator, NamedTuple, Optional, Union
+from typing import Iterator, NamedTuple, Union
 
 from repro.expressions.ast import (
     BinaryOp,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from enum import Enum
 from math import inf
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.application import ApplicationModel
 

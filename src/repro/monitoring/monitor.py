@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass, field
-from math import nan
+from dataclasses import dataclass
+from math import isfinite, nan
 from pathlib import Path
 from statistics import mean, median
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -52,6 +52,13 @@ class SummaryStatistics:
             "killed_jobs": self.killed_jobs,
             "total_reconfigurations": self.total_reconfigurations,
         }
+
+
+def _json_safe(value: Any) -> Any:
+    """Collapse non-finite floats to ``None`` for strict-JSON payloads."""
+    if isinstance(value, float) and not isfinite(value):
+        return None
+    return value
 
 
 class Monitor:
@@ -263,6 +270,34 @@ class Monitor:
                 j.reconfigurations_applied for j in self._jobs.values()
             ),
         )
+
+    def run_record(self) -> Dict[str, Any]:
+        """Deterministic, JSON-safe record of this run for campaign reports.
+
+        Contains only quantities that are a pure function of the scenario
+        spec — summary statistics, event and solver *counts* — never wall
+        clock.  Two runs of the same spec and seed must serialise this
+        byte-identically (that invariant is what the campaign result cache
+        and the CI regression gate are built on).  Non-finite floats (an
+        all-killed workload has ``nan`` waits) become ``None`` so the
+        record round-trips through strict JSON.
+        """
+        summary = {
+            key: _json_safe(value) for key, value in self.summary().as_dict().items()
+        }
+        record: Dict[str, Any] = {
+            "summary": summary,
+            "processed_events": self.env.processed_events,
+            "num_jobs": len(self._jobs),
+        }
+        if self.solver is not None:
+            record["solver"] = {
+                "resolves": self.solver.resolves,
+                "solve_events": self.solver.solve_events,
+                "merges": self.solver.merges,
+                "splits": self.solver.splits,
+            }
+        return record
 
     def node_busy_seconds(self) -> Dict[int, float]:
         """Seconds each node spent in committed allocations.

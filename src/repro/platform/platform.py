@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.platform.components import BurstBuffer, Node, Pfs, PlatformError
+from repro.platform.components import Node, Pfs, PlatformError
 from repro.platform.topology import PFS, Route, Topology
 
 

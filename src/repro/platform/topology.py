@@ -20,7 +20,8 @@ Two families are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Dict, Hashable, List, Tuple, Union
 
 import networkx as nx

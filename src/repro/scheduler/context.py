@@ -6,7 +6,7 @@ from enum import Enum
 from math import inf
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro.job import Job, JobState, JobType, ReconfigurationOrder
+from repro.job import Job, JobState
 from repro.platform import Node, Platform
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -14,7 +14,8 @@ from statistics import mean, median
 from typing import Dict, List, Sequence
 
 from repro.application import CpuTask
-from repro.job import Job, JobType
+from repro.job import Job
+
 
 
 @dataclass

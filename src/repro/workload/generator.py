@@ -10,9 +10,9 @@ for production traces.  Every random draw flows from one seed, so a given
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import inf
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

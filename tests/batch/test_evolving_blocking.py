@@ -133,7 +133,6 @@ class TestReconfigurationRegressions:
     def test_no_second_order_during_redistribution(self, platform):
         """Regression: the scheduler must see the order as pending through
         the whole (possibly long) redistribution, not just until pop."""
-        from repro.job import ReconfigurationOrder
         from repro.scheduler import SchedulerError
 
         rejected = []
@@ -178,7 +177,6 @@ class TestReconfigurationRegressions:
     def test_kill_during_redistribution_frees_everything(self, platform):
         """Regression: a walltime kill mid-redistribution must release both
         the old allocation and the reserved target nodes."""
-        from repro.job import ReconfigurationOrder
 
         class ExpandOnce(Algorithm):
             name = "expand-once"

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.batch import BatchError, Simulation
-from repro.job import JobState, JobType
-from repro.scheduler import FcfsScheduler, SchedulerError
+from repro.job import JobState
+from repro.scheduler import SchedulerError
 
 from tests.batch.conftest import make_job
 
@@ -27,7 +27,7 @@ class TestBasicLifecycle:
 
     def test_queueing_when_machine_full(self, platform):
         jobs = [make_job(1, num_nodes=8), make_job(2, num_nodes=8)]
-        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        Simulation(platform, jobs, algorithm="fcfs").run()
         # Job 1: 8e9 over 8 nodes → 1 s; job 2 starts at 1 s.
         assert jobs[0].end_time == pytest.approx(1.0)
         assert jobs[1].start_time == pytest.approx(1.0)
@@ -35,7 +35,7 @@ class TestBasicLifecycle:
 
     def test_submit_times_respected(self, platform):
         jobs = [make_job(1, submit_time=5.0)]
-        monitor = Simulation(platform, jobs, algorithm="fcfs").run()
+        Simulation(platform, jobs, algorithm="fcfs").run()
         assert jobs[0].start_time == pytest.approx(5.0)
         assert jobs[0].wait_time == 0.0
 
@@ -56,7 +56,7 @@ class TestWalltime:
     def test_job_killed_at_walltime(self, platform):
         # Needs 2 s but walltime is 1 s.
         job = make_job(1, walltime=1.0)
-        monitor = Simulation(platform, [job], algorithm="fcfs").run()
+        Simulation(platform, [job], algorithm="fcfs").run()
         assert job.state is JobState.KILLED
         assert job.kill_reason == "walltime"
         assert job.end_time == pytest.approx(1.0)

@@ -1,0 +1,110 @@
+"""Content-addressed result cache: hits, misses, and invalidation."""
+
+import json
+
+from repro.campaign import ResultCache, ScenarioSpec
+
+PLATFORM = {
+    "nodes": {"count": 8, "flops": 1e12},
+    "network": {"topology": "star", "bandwidth": 1e10},
+}
+
+
+def make_scenario(**overrides):
+    kwargs = dict(
+        platform=PLATFORM,
+        workload={"generate": {"num_jobs": 4, "max_request": 4}},
+        algorithm="easy",
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def ok_record(**extra):
+    record = {"status": "ok", "result": {"summary": {"makespan": 10.0}}}
+    record.update(extra)
+    return record
+
+
+class TestLookupAndStore:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_scenario().key()
+        assert cache.lookup(key) is None
+        assert cache.misses == 1
+        cache.store(key, ok_record())
+        assert cache.lookup(key) == ok_record()
+        assert cache.hits == 1
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_spec_change_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_scenario().key(), ok_record())
+        assert cache.lookup(make_scenario(seed=1).key()) is None
+        assert cache.lookup(make_scenario(algorithm="fcfs").key()) is None
+
+    def test_salt_change_is_a_miss(self, tmp_path):
+        # A simulator version bump moves every scenario to a new address.
+        scenario = make_scenario()
+        cache = ResultCache(tmp_path)
+        cache.store(scenario.key(salt="v1"), ok_record())
+        assert cache.lookup(scenario.key(salt="v2")) is None
+        assert cache.lookup(scenario.key(salt="v1")) is not None
+
+    def test_failed_records_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_scenario().key()
+        assert cache.store(key, {"status": "failed", "error": "boom"}) is None
+        assert key not in cache
+        assert cache.lookup(key) is None
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_scenario().key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"status": "ok", "trunc')
+        assert cache.lookup(key) is None
+        assert not path.exists()
+
+    def test_non_ok_entry_on_disk_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_scenario().key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"status": "failed"}))
+        assert cache.lookup(key) is None
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_scenario().key(), ok_record())
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_clear_drops_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_scenario().key(), ok_record())
+        cache.store(make_scenario(seed=1).key(), ok_record())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_empty_cache_has_len_zero(self, tmp_path):
+        assert len(ResultCache(tmp_path / "never-created")) == 0
+
+
+class TestDefaultLocation:
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        from repro.campaign.cache import CACHE_DIR_ENV, default_cache_dir
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        assert ResultCache().root == tmp_path / "custom"
+
+    def test_fan_out_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_scenario().key()
+        assert cache.path_for(key) == tmp_path / key[:2] / f"{key}.json"

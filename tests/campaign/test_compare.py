@@ -1,0 +1,152 @@
+"""Regression checker: tolerances, direction inference, exit codes."""
+
+import json
+
+import pytest
+
+from repro.campaign.compare import (
+    CompareError,
+    compare_reports,
+    load_report,
+    main,
+    metric_direction,
+)
+
+
+def report(rows, header=("scenario", "makespan", "mean_utilization")):
+    return {"header": list(header), "rows": [dict(zip(header, r)) for r in rows]}
+
+
+class TestMetricDirection:
+    def test_lower_is_better_by_default(self):
+        assert metric_direction("makespan") is False
+        assert metric_direction("mean_wait") is False
+        assert metric_direction("mean_bounded_slowdown") is False
+
+    def test_higher_is_better_tokens(self):
+        assert metric_direction("mean_utilization") is True
+        assert metric_direction("completed_jobs") is True
+        assert metric_direction("speedup_vs_serial") is True
+        assert metric_direction("cache_hits") is True
+
+
+class TestCompareReports:
+    def test_within_tolerance_is_clean(self):
+        base = report([["a", 100.0, 0.80]])
+        cur = report([["a", 103.0, 0.79]])
+        comparison = compare_reports(cur, base)
+        assert comparison.clean
+        assert comparison.regressions == []
+
+    def test_lower_is_better_regression(self):
+        comparison = compare_reports(
+            report([["a", 120.0, 0.80]]), report([["a", 100.0, 0.80]])
+        )
+        assert not comparison.clean
+        assert [d.metric for d in comparison.regressions] == ["makespan"]
+        assert comparison.regressions[0].rel_change == pytest.approx(0.2)
+
+    def test_higher_is_better_regression(self):
+        comparison = compare_reports(
+            report([["a", 100.0, 0.60]]), report([["a", 100.0, 0.80]])
+        )
+        assert [d.metric for d in comparison.regressions] == ["mean_utilization"]
+
+    def test_improvements_never_regress(self):
+        comparison = compare_reports(
+            report([["a", 50.0, 0.99]]), report([["a", 100.0, 0.80]])
+        )
+        assert comparison.clean
+
+    def test_per_metric_tolerance_overrides_default(self):
+        base = report([["a", 100.0, 0.80]])
+        cur = report([["a", 108.0, 0.80]])
+        assert not compare_reports(cur, base).clean
+        assert compare_reports(cur, base, tolerances={"makespan": 0.10}).clean
+
+    def test_metrics_filter_restricts_columns(self):
+        base = report([["a", 100.0, 0.80]])
+        cur = report([["a", 200.0, 0.80]])
+        comparison = compare_reports(cur, base, metrics=["mean_utilization"])
+        assert comparison.clean
+        assert {d.metric for d in comparison.deltas} == {"mean_utilization"}
+
+    def test_missing_row_is_not_clean(self):
+        comparison = compare_reports(
+            report([["a", 100.0, 0.8]]),
+            report([["a", 100.0, 0.8], ["b", 90.0, 0.7]]),
+        )
+        assert comparison.missing_rows == ["b"]
+        assert not comparison.clean
+
+    def test_new_rows_are_reported_but_clean(self):
+        comparison = compare_reports(
+            report([["a", 100.0, 0.8], ["c", 90.0, 0.7]]),
+            report([["a", 100.0, 0.8]]),
+        )
+        assert comparison.new_rows == ["c"]
+        assert comparison.clean
+
+    def test_non_numeric_columns_skipped(self):
+        header = ("scenario", "status", "makespan")
+        comparison = compare_reports(
+            report([["a", "ok", 100.0]], header),
+            report([["a", "failed", 100.0]], header),
+        )
+        assert {d.metric for d in comparison.deltas} == {"makespan"}
+
+    def test_zero_baseline_regresses_only_on_growth(self):
+        header = ("scenario", "killed_jobs")
+        assert compare_reports(
+            report([["a", 0]], header), report([["a", 0]], header)
+        ).clean
+        assert not compare_reports(
+            report([["a", 2]], header), report([["a", 0]], header)
+        ).clean
+
+    def test_malformed_report_raises(self):
+        with pytest.raises(CompareError):
+            compare_reports({"rows": []}, report([["a", 1.0, 0.5]]))
+        with pytest.raises(CompareError):
+            compare_reports(
+                {"header": ["scenario"], "rows": [{"other": 1}]},
+                report([["a", 1.0, 0.5]]),
+            )
+
+
+class TestCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", report([["a", 100.0, 0.8]]))
+        good = self.write(tmp_path, "good.json", report([["a", 101.0, 0.8]]))
+        bad = self.write(tmp_path, "bad.json", report([["a", 150.0, 0.8]]))
+        assert main([good, base]) == 0
+        assert main([bad, base]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert main([bad, base, "--soft"]) == 0
+        assert main([bad, base, "--tolerance", "makespan=0.6"]) == 0
+
+    def test_bad_tolerance_and_bad_file_are_usage_errors(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", report([["a", 100.0, 0.8]]))
+        assert main([base, base, "--tolerance", "nonsense"]) == 2
+        assert main([str(tmp_path / "ghost.json"), base]) == 2
+        not_json = tmp_path / "nope.json"
+        not_json.write_text("{")
+        assert main([str(not_json), base]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_ok_waives(self, tmp_path, capsys):
+        current = self.write(tmp_path, "cur.json", report([["a", 100.0, 0.8]]))
+        code = main([current, str(tmp_path / "ghost.json"), "--missing-baseline-ok"])
+        assert code == 0
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_load_report_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(CompareError):
+            load_report(path)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.des import AllOf, AnyOf, Environment, SimulationError
+from repro.des import AllOf, Environment, SimulationError
+
 
 
 def test_event_initially_pending():

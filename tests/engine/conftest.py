@@ -3,7 +3,8 @@
 import pytest
 
 from repro.des import Environment
-from repro.job import Job, JobType, ReconfigurationOrder
+from repro.job import Job, JobType
+
 from repro.platform import platform_from_dict
 from repro.sharing import FairShareModel
 

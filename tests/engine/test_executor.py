@@ -122,7 +122,6 @@ class TestPfsIo:
         assert env.now == pytest.approx(2.0)
 
     def test_missing_pfs_raises(self, env, model, batch):
-        from repro.des import Environment
         from repro.engine import JobExecutor
         from repro.job import Job
 
@@ -228,7 +227,6 @@ class TestKill:
         assert env.now == pytest.approx(5.0)
 
     def test_kill_frees_shared_resources_for_others(self, env, model, start_job):
-        from repro.sharing import Activity
 
         job, proc = start_job(app_of(CpuTask("10e9")), num_nodes=4)
 

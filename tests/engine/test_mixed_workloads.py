@@ -13,7 +13,6 @@ from repro.application import (
     CommTask,
     CpuTask,
     DelayTask,
-    Distribution,
     PfsReadTask,
     PfsWriteTask,
     Phase,

@@ -1,7 +1,5 @@
 """Tests for the expression tokenizer, parser, and evaluator."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -11,7 +11,6 @@ from repro.expressions import (
     UnaryOp,
     Variable,
     compile_expression,
-    parse,
 )
 
 

@@ -1,7 +1,5 @@
 """Tests for the Job lifecycle, validation, and metrics."""
 
-import math
-
 import pytest
 
 from repro.application import ApplicationModel, CpuTask, Phase

@@ -6,7 +6,6 @@ from repro.platform import (
     GraphTopology,
     Link,
     Node,
-    Platform,
     PlatformError,
     StarTopology,
     build_dragonfly,

@@ -87,7 +87,6 @@ class TestEasyBackfilling:
             ]
 
         fcfs = Simulation(platform, build(), algorithm="fcfs").run().makespan()
-        import copy
 
         from repro.platform import platform_from_dict
         from tests.batch.conftest import make_job as _  # noqa: F401

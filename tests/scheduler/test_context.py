@@ -4,10 +4,7 @@ Algorithm bugs must surface at the decision call site with a clear
 SchedulerError — never as corrupted simulator state.
 """
 
-import pytest
-
 from repro.batch import Simulation
-from repro.des import Environment
 from repro.job import JobState, JobType
 from repro.scheduler import Algorithm, SchedulerError
 

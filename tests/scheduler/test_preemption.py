@@ -38,7 +38,7 @@ class TestPreemption:
             2, total_flops=8e9, num_nodes=8, submit_time=1.0, priority=5
         )
         sim = Simulation(platform, [low, high], algorithm="priority-preempt")
-        monitor = sim.run()
+        sim.run()
         assert low.state is JobState.KILLED
         assert low.kill_reason == "preempted"
         assert high.start_time == pytest.approx(1.0)

@@ -1,7 +1,5 @@
 """Property tests for the dynamic FairShareModel under random schedules."""
 
-import math
-
 from hypothesis import given, settings, strategies as st
 
 from repro.des import Environment

@@ -1,7 +1,5 @@
 """Tests for the FairShareModel event-driven activity engine."""
 
-import math
-
 import pytest
 
 from repro.des import Environment

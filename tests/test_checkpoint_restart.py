@@ -7,7 +7,6 @@ from repro.application import ApplicationModel, CpuTask, Phase
 from repro.failures import Failure
 from repro.job import Job, JobState
 
-from tests.batch.conftest import make_job
 
 
 def iterated_job(jid=1, iterations=10, flops_per_iter=8e9, **kwargs):

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_ALGORITHM,
+    EXIT_INPUT,
+    EXIT_OK,
+    EXIT_RUNTIME,
+    EXIT_USAGE,
+    main,
+)
 
 
 PLATFORM = {
@@ -69,13 +76,29 @@ class TestValidate:
         assert "workload OK" in out
 
     def test_validate_nothing_is_error(self, capsys):
-        assert main(["validate"]) == 2
+        assert main(["validate"]) == EXIT_USAGE
 
     def test_validate_bad_platform(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
-        assert main(["validate", "--platform", str(bad)]) == 1
+        assert main(["validate", "--platform", str(bad)]) == EXIT_INPUT
         assert "error:" in capsys.readouterr().err
+
+    def test_validate_unparseable_platform(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["validate", "--platform", str(bad)]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_validate_bad_workload(self, tmp_path, capsys):
+        bad = tmp_path / "wl.json"
+        bad.write_text(json.dumps({"jobs": [{"this": "is not a job"}]}))
+        assert main(["validate", "--workload", str(bad)]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
 
 class TestRun:
@@ -130,14 +153,168 @@ class TestRun:
                 "wishful",
             ]
         )
-        assert code == 1
-        assert "Unknown algorithm" in capsys.readouterr().err
+        assert code == EXIT_ALGORITHM
+        err = capsys.readouterr().err
+        assert "Unknown algorithm" in err
+        assert "Traceback" not in err
 
     def test_run_missing_file_fails_cleanly(self, platform_file, capsys):
         code = main(
             ["run", "--platform", str(platform_file), "--workload", "ghost.json"]
         )
-        assert code == 1
+        assert code == EXIT_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_stalled_workload_is_runtime_error(
+        self, platform_file, tmp_path, capsys
+    ):
+        # A job wanting more nodes than the platform has is a BatchError.
+        wl = tmp_path / "big.json"
+        wl.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "id": 1,
+                            "type": "rigid",
+                            "submit_time": 0,
+                            "num_nodes": 1024,
+                            "application": {
+                                "phases": [{"tasks": [{"type": "cpu", "flops": 1e9}]}]
+                            },
+                        }
+                    ]
+                }
+            )
+        )
+        code = main(["run", "--platform", str(platform_file), "--workload", str(wl)])
+        assert code == EXIT_RUNTIME
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+CAMPAIGN = {
+    "name": "cli-campaign",
+    "platform": {
+        "nodes": {"count": 8, "flops": 1e12},
+        "network": {"topology": "star", "bandwidth": 1e10},
+    },
+    "workload": {"generate": {"num_jobs": 4, "max_request": 4}},
+    "algorithms": ["fcfs", "easy"],
+    "seeds": [0],
+}
+
+
+class TestCampaign:
+    @pytest.fixture()
+    def campaign_file(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(CAMPAIGN))
+        return path
+
+    def test_campaign_run_writes_reports(self, campaign_file, tmp_path, capsys):
+        outdir = tmp_path / "out"
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--spec",
+                str(campaign_file),
+                "--output-dir",
+                str(outdir),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == EXIT_OK
+        aggregate = json.loads((outdir / "campaign.json").read_text())
+        assert aggregate["campaign"]["scenarios"] == 2
+        assert aggregate["campaign"]["failed"] == 0
+        lines = (outdir / "scenarios.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["status"] == "ok" for line in lines)
+        out = capsys.readouterr().out
+        assert "2/2 scenarios ok" in out
+
+    def test_campaign_run_missing_spec(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--spec", str(tmp_path / "ghost.json")])
+        assert code == EXIT_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_run_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"workload": {"generate": {}}}))
+        code = main(["campaign", "run", "--spec", str(bad)])
+        assert code == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_campaign_failed_scenario_is_runtime_exit(self, tmp_path, capsys):
+        spec = dict(CAMPAIGN, algorithms=["easy", "wishful-thinking"])
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec))
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--spec",
+                str(path),
+                "--output-dir",
+                str(tmp_path / "out"),
+                "--no-cache",
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == EXIT_RUNTIME
+        err = capsys.readouterr().err
+        assert "wishful-thinking" in err
+        # The good half of the campaign still ran to completion.
+        aggregate = json.loads((tmp_path / "out" / "campaign.json").read_text())
+        assert aggregate["campaign"]["failed"] == 1
+        assert aggregate["campaign"]["scenarios"] == 2
+
+    def test_campaign_compare_clean_and_regressed(self, tmp_path, capsys):
+        baseline = {
+            "header": ["scenario", "makespan", "mean_utilization"],
+            "rows": [{"scenario": "a", "makespan": 100.0, "mean_utilization": 0.8}],
+        }
+        current_ok = {
+            "header": ["scenario", "makespan", "mean_utilization"],
+            "rows": [{"scenario": "a", "makespan": 101.0, "mean_utilization": 0.8}],
+        }
+        current_bad = {
+            "header": ["scenario", "makespan", "mean_utilization"],
+            "rows": [{"scenario": "a", "makespan": 150.0, "mean_utilization": 0.8}],
+        }
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(baseline))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(current_ok))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(current_bad))
+
+        assert main(["campaign", "compare", str(good), str(base)]) == EXIT_OK
+        assert main(["campaign", "compare", str(bad), str(base)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # Soft mode downgrades the failure; missing baselines can be waived.
+        assert main(["campaign", "compare", str(bad), str(base), "--soft"]) == EXIT_OK
+        assert (
+            main(
+                [
+                    "campaign",
+                    "compare",
+                    str(bad),
+                    str(tmp_path / "ghost.json"),
+                    "--missing-baseline-ok",
+                ]
+            )
+            == EXIT_OK
+        )
 
 
 class TestRoundTrip:

@@ -6,7 +6,6 @@ suite quick.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

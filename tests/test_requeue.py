@@ -19,7 +19,7 @@ class TestRequeue:
             failures=[Failure(time=3.0, node_index=0, downtime=2.0)],
             requeue_on_failure=True,
         )
-        monitor = sim.run()
+        sim.run()
         assert job.state is JobState.KILLED
         clones = [j for j in sim.batch.jobs if j.origin_jid == 1]
         assert len(clones) == 1
@@ -87,7 +87,7 @@ class TestRequeue:
             failures=[Failure(time=1.0, node_index=3, downtime=1.0)],
             requeue_on_failure=True,
         )
-        monitor = sim.run()
+        sim.run()
         states = {j.name: j.state for j in sim.batch.jobs}
         assert states["job1"] is JobState.KILLED
         assert states["job1.r2"] is JobState.COMPLETED

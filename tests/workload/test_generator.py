@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generator."""
 
-import numpy as np
 import pytest
 
 from repro.application import CommTask, CpuTask, PfsReadTask, PfsWriteTask

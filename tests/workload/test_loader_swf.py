@@ -172,7 +172,7 @@ class TestSwf:
             }
         )
         jobs = jobs_from_swf(SWF_TEXT, node_flops=1e12)
-        monitor = Simulation(platform, jobs, algorithm="easy").run()
+        Simulation(platform, jobs, algorithm="easy").run()
         # Runtimes should match the trace exactly (compute-only model).
         assert jobs[0].runtime == pytest.approx(120.0)
         assert jobs[1].runtime == pytest.approx(600.0)
