@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from math import inf
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.des import Environment, Event, Process, SimulationError
@@ -80,6 +81,13 @@ class BatchSystem:
         self.all_done: Event = env.event()
         #: Total scheduler invocations (diagnostics / E5).
         self.invocations = 0
+        #: Optional flight recorder (attached by ``Simulation.run(trace=...)``).
+        #: Every emission site guards with ``is not None`` so the disabled
+        #: path costs one attribute check.
+        self.tracer = None
+        #: Decision outcomes of the scheduler invocation currently in
+        #: flight (tracing only; None outside a traced invocation).
+        self._decision_log: Optional[List[str]] = None
 
         for job in self.jobs:
             env.process(self._submitter(job), name=f"submit-{job.name}")
@@ -104,6 +112,19 @@ class BatchSystem:
             yield self.env.timeout(delay)
         self.queue.append(job)
         self.monitor.on_submit(job)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "job.submit",
+                "batch",
+                job.name,
+                self.env.now,
+                jid=job.jid,
+                user=job.user,
+                type=job.type.value,
+                nodes=job.num_nodes,
+                queued=len(self.queue),
+            )
         self._invoke(InvocationType.JOB_SUBMIT, job)
 
     def _periodic(self):
@@ -123,6 +144,12 @@ class BatchSystem:
             return
         node.fail()
         self.monitor.on_node_failure(node.index)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node.fail", f"node:{node.index}", node.name, self.env.now,
+                node=node.index,
+            )
         victim = node.assigned_job
         if isinstance(victim, Job) and victim.state is JobState.RUNNING:
             self.kill_job(victim, reason="node_failure")
@@ -130,6 +157,12 @@ class BatchSystem:
         yield self.env.timeout(failure.downtime)
         node.repair()
         self.monitor.on_node_repair(node.index)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node.repair", f"node:{node.index}", node.name, self.env.now,
+                node=node.index,
+            )
         self._invoke(InvocationType.NODE_REPAIR)
 
     def _runner(self, job: Job):
@@ -142,13 +175,47 @@ class BatchSystem:
         yield timer | done
         if not done.triggered and proc.is_alive:
             proc.interrupt("walltime")
+        else:
+            # The job finished first: withdraw the timer so the stale
+            # timeout neither drags a run-to-exhaustion ``env.now`` to
+            # the walltime expiry nor counts as a processed event.
+            timer.cancel()
 
     # -- scheduler invocation ----------------------------------------------------
 
     def _invoke(self, type: InvocationType, job: Optional[Job] = None) -> None:
         self.invocations += 1
         invocation = Invocation(type, self.env.now, job)
-        self.algorithm.schedule(SchedulerContext(self), invocation)
+        tracer = self.tracer
+        if tracer is None:
+            self.algorithm.schedule(SchedulerContext(self), invocation)
+            return
+        # Traced invocation: collect decision outcomes (starts, orders,
+        # kills, denials) issued while the algorithm runs, then record the
+        # invocation with its trigger and everything it decided.
+        previous = self._decision_log
+        decisions: List[str] = []
+        self._decision_log = decisions
+        try:
+            self.algorithm.schedule(SchedulerContext(self), invocation)
+        finally:
+            self._decision_log = previous
+            tracer.instant(
+                "sched.invoke",
+                "scheduler",
+                type.value,
+                self.env.now,
+                trigger=type.value,
+                jid=job.jid if job is not None else None,
+                queued=len(self.queue),
+                running=len(self.running),
+                decisions=decisions,
+            )
+
+    def _log_decision(self, text: str) -> None:
+        """Append a decision outcome to the in-flight traced invocation."""
+        if self._decision_log is not None:
+            self._decision_log.append(text)
 
     # -- decision handlers (called by SchedulerContext after validation) -----
 
@@ -159,6 +226,21 @@ class BatchSystem:
         job.mark_started(nodes, self.env.now)
         self.running.append(job)
         self.monitor.on_start(job)
+        self._log_decision(f"start:{job.name}:{len(nodes)}")
+        tracer = self.tracer
+        if tracer is not None:
+            for node in nodes:
+                self._trace_node_alloc(tracer, node, job, reserved=False)
+            tracer.instant(
+                "job.start",
+                "batch",
+                job.name,
+                self.env.now,
+                jid=job.jid,
+                nodes=[n.index for n in nodes],
+                queued=len(self.queue),
+                walltime=job.walltime if job.walltime < inf else None,
+            )
         self._sync_allocation()
 
         done = self.env.event()
@@ -172,10 +254,26 @@ class BatchSystem:
 
     def order_reconfiguration(self, job: Job, target: Sequence[Node]) -> None:
         current = {n.index for n in job.assigned_nodes}
-        for node in target:
-            if node.index not in current:
-                node.allocate(job)  # reserve additions immediately
+        added = [node for node in target if node.index not in current]
+        for node in added:
+            node.allocate(job)  # reserve additions immediately
         job.pending_reconfiguration = ReconfigurationOrder(target, self.env.now)
+        self._log_decision(f"reconfigure:{job.name}:{len(current)}->{len(target)}")
+        tracer = self.tracer
+        if tracer is not None:
+            target_set = {n.index for n in target}
+            for node in added:
+                self._trace_node_alloc(tracer, node, job, reserved=True)
+            tracer.instant(
+                "reconf.order",
+                "scheduler",
+                job.name,
+                self.env.now,
+                jid=job.jid,
+                target=sorted(target_set),
+                added=sorted(n.index for n in added),
+                removed=sorted(current - target_set),
+            )
         self._sync_allocation()
         self._release_evolving_wait(job)
 
@@ -184,6 +282,12 @@ class BatchSystem:
         with its current allocation instead of waiting for a grant."""
         job.evolving_denied = True
         self._waiting_evolving.discard(job)
+        self._log_decision(f"deny:{job.name}")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "reconf.deny", "scheduler", job.name, self.env.now, jid=job.jid
+            )
         self._release_evolving_wait(job)
 
     def _release_evolving_wait(self, job: Job) -> None:
@@ -197,6 +301,18 @@ class BatchSystem:
             self.queue.remove(job)
             job.mark_killed(self.env.now, reason)
             self.monitor.on_queue_drop(job)
+            self._log_decision(f"drop:{job.name}:{reason}")
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "job.queue_drop",
+                    "batch",
+                    job.name,
+                    self.env.now,
+                    jid=job.jid,
+                    reason=reason,
+                    queued=len(self.queue),
+                )
             self._job_accounted()
             return
         if job.jid in self._kill_pending:
@@ -204,6 +320,7 @@ class BatchSystem:
         proc = self._procs.get(job.jid)
         if proc is not None and proc.is_alive:
             self._kill_pending.add(job.jid)
+            self._log_decision(f"kill:{job.name}:{reason}")
             proc.interrupt(reason)
 
     # -- engine callbacks (BatchCallbacks protocol) ----------------------------
@@ -216,6 +333,17 @@ class BatchSystem:
         # algorithm cannot satisfy right now is retried when resources
         # free up (completions / committed reconfigurations).
         self._waiting_evolving.add(job)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "evolve.request",
+                "batch",
+                job.name,
+                self.env.now,
+                jid=job.jid,
+                current=len(job.assigned_nodes),
+                desired=desired_nodes,
+            )
         self._invoke(InvocationType.EVOLVING_REQUEST, job)
         if job.pending_reconfiguration is not None or job.evolving_request is None:
             self._waiting_evolving.discard(job)
@@ -236,11 +364,25 @@ class BatchSystem:
     def commit_reconfiguration(self, job: Job, new_nodes: Sequence[Node]) -> None:
         old_count = len(job.assigned_nodes)
         new_set = {n.index for n in new_nodes}
+        tracer = self.tracer
         for node in job.assigned_nodes:
             if node.index not in new_set:
                 node.deallocate()
+                if tracer is not None:
+                    self._trace_node_release(tracer, node, job)
         job.assigned_nodes = list(new_nodes)
         self.monitor.on_reconfigure(job, old_count, len(new_nodes))
+        if tracer is not None:
+            tracer.instant(
+                "reconf.commit",
+                "batch",
+                job.name,
+                self.env.now,
+                jid=job.jid,
+                nodes=sorted(new_set),
+                old=old_count,
+                new=len(new_nodes),
+            )
         self._sync_allocation()
         self._invoke(InvocationType.RECONFIGURATION, job)
         self._retry_waiting_evolving()
@@ -256,9 +398,12 @@ class BatchSystem:
             for node in order.target:
                 held[node.index] = node
             job.pending_reconfiguration = None
+        tracer = self.tracer
         for node in held.values():
             if not node.free and node.assigned_job is job:
                 node.deallocate()
+                if tracer is not None:
+                    self._trace_node_release(tracer, node, job)
 
         self.running.remove(job)
         if outcome == "completed":
@@ -266,6 +411,17 @@ class BatchSystem:
         else:
             job.mark_killed(self.env.now, job.kill_reason or "killed")
         self.monitor.on_end(job)
+        if tracer is not None:
+            kind = "job.complete" if outcome == "completed" else "job.kill"
+            tracer.instant(
+                kind,
+                "batch",
+                job.name,
+                self.env.now,
+                jid=job.jid,
+                reason=job.kill_reason,
+                runtime=job.runtime,
+            )
         self._sync_allocation()
 
         done = self._done_events.pop(job.jid, None)
@@ -314,7 +470,35 @@ class BatchSystem:
             self.all_done.succeed()
 
     def _sync_allocation(self) -> None:
-        self.monitor.set_allocated(self.platform.num_allocated_nodes())
+        allocated = self.platform.num_allocated_nodes()
+        self.monitor.set_allocated(allocated)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("alloc.count", "batch", "allocated", self.env.now, n=allocated)
+
+    # -- tracing helpers -----------------------------------------------------
+
+    def _trace_node_alloc(self, tracer, node: Node, job: Job, *, reserved: bool) -> None:
+        """Record a node grab: an instant plus the start of a hold span."""
+        now = self.env.now
+        track = f"node:{node.index}"
+        tracer.instant(
+            "node.alloc", track, job.name, now,
+            node=node.index, jid=job.jid, reserved=reserved,
+        )
+        tracer.begin(
+            ("hold", node.index), "node.hold", track, job.name, now,
+            node=node.index, jid=job.jid, reserved=reserved,
+        )
+
+    def _trace_node_release(self, tracer, node: Node, job: Job) -> None:
+        """Record a node release: an instant plus the end of its hold span."""
+        now = self.env.now
+        tracer.instant(
+            "node.release", f"node:{node.index}", job.name, now,
+            node=node.index, jid=job.jid,
+        )
+        tracer.end(("hold", node.index), now)
 
 
 class Simulation:
@@ -350,6 +534,10 @@ class Simulation:
         env: Optional[Environment] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
+        #: Flight recorder of the last traced :meth:`run` (None otherwise).
+        self.tracer = None
+        #: Invariant violations found by the last checked :meth:`run`.
+        self.violations: List = []
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         self.batch = BatchSystem(
@@ -442,27 +630,98 @@ class Simulation:
     def monitor(self) -> Monitor:
         return self.batch.monitor
 
-    def run(self, until: Optional[float] = None) -> Monitor:
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        trace=None,
+        check_invariants: bool = False,
+    ) -> Monitor:
         """Run to completion (or ``until``) and return the monitor.
+
+        Parameters
+        ----------
+        until:
+            Optional stop time (default: run until every job finished).
+        trace:
+            Enable the flight recorder (see :mod:`repro.tracing`).  Pass a
+            :class:`~repro.tracing.Tracer` to buffer in memory, or a path
+            to additionally export on exit — ``*.json`` writes Chrome
+            trace-event format (Perfetto-loadable), anything else JSONL.
+            The tracer is exposed as :attr:`tracer` afterwards.
+        check_invariants:
+            Subscribe the online invariant checker to the trace stream
+            (implies an in-memory tracer if ``trace`` is None) and audit
+            the monitor's series/segment consistency after the run.
+            Raises :class:`~repro.tracing.InvariantViolation` if anything
+            failed; the violations also remain on :attr:`violations`.
 
         Raises :class:`BatchError` if the workload gets stuck — i.e. events
         ran out while jobs are still pending and nothing can unblock them.
         """
-        if until is not None:
-            self.env.run(until=until)
-            self.monitor.attach_solver_stats(self.batch.model)
-            self.monitor.finalize()
-            return self.monitor
+        tracer = checker = None
+        trace_path: Optional[Path] = None
+        if trace is not None or check_invariants:
+            from repro.tracing import InvariantChecker, Tracer
+
+            if isinstance(trace, Tracer):
+                tracer = trace
+            else:
+                tracer = Tracer()
+                if trace is not None:
+                    trace_path = Path(trace)
+            if check_invariants:
+                checker = InvariantChecker(num_nodes=self.batch.platform.num_nodes)
+                tracer.subscribe(checker.feed)
+            self.tracer = tracer
+            self.batch.tracer = tracer
+            self.env.tracer = tracer
+            self.batch.model.tracer = tracer
+            tracer.instant(
+                "sim.start",
+                "batch",
+                self.batch.platform.name,
+                self.env.now,
+                nodes=self.batch.platform.num_nodes,
+                jobs=len(self.batch.jobs),
+                algorithm=self.batch.algorithm.name,
+            )
+
         try:
-            self.env.run(until=self.batch.all_done)
-        except SimulationError:
-            stuck = [job.name for job in self.batch.queue]
-            running = [job.name for job in self.batch.running]
-            raise BatchError(
-                f"Simulation stalled: pending={stuck} running={running}. "
-                "Jobs cannot start (e.g. they need more nodes than the "
-                "scheduler will ever free)."
-            ) from None
+            if until is not None:
+                self.env.run(until=until)
+            else:
+                try:
+                    self.env.run(until=self.batch.all_done)
+                except SimulationError:
+                    stuck = [job.name for job in self.batch.queue]
+                    running = [job.name for job in self.batch.running]
+                    raise BatchError(
+                        f"Simulation stalled: pending={stuck} running={running}. "
+                        "Jobs cannot start (e.g. they need more nodes than the "
+                        "scheduler will ever free)."
+                    ) from None
+        finally:
+            if tracer is not None:
+                tracer.instant(
+                    "sim.end", "batch", self.batch.platform.name, self.env.now
+                )
+                tracer.close_open(self.env.now)
+                if trace_path is not None:
+                    if trace_path.suffix == ".json":
+                        tracer.to_chrome(trace_path)
+                    else:
+                        tracer.to_jsonl(trace_path)
+
         self.monitor.attach_solver_stats(self.batch.model)
         self.monitor.finalize()
+        if checker is not None:
+            from repro.tracing import InvariantViolation, check_monitor
+
+            checker.finish()
+            violations = list(checker.violations)
+            violations.extend(check_monitor(self.monitor))
+            self.violations = violations
+            if violations:
+                raise InvariantViolation(violations)
         return self.monitor

@@ -41,12 +41,20 @@ REPORT_METRICS = (
 )
 
 
-def run_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
+def run_scenario(
+    scenario: Dict[str, Any],
+    trace_dir: Optional[str] = None,
+    check_invariants: bool = False,
+) -> Dict[str, Any]:
     """Execute one scenario record end to end (runs inside workers).
 
     Never raises: any failure — bad spec, unknown algorithm, stalled
     simulation — comes back as a ``status="failed"`` record so a single
-    rotten grid point cannot take down the campaign.
+    rotten grid point cannot take down the campaign.  With ``trace_dir``
+    each scenario additionally writes ``<name>.trace.jsonl`` there; with
+    ``check_invariants`` the flight-recorder invariant checker audits the
+    run and failures come back as ``status="invariant_violation"`` with
+    the individual violations attached.
     """
     started = time.perf_counter()
     record: Dict[str, Any] = {
@@ -58,16 +66,39 @@ def run_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
 
         sim = Simulation.from_spec(scenario)
         until = scenario.get("sim", {}).get("until")
-        monitor = sim.run(until=until)
-        result = monitor.run_record()
-        result["invocations"] = sim.batch.invocations
-        record["status"] = "ok"
-        record["result"] = result
+        trace: Optional[Path] = None
+        if trace_dir is not None:
+            directory = Path(trace_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            trace = directory / f"{_safe_name(record['name'])}.trace.jsonl"
+            record["trace"] = str(trace)
+        try:
+            monitor = sim.run(
+                until=until, trace=trace, check_invariants=check_invariants
+            )
+        except Exception as exc:
+            from repro.tracing import InvariantViolation
+
+            if not isinstance(exc, InvariantViolation):
+                raise
+            record["status"] = "invariant_violation"
+            record["error"] = str(exc)
+            record["violations"] = [v.as_dict() for v in exc.violations]
+        else:
+            result = monitor.run_record()
+            result["invocations"] = sim.batch.invocations
+            record["status"] = "ok"
+            record["result"] = result
     except Exception as exc:  # noqa: BLE001 - isolation boundary by design
         record["status"] = "failed"
         record["error"] = f"{type(exc).__name__}: {exc}"
     record["wall_s"] = time.perf_counter() - started
     return record
+
+
+def _safe_name(name: str) -> str:
+    """Scenario name → filesystem-safe trace file stem."""
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in name) or "scenario"
 
 
 class CampaignReport:
@@ -161,6 +192,8 @@ class CampaignRunner:
         cache: Optional[ResultCache] = None,
         force: bool = False,
         salt: str = DEFAULT_SALT,
+        trace_dir: Optional[Union[str, Path]] = None,
+        check_invariants: bool = False,
     ) -> None:
         if not scenarios:
             raise CampaignError("campaign has no scenarios")
@@ -172,7 +205,11 @@ class CampaignRunner:
         self.workers = max(1, int(workers)) if workers is not None else _default_workers()
         self.cache = cache
         self.force = force
-        self.salt = salt
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.check_invariants = check_invariants
+        # Checked and unchecked runs must not share cache entries: a
+        # cached plain record would silently skip the invariant audit.
+        self.salt = salt + "+invariants" if check_invariants else salt
 
     def run(
         self,
@@ -187,7 +224,9 @@ class CampaignRunner:
         cache_hits = 0
         for index, key in enumerate(keys):
             cached = None
-            if self.cache is not None and not self.force:
+            # A cache hit has no trace file to offer; when tracing, every
+            # scenario must actually execute.
+            if self.cache is not None and not self.force and self.trace_dir is None:
                 cached = self.cache.lookup(key)
             if cached is not None:
                 cached["cached"] = True
@@ -208,13 +247,21 @@ class CampaignRunner:
             record["scenario"] = payloads[index]
             records[index] = record
             if self.cache is not None:
-                self.cache.store(keys[index], record)
+                # Trace paths are per-invocation artefacts; a future cache
+                # hit must not advertise a file it never wrote.
+                stored = {k: v for k, v in record.items() if k != "trace"}
+                self.cache.store(keys[index], stored)
             if progress is not None:
                 progress(record)
 
         if self.workers <= 1 or len(pending) <= 1:
             for index in pending:
-                finish(index, run_scenario(payloads[index]))
+                finish(
+                    index,
+                    run_scenario(
+                        payloads[index], self.trace_dir, self.check_invariants
+                    ),
+                )
         else:
             self._run_pool(payloads, pending, finish)
 
@@ -249,7 +296,14 @@ class CampaignRunner:
         try:
             with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
                 for index in pending:
-                    futures[pool.submit(run_scenario, payloads[index])] = index
+                    futures[
+                        pool.submit(
+                            run_scenario,
+                            payloads[index],
+                            self.trace_dir,
+                            self.check_invariants,
+                        )
+                    ] = index
                 for future in as_completed(futures):
                     index = futures[future]
                     finish(index, future.result())
@@ -258,7 +312,12 @@ class CampaignRunner:
             pass
         for index in pending:
             if index not in completed:
-                finish(index, run_scenario(payloads[index]))
+                finish(
+                    index,
+                    run_scenario(
+                        payloads[index], self.trace_dir, self.check_invariants
+                    ),
+                )
 
 
 def result_fingerprint(record: Dict[str, Any]) -> str:

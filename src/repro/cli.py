@@ -7,6 +7,9 @@ Subcommands::
     elastisim validate  --platform p.json [--workload w.json]
     elastisim campaign run     --spec campaign.json [--workers N] [...]
     elastisim campaign compare current.json baseline.json [...]
+    elastisim trace record  --platform p.json --workload w.json --output t.json
+    elastisim trace convert t.jsonl t.json
+    elastisim trace check   t.jsonl [--nodes N]
     elastisim algorithms
 
 ``run`` prints the summary table and optionally writes per-job CSV /
@@ -21,7 +24,7 @@ codes so scripts and CI can tell failure classes apart:
 code  meaning
 ====  ========================================================
 0     success
-1     regression found (``campaign compare``)
+1     regression or invariant violation found
 2     usage error (bad flags, nothing to do)
 3     bad input (platform / workload / campaign files)
 4     unknown algorithm or scheduler misconfiguration
@@ -48,6 +51,7 @@ from repro.campaign import (
 from repro.campaign import compare as campaign_compare
 from repro.platform import PlatformError, load_platform
 from repro.scheduler import SchedulerError
+from repro.tracing import InvariantViolation, TraceError
 from repro.workload import (
     WorkloadError,
     WorkloadSpec,
@@ -105,6 +109,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--failure-seed", type=int, default=0, help="seed for --mtbf faults"
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a flight-recorder trace (*.json = Chrome trace-event "
+        "format for Perfetto, anything else JSONL)",
+    )
+    run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="audit the run with the tracing invariant checker",
     )
 
     gen = sub.add_parser("generate", help="generate a synthetic workload")
@@ -168,12 +184,65 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument(
         "--quiet", action="store_true", help="suppress per-scenario progress lines"
     )
+    crun.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one <scenario>.trace.jsonl per scenario here "
+        "(disables cache reads)",
+    )
+    crun.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="audit every scenario with the invariant checker; violations "
+        "are reported as status=invariant_violation",
+    )
 
     ccompare = csub.add_parser(
         "compare", help="diff a campaign/bench report against a baseline"
     )
     # Delegated wholesale to repro.campaign.compare's own parser.
     ccompare.add_argument("compare_args", nargs=argparse.REMAINDER)
+
+    trace = sub.add_parser(
+        "trace", help="record, convert, and check flight-recorder traces"
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trecord = tsub.add_parser("record", help="run a simulation and write a trace")
+    trecord.add_argument("--platform", required=True, help="platform JSON file")
+    trecord.add_argument("--workload", required=True, help="workload JSON file")
+    trecord.add_argument(
+        "--algorithm",
+        default="easy",
+        help="fcfs | easy | conservative | moldable | malleable",
+    )
+    trecord.add_argument(
+        "--output",
+        required=True,
+        help="trace path (*.json = Chrome trace-event format, else JSONL)",
+    )
+    trecord.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the invariant checker on the trace stream",
+    )
+
+    tconvert = tsub.add_parser(
+        "convert", help="convert a JSONL trace to Chrome trace-event format"
+    )
+    tconvert.add_argument("input", help="JSONL trace file")
+    tconvert.add_argument("output", help="Chrome trace JSON to write")
+
+    tcheck = tsub.add_parser(
+        "check", help="run the invariant checker over a recorded JSONL trace"
+    )
+    tcheck.add_argument("input", help="JSONL trace file")
+    tcheck.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="machine size for allocation-bound checks (default: unchecked)",
+    )
 
     sub.add_parser("algorithms", help="list built-in scheduling algorithms")
 
@@ -206,7 +275,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         invocation_interval=args.interval,
         failures=failures,
     )
-    monitor = sim.run(until=args.until)
+    monitor = sim.run(
+        until=args.until, trace=args.trace, check_invariants=args.check_invariants
+    )
+    if args.trace is not None:
+        print(f"trace written to {args.trace}")
     summary = monitor.summary()
 
     print(f"platform   : {platform.name} ({platform.num_nodes} nodes)")
@@ -283,6 +356,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         force=args.force,
+        trace_dir=args.trace_dir,
+        check_invariants=args.check_invariants,
     )
 
     def progress(record: dict) -> None:
@@ -308,10 +383,45 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if report.failed:
         for record in report.failed:
             print(
-                f"failed: {record['name']}: {record.get('error', '?')}",
+                f"{record.get('status', 'failed')}: {record['name']}: "
+                f"{record.get('error', '?')}",
                 file=sys.stderr,
             )
+        if any(r.get("status") == "invariant_violation" for r in report.failed):
+            return EXIT_REGRESSION
         return EXIT_RUNTIME
+    return EXIT_OK
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.tracing import check_trace, convert_jsonl_to_chrome
+
+    if args.trace_command == "record":
+        platform = load_platform(args.platform)
+        jobs = load_workload(args.workload)
+        sim = Simulation(platform, jobs, algorithm=args.algorithm)
+        sim.run(trace=args.output, check_invariants=args.check)
+        print(
+            f"trace written to {args.output} "
+            f"({len(sim.tracer.records)} records)"
+        )
+        if args.check:
+            print("invariants OK")
+        return EXIT_OK
+
+    if args.trace_command == "convert":
+        written = convert_jsonl_to_chrome(args.input, args.output)
+        print(f"wrote {written}")
+        return EXIT_OK
+
+    # trace check
+    violations = check_trace(args.input, num_nodes=args.nodes)
+    if violations:
+        for violation in violations:
+            print(str(violation), file=sys.stderr)
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+        return EXIT_REGRESSION
+    print("invariants OK")
     return EXIT_OK
 
 
@@ -337,9 +447,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.campaign_command == "compare":
                 return campaign_compare.main(args.compare_args)
             return _cmd_campaign_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "algorithms":
             return _cmd_algorithms()
-    except (PlatformError, WorkloadError, CampaignError) as exc:
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        for violation in exc.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return EXIT_REGRESSION
+    except (PlatformError, WorkloadError, CampaignError, TraceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INPUT
     except (OSError, json.JSONDecodeError, ValueError) as exc:

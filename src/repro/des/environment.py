@@ -39,6 +39,11 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: Total number of events processed; used by the E5 benchmark.
         self.processed_events: int = 0
+        #: Optional flight recorder (see :mod:`repro.tracing`); when set,
+        #: process creation/termination is recorded on the kernel track.
+        #: Kept as a plain attribute so the disabled path costs a single
+        #: ``is None`` check.
+        self.tracer: Optional[Any] = None
 
     # -- introspection ----------------------------------------------------
 
@@ -71,7 +76,14 @@ class Environment:
         name: Optional[str] = None,
     ) -> Process:
         """Start a new :class:`Process` from ``generator``."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("proc.start", "kernel", proc.name, self._now)
+            proc.callbacks.append(
+                lambda _event: tracer.instant("proc.end", "kernel", proc.name, self._now)
+            )
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all ``events`` succeeded."""
@@ -124,16 +136,20 @@ class Environment:
         Raises :class:`EmptySchedule` if the queue is empty and propagates
         failures of events nobody handled (defused is False).
         """
-        try:
-            self._now, _, _, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks is None:
-            # Event was already processed (e.g. cancelled duplicates);
-            # nothing to do.
-            return
+        queue = self._queue
+        while True:
+            try:
+                now, _, _, event = heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            callbacks, event.callbacks = event.callbacks, None
+            if callbacks is not None:
+                break
+            # Cancelled events and duplicate schedules of an already-
+            # processed event are dropped without advancing the clock:
+            # a defused walltime timer must not drag ``now`` to its
+            # original expiry or count as a processed event.
+        self._now = now
         # Count before running callbacks: a raising callback (including the
         # StopSimulation control flow) must not desync the E5 event count.
         self.processed_events += 1

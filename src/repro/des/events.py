@@ -101,6 +101,26 @@ class Event:
         """Mark a failed event as handled so it does not crash the run."""
         self._defused = True
 
+    def cancel(self) -> None:
+        """Withdraw a scheduled event: its queue entry becomes a no-op.
+
+        The kernel drops cancelled entries without advancing the clock,
+        running callbacks, or counting a processed event — this is how a
+        walltime watchdog defuses its timer once the job finished, so
+        stale timeouts neither bloat the heap walk nor drag ``env.now``
+        past the last real event.  Only events nobody subscribed to can
+        be cancelled (a waiting process would otherwise never resume);
+        cancelling an already-processed event is a no-op.
+        """
+        if self.callbacks is None:
+            return  # already processed
+        if self.callbacks:
+            raise SimulationError(
+                f"Cannot cancel {self!r}: {len(self.callbacks)} subscriber(s) "
+                "are waiting on it"
+            )
+        self.callbacks = None
+
     # -- triggering -----------------------------------------------------
 
     def trigger(self, event: "Event") -> None:

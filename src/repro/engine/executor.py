@@ -102,6 +102,10 @@ class JobExecutor:
         self.model = model
         self.job = job
         self.batch = batch
+        #: Flight recorder shared with the batch system (None when tracing
+        #: is off — every emission site guards on that, and test stubs
+        #: without the attribute read as disabled).
+        self.tracer = getattr(batch, "tracer", None)
         self._outstanding: List[Activity] = []
         self._current_wait: Optional[Event] = None
         self._parallel_branches: List = []
@@ -177,6 +181,32 @@ class JobExecutor:
             executor._cancel_outstanding()
 
     def _run_task(self, task: Task, iteration: int) -> Generator[Event, Any, None]:
+        tracer = self.tracer
+        if tracer is None:
+            yield from self._execute_task(task, iteration)
+            return
+        # Traced: record one span per node the task occupied.  The node
+        # set is sampled at task start; compute/IO/comm tasks never change
+        # it mid-flight (an EvolvingRequest task that reconfigures is
+        # attributed to the allocation it was issued from).
+        start = self.env.now
+        node_indices = [node.index for node in self.job.assigned_nodes]
+        yield from self._execute_task(task, iteration)
+        end = self.env.now
+        if end > start:
+            for index in node_indices:
+                tracer.span(
+                    "task.run",
+                    f"node:{index}",
+                    task.name,
+                    start,
+                    end,
+                    jid=self.job.jid,
+                    task=type(task).__name__,
+                    iteration=iteration,
+                )
+
+    def _execute_task(self, task: Task, iteration: int) -> Generator[Event, Any, None]:
         nodes = self.job.assigned_nodes
         n = len(nodes)
         variables = self.job.expression_variables(
@@ -420,7 +450,21 @@ class JobExecutor:
             moved += new_share
 
         job.redistribution_bytes_moved += moved
+        start = self.env.now
         yield from self._wait_started(activities)
+        tracer = self.tracer
+        if tracer is not None and self.env.now > start:
+            tracer.span(
+                "reconf.redistribute",
+                "batch",
+                job.name,
+                start,
+                self.env.now,
+                jid=job.jid,
+                bytes=moved,
+                leaving=len(leaving),
+                joining=len(joining),
+            )
 
     # -- waiting helpers ----------------------------------------------------
 

@@ -29,6 +29,8 @@ def render_gantt(
     job's allocation size relative to the machine ( ``·`` = queued,
     ``▁..█`` = share of nodes held).  Returns a printable multi-line string.
     """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
     jobs = sorted(monitor.jobs, key=lambda j: j.jid)
     if max_jobs is not None:
         jobs = jobs[:max_jobs]
@@ -60,7 +62,9 @@ def render_gantt(
             job.state.value, ""
         )
         lines.append(f"{job.name:<{name_width}} |{''.join(row)}|{marker}")
+    # The ruler spends 1 column on "0" and 7 on the end label; clamp the
+    # dash run so narrow charts (width < 8) don't rely on ``'-' * negative``.
     lines.append(
-        f"{'':<{name_width}}  0{'-' * (width - 8)}{end:>7.0f}s"
+        f"{'':<{name_width}}  0{'-' * max(0, width - 8)}{end:>7.0f}s"
     )
     return "\n".join(lines)

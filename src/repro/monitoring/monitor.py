@@ -332,7 +332,11 @@ class Monitor:
         """
         groups: Dict[str, List[Job]] = {}
         for job in self._jobs.values():
-            groups.setdefault(key(job), []).append(job)
+            label = key(job)
+            # Jobs without the attribute (e.g. user=None on synthetic
+            # workloads) group under a printable sentinel; a raw None key
+            # would make the sorted() below raise TypeError against str.
+            groups.setdefault("<none>" if label is None else label, []).append(job)
         out: Dict[str, SummaryStatistics] = {}
         for label, jobs in sorted(groups.items()):
             finished = [j for j in jobs if j.finished]

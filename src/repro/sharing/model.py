@@ -369,6 +369,10 @@ class FairShareModel:
         self.splits: int = 0
         #: Most live components observed at once.
         self.peak_components: int = 0
+        #: Optional flight recorder (see :mod:`repro.tracing`); attached by
+        #: ``Simulation.run(trace=...)``.  Guarded per flush, so the
+        #: disabled path costs one ``is None`` check per solve event.
+        self.tracer: Optional[Any] = None
 
     # -- public API -------------------------------------------------------
 
@@ -602,6 +606,8 @@ class FairShareModel:
             self.solve_events += 1
             dirty, self._dirty = self._dirty, {}
             now = self.env.now
+            solved_components = 0
+            solved_scope = 0
             for comp in dirty:
                 if not comp.alive or not comp.acts:
                     continue
@@ -611,6 +617,8 @@ class FairShareModel:
                 self.resolves += 1
                 size = len(comp.acts)
                 self.solved_activities += size
+                solved_components += 1
+                solved_scope += size
                 if size > self.max_solve_scope:
                     self.max_solve_scope = size
 
@@ -633,6 +641,16 @@ class FairShareModel:
                     (now + horizon, next(self._entry_ids), comp, comp.version),
                 )
             self._compact_heap()
+            tracer = self.tracer
+            if tracer is not None and solved_components:
+                tracer.instant(
+                    "solver.resolve",
+                    "solver",
+                    "resolve",
+                    now,
+                    components=solved_components,
+                    activities=solved_scope,
+                )
         self._arm_wake()
 
     def _compact_heap(self) -> None:

@@ -1,0 +1,54 @@
+"""Structured tracing and runtime invariant checking.
+
+The flight recorder (:class:`Tracer`) captures typed records of job
+lifecycle, task activities, the reconfiguration protocol, scheduler
+decisions, solver re-solves, and node faults, and exports them as JSONL
+or Chrome trace-event JSON (Perfetto-loadable).  The invariant layer
+(:class:`InvariantChecker`, :func:`check_monitor`) audits conservation
+properties online or post-hoc.  See ``docs/TRACING.md``.
+
+Typical use::
+
+    sim = Simulation(platform, jobs, algorithm="malleable")
+    monitor = sim.run(trace="run.jsonl", check_invariants=True)
+"""
+
+from repro.tracing.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+    check_monitor,
+    check_trace,
+)
+from repro.tracing.tracer import (
+    BATCH_TRACK,
+    KERNEL_TRACK,
+    SCHEDULER_TRACK,
+    SCHEMA_VERSION,
+    SOLVER_TRACK,
+    TraceError,
+    TraceRecord,
+    Tracer,
+    convert_jsonl_to_chrome,
+    read_jsonl,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "BATCH_TRACK",
+    "InvariantChecker",
+    "InvariantViolation",
+    "KERNEL_TRACK",
+    "SCHEDULER_TRACK",
+    "SCHEMA_VERSION",
+    "SOLVER_TRACK",
+    "TraceError",
+    "TraceRecord",
+    "Tracer",
+    "Violation",
+    "check_monitor",
+    "check_trace",
+    "convert_jsonl_to_chrome",
+    "read_jsonl",
+    "validate_chrome_trace",
+]

@@ -51,17 +51,36 @@ class SwfRecord:
 
 
 def parse_swf(source: Union[str, Path]) -> List[SwfRecord]:
-    """Parse SWF text (a path or the content itself) into records."""
-    if isinstance(source, Path) or (
-        isinstance(source, str) and "\n" not in source and source.endswith(".swf")
-    ):
+    """Parse SWF text (a path or the content itself) into records.
+
+    A :class:`~pathlib.Path` is always read from disk.  A string is
+    treated as a path when it names an existing file or when it *looks*
+    like one (a single whitespace-free token — ``trace.txt``,
+    ``runs/trace.swf.gz`` — cannot be SWF content, whose lines hold 11+
+    space-separated fields); everything else is parsed as inline content.
+    """
+    if isinstance(source, Path):
+        is_path = True
+    else:
+        source = str(source)
+        stripped = source.strip()
+        is_path = bool(stripped) and "\n" not in source and " " not in stripped
+        if not is_path and "\n" not in source:
+            # Single line with spaces: an actual file wins over content.
+            try:
+                is_path = Path(source).is_file()
+            except (OSError, ValueError):
+                is_path = False
+    if is_path:
         path = Path(source)
         try:
             text = path.read_text()
         except FileNotFoundError:
             raise SwfError(f"SWF file not found: {path}") from None
+        except OSError as exc:
+            raise SwfError(f"Cannot read SWF file {path}: {exc}") from exc
     else:
-        text = str(source)
+        text = source
 
     records: List[SwfRecord] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):

@@ -185,3 +185,50 @@ class TestStuckDetection:
         monitor = sim.run(until=5.0)
         assert job.state is JobState.RUNNING
         assert monitor.makespan() == 0.0  # nothing finished yet
+
+
+class TestWatchdogCleanup:
+    """Regression: finishing a job must defuse its walltime timer.
+
+    The watchdog used to leave its Timeout live in the event heap after
+    ``done`` fired, so running the environment to exhaustion dragged
+    ``env.now`` out to the (never-enforced) walltime expiry and counted
+    the stale timer as a processed event.
+    """
+
+    def test_clock_stops_at_last_job_end(self, platform):
+        # 2 s of work, but a 1-hour walltime: the stale timer would sit
+        # at t=3600 without the cancel.
+        jobs = [make_job(1, walltime=3600.0), make_job(2, walltime=7200.0)]
+        sim = Simulation(platform, jobs, algorithm="fcfs")
+        sim.run()
+        last_end = max(j.end_time for j in jobs)
+        # Drain the heap: besides same-instant leftovers queued behind the
+        # all_done stop, only cancelled timers remain — and those must not
+        # advance the clock to their 3600/7200 s expiries.
+        sim.env.run()
+        assert sim.env.now == pytest.approx(last_end)
+
+    def test_walltime_kill_still_enforced(self, platform):
+        # The cancel path must not defuse timers of jobs that do overrun.
+        job = make_job(1, walltime=1.0)  # needs 2 s
+        sim = Simulation(platform, [job], algorithm="fcfs")
+        sim.run()
+        assert job.state is JobState.KILLED
+        assert job.kill_reason == "walltime"
+        assert job.end_time == pytest.approx(1.0)
+
+    def test_cancel_rejects_subscribed_event(self, platform):
+        from repro.des import Environment
+        from repro.des.exceptions import SimulationError
+
+        env = Environment()
+        timer = env.timeout(5.0)
+
+        def waiter():
+            yield timer
+
+        env.process(waiter())
+        env.run(until=1.0)
+        with pytest.raises(SimulationError, match="subscriber"):
+            timer.cancel()

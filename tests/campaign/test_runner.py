@@ -192,3 +192,66 @@ class TestReport:
             ]
 
         assert stable_lines(a, tmp_path / "a") == stable_lines(b, tmp_path / "b")
+
+
+class TestTracingIntegration:
+    def test_run_scenario_writes_trace(self, tmp_path):
+        record = run_scenario(
+            make_scenario().as_record(), str(tmp_path), check_invariants=True
+        )
+        assert record["status"] == "ok"
+        trace = record["trace"]
+        assert trace.endswith(".trace.jsonl")
+        from repro.tracing import check_trace
+
+        assert check_trace(trace, num_nodes=8) == []
+
+    def test_trace_filename_is_sanitised(self, tmp_path):
+        record = run_scenario(
+            make_scenario(name="easy/seed=0").as_record(),
+            str(tmp_path),
+            check_invariants=False,
+        )
+        assert "/" not in record["trace"].rsplit("/", 1)[-1].replace(".trace.jsonl", "")
+        assert (tmp_path / "easy_seed_0.trace.jsonl").exists()
+
+    def test_check_invariants_changes_cache_salt(self):
+        plain = CampaignRunner([make_scenario()], workers=1)
+        checked = CampaignRunner([make_scenario()], workers=1, check_invariants=True)
+        assert checked.salt == plain.salt + "+invariants"
+
+    def test_trace_dir_bypasses_cache_reads(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenarios = [make_scenario()]
+        warm = CampaignRunner(scenarios, workers=1, cache=cache).run()
+        assert warm.executed == 1
+        # A cache hit has no trace to offer: the traced run must execute.
+        traced = CampaignRunner(
+            scenarios, workers=1, cache=cache, trace_dir=tmp_path / "traces"
+        ).run()
+        assert traced.cache_hits == 0
+        assert traced.executed == 1
+        assert (tmp_path / "traces").is_dir()
+        assert list((tmp_path / "traces").glob("*.trace.jsonl"))
+
+    def test_trace_path_not_stored_in_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenarios = [make_scenario()]
+        CampaignRunner(
+            scenarios, workers=1, cache=cache, trace_dir=tmp_path / "traces"
+        ).run()
+        # The cached record must not advertise a file it never wrote.
+        hit = CampaignRunner(scenarios, workers=1, cache=cache).run()
+        (record,) = hit.records
+        assert record["cached"] is True
+        assert "trace" not in record
+
+    def test_parallel_workers_write_traces(self, tmp_path):
+        report = CampaignRunner(
+            small_grid(),
+            workers=2,
+            trace_dir=tmp_path / "traces",
+            check_invariants=True,
+        ).run()
+        assert len(report.ok) == 4
+        assert len(list((tmp_path / "traces").glob("*.trace.jsonl"))) == 4

@@ -60,6 +60,45 @@ class TestRenderGantt:
         monitor = Monitor(Environment(), num_nodes=4)
         assert render_gantt(monitor) == "(nothing ran)"
 
+    @pytest.mark.parametrize("width", [1, 2, 5, 7, 8, 9])
+    def test_small_widths_render(self, run_monitor, width):
+        # Regression: the footer ruler used ``'-' * (width - 8)``, which is
+        # negative below 8 columns; the chart must still come out intact.
+        text = render_gantt(run_monitor, width=width)
+        lines = text.splitlines()
+        assert len(lines) == 6 + 2
+        for line in lines[1:-1]:
+            inner = line.split("|")[1]
+            assert len(inner) == width
+        assert lines[-1].rstrip().endswith("s")
+
+    def test_width_zero_rejected(self, run_monitor):
+        with pytest.raises(ValueError, match="width"):
+            render_gantt(run_monitor, width=0)
+
+    def test_running_job_marker(self):
+        platform = platform_from_dict(
+            {
+                "nodes": {"count": 8, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            }
+        )
+        jobs = generate_workload(
+            WorkloadSpec(
+                num_jobs=1,
+                mean_interarrival=0.0,
+                min_request=8,
+                max_request=8,
+                mean_runtime=100.0,
+                runtime_sigma=0.0,
+            ),
+            seed=1,
+        )
+        sim = Simulation(platform, jobs, algorithm="fcfs")
+        monitor = sim.run(until=5.0)
+        text = render_gantt(monitor, horizon=5.0, width=6)
+        assert "…" in text  # running marker survives narrow widths
+
     def test_queued_marker_for_waiting_jobs(self):
         # Two 16-node jobs: the second queues behind the first.
         platform = platform_from_dict(

@@ -48,6 +48,26 @@ class TestSummaryBy:
         assert by_user["early"].makespan == pytest.approx(1.0)
         assert by_user["late"].makespan == pytest.approx(2.0)
 
+    def test_user_none_groups_under_sentinel(self, platform):
+        # Regression: a job with user=None (e.g. anonymised trace imports)
+        # used to blow up sorted() with a None-vs-str TypeError.
+        jobs = [
+            make_job(1, total_flops=4e9, num_nodes=4, user="alice"),
+            make_job(2, total_flops=4e9, num_nodes=4),
+        ]
+        jobs[1].user = None
+        monitor = Simulation(platform, jobs, algorithm="easy").run()
+        by_user = monitor.summary_by_user()
+        assert set(by_user) == {"alice", "<none>"}
+        assert by_user["<none>"].completed_jobs == 1
+
+    def test_custom_key_returning_none(self, platform):
+        jobs = [make_job(i, total_flops=4e9, num_nodes=4) for i in (1, 2)]
+        monitor = Simulation(platform, jobs, algorithm="easy").run()
+        by_none = monitor.summary_by(lambda j: None)
+        assert set(by_none) == {"<none>"}
+        assert by_none["<none>"].completed_jobs == 2
+
     def test_custom_key(self, platform):
         jobs = [make_job(i, total_flops=4e9, num_nodes=4) for i in (1, 2, 3, 4)]
         monitor = Simulation(platform, jobs, algorithm="easy").run()

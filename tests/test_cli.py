@@ -365,3 +365,108 @@ class TestRoundTrip:
             assert ckpt_a.bytes_per_node({"iteration": it}, 1) == ckpt_b.bytes_per_node(
                 {"iteration": it}, 1
             )
+
+
+class TestTraceCommands:
+    def test_record_check_convert_round_trip(
+        self, platform_file, workload_file, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "run.trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "record",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--algorithm",
+                "malleable",
+                "--output",
+                str(jsonl),
+                "--check",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
+        assert jsonl.exists()
+
+        assert main(["trace", "check", str(jsonl), "--nodes", "16"]) == EXIT_OK
+
+        chrome = tmp_path / "run.trace.json"
+        assert main(["trace", "convert", str(jsonl), str(chrome)]) == EXIT_OK
+        from repro.tracing import validate_chrome_trace
+
+        validate_chrome_trace(json.loads(chrome.read_text()))
+
+    def test_record_chrome_output_directly(
+        self, platform_file, workload_file, tmp_path
+    ):
+        chrome = tmp_path / "direct.json"
+        code = main(
+            [
+                "trace",
+                "record",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--output",
+                str(chrome),
+            ]
+        )
+        assert code == EXIT_OK
+        payload = json.loads(chrome.read_text())
+        assert payload["otherData"]["schema"] == "elastisim-trace"
+
+    def test_check_flags_violations_with_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        records = [
+            {"schema": "elastisim-trace", "version": 1},
+            {
+                "time": 0.0,
+                "kind": "node.alloc",
+                "ph": "I",
+                "track": "node:0",
+                "name": "a",
+                "args": {"node": 0, "jid": 1},
+            },
+            {
+                "time": 1.0,
+                "kind": "node.alloc",
+                "ph": "I",
+                "track": "node:0",
+                "name": "b",
+                "args": {"node": 0, "jid": 2},
+            },
+        ]
+        bad.write_text("\n".join(json.dumps(r) for r in records))
+        assert main(["trace", "check", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "node-double-alloc" in err
+
+    def test_check_missing_trace_is_input_error(self, tmp_path, capsys):
+        code = main(["trace", "check", str(tmp_path / "ghost.jsonl")])
+        assert code == EXIT_INPUT
+        assert "not found" in capsys.readouterr().err
+
+    def test_run_with_trace_and_invariants(
+        self, platform_file, workload_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.json"
+        code = main(
+            [
+                "run",
+                "--platform",
+                str(platform_file),
+                "--workload",
+                str(workload_file),
+                "--trace",
+                str(trace),
+                "--check-invariants",
+            ]
+        )
+        assert code == EXIT_OK
+        assert trace.exists()
+        assert "trace written" in capsys.readouterr().out

@@ -194,6 +194,28 @@ class TestSwf:
         with pytest.raises(SwfError, match="not found"):
             parse_swf(tmp_path / "ghost.swf")
 
+    def test_path_like_string_without_swf_suffix(self):
+        # Regression: "trace.txt" / "trace.swf.gz" used to be parsed as
+        # (empty) inline content because only the ".swf" suffix was treated
+        # as a path.  A whitespace-free string is path-like: report the
+        # missing file instead of silently returning zero records.
+        for name in ("trace.txt", "runs/trace.swf.gz", "ghost"):
+            with pytest.raises(SwfError, match="not found"):
+                parse_swf(name)
+
+    def test_existing_file_any_suffix_is_read(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SWF_TEXT)
+        assert len(parse_swf(str(path))) == 3
+
+    def test_inline_single_line_still_content(self):
+        # One whitespace-separated SWF line (no trailing newline) must
+        # stay inline content, not be mistaken for a file name.
+        line = "1 0 0 120 16 -1 -1 16 300 -1 1 1 1 1 1 -1 -1 -1"
+        records = parse_swf(line)
+        assert len(records) == 1
+        assert records[0].job_id == 1
+
 
 class TestSwfIterations:
     def test_iterations_split_preserves_total_work(self):
