@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from repro.application.tasks import ApplicationError, EvolvingRequest, ExprLike, Task
-from repro.expressions import Expression, ExpressionError, compile_expression
+from repro.expressions import ExpressionError, compiled_expression
 
 
 class Phase:
@@ -46,7 +46,7 @@ class Phase:
                 raise ApplicationError(f"Phase {name!r}: {task!r} is not a Task")
         self.tasks = list(tasks)
         try:
-            self.iterations = compile_expression(iterations)
+            self.iterations = compiled_expression(iterations)
         except ExpressionError as exc:
             raise ApplicationError(f"Phase {name!r}: bad iterations: {exc}") from exc
         self.scheduling_point = scheduling_point
@@ -106,7 +106,7 @@ class ApplicationModel:
                 raise ApplicationError(f"Application {name!r}: {phase!r} is not a Phase")
         self.phases = list(phases)
         try:
-            self.data_per_node = compile_expression(data_per_node)
+            self.data_per_node = compiled_expression(data_per_node)
         except ExpressionError as exc:
             raise ApplicationError(
                 f"Application {name!r}: bad data_per_node: {exc}"

@@ -24,7 +24,15 @@ from repro.application.tasks import (
     PfsWriteTask,
     Task,
 )
-from repro.expressions import BinaryOp, Call, Expression, Number, UnaryOp, Variable
+from repro.expressions import (
+    BinaryOp,
+    Call,
+    CompiledExpression,
+    Expression,
+    Number,
+    UnaryOp,
+    Variable,
+)
 
 
 def expression_to_source(expr: Expression) -> Any:
@@ -33,12 +41,16 @@ def expression_to_source(expr: Expression) -> Any:
     Plain numbers stay numbers (nicer JSON); everything else becomes a
     fully parenthesized string that re-parses to an equivalent AST.
     """
+    if isinstance(expr, CompiledExpression):
+        expr = expr.ast  # serialize the underlying AST, not the wrapper
     if isinstance(expr, Number):
         return expr.value
     return _render(expr)
 
 
 def _render(expr: Expression) -> str:
+    if isinstance(expr, CompiledExpression):
+        expr = expr.ast
     if isinstance(expr, Number):
         return repr(expr.value)
     if isinstance(expr, Variable):

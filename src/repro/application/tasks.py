@@ -5,7 +5,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Mapping, Optional, Union
 
-from repro.expressions import Expression, ExpressionError, compile_expression
+from repro.expressions import Expression, ExpressionError, compiled_expression
 
 ExprLike = Union[str, int, float, Expression]
 
@@ -62,8 +62,11 @@ class Task:
 
     @staticmethod
     def _compile(value: ExprLike, what: str) -> Expression:
+        # Magnitudes go through the compiled pipeline: constant folding for
+        # literal-only expressions, a compiled function otherwise, plus a
+        # binding-keyed memo — semantics identical to the interpreted AST.
         try:
-            return compile_expression(value)
+            return compiled_expression(value)
         except ExpressionError as exc:
             raise ApplicationError(f"Invalid expression for {what}: {exc}") from exc
 

@@ -659,6 +659,9 @@ class Simulation:
         Raises :class:`BatchError` if the workload gets stuck — i.e. events
         ran out while jobs are still pending and nothing can unblock them.
         """
+        from repro.expressions import STATS as _EXPR_STATS
+
+        expr_start = _EXPR_STATS.snapshot()
         tracer = checker = None
         trace_path: Optional[Path] = None
         if trace is not None or check_invariants:
@@ -714,6 +717,7 @@ class Simulation:
                         tracer.to_jsonl(trace_path)
 
         self.monitor.attach_solver_stats(self.batch.model)
+        self.monitor.attach_expression_stats(_EXPR_STATS.since(expr_start))
         self.monitor.finalize()
         if checker is not None:
             from repro.tracing import InvariantViolation, check_monitor

@@ -10,6 +10,7 @@ Subcommands::
     elastisim trace record  --platform p.json --workload w.json --output t.json
     elastisim trace convert t.jsonl t.json
     elastisim trace check   t.jsonl [--nodes N]
+    elastisim profile   [--jobs N] [--nodes N] [--cprofile] [--output p.json]
     elastisim algorithms
 
 ``run`` prints the summary table and optionally writes per-job CSV /
@@ -244,6 +245,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="machine size for allocation-bound checks (default: unchecked)",
     )
 
+    profile = sub.add_parser(
+        "profile", help="profile the engine's hot paths on a reference scenario"
+    )
+    profile.add_argument("--jobs", type=int, default=200, help="workload size")
+    profile.add_argument("--nodes", type=int, default=128, help="machine size")
+    profile.add_argument(
+        "--algorithm",
+        default="easy",
+        help="fcfs | easy | conservative | moldable | malleable",
+    )
+    profile.add_argument("--seed", type=int, default=3, help="workload seed")
+    profile.add_argument(
+        "--output", default=None, metavar="PATH", help="write the profile JSON here"
+    )
+    profile.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="also collect a cProfile top-functions table",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="functions to keep in the cProfile table",
+    )
+
     sub.add_parser("algorithms", help="list built-in scheduling algorithms")
 
     return parser
@@ -425,6 +452,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiling import format_profile_report, profile_run
+
+    payload = profile_run(
+        num_jobs=args.jobs,
+        num_nodes=args.nodes,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        cprofile=args.cprofile,
+        top=args.top,
+    )
+    print(format_profile_report(payload))
+    if args.output is not None:
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"profile written to {args.output}")
+    return EXIT_OK
+
+
 def _cmd_algorithms() -> int:
     from repro.scheduler.algorithms import _REGISTRY
 
@@ -449,6 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign_run(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "algorithms":
             return _cmd_algorithms()
     except InvariantViolation as exc:

@@ -12,6 +12,7 @@ from repro.des.events import (
     AnyOf,
     Event,
     NORMAL,
+    PooledEvent,
     Timeout,
     URGENT,
 )
@@ -37,6 +38,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Free list for :class:`PooledEvent` instances (see
+        #: :meth:`pooled_event`); capped so pathological bursts don't pin
+        #: memory.
+        self._event_pool: list[PooledEvent] = []
         #: Total number of events processed; used by the E5 benchmark.
         self.processed_events: int = 0
         #: Optional flight recorder (see :mod:`repro.tracing`); when set,
@@ -65,6 +70,27 @@ class Environment:
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
         return Event(self)
+
+    def pooled_event(self) -> PooledEvent:
+        """A recycled kernel-internal event, pre-succeeded with ``None``.
+
+        For the resolve/wake/condition-check pattern: append one callback,
+        schedule, forget.  The main loop returns the instance to the pool
+        right after processing, so callers must not keep references past
+        their callback.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = None
+            event._ok = True
+            event._defused = False
+            return event
+        event = PooledEvent(self)
+        event._ok = True
+        event._value = None
+        return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` that fires after ``delay``."""
@@ -102,9 +128,16 @@ class Environment:
         delay: float = 0.0,
     ) -> None:
         """Queue ``event`` to be processed after ``delay``."""
-        if delay < 0:
-            raise ValueError(f"Negative delay {delay}")
-        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if delay:
+            if delay < 0:
+                raise ValueError(f"Negative delay {delay}")
+            time = self._now + delay
+        else:
+            # Hot path: most events fire at the current instant; skip the
+            # float add (``now + 0.0`` is an identity for the non-negative
+            # times the clock takes anyway).
+            time = self._now
+        heappush(self._queue, (time, priority, next(self._eid), event))
 
     def schedule_at(
         self,
@@ -161,6 +194,9 @@ class Environment:
             exc = event._value
             raise exc
 
+        if type(event) is PooledEvent and len(self._event_pool) < 128:
+            self._event_pool.append(event)
+
     # -- running -----------------------------------------------------------
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
@@ -193,9 +229,36 @@ class Environment:
                 self.schedule(stop, priority=URGENT, delay=at - self._now)
                 stop.callbacks.append(self._stop_callback)
 
+        # Inlined main loop — identical semantics to step() in a loop, with
+        # the per-event overhead shaved: pre-bound heappop/queue/pool
+        # locals, no per-step method call, and a fast path for the dominant
+        # "single callback" case.
+        queue = self._queue
+        pop = heappop
+        pool = self._event_pool
         try:
             while True:
-                self.step()
+                while True:
+                    if not queue:
+                        raise EmptySchedule()
+                    now, _, _, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is not None:
+                        event.callbacks = None
+                        break
+                    # Cancelled / already-processed entries: dropped without
+                    # advancing the clock (see step()).
+                self._now = now
+                self.processed_events += 1
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if type(event) is PooledEvent and len(pool) < 128:
+                    pool.append(event)
         except StopSimulation as stop_exc:
             return stop_exc.value
         except EmptySchedule:

@@ -158,6 +158,24 @@ class Event:
         return Condition(self.env, Condition.any_events, [self, other])
 
 
+class PooledEvent(Event):
+    """A kernel-internal one-shot event recycled through the environment.
+
+    The fair-share model's resolve/wake events and condition build-checks
+    are created pre-succeeded, processed once at the current (or a known
+    future) instant, and never escape to user code — so the environment
+    returns them to a free pool right after their callbacks ran instead of
+    leaving one garbage ``Event`` per solve event.  Obtain instances via
+    :meth:`Environment.pooled_event` only; callbacks must not retain or
+    re-schedule them.  ``Timeout`` events are deliberately *not* pooled:
+    they are handed to user code, which may hold references past
+    processing (e.g. the walltime watchdog's ``timer.cancel()``) or embed
+    them in conditions.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
@@ -302,9 +320,8 @@ class Condition(Event):
             self._build_scheduled = True
             # Delay value construction until this event is processed, so the
             # ConditionValue contains every event fired at this instant.
-            check = Event(self.env)
-            check._ok = True
-            check._value = None
+            # Pooled: the check never escapes this closure.
+            check = self.env.pooled_event()
             check.callbacks.append(lambda _e: self._build_value(event))
             # NORMAL priority: the fresh insertion id places this after every
             # event already queued for the current instant, so the condition

@@ -9,6 +9,7 @@ not modelled with these — that is the job of :mod:`repro.sharing`.)
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
@@ -77,9 +78,13 @@ class Resource:
             self._cancel(request)
             return
         if self.queue:
-            nxt = self.queue.popleft()
+            nxt = self._pop_next()
             self.users.append(nxt)
             nxt.succeed()
+
+    def _pop_next(self) -> Request:
+        """Dequeue the next request to grant (subclasses change the order)."""
+        return self.queue.popleft()
 
     def _cancel(self, request: Request) -> None:
         try:
@@ -103,11 +108,20 @@ class PriorityRequest(Request):
 
 
 class PriorityResource(Resource):
-    """A :class:`Resource` whose queue is ordered by request priority."""
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    The queue is a list kept sorted by ``(priority, ticket)`` via
+    ``bisect.insort`` — O(log n) compares + one O(n) shift per enqueue
+    instead of re-sorting the whole queue (O(n log n)) on every request.
+    Ties keep submission order through the monotonic ticket.
+    """
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         super().__init__(env, capacity)
         self._counter = 0
+        # Sorted list, not a deque: insort needs random access.  The base
+        # class only uses append/remove/_pop_next, which both provide.
+        self.queue: list[PriorityRequest] = []  # type: ignore[assignment]
 
     def _ticket(self) -> int:
         self._counter += 1
@@ -119,9 +133,11 @@ class PriorityResource(Resource):
             self.users.append(req)
             req.succeed()
         else:
-            self.queue.append(req)
-            self.queue = deque(sorted(self.queue, key=PriorityRequest.sort_key))
+            insort(self.queue, req, key=PriorityRequest.sort_key)
         return req
+
+    def _pop_next(self) -> PriorityRequest:
+        return self.queue.pop(0)
 
 
 class Container:

@@ -12,7 +12,10 @@ provides a small, safe (no ``eval``) expression language:
 
 Expressions compile once (at model load) into an AST evaluated per task
 instantiation with the variable bindings of the moment (``num_nodes``,
-user-provided job arguments, phase iteration counters).
+user-provided job arguments, phase iteration counters).  The hot path goes
+one step further: :func:`compiled_expression` lowers the AST into a plain
+Python function with constant folding and a binding-keyed memo (see
+:mod:`repro.expressions.compiler`), bit-identical to the interpreter.
 """
 
 from repro.expressions.ast import (
@@ -24,16 +27,30 @@ from repro.expressions.ast import (
     UnaryOp,
     Variable,
 )
+from repro.expressions.compiler import (
+    STATS,
+    CompiledExpression,
+    ExpressionStats,
+    compiled_enabled,
+    compiled_expression,
+    set_compiled_enabled,
+)
 from repro.expressions.parser import compile_expression, parse
 
 __all__ = [
     "BinaryOp",
     "Call",
+    "CompiledExpression",
     "Expression",
     "ExpressionError",
+    "ExpressionStats",
     "Number",
+    "STATS",
     "UnaryOp",
     "Variable",
     "compile_expression",
+    "compiled_enabled",
+    "compiled_expression",
     "parse",
+    "set_compiled_enabled",
 ]

@@ -145,7 +145,12 @@ class Job:
 
         # -- runtime state (owned by the batch system / engine) ------------
         self.state = JobState.PENDING
-        self.assigned_nodes: List = []
+        self._assigned_nodes: List = []
+        #: Bumped on every allocation change; invalidates the cached
+        #: expression-variable bindings (see ``expression_variables``).
+        self._allocation_generation = 0
+        self._variables_cache: Optional[Dict[str, float]] = None
+        self._variables_generation = -1
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self.kill_reason: Optional[str] = None
@@ -220,15 +225,38 @@ class Job:
         """True for jobs whose allocation can change after start."""
         return self.type in (JobType.MALLEABLE, JobType.EVOLVING)
 
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def assigned_nodes(self) -> List:
+        """The job's current allocation (reassign, never mutate in place)."""
+        return self._assigned_nodes
+
+    @assigned_nodes.setter
+    def assigned_nodes(self, nodes: List) -> None:
+        self._assigned_nodes = nodes
+        self._allocation_generation += 1
+
     # -- expression context ----------------------------------------------------
 
     def expression_variables(self, **extra: float) -> Dict[str, float]:
-        """Bindings available to the application model's expressions."""
-        variables: Dict[str, float] = dict(self.arguments)
-        variables["num_nodes"] = len(self.assigned_nodes) or self.num_nodes
-        variables["job_id"] = self.jid
-        variables.update(extra)
-        return variables
+        """Bindings available to the application model's expressions.
+
+        The base binding dict is cached per allocation generation (the
+        executor asks for it once per task); reconfigurations invalidate
+        it through the ``assigned_nodes`` setter.  ``arguments`` are
+        treated as immutable after submission.
+        """
+        base = self._variables_cache
+        if base is None or self._variables_generation != self._allocation_generation:
+            base = dict(self.arguments)
+            base["num_nodes"] = len(self._assigned_nodes) or self.num_nodes
+            base["job_id"] = self.jid
+            self._variables_cache = base
+            self._variables_generation = self._allocation_generation
+        if extra:
+            return {**base, **extra}
+        return dict(base)
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -86,6 +86,12 @@ class Monitor:
         self._finalized_at: Optional[float] = None
         #: Fair-share solver counters, attached at the end of a run.
         self.solver: Optional[SolverStats] = None
+        #: Compiled-expression engine counters for this run (an
+        #: :class:`~repro.expressions.ExpressionStats` delta), attached at
+        #: the end of a run.  Deliberately *not* part of ``run_record()``:
+        #: the counts differ between the compiled and interpreted modes,
+        #: and campaign fingerprints must be mode-independent.
+        self.expressions: Optional[Any] = None
 
     # -- hooks ------------------------------------------------------------
 
@@ -166,6 +172,15 @@ class Monitor:
         solver time from :attr:`solver` after the run.
         """
         self.solver = SolverStats.from_model(model)
+
+    def attach_expression_stats(self, stats: Any) -> None:
+        """Attach this run's compiled-expression counters.
+
+        ``stats`` is the per-run delta of the process-wide
+        :data:`repro.expressions.STATS` (evaluations, memo/constant hits),
+        computed by :meth:`repro.batch.Simulation.run`.
+        """
+        self.expressions = stats
 
     # -- internals ------------------------------------------------------------
 

@@ -43,6 +43,13 @@ class SolverStats:
         Most live components observed at once.
     size_histogram:
         Component size → count, at snapshot time.
+    fast_solves / scalar_solves / vector_solves:
+        How many component solves took the single-activity fast path, the
+        scalar progressive-filling loop, and the vectorized numpy kernel
+        respectively (``fast + scalar + vector == resolves``).  These are
+        wall-clock-free and deterministic for a fixed ``vectorize`` setting,
+        but they *depend* on that setting, so they stay out of
+        ``Monitor.run_record()``.
     """
 
     resolves: int = 0
@@ -55,6 +62,9 @@ class SolverStats:
     component_count: int = 0
     peak_components: int = 0
     size_histogram: Dict[int, int] = field(default_factory=dict)
+    fast_solves: int = 0
+    scalar_solves: int = 0
+    vector_solves: int = 0
 
     @property
     def mean_solve_scope(self) -> float:
@@ -75,6 +85,10 @@ class SolverStats:
             component_count=model.component_count,
             peak_components=model.peak_components,
             size_histogram=model.component_size_histogram(),
+            # getattr: tolerate solver doubles that predate path counters.
+            fast_solves=getattr(model, "fast_solves", 0),
+            scalar_solves=getattr(model, "scalar_solves", 0),
+            vector_solves=getattr(model, "vector_solves", 0),
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -90,4 +104,7 @@ class SolverStats:
             "component_count": self.component_count,
             "peak_components": self.peak_components,
             "size_histogram": {str(k): v for k, v in self.size_histogram.items()},
+            "fast_solves": self.fast_solves,
+            "scalar_solves": self.scalar_solves,
+            "vector_solves": self.vector_solves,
         }

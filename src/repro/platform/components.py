@@ -131,11 +131,20 @@ class Node:
         self.assigned_job = None
         #: True while the node is down (failure injection).
         self.failed = False
+        #: Owning :class:`~repro.platform.platform.Platform`, set when the
+        #: node is attached to one; state changes notify its incremental
+        #: free/allocated indices.  None for standalone nodes (tests).
+        self._pool = None
 
     @property
     def free(self) -> bool:
         """True while no job holds the node and it is operational."""
         return self.state is NodeState.FREE and not self.failed
+
+    def _notify_pool(self) -> None:
+        pool = self._pool
+        if pool is not None:
+            pool._node_changed(self)
 
     def fail(self) -> None:
         """Mark the node as down; it stops being schedulable immediately.
@@ -145,10 +154,12 @@ class Node:
         pool afterwards.
         """
         self.failed = True
+        self._notify_pool()
 
     def repair(self) -> None:
         """Bring the node back into service."""
         self.failed = False
+        self._notify_pool()
 
     def allocate(self, job) -> None:
         """Mark the node as held by ``job``; double allocation is an error."""
@@ -159,6 +170,7 @@ class Node:
             )
         self.state = NodeState.ALLOCATED
         self.assigned_job = job
+        self._notify_pool()
 
     def deallocate(self) -> None:
         """Return the node to the free pool."""
@@ -166,6 +178,7 @@ class Node:
             raise PlatformError(f"Node {self.name} is not allocated")
         self.state = NodeState.FREE
         self.assigned_job = None
+        self._notify_pool()
 
     def __repr__(self) -> str:
         return f"<Node {self.name} {self.state.value} flops={self.flops:g}>"

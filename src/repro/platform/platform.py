@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from bisect import bisect_left, insort
+from typing import List, Optional, Sequence, Set
 
-from repro.platform.components import Node, Pfs, PlatformError
+from repro.platform.components import Node, NodeState, Pfs, PlatformError
 from repro.platform.topology import PFS, Route, Topology
 
 
@@ -45,6 +46,22 @@ class Platform:
         self.pfs = pfs
         topology.attach_nodes(self.nodes)
 
+        # Incremental allocation indices.  Schedulers poll free_nodes() /
+        # num_free_nodes() on every invocation; an O(n) node scan per call
+        # dominated E5 profiles on large machines.  Nodes notify the
+        # platform on every state transition (allocate/deallocate/fail/
+        # repair), which keeps a sorted free-index list and an allocated
+        # set current at O(log n + shift) per *change* instead of O(n) per
+        # *query*.  A node can belong to one platform at a time.
+        self._free_ids: List[int] = []
+        self._allocated_ids: Set[int] = set()
+        for node in self.nodes:
+            node._pool = self
+            if node.free:
+                self._free_ids.append(node.index)
+            if node.assigned_job is not None:
+                self._allocated_ids.add(node.index)
+
     # -- sizing -----------------------------------------------------------
 
     @property
@@ -57,16 +74,34 @@ class Platform:
 
     # -- allocation views ---------------------------------------------------
 
+    def _node_changed(self, node: Node) -> None:
+        """Node state-transition hook keeping the incremental indices exact."""
+        index = node.index
+        free_ids = self._free_ids
+        if node.state is NodeState.FREE and not node.failed:
+            pos = bisect_left(free_ids, index)
+            if pos == len(free_ids) or free_ids[pos] != index:
+                insort(free_ids, index)
+        else:
+            pos = bisect_left(free_ids, index)
+            if pos < len(free_ids) and free_ids[pos] == index:
+                del free_ids[pos]
+        if node.assigned_job is not None:
+            self._allocated_ids.add(index)
+        else:
+            self._allocated_ids.discard(index)
+
     def free_nodes(self) -> List[Node]:
         """Nodes currently not held by any job, in index order."""
-        return [node for node in self.nodes if node.free]
+        nodes = self.nodes
+        return [nodes[i] for i in self._free_ids]
 
     def num_free_nodes(self) -> int:
-        return sum(1 for node in self.nodes if node.free)
+        return len(self._free_ids)
 
     def num_allocated_nodes(self) -> int:
         """Nodes currently held by jobs (excludes failed-but-idle nodes)."""
-        return sum(1 for node in self.nodes if node.assigned_job is not None)
+        return len(self._allocated_ids)
 
     def num_failed_nodes(self) -> int:
         return sum(1 for node in self.nodes if node.failed)

@@ -1,0 +1,258 @@
+"""Hot-path profiling harness for the simulation engine.
+
+:func:`profile_run` executes one reference-configuration simulation (the
+same platform/workload family as benchmark E5) and splits its wall-clock
+time into the engine's hot sections:
+
+``solver``
+    Cumulative time inside ``solve_max_min`` (the fair-share kernel), read
+    from the model's own ``solver_time`` counter.
+``scheduler``
+    Time inside the scheduling algorithm's ``schedule()`` (wrapped per
+    instance for the duration of the run).
+``expressions``
+    Time inside ``CompiledExpression.evaluate`` (wrapped at class level
+    for the duration of the run).
+``other``
+    Everything else — event kernel, activity bookkeeping, monitoring.
+
+Alongside the section split it reports the engine's own perf counters
+(solver path counts, expression memo hit rate, processed events) and can
+optionally attach a cProfile top-functions table.  The result is a plain
+JSON-serialisable dict with a versioned ``schema`` tag; ``elastisim
+profile`` and ``benchmarks/profile_hotpaths.py`` are thin wrappers around
+it.  See ``docs/PERFORMANCE.md`` for how to read the output.
+
+The section timers add a few percent of overhead (two ``perf_counter``
+calls per wrapped invocation); treat ``wall_s`` from a profile run as an
+upper bound and use benchmark E5 for headline numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, List
+
+from repro.batch import Simulation
+from repro.expressions import STATS as _EXPR_STATS
+from repro.expressions import CompiledExpression
+from repro.platform import platform_from_dict
+from repro.workload import WorkloadSpec, generate_workload
+
+__all__ = ["profile_run", "format_profile_report", "PROFILE_SCHEMA"]
+
+#: Version tag stamped into every profile payload.
+PROFILE_SCHEMA = "elastisim-profile/1"
+
+
+def _reference_simulation(
+    num_jobs: int, num_nodes: int, algorithm: str, seed: int
+) -> Simulation:
+    """Build the E5 scheduling-bound reference scenario.
+
+    Mirrors ``benchmarks/common.py``'s evaluation platform and workload mix
+    (offered load 0.9, power-of-two node requests, comm_bytes=0 so event
+    counts are dominated by scheduling) without importing the benchmarks
+    package — the engine must not depend on the test harness.
+    """
+    platform = platform_from_dict(
+        {
+            "name": f"eval-{num_nodes}",
+            "nodes": {"count": num_nodes, "flops": 1e12},
+            "network": {
+                "topology": "star",
+                "bandwidth": 10e9,
+                "latency": 1e-6,
+                "pfs_bandwidth": 200e9,
+            },
+            "pfs": {"read_bw": 100e9, "write_bw": 80e9},
+        }
+    )
+    max_request = min(64, num_nodes)
+    mean_interarrival = 10.0
+    exps = range(int(math.log2(max_request)) + 1)
+    mean_request = sum(2.0**e for e in exps) / len(exps)
+    mean_runtime = 0.9 * mean_interarrival * num_nodes / mean_request
+    jobs = generate_workload(
+        WorkloadSpec(
+            num_jobs=num_jobs,
+            mean_interarrival=mean_interarrival,
+            min_request=1,
+            max_request=max_request,
+            mean_runtime=mean_runtime,
+            runtime_sigma=0.8,
+            comm_bytes=0.0,
+            walltime_slack=10.0,
+            node_flops=1e12,
+        ),
+        seed=seed,
+    )
+    return Simulation(platform, jobs, algorithm=algorithm)
+
+
+def profile_run(
+    *,
+    num_jobs: int = 200,
+    num_nodes: int = 128,
+    algorithm: str = "easy",
+    seed: int = 3,
+    cprofile: bool = False,
+    top: int = 25,
+) -> Dict[str, Any]:
+    """Run the reference scenario and return a profile payload.
+
+    Returns a JSON-serialisable dict: configuration, wall clock, the
+    section split described in the module docstring, solver and expression
+    counters, and (with ``cprofile=True``) the ``top`` functions by
+    internal time.
+    """
+    sim = _reference_simulation(num_jobs, num_nodes, algorithm, seed)
+    sections = {"scheduler": 0.0, "expressions": 0.0}
+    perf_counter = time.perf_counter
+
+    # Wrap the algorithm instance's schedule() — instance attribute, so
+    # only this run is affected.
+    algo = sim.batch.algorithm
+    orig_schedule = algo.schedule
+
+    def timed_schedule(*args: Any, **kwargs: Any) -> Any:
+        t0 = perf_counter()
+        try:
+            return orig_schedule(*args, **kwargs)
+        finally:
+            sections["scheduler"] += perf_counter() - t0
+
+    algo.schedule = timed_schedule  # type: ignore[method-assign]
+
+    # Wrap CompiledExpression.evaluate at class level for the run; nothing
+    # else evaluates expressions concurrently in a single-threaded sim.
+    orig_evaluate = CompiledExpression.evaluate
+
+    def timed_evaluate(self: CompiledExpression, variables: Any) -> Any:
+        t0 = perf_counter()
+        try:
+            return orig_evaluate(self, variables)
+        finally:
+            sections["expressions"] += perf_counter() - t0
+
+    CompiledExpression.evaluate = timed_evaluate  # type: ignore[method-assign]
+
+    profiler = None
+    if cprofile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    expr_start = _EXPR_STATS.snapshot()
+    try:
+        start = perf_counter()
+        if profiler is not None:
+            profiler.enable()
+        try:
+            monitor = sim.run()
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        wall = perf_counter() - start
+    finally:
+        CompiledExpression.evaluate = orig_evaluate  # type: ignore[method-assign]
+        algo.schedule = orig_schedule  # type: ignore[method-assign]
+
+    solver = monitor.solver
+    solver_s = solver.solver_time if solver is not None else 0.0
+    other_s = max(
+        0.0, wall - solver_s - sections["scheduler"] - sections["expressions"]
+    )
+    events = sim.env.processed_events
+    payload: Dict[str, Any] = {
+        "schema": PROFILE_SCHEMA,
+        "config": {
+            "num_jobs": num_jobs,
+            "num_nodes": num_nodes,
+            "algorithm": algorithm,
+            "seed": seed,
+        },
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+        "sections": {
+            "solver_s": solver_s,
+            "scheduler_s": sections["scheduler"],
+            "expressions_s": sections["expressions"],
+            "other_s": other_s,
+        },
+        "counters": {
+            "invocations": sim.batch.invocations,
+            "completed_jobs": monitor.summary().completed_jobs,
+            "solver": solver.as_dict() if solver is not None else {},
+            "expressions": _EXPR_STATS.since(expr_start).as_dict(),
+        },
+    }
+    if profiler is not None:
+        payload["top_functions"] = _top_functions(profiler, top)
+    return payload
+
+
+def _top_functions(profiler: Any, top: int) -> List[Dict[str, Any]]:
+    """Extract the ``top`` rows by internal time from a cProfile run."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": nc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    rows.sort(key=lambda row: row["tottime_s"], reverse=True)
+    return rows[:top]
+
+
+def format_profile_report(payload: Dict[str, Any]) -> str:
+    """Render a profile payload as a human-readable text report."""
+    config = payload["config"]
+    sections = payload["sections"]
+    counters = payload["counters"]
+    wall = payload["wall_s"]
+    lines = [
+        f"profile: {config['num_jobs']} jobs / {config['num_nodes']} nodes "
+        f"/ {config['algorithm']} (seed {config['seed']})",
+        f"wall       : {wall:.3f} s "
+        f"({payload['events']} events, {payload['events_per_s']:.0f} ev/s)",
+    ]
+    for key, label in (
+        ("solver_s", "solver"),
+        ("scheduler_s", "scheduler"),
+        ("expressions_s", "expressions"),
+        ("other_s", "kernel/other"),
+    ):
+        value = sections[key]
+        share = value / wall if wall > 0 else 0.0
+        lines.append(f"{label:11s}: {value:.3f} s ({share:6.1%})")
+    solver = counters.get("solver") or {}
+    if solver:
+        lines.append(
+            "solver     : "
+            f"{solver.get('resolves', 0)} resolves "
+            f"(fast={solver.get('fast_solves', 0)} "
+            f"scalar={solver.get('scalar_solves', 0)} "
+            f"vector={solver.get('vector_solves', 0)})"
+        )
+    expr = counters.get("expressions") or {}
+    if expr:
+        lines.append(
+            "expressions: "
+            f"{expr.get('evaluations', 0)} evaluations, "
+            f"hit rate {expr.get('hit_rate', 0.0):.1%}"
+        )
+    for row in payload.get("top_functions", [])[:10]:
+        lines.append(
+            f"  {row['tottime_s']:8.3f}s  {row['calls']:>9} calls  "
+            f"{row['function']}"
+        )
+    return "\n".join(lines)

@@ -34,9 +34,23 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.des.environment import Environment
 from repro.des.events import Event, URGENT
 
+try:  # numpy backs the vectorized solver; scalar path needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 
 #: Relative slack used when deciding that remaining work hit zero.
 _FINISH_TOL = 1e-9
+
+#: Component size from which the auto dispatch (``vectorize=None``) picks
+#: the numpy kernel; below it, array setup costs more than the dict scans.
+VECTOR_CROSSOVER = 32
+
+#: Process-wide default for ``solve_max_min``'s auto dispatch: ``True``
+#: forces the vectorized kernel, ``False`` forces the scalar loop, ``None``
+#: selects by component size.  Tests flip this for whole-run A/B checks.
+DEFAULT_VECTORIZE: Optional[bool] = None
 
 
 class ActivityCancelled(Exception):
@@ -158,17 +172,87 @@ class Activity:
         return self._model is not None
 
 
-def solve_max_min(activities: Iterable[Activity]) -> None:
+def solve_max_min(
+    activities: Iterable[Activity], *, vectorize: Optional[bool] = None
+) -> str:
     """Assign weighted max-min fair rates to ``activities`` in place.
 
     Implements progressive filling.  Activities with no resource usages are
     only limited by their ``bound`` (infinite bound → infinite rate, which
     the model treats as instantaneous completion of their remaining work).
+
+    ``vectorize`` selects the kernel: ``False`` runs the reference scalar
+    loop, ``True`` the numpy kernel, ``None`` (default) defers to
+    :data:`DEFAULT_VECTORIZE` and otherwise auto-dispatches by component
+    size (:data:`VECTOR_CROSSOVER`).  Both kernels — and the
+    single-activity fast path — are *bit-identical*: same float operations
+    in the same order, same freeze order, same tie-breaking (asserted by
+    ``tests/sharing/test_vectorized_solver.py``), so campaign fingerprints
+    do not depend on the dispatch.  Returns the path taken (``"fast"``,
+    ``"scalar"``, or ``"vector"``) for the model's perf counters.
     """
     # Deterministic processing order (creation order): float accumulation
     # and tie-breaking must not depend on set iteration order, or identical
     # runs would diverge across processes.
-    acts = sorted(activities, key=lambda a: a._seq)
+    acts = list(activities)
+    if not acts:
+        return "scalar"
+    if len(acts) == 1:  # dominant case: skip the sort machinery entirely
+        _solve_single(acts[0])
+        return "fast"
+    acts.sort(key=lambda a: a._seq)
+    mode = vectorize if vectorize is not None else DEFAULT_VECTORIZE
+    if _np is not None and (
+        mode is True or (mode is None and len(acts) >= VECTOR_CROSSOVER)
+    ):
+        _solve_vector(acts)
+        return "vector"
+    _solve_scalar(acts)
+    return "scalar"
+
+
+def _solve_single(act: Activity) -> None:
+    """One-activity progressive filling, unrolled.
+
+    The dominant case in practice (activities on disjoint nodes form
+    singleton components).  Replays exactly the float operations the scalar
+    loop performs for one activity: one theta round, bound snap included.
+    """
+    act.rate = 0.0
+    usages = act.usages
+    if not usages:
+        act.rate = act.bound
+        return
+    w = act.weight
+    theta = inf
+    for res, factor in usages.items():
+        d = factor * w
+        if d > 1e-15:
+            ratio = res.capacity / d
+            if ratio < theta:
+                theta = ratio
+    bound = act.bound
+    limited_by_bound = False
+    if bound < inf:
+        ratio = (bound - 0.0) / w
+        if ratio < theta:
+            theta = ratio
+            limited_by_bound = True
+    if theta == inf:
+        act.rate = inf
+        return
+    rate = 0.0
+    if theta > 0:
+        rate = 0.0 + theta * w
+    if bound < inf and rate >= bound * (1 - 1e-12):
+        rate = bound
+    if limited_by_bound:
+        rate = bound
+    act.rate = rate
+
+
+def _solve_scalar(acts: List[Activity]) -> None:
+    """Reference progressive-filling loop over dicts (creation-ordered)."""
     for act in acts:
         act.rate = 0.0
 
@@ -275,6 +359,140 @@ def solve_max_min(activities: Iterable[Activity]) -> None:
             bounded.pop(act, None)
 
 
+def _solve_vector(acts: List[Activity]) -> None:
+    """Numpy progressive filling, bit-identical to :func:`_solve_scalar`.
+
+    Index ``i`` stands in for the activity at position ``i`` of the
+    creation-ordered ``acts`` list, and resources are numbered in the same
+    first-encounter order the scalar loop builds its dicts in.  Every float
+    operation is a float64 elementwise op matching a scalar Python-float op
+    one-to-one (IEEE-identical), ``np.argmin`` returns the first occurrence
+    of the minimum — the scalar loop's strict-``<`` first-win tie-break —
+    and freezes are processed in the same insertion order.  The scalar
+    demand *accumulation* (first-encounter order) and per-freeze demand
+    decrements stay plain Python floats so rounding matches exactly.
+    """
+    np = _np
+    n = len(acts)
+    rates = np.zeros(n)
+    weights = np.empty(n)
+    bounds = np.empty(n)
+    unfrozen = np.zeros(n, dtype=bool)
+    n_unfrozen = 0
+    for i, act in enumerate(acts):
+        act.rate = 0.0
+        weights[i] = act.weight
+        bounds[i] = act.bound
+        if act.usages:
+            unfrozen[i] = True
+            n_unfrozen += 1
+        else:
+            rates[i] = act.bound  # unconstrained: progress at the bound
+
+    if n_unfrozen:
+        # Resource tables, in the scalar loop's first-encounter order.
+        res_index: Dict[SharedResource, int] = {}
+        caps: List[float] = []
+        demand_py: List[float] = []
+        users: List[Dict[int, None]] = []
+        act_edges: List[Optional[List[tuple]]] = [None] * n
+        for i, act in enumerate(acts):
+            if not unfrozen[i]:
+                continue
+            w = act.weight
+            edges = []
+            for res, factor in act.usages.items():
+                j = res_index.get(res)
+                if j is None:
+                    j = len(caps)
+                    res_index[res] = j
+                    caps.append(res.capacity)
+                    demand_py.append(0.0)
+                    users.append({})
+                demand_py[j] += factor * w
+                users[j][i] = None
+                edges.append((j, factor))
+            act_edges[i] = edges
+        m = len(caps)
+        caps_arr = np.array(caps)
+        residual = caps_arr.copy()
+        demand = np.array(demand_py)
+        user_count = np.fromiter(
+            (len(u) for u in users), dtype=np.int64, count=m
+        )
+        sat_tol = np.maximum(1e-12, 1e-12 * caps_arr)
+        bounded: Dict[int, None] = {
+            i: None for i in range(n) if unfrozen[i] and acts[i].bound < inf
+        }
+        ratios = np.empty(m)
+
+        while n_unfrozen:
+            theta = inf
+            limiting_res = -1
+            limiting_act = -1
+            active = (user_count > 0) & (demand > 1e-15)
+            if active.any():
+                np.copyto(ratios, inf)
+                np.divide(residual, demand, out=ratios, where=active)
+                j = int(np.argmin(ratios))
+                t = float(ratios[j])
+                if t < inf:
+                    theta = t
+                    limiting_res = j
+            if bounded:
+                b_idx = np.fromiter(bounded, dtype=np.int64, count=len(bounded))
+                b_ratios = (bounds[b_idx] - rates[b_idx]) / weights[b_idx]
+                k = int(np.argmin(b_ratios))
+                t = float(b_ratios[k])
+                if t < theta:
+                    theta = t
+                    limiting_res = -1
+                    limiting_act = int(b_idx[k])
+
+            if theta == inf:
+                rates[unfrozen] = inf
+                break
+
+            if theta > 0:
+                rates[unfrozen] += theta * weights[unfrozen]
+                residual -= theta * demand
+
+            frozen: Dict[int, None] = {}
+            sat = (user_count > 0) & (residual <= sat_tol)
+            for j in np.nonzero(sat)[0]:
+                residual[j] = 0.0
+                frozen.update(users[j])
+            for i in bounded:
+                if rates[i] >= bounds[i] * (1 - 1e-12):
+                    rates[i] = bounds[i]
+                    frozen[i] = None
+            if limiting_res >= 0 and user_count[limiting_res] > 0:
+                frozen.update(users[limiting_res])
+                residual[limiting_res] = 0.0
+            if limiting_act >= 0:
+                rates[limiting_act] = bounds[limiting_act]
+                frozen[limiting_act] = None
+
+            if not frozen:  # pragma: no cover - defensive; cannot happen now
+                frozen = {i: None for i in range(n) if unfrozen[i]}
+
+            for i in frozen:
+                if not unfrozen[i]:
+                    continue
+                w = acts[i].weight
+                for j, factor in act_edges[i]:
+                    uj = users[j]
+                    del uj[i]
+                    user_count[j] -= 1
+                    demand[j] = demand[j] - factor * w if uj else 0.0
+                unfrozen[i] = False
+                n_unfrozen -= 1
+                bounded.pop(i, None)
+
+    for i, act in enumerate(acts):
+        act.rate = float(rates[i])
+
+
 class Component:
     """One connected component of the activity↔resource graph.
 
@@ -329,14 +547,25 @@ class FairShareModel:
         ``False`` forces every activity into one global component — the
         pre-incremental behaviour, kept as a bit-exact reference for tests
         and old-vs-new benchmarks.
+    vectorize:
+        Per-model override for the solver kernel, passed through to
+        :func:`solve_max_min` (``None`` = auto by component size; both
+        kernels are bit-identical, so this only affects speed).
 
     Event-count bookkeeping (``resolves`` et al.) feeds the E5 simulator
     performance benchmark; see :class:`repro.monitoring.SolverStats`.
     """
 
-    def __init__(self, env: Environment, *, partition: bool = True) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        partition: bool = True,
+        vectorize: Optional[bool] = None,
+    ) -> None:
         self.env = env
         self._partition = partition
+        self._vectorize = vectorize
         #: activity → owning component (also the running-activity registry).
         self._comp_of: Dict[Activity, Component] = {}
         #: resource → ordered dict of current users (adjacency index).
@@ -369,6 +598,10 @@ class FairShareModel:
         self.splits: int = 0
         #: Most live components observed at once.
         self.peak_components: int = 0
+        #: Solve-kernel dispatch counts (see ``solve_max_min``).
+        self.fast_solves: int = 0
+        self.scalar_solves: int = 0
+        self.vector_solves: int = 0
         #: Optional flight recorder (see :mod:`repro.tracing`); attached by
         #: ``Simulation.run(trace=...)``.  Guarded per flush, so the
         #: disabled path costs one ``is None`` check per solve event.
@@ -590,9 +823,7 @@ class FairShareModel:
         if self._resolve_scheduled:
             return
         self._resolve_scheduled = True
-        resolve = Event(self.env)
-        resolve._ok = True
-        resolve._value = None
+        resolve = self.env.pooled_event()
         resolve.callbacks.append(lambda _e: self._do_resolve())
         self.env.schedule(resolve, priority=URGENT)
 
@@ -612,8 +843,14 @@ class FairShareModel:
                 if not comp.alive or not comp.acts:
                     continue
                 started = perf_counter()
-                solve_max_min(comp.acts)
+                path = solve_max_min(comp.acts, vectorize=self._vectorize)
                 self.solver_time += perf_counter() - started
+                if path == "fast":
+                    self.fast_solves += 1
+                elif path == "vector":
+                    self.vector_solves += 1
+                else:
+                    self.scalar_solves += 1
                 self.resolves += 1
                 size = len(comp.acts)
                 self.solved_activities += size
@@ -677,9 +914,7 @@ class FairShareModel:
         if not heap:
             return
         version = self._wake_version
-        wake = Event(self.env)
-        wake._ok = True
-        wake._value = None
+        wake = self.env.pooled_event()
         wake.callbacks.append(lambda _e: self._on_wake(version))
         self.env.schedule_at(wake, heap[0][0], priority=URGENT)
 

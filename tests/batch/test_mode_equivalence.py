@@ -1,0 +1,73 @@
+"""Engine fast paths must not change simulation results.
+
+The compiled-expression pipeline and the vectorized max-min kernel are
+pure performance features: a run's ``Monitor.run_record()`` — the payload
+campaign fingerprints and the CI regression gate key on — must serialise
+byte-identically whichever combination of (compiled | interpreted
+expressions) x (scalar | vectorized | auto solver) is active, across
+rigid, malleable, and evolving jobs, with the invariant checker on.
+"""
+
+import json
+
+import pytest
+
+import repro.sharing.model as sharing_model
+from repro import Simulation, platform_from_dict
+from repro.expressions import set_compiled_enabled
+from repro.workload import WorkloadSpec, generate_workload
+
+PLATFORM_SPEC = {
+    "nodes": {"count": 32, "flops": 1e12},
+    "network": {"topology": "star", "bandwidth": 10e9, "pfs_bandwidth": 1e11},
+    "pfs": {"read_bw": 1e11, "write_bw": 8e10},
+}
+
+#: (compiled expressions?, DEFAULT_VECTORIZE) — None is the shipped
+#: auto-dispatch; the first entry is the reference configuration.
+MODES = [
+    (True, None),
+    (True, False),
+    (True, True),
+    (False, False),
+]
+
+
+def _run_record(compiled: bool, vectorize, algorithm: str) -> str:
+    platform = platform_from_dict(PLATFORM_SPEC)
+    jobs = generate_workload(
+        WorkloadSpec(
+            num_jobs=20,
+            mean_interarrival=10.0,
+            max_request=32,
+            mean_runtime=60.0,
+            malleable_fraction=0.4,
+            evolving_fraction=0.2,
+            comm_bytes=1e6,  # multi-activity components: exercises the vector kernel
+            input_bytes_per_flop=1e-5,
+            output_bytes_per_flop=1e-5,
+            data_per_node=1e8,
+        ),
+        seed=11,
+    )
+    set_compiled_enabled(compiled)
+    old_vectorize = sharing_model.DEFAULT_VECTORIZE
+    sharing_model.DEFAULT_VECTORIZE = vectorize
+    try:
+        monitor = Simulation(platform, jobs, algorithm=algorithm).run(
+            check_invariants=True
+        )
+    finally:
+        set_compiled_enabled(True)
+        sharing_model.DEFAULT_VECTORIZE = old_vectorize
+    return json.dumps(monitor.run_record(), sort_keys=True)
+
+
+@pytest.mark.parametrize("algorithm", ["easy", "malleable"])
+def test_run_record_byte_identical_across_engine_modes(algorithm):
+    reference = _run_record(*MODES[0], algorithm)
+    for compiled, vectorize in MODES[1:]:
+        assert _run_record(compiled, vectorize, algorithm) == reference, (
+            f"run_record diverged for compiled={compiled} "
+            f"vectorize={vectorize} algorithm={algorithm}"
+        )

@@ -87,6 +87,27 @@ class TestPriorityResource:
         res.release(held)
         assert first.triggered and not second.triggered
 
+    def test_mixed_interleaved_priorities_grant_in_sorted_order(self):
+        # Regression for the insort-based queue: a long interleaved mix of
+        # priorities (inserted out of order, with a cancellation in the
+        # middle) must still grant strictly by (priority, arrival order).
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        held = res.request(priority=0)
+        priorities = [7, 2, 9, 2, 0, 5, 0, 9, 2, 1]
+        pending = [res.request(priority=p) for p in priorities]
+        cancelled = pending.pop(3)  # one of the priority-2 requests
+        cancelled.cancel()
+        expected = sorted(pending, key=lambda r: (r.priority, r._order))
+        granted = []
+        res.release(held)
+        for _ in expected:
+            current = next(r for r in pending if r.triggered and r not in granted)
+            granted.append(current)
+            res.release(current)
+        assert granted == expected
+        assert not res.queue
+
 
 class TestContainer:
     def test_validation(self):

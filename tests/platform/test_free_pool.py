@@ -1,0 +1,84 @@
+"""The platform's incremental free/allocated indices vs a brute-force scan.
+
+``Platform.free_nodes()`` used to scan all nodes per call; it now maintains
+sorted indices updated from node state transitions.  These tests drive
+random allocate/deallocate/fail/repair sequences and assert the indices
+always match what a full scan would report.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform import Node, Platform, PlatformError
+from repro.platform.topology import StarTopology
+
+
+def _platform(num_nodes: int) -> Platform:
+    nodes = [Node(i, 1e12) for i in range(num_nodes)]
+    return Platform(nodes, StarTopology(num_nodes, bandwidth=1e10, latency=1e-6))
+
+
+def _check_consistency(platform: Platform) -> None:
+    scan_free = [n for n in platform.nodes if n.free]
+    assert platform.free_nodes() == scan_free
+    assert platform.num_free_nodes() == len(scan_free)
+    assert platform.num_allocated_nodes() == sum(
+        1 for n in platform.nodes if n.assigned_job is not None
+    )
+
+
+def test_initial_pool_is_all_nodes():
+    platform = _platform(8)
+    _check_consistency(platform)
+    assert platform.num_free_nodes() == 8
+
+
+def test_allocate_and_fail_interact():
+    platform = _platform(4)
+    job = object()
+    node = platform.nodes[1]
+    node.allocate(job)
+    _check_consistency(platform)
+    # Failing an allocated node: stays allocated, stays out of free pool.
+    node.fail()
+    _check_consistency(platform)
+    node.deallocate()
+    _check_consistency(platform)
+    assert node.index not in [n.index for n in platform.free_nodes()]
+    node.repair()
+    _check_consistency(platform)
+    assert node.index in [n.index for n in platform.free_nodes()]
+
+
+def test_double_allocate_keeps_indices_exact():
+    platform = _platform(2)
+    platform.nodes[0].allocate(object())
+    with pytest.raises(PlatformError):
+        platform.nodes[0].allocate(object())
+    _check_consistency(platform)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["allocate", "deallocate", "fail", "repair"]),
+            st.integers(min_value=0, max_value=9),
+        ),
+        max_size=60,
+    )
+)
+def test_random_transitions_match_brute_force(ops):
+    platform = _platform(10)
+    job = object()
+    for op, index in ops:
+        node = platform.nodes[index]
+        if op == "allocate" and node.state.value == "free":
+            node.allocate(job)
+        elif op == "deallocate" and node.state.value == "allocated":
+            node.deallocate()
+        elif op == "fail":
+            node.fail()
+        elif op == "repair":
+            node.repair()
+        _check_consistency(platform)

@@ -1,0 +1,155 @@
+"""Bit-exactness of the vectorized max-min kernel vs the scalar reference.
+
+PR 2's campaign result cache keys on byte-identical run records, so the
+numpy kernel may not merely be *close* to the scalar progressive-filling
+loop — every rate must be the same float, produced by the same freeze
+order and tie-breaking.  The property test below generates adversarial
+component graphs (shared resources, zero-weight-like tiny weights,
+unbounded activities, infinite capacities) and compares all three kernels
+(`_solve_scalar`, `_solve_vector`, `_solve_single`) for exact equality.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sharing import Activity, SharedResource, solve_max_min
+from repro.sharing.model import (
+    DEFAULT_VECTORIZE,
+    VECTOR_CROSSOVER,
+    _np,
+    _solve_scalar,
+    _solve_single,
+    _solve_vector,
+)
+
+needs_numpy = pytest.mark.skipif(_np is None, reason="numpy not installed")
+
+_capacities = st.one_of(
+    st.floats(min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.just(math.inf),
+)
+_factors = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_weights = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_bounds = st.one_of(
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.just(math.inf),
+)
+
+
+@st.composite
+def _components(draw, min_acts=2, max_acts=40):
+    """A random activity/resource component, adversarially shaped."""
+    num_resources = draw(st.integers(min_value=1, max_value=6))
+    resources = [
+        SharedResource(f"r{i}", draw(_capacities)) for i in range(num_resources)
+    ]
+    num_acts = draw(st.integers(min_value=min_acts, max_value=max_acts))
+    acts = []
+    for _ in range(num_acts):
+        # Possibly no usages at all: rate is then bound-only (or infinite).
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_resources - 1),
+                max_size=3,
+                unique=True,
+            )
+        )
+        usages = {resources[i]: draw(_factors) for i in indices}
+        acts.append(
+            Activity(1.0, usages, weight=draw(_weights), bound=draw(_bounds))
+        )
+    return acts
+
+
+def _rates(solver, acts):
+    for act in acts:
+        act.rate = 0.0
+    solver(acts)
+    return [act.rate for act in acts]
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        # Exact float identity — not approx — including inf; repr also
+        # catches a -0.0 vs 0.0 divergence.
+        assert repr(x) == repr(y)
+
+
+@needs_numpy
+@settings(max_examples=200, deadline=None)
+@given(acts=_components())
+def test_vector_kernel_bit_identical_to_scalar(acts):
+    scalar = _rates(_solve_scalar, acts)
+    vector = _rates(_solve_vector, acts)
+    _assert_identical(scalar, vector)
+
+
+@settings(max_examples=100, deadline=None)
+@given(acts=_components(min_acts=1, max_acts=1))
+def test_single_fast_path_bit_identical_to_scalar(acts):
+    scalar = _rates(_solve_scalar, acts)
+    fast = _rates(lambda a: _solve_single(a[0]), acts)
+    _assert_identical(scalar, fast)
+
+
+@needs_numpy
+@settings(max_examples=100, deadline=None)
+@given(acts=_components())
+def test_public_api_dispatch_is_equivalent(acts):
+    scalar = _rates(lambda a: solve_max_min(a, vectorize=False), acts)
+    vector = _rates(lambda a: solve_max_min(a, vectorize=True), acts)
+    _assert_identical(scalar, vector)
+
+
+def test_dispatch_paths_and_default():
+    assert DEFAULT_VECTORIZE is None  # auto mode is the shipped default
+    r = SharedResource("r", 100.0)
+
+    assert solve_max_min([]) == "scalar"
+    assert solve_max_min([Activity(1.0, {r: 1.0})]) == "fast"
+
+    few = [Activity(1.0, {r: 1.0}) for _ in range(2)]
+    assert solve_max_min(few) == "scalar"  # below the crossover
+
+    many = [Activity(1.0, {r: 1.0}) for _ in range(VECTOR_CROSSOVER)]
+    expected = "vector" if _np is not None else "scalar"
+    assert solve_max_min(many) == expected
+    # All activities identical: everyone gets capacity / n either way.
+    for act in many:
+        assert act.rate == pytest.approx(100.0 / VECTOR_CROSSOVER)
+
+
+@needs_numpy
+def test_explicit_vectorize_overrides_crossover():
+    r = SharedResource("r", 10.0)
+    pair = [Activity(1.0, {r: 1.0}) for _ in range(2)]
+    assert solve_max_min(pair, vectorize=True) == "vector"
+    rates = [act.rate for act in pair]
+    assert solve_max_min(pair, vectorize=False) == "scalar"
+    _assert_identical(rates, [act.rate for act in pair])
+
+
+@needs_numpy
+def test_infinite_capacity_and_unbounded_rates_agree():
+    # capacity=inf makes the saturation tolerance infinite — a historical
+    # scalar-loop quirk the vector kernel must replicate, not fix.
+    free = SharedResource("free", math.inf)
+    tight = SharedResource("tight", 10.0)
+    acts = [
+        Activity(1.0, {free: 1.0}),
+        Activity(1.0, {free: 2.0, tight: 1.0}),
+        Activity(1.0, {}, bound=5.0),
+        Activity(1.0, {}),  # no usages, no bound: rate must become inf
+    ]
+    scalar = _rates(_solve_scalar, acts)
+    vector = _rates(_solve_vector, acts)
+    _assert_identical(scalar, vector)
+    assert scalar[3] == math.inf
+    assert scalar[2] == 5.0

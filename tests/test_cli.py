@@ -470,3 +470,40 @@ class TestTraceCommands:
         assert code == EXIT_OK
         assert trace.exists()
         assert "trace written" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_smoke_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--jobs",
+                "20",
+                "--nodes",
+                "8",
+                "--seed",
+                "2",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == EXIT_OK
+        assert "kernel/other" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "elastisim-profile/1"
+        sections = payload["sections"]
+        total = sum(sections.values())
+        # Sections partition the wall clock (other_s absorbs the remainder).
+        assert total == pytest.approx(payload["wall_s"], rel=1e-6)
+        assert payload["events"] > 0
+        assert payload["counters"]["solver"]["resolves"] > 0
+        assert payload["counters"]["expressions"]["evaluations"] > 0
+
+    def test_profile_cprofile_top_functions(self, capsys):
+        code = main(
+            ["profile", "--jobs", "5", "--nodes", "4", "--cprofile", "--top", "3"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "calls" in out
