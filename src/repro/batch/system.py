@@ -321,7 +321,25 @@ class BatchSystem:
         if proc is not None and proc.is_alive:
             self._kill_pending.add(job.jid)
             self._log_decision(f"kill:{job.name}:{reason}")
+            if proc is self.env.active_process:
+                # The scheduler is killing the very job whose scheduling
+                # point (or evolving request) triggered this invocation —
+                # the interrupt would be a self-interrupt, which the DES
+                # forbids.  Deliver it from a helper process instead: it
+                # runs at the same instant, right after the executor's
+                # next yield.
+                self.env.process(
+                    self._deferred_kill(job, proc, reason),
+                    name=f"kill-{job.name}",
+                )
+            else:
+                proc.interrupt(reason)
+
+    def _deferred_kill(self, job: Job, proc, reason: str):
+        if proc.is_alive and job.jid in self._kill_pending:
             proc.interrupt(reason)
+        return
+        yield  # pragma: no cover - generator marker, never reached
 
     # -- engine callbacks (BatchCallbacks protocol) ----------------------------
 
@@ -461,6 +479,22 @@ class BatchSystem:
         self.jobs.append(clone)
         self.queue.append(clone)
         self.monitor.on_submit(clone)
+        tracer = self.tracer
+        if tracer is not None:
+            # Mirror _submitter's record: the queue-accounting invariant
+            # counts submits from the trace stream, and a requeue clone is
+            # a submission like any other.
+            tracer.instant(
+                "job.submit",
+                "batch",
+                clone.name,
+                self.env.now,
+                jid=clone.jid,
+                user=clone.user,
+                type=clone.type.value,
+                nodes=clone.num_nodes,
+                queued=len(self.queue),
+            )
         self._invoke(InvocationType.JOB_SUBMIT, clone)
         return True
 
@@ -563,16 +597,24 @@ class Simulation:
         between runs, let alone pickled across processes mid-flight.
 
         Recognised keys: ``platform`` (a :func:`platform_from_dict` spec),
-        ``workload`` (either ``{"generate": {<WorkloadSpec fields>}}`` or
-        ``{"file": <path>}``), ``algorithm``, ``seed``, and ``sim``
-        (``invocation_interval``, ``requeue_on_failure``, ``max_requeues``,
-        ``checkpoint_restart``, and optional ``failures`` with
-        ``mtbf``/``mean_repair``/``seed``).  Unknown top-level keys (report
-        labels like ``name``/``params``) are ignored.
+        ``workload`` (``{"generate": {<WorkloadSpec fields>}}``,
+        ``{"file": <path>}`` or an explicit inline job list
+        ``{"inline": {<workload_from_dict spec>}}``), ``algorithm``,
+        ``seed``, and ``sim`` (``invocation_interval``,
+        ``requeue_on_failure``, ``max_requeues``, ``checkpoint_restart``,
+        and optional ``failures`` — either a synthetic-trace block with
+        ``mtbf``/``mean_repair``/``seed`` or an explicit
+        ``{"trace": [{"time", "node", "downtime"}, ...]}`` list).  Unknown
+        top-level keys (report labels like ``name``/``params``) are ignored.
         """
-        from repro.failures import generate_failures
+        from repro.failures import Failure, generate_failures
         from repro.platform import platform_from_dict
-        from repro.workload import WorkloadSpec, generate_workload, load_workload
+        from repro.workload import (
+            WorkloadSpec,
+            generate_workload,
+            load_workload,
+            workload_from_dict,
+        )
 
         try:
             platform_spec = dict(spec["platform"])
@@ -591,14 +633,31 @@ class Simulation:
                 raise BatchError(f"bad workload generate block: {exc}") from None
         elif "file" in workload_spec:
             workload = load_workload(workload_spec["file"])
+        elif "inline" in workload_spec:
+            workload = workload_from_dict(workload_spec["inline"])
         else:
-            raise BatchError("workload spec needs a 'generate' block or a 'file' path")
+            raise BatchError(
+                "workload spec needs a 'generate' block, a 'file' path, "
+                "or an 'inline' workload"
+            )
 
         sim = dict(spec.get("sim", {}))
         sim.pop("until", None)  # a run() argument, not a constructor one
         failures = None
         failure_spec = sim.pop("failures", None)
-        if failure_spec:
+        if failure_spec and "trace" in failure_spec:
+            try:
+                failures = [
+                    Failure(
+                        time=f["time"],
+                        node_index=f["node"],
+                        downtime=f["downtime"],
+                    )
+                    for f in failure_spec["trace"]
+                ]
+            except (KeyError, TypeError) as exc:
+                raise BatchError(f"bad failure trace entry: {exc}") from None
+        elif failure_spec:
             horizon = failure_spec.get("horizon")
             if horizon is None:
                 horizon = max(j.submit_time for j in workload) + 10 * max(

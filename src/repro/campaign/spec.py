@@ -143,9 +143,10 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str) or not self.algorithm:
             raise CampaignError(f"algorithm must be a non-empty string: {self.algorithm!r}")
-        if "generate" not in self.workload and "file" not in self.workload:
+        if not any(k in self.workload for k in ("generate", "file", "inline")):
             raise CampaignError(
-                "workload spec needs a 'generate' block or a 'file' path"
+                "workload spec needs a 'generate' block, a 'file' path, "
+                "or an 'inline' workload"
             )
         if not self.name:
             self.name = self._auto_name()

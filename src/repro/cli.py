@@ -11,6 +11,9 @@ Subcommands::
     elastisim trace convert t.jsonl t.json
     elastisim trace check   t.jsonl [--nodes N]
     elastisim profile   [--jobs N] [--nodes N] [--cprofile] [--output p.json]
+    elastisim fuzz run     [--seed N] [--count N] [--algorithms a,b] [...]
+    elastisim fuzz shrink  reproducer.json [--output-dir DIR]
+    elastisim fuzz replay  reproducer.json [...]
     elastisim algorithms
 
 ``run`` prints the summary table and optionally writes per-job CSV /
@@ -271,6 +274,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="functions to keep in the cProfile table",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz", help="scenario fuzzing with differential/metamorphic oracles"
+    )
+    fsub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    frun = fsub.add_parser("run", help="fuzz random scenarios through the oracles")
+    frun.add_argument("--seed", type=int, default=0, help="base seed of the sweep")
+    frun.add_argument("--count", type=int, default=50, help="scenarios per algorithm")
+    frun.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated schedulers to pin (default: draw per scenario, "
+        "including the adversarial random one)",
+    )
+    frun.add_argument(
+        "--oracles",
+        default=None,
+        help="comma-separated oracle subset (default: all)",
+    )
+    frun.add_argument(
+        "--max-nodes", type=int, default=None, help="platform size budget"
+    )
+    frun.add_argument(
+        "--max-jobs", type=int, default=None, help="workload size budget"
+    )
+    frun.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop the sweep after this many failing cases (default 5)",
+    )
+    frun.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without shrinking them",
+    )
+    frun.add_argument(
+        "--output-dir",
+        default=None,
+        help="write reproducer artifacts for failing cases here",
+    )
+    frun.add_argument(
+        "--report", default=None, help="write the JSON fuzz report here"
+    )
+
+    fshrink = fsub.add_parser(
+        "shrink", help="minimize a failing scenario or reproducer record"
+    )
+    fshrink.add_argument("input", help="scenario or reproducer JSON file")
+    fshrink.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for the shrunk reproducer artifacts (default: cwd)",
+    )
+    fshrink.add_argument(
+        "--max-evals",
+        type=int,
+        default=400,
+        help="predicate evaluation budget for the shrinker",
+    )
+
+    freplay = fsub.add_parser(
+        "replay", help="re-check scenario/reproducer JSON files"
+    )
+    freplay.add_argument("inputs", nargs="+", help="scenario or reproducer files")
+    freplay.add_argument(
+        "--oracles",
+        default=None,
+        help="comma-separated oracle subset (default: the record's own, "
+        "or all for raw scenarios)",
+    )
+
     sub.add_parser("algorithms", help="list built-in scheduling algorithms")
 
     return parser
@@ -470,6 +545,133 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _split_csv(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.fuzz import (
+        ORACLES,
+        fuzz_run,
+        replay_scenario,
+        shrink_failure,
+        write_reproducer,
+    )
+    from repro.fuzz.generate import DEFAULT_BUDGET
+
+    if args.fuzz_command == "replay":
+        failed = 0
+        for path in args.inputs:
+            failures = replay_scenario(path, oracles=_split_csv(args.oracles))
+            if failures:
+                failed += 1
+                for failure in failures:
+                    print(f"{path}: {failure}", file=sys.stderr)
+            else:
+                print(f"{path}: OK")
+        if failed:
+            print(f"{failed}/{len(args.inputs)} reproducer(s) failing",
+                  file=sys.stderr)
+            return EXIT_REGRESSION
+        return EXIT_OK
+
+    if args.fuzz_command == "shrink":
+        data = json.loads(Path(args.input).read_text())
+        scenario = data.get("scenario", data)
+        oracles = _split_csv(getattr(args, "oracles", None)) or data.get("oracles")
+        failures = replay_scenario(scenario, oracles=oracles)
+        if not failures:
+            print("scenario passes all oracles; nothing to shrink",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        from repro.fuzz import FuzzFailure
+
+        case = FuzzFailure(
+            seed=scenario.get("seed", 0),
+            algorithm=scenario.get("algorithm", "easy"),
+            scenario=scenario,
+            failures=failures,
+        )
+        small, evals = shrink_failure(case, max_evals=args.max_evals)
+        small_failures = replay_scenario(
+            small, oracles=[f.oracle for f in failures if f.oracle in ORACLES]
+        )
+        paths = write_reproducer(
+            small, small_failures or failures, args.output_dir
+        )
+        jobs = len(small["workload"]["inline"]["jobs"])
+        nodes = small["platform"]["nodes"]["count"]
+        print(
+            f"shrunk to {jobs} job(s) on {nodes} node(s) "
+            f"after {evals} predicate evaluation(s)"
+        )
+        for kind, path in paths.items():
+            print(f"  {kind}: {path}")
+        return EXIT_REGRESSION
+
+    # fuzz run
+    budget = DEFAULT_BUDGET
+    overrides = {}
+    if args.max_nodes is not None:
+        overrides["max_nodes"] = args.max_nodes
+    if args.max_jobs is not None:
+        overrides["max_jobs"] = args.max_jobs
+    if overrides:
+        budget = dataclasses.replace(budget, **overrides)
+    report = fuzz_run(
+        args.seed,
+        args.count,
+        algorithms=_split_csv(args.algorithms),
+        oracles=_split_csv(args.oracles),
+        budget=budget,
+        max_failures=args.max_failures,
+    )
+    print(
+        f"fuzz: {report.cases} case(s), base seed {report.base_seed}, "
+        f"oracles: {', '.join(report.oracles)}"
+    )
+    if args.report is not None:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.report}")
+    if report.ok:
+        print("all oracles passed")
+        return EXIT_OK
+    for case in report.failures:
+        print(
+            f"FAIL seed={case.seed} algorithm={case.algorithm}",
+            file=sys.stderr,
+        )
+        for failure in case.failures:
+            print(f"  {failure}", file=sys.stderr)
+    if args.output_dir is not None:
+        for case in report.failures:
+            scenario, failures = case.scenario, case.failures
+            if not args.no_shrink:
+                scenario, _ = shrink_failure(case)
+                failures = replay_scenario(
+                    scenario,
+                    oracles=[f.oracle for f in case.failures
+                             if f.oracle in ORACLES],
+                ) or case.failures
+            paths = write_reproducer(
+                scenario,
+                failures,
+                args.output_dir,
+                stem=f"fuzz-{case.seed}-{case.algorithm.replace(':', '-')}",
+            )
+            print(f"reproducer: {paths['record']}", file=sys.stderr)
+    print(f"{len(report.failures)} failing case(s)", file=sys.stderr)
+    return EXIT_REGRESSION
+
+
 def _cmd_algorithms() -> int:
     from repro.scheduler.algorithms import _REGISTRY
 
@@ -496,6 +698,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "algorithms":
             return _cmd_algorithms()
     except InvariantViolation as exc:

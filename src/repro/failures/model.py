@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -46,13 +46,16 @@ def generate_failures(
     mtbf: float,
     mean_repair: float,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[Failure]:
     """Poisson failures per node over ``[0, horizon]``.
 
     Each node fails independently with exponential inter-failure times of
     mean ``mtbf``; repairs are exponential with mean ``mean_repair``.
     Overlapping faults on one node are merged by skipping faults that occur
-    while the node is still down.
+    while the node is still down.  All draws come from a single injected
+    generator — ``rng`` when given (callers deriving several streams from
+    one master seed), else ``np.random.default_rng(seed)``.
     """
     if num_nodes < 1:
         raise FailureError("num_nodes must be >= 1")
@@ -61,7 +64,8 @@ def generate_failures(
     if mtbf <= 0 or mean_repair <= 0:
         raise FailureError("mtbf and mean_repair must be > 0")
 
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     failures: List[Failure] = []
     for node in range(num_nodes):
         t = float(rng.exponential(mtbf))

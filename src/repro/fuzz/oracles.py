@@ -1,0 +1,394 @@
+"""The pluggable oracle stack: what "correct" means without a reference run.
+
+A fuzzer needs a verdict for workloads nobody hand-computed.  Three oracle
+families provide one:
+
+* **differential** — the engine's performance A/B pairs (compiled vs.
+  interpreted expressions x scalar vs. vectorized vs. auto max-min
+  kernel) are *specified* to be pure optimisations: ``run_record()`` must
+  serialise byte-identically across all mode combinations.
+* **invariant** — the streaming :class:`~repro.tracing.InvariantChecker`
+  audits conservation laws (node accounting, queue accounting, monotone
+  time) during a reference-mode run.
+* **metamorphic** — known-answer *transformations*: relabelling job ids,
+  scaling every time-dimensioned quantity by a power of two, adding spare
+  nodes no policy will ever allocate, and re-typing rigid jobs as
+  single-point malleables must each change results in a precisely
+  predictable way (usually: not at all).
+
+Each oracle takes a scenario dict (see :mod:`repro.fuzz.generate`) and
+returns ``None`` (pass / not applicable) or an :class:`OracleFailure`.
+Crashes inside an oracle's runs are findings, not errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Engine-mode matrix (compiled expressions?, DEFAULT_VECTORIZE).  The
+#: first entry is the reference configuration; ``None`` is the shipped
+#: auto-dispatch.
+MODES = [
+    (True, None),
+    (True, False),
+    (True, True),
+    (False, False),
+]
+
+#: Power-of-two factor used by the time-scaling oracle.  Must be a power
+#: of two: multiplying IEEE doubles by 2**n is exact and commutes with
+#: rounding, so a correctly-scaled simulation reproduces *bit-identical*
+#: scaled times — any inexact factor would need sloppy tolerances.
+SCALE_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One oracle's verdict that a scenario misbehaves."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.oracle}] {self.detail}"
+
+
+def run_scenario_record(
+    scenario: Dict[str, Any],
+    *,
+    compiled: bool = True,
+    vectorize: Optional[bool] = None,
+    check_invariants: bool = False,
+    prefail: int = 0,
+) -> Dict[str, Any]:
+    """Run a scenario under a given engine mode; return its run_record.
+
+    ``prefail`` marks the last N nodes failed before the run starts (the
+    spare-nodes oracle's way of adding capacity that is provably never
+    allocated without racing the t=0 scheduler invocation).
+    """
+    import repro.sharing.model as sharing_model
+    from repro import Simulation
+    from repro.expressions import set_compiled_enabled
+
+    set_compiled_enabled(compiled)
+    old_vectorize = sharing_model.DEFAULT_VECTORIZE
+    sharing_model.DEFAULT_VECTORIZE = vectorize
+    try:
+        sim = Simulation.from_spec(scenario)
+        if prefail:
+            for node in sim.batch.platform.nodes[-prefail:]:
+                node.fail()
+        monitor = sim.run(check_invariants=check_invariants)
+    finally:
+        set_compiled_enabled(True)
+        sharing_model.DEFAULT_VECTORIZE = old_vectorize
+    return monitor.run_record()
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def _first_diff(a: Any, b: Any, path: str = "") -> str:
+    """Human-oriented pointer at the first divergence between two records."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key}: only on one side"
+            if a[key] != b[key]:
+                return _first_diff(a[key], b[key], f"{path}.{key}")
+        return f"{path}: records compare equal item-wise"
+    return f"{path}: {a!r} != {b!r}"
+
+
+def _deepcopy(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    # Scenarios are JSON-shaped by construction; a JSON round-trip is a
+    # deep copy that also catches accidental non-JSON values early.
+    return json.loads(json.dumps(scenario))
+
+
+def _algorithm_base(scenario: Dict[str, Any]) -> str:
+    return str(scenario.get("algorithm", "easy")).partition(":")[0]
+
+
+def _inline_jobs(scenario: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return scenario["workload"]["inline"]["jobs"]
+
+
+# -- differential -------------------------------------------------------------
+
+
+def differential_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """run_record must be byte-identical across all engine modes."""
+    reference = run_scenario_record(
+        scenario, compiled=MODES[0][0], vectorize=MODES[0][1]
+    )
+    reference_bytes = _canonical(reference)
+    for compiled, vectorize in MODES[1:]:
+        record = run_scenario_record(scenario, compiled=compiled, vectorize=vectorize)
+        if _canonical(record) != reference_bytes:
+            return OracleFailure(
+                "differential",
+                f"run_record diverged under compiled={compiled} "
+                f"vectorize={vectorize}: {_first_diff(reference, record)}",
+            )
+    return None
+
+
+# -- invariant ----------------------------------------------------------------
+
+
+def invariant_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """The streaming invariant checker must stay silent."""
+    from repro.tracing import InvariantViolation
+
+    try:
+        run_scenario_record(scenario, check_invariants=True)
+    except InvariantViolation as exc:
+        return OracleFailure("invariant", str(exc))
+    return None
+
+
+# -- metamorphic: job-id relabelling ------------------------------------------
+
+
+def permute_jids_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """Order-preserving job-id relabelling must not change anything.
+
+    Job ids are names: schedulers may use them only for stable tie-breaks,
+    which an order-preserving remap keeps intact.  Skipped for the random
+    scheduler — its decision stream is seeded independently of ids but
+    spending draws is part of its contract, not a correctness statement.
+    """
+    if _algorithm_base(scenario) == "random":
+        return None
+    relabelled = _deepcopy(scenario)
+    for job in _inline_jobs(relabelled):
+        job["id"] = job["id"] * 7 + 3
+    base = run_scenario_record(scenario)
+    perm = run_scenario_record(relabelled)
+    if _canonical(base) != _canonical(perm):
+        return OracleFailure(
+            "permute-jids",
+            f"relabelling job ids changed the run: {_first_diff(base, perm)}",
+        )
+    return None
+
+
+# -- metamorphic: power-of-two time scaling -----------------------------------
+
+_SCALED_SUMMARY_FIELDS = {
+    "makespan",
+    "mean_wait",
+    "median_wait",
+    "max_wait",
+    "mean_turnaround",
+}
+
+#: Bounded slowdown uses a fixed interactivity threshold (tau = 10s) that
+#: deliberately does not scale with the workload.
+_SCALE_IGNORED_FIELDS = {"mean_bounded_slowdown"}
+
+
+def _scale_magnitude(value: Any, k: int) -> Any:
+    if isinstance(value, str):
+        return f"({value}) * {k}"
+    return value * k
+
+
+def _scale_task(task: Dict[str, Any], k: int) -> None:
+    kind = task["type"]
+    if kind in ("cpu", "gpu"):
+        task["flops"] = _scale_magnitude(task["flops"], k)
+    elif kind == "delay":
+        task["seconds"] = _scale_magnitude(task["seconds"], k)
+    elif kind == "evolving_request":
+        pass  # node counts are not time-dimensioned
+    else:  # comm / pfs_* / bb_*
+        task["bytes"] = _scale_magnitude(task["bytes"], k)
+        if "charge" in task:
+            task["charge"] = _scale_magnitude(task["charge"], k)
+
+
+def scale_scenario(scenario: Dict[str, Any], k: int = SCALE_FACTOR) -> Dict[str, Any]:
+    """Scale every time-dimensioned quantity by ``k`` (capacities fixed).
+
+    Work (flops, bytes) scales against unchanged node speeds and
+    bandwidths, so every duration — and nothing else — multiplies by
+    ``k``.  Counts, fractions, and iteration structure stay put.
+    """
+    scaled = _deepcopy(scenario)
+    platform = scaled["platform"]
+    if "latency" in platform.get("network", {}):
+        platform["network"]["latency"] *= k
+    for job in _inline_jobs(scaled):
+        job["submit_time"] = job["submit_time"] * k
+        if "walltime" in job:
+            job["walltime"] = job["walltime"] * k
+        app = job.get("application", {})
+        if "data_per_node" in app:
+            app["data_per_node"] = _scale_magnitude(app["data_per_node"], k)
+        for phase in app.get("phases", []):
+            for task in phase["tasks"]:
+                _scale_task(task, k)
+    sim = scaled.get("sim", {})
+    if "invocation_interval" in sim:
+        sim["invocation_interval"] *= k
+    for failure in sim.get("failures", {}).get("trace", []):
+        failure["time"] *= k
+        failure["downtime"] *= k
+    return scaled
+
+
+def scale_time_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """x4 all work: every time statistic must scale bit-exactly by 4."""
+    if _algorithm_base(scenario) == "random":
+        return None
+    k = SCALE_FACTOR
+    base = run_scenario_record(scenario)
+    scaled = run_scenario_record(scale_scenario(scenario, k))
+    expected = _deepcopy(base)
+    for field in _SCALED_SUMMARY_FIELDS:
+        if expected["summary"][field] is not None:
+            expected["summary"][field] *= k
+    for record in (expected, scaled):
+        for field in _SCALE_IGNORED_FIELDS:
+            record["summary"].pop(field, None)
+    if _canonical(expected) != _canonical(scaled):
+        return OracleFailure(
+            "scale-time",
+            f"x{k} workload did not scale times x{k}: "
+            f"{_first_diff(expected, scaled)}",
+        )
+    return None
+
+
+# -- metamorphic: spare nodes -------------------------------------------------
+
+#: Policies whose decisions read the *total* machine size (not just the
+#: free pool): extra nodes legitimately change their behaviour.
+_SPARE_SKIP_ALGORITHMS = {"malleable", "random"}
+
+#: Topologies whose builders constrain the node count to a shape product;
+#: appending nodes would change the shape, not just add capacity.
+_SPARE_TOPOLOGIES = {"star", "fat_tree"}
+
+
+def spare_nodes_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """Capacity that is never schedulable must not change the schedule.
+
+    Two extra nodes are appended and immediately failed (before t=0), so
+    the free pool every policy sees is identical to the base run.  Only
+    machine-size-normalised statistics (utilization) may change.
+    """
+    if _algorithm_base(scenario) in _SPARE_SKIP_ALGORITHMS:
+        return None
+    topology = scenario["platform"].get("network", {}).get("topology", "star")
+    if topology not in _SPARE_TOPOLOGIES:
+        return None
+    spare = 2
+    widened = _deepcopy(scenario)
+    widened["platform"]["nodes"]["count"] += spare
+    base = run_scenario_record(scenario)
+    wide = run_scenario_record(widened, prefail=spare)
+    for record in (base, wide):
+        record["summary"].pop("mean_utilization", None)
+    if _canonical(base) != _canonical(wide):
+        return OracleFailure(
+            "spare-nodes",
+            f"{spare} never-allocated spare nodes changed the run: "
+            f"{_first_diff(base, wide)}",
+        )
+    return None
+
+
+# -- metamorphic: rigid jobs as single-point malleables -----------------------
+
+#: Policies for which a malleable job with min == max == request is
+#: semantically indistinguishable from the rigid original (verified
+#: against each implementation: sizing uses ``num_nodes if rigid else``
+#: bounds that all collapse to the same single point, and reconfiguration
+#: targets clamp into [min, max] = {request} so no resize is ever legal).
+#: priority-preempt is excluded (it may pick malleable victims to shrink),
+#: as is the random scheduler (type changes its draw sequence).
+_RIGID_AS_MALLEABLE_ALGORITHMS = {
+    "fcfs",
+    "easy",
+    "sjf",
+    "fairshare",
+    "conservative",
+    "moldable",
+    "adaptive-moldable",
+    "malleable",
+}
+
+
+def rigid_as_malleable_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """Rigid == malleable-with-one-point-bounds, job for job.
+
+    Compares summary statistics only: malleable jobs hit extra scheduler
+    invocations at scheduling points, so raw event counts legitimately
+    differ while every start/end time must not.
+    """
+    if _algorithm_base(scenario) not in _RIGID_AS_MALLEABLE_ALGORITHMS:
+        return None
+    if not any(job["type"] == "rigid" for job in _inline_jobs(scenario)):
+        return None
+    retyped = _deepcopy(scenario)
+    for job in _inline_jobs(retyped):
+        if job["type"] == "rigid":
+            job["type"] = "malleable"
+            job["min_nodes"] = job["num_nodes"]
+            job["max_nodes"] = job["num_nodes"]
+    base = run_scenario_record(scenario)["summary"]
+    alt = run_scenario_record(retyped)["summary"]
+    if _canonical(base) != _canonical(alt):
+        return OracleFailure(
+            "rigid-as-malleable",
+            "re-typing rigid jobs as single-point malleables changed "
+            f"summary statistics: {_first_diff(base, alt)}",
+        )
+    return None
+
+
+# -- registry -----------------------------------------------------------------
+
+#: Name -> oracle, in the order :func:`check_scenario` applies them.
+ORACLES: Dict[str, Callable[[Dict[str, Any]], Optional[OracleFailure]]] = {
+    "differential": differential_oracle,
+    "invariant": invariant_oracle,
+    "permute-jids": permute_jids_oracle,
+    "scale-time": scale_time_oracle,
+    "spare-nodes": spare_nodes_oracle,
+    "rigid-as-malleable": rigid_as_malleable_oracle,
+}
+
+
+def check_scenario(
+    scenario: Dict[str, Any],
+    oracles: Optional[Iterable[str]] = None,
+) -> List[OracleFailure]:
+    """Run the oracle stack; return all failures (empty list = clean).
+
+    A scenario that crashes outright under the reference engine mode
+    short-circuits to a single ``crash`` failure — every oracle would
+    just re-report it.  Oracles that crash internally (only *their*
+    transformed run dies, say) report it as their own failure.
+    """
+    try:
+        run_scenario_record(scenario)
+    except Exception as exc:  # noqa: BLE001 - any crash is the finding
+        return [OracleFailure("crash", f"{type(exc).__name__}: {exc}")]
+    names = list(ORACLES) if oracles is None else list(oracles)
+    failures: List[OracleFailure] = []
+    for name in names:
+        try:
+            failure = ORACLES[name](scenario)
+        except Exception as exc:  # noqa: BLE001
+            failure = OracleFailure(name, f"{type(exc).__name__}: {exc}")
+        if failure is not None:
+            failures.append(failure)
+    return failures

@@ -1,0 +1,243 @@
+"""Fuzz campaign driver: generate, check, shrink, and persist reproducers.
+
+One fuzz *case* is (derived seed, algorithm) -> scenario -> oracle stack.
+``fuzz_run`` sweeps ``count`` cases per algorithm, collecting
+:class:`OracleFailure` verdicts; every case seed is derived from the base
+seed with :func:`repro.campaign.derive_seed`, so a report names each
+failure by a seed that regenerates its scenario exactly.
+
+``write_reproducer`` turns a (preferably shrunk) failing scenario into
+three self-contained artifacts: a replayable reproducer record (consumed
+by ``elastisim fuzz replay`` and the committed ``tests/fuzz/corpus/``), a
+ready-to-run campaign spec, and a pytest regression snippet.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.campaign import derive_seed
+from repro.fuzz.generate import DEFAULT_BUDGET, FuzzBudget, generate_scenario
+from repro.fuzz.oracles import ORACLES, OracleFailure, check_scenario
+from repro.fuzz.shrink import shrink_scenario
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing case: the scenario plus every oracle it upset."""
+
+    seed: int
+    algorithm: str
+    scenario: Dict[str, Any]
+    failures: List[OracleFailure]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "failures": [
+                {"oracle": f.oracle, "detail": f.detail} for f in self.failures
+            ],
+            "scenario": self.scenario,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz sweep (JSON-safe via :meth:`as_dict`)."""
+
+    base_seed: int
+    count: int
+    algorithms: Optional[List[str]]
+    oracles: List[str]
+    cases: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "base_seed": self.base_seed,
+            "count": self.count,
+            "algorithms": self.algorithms,
+            "oracles": self.oracles,
+            "cases": self.cases,
+            "ok": self.ok,
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+def fuzz_run(
+    seed: int,
+    count: int,
+    *,
+    algorithms: Optional[Iterable[str]] = None,
+    oracles: Optional[Iterable[str]] = None,
+    budget: FuzzBudget = DEFAULT_BUDGET,
+    max_failures: Optional[int] = None,
+    progress: Optional[Callable[[int, int, FuzzReport], None]] = None,
+) -> FuzzReport:
+    """Fuzz ``count`` seeds (x each algorithm, if pinned) through the oracles.
+
+    ``algorithms=None`` lets every scenario draw its own scheduler from
+    the pool (including the adversarial random one); a list pins the
+    sweep, replaying each generated scenario under every listed policy.
+    ``max_failures`` stops early once that many cases failed (shrinking a
+    handful of reproducers beats cataloguing hundreds).  ``progress`` is
+    called after each case with (done, total, report-so-far).
+    """
+    algorithm_list = list(algorithms) if algorithms is not None else None
+    oracle_list = list(oracles) if oracles is not None else list(ORACLES)
+    report = FuzzReport(
+        base_seed=seed,
+        count=count,
+        algorithms=algorithm_list,
+        oracles=oracle_list,
+    )
+    per_seed: List[Optional[str]] = algorithm_list or [None]
+    total = count * len(per_seed)
+    done = 0
+    for i in range(count):
+        case_seed = derive_seed(seed, "fuzz", i)
+        for algorithm in per_seed:
+            scenario = generate_scenario(
+                case_seed, algorithm=algorithm, budget=budget
+            )
+            failures = check_scenario(scenario, oracle_list)
+            report.cases += 1
+            done += 1
+            if failures:
+                report.failures.append(
+                    FuzzFailure(
+                        seed=case_seed,
+                        algorithm=scenario["algorithm"],
+                        scenario=scenario,
+                        failures=failures,
+                    )
+                )
+            if progress is not None:
+                progress(done, total, report)
+            if max_failures is not None and len(report.failures) >= max_failures:
+                return report
+    return report
+
+
+def shrink_failure(
+    failure: FuzzFailure, *, max_evals: int = 400
+) -> tuple[Dict[str, Any], int]:
+    """Shrink a failing case, preserving its *first* failing oracle."""
+    target = failure.failures[0].oracle
+    oracle_names = list(ORACLES) if target == "crash" else [target]
+
+    def still_fails(candidate: Dict[str, Any]) -> bool:
+        return any(
+            f.oracle == target for f in check_scenario(candidate, oracle_names)
+        )
+
+    return shrink_scenario(failure.scenario, still_fails, max_evals=max_evals)
+
+
+def replay_scenario(
+    source: Union[str, Path, Dict[str, Any]],
+    *,
+    oracles: Optional[Iterable[str]] = None,
+) -> List[OracleFailure]:
+    """Re-check a scenario or reproducer record; return oracle failures.
+
+    Accepts a raw scenario dict, a reproducer record (``{"scenario": ...,
+    "oracles": [...]}`` as written by :func:`write_reproducer`), or a path
+    to a JSON file holding either.  Explicit ``oracles`` override the
+    record's own list.
+    """
+    if isinstance(source, (str, Path)):
+        data = json.loads(Path(source).read_text())
+    else:
+        data = source
+    if "scenario" in data:
+        scenario = data["scenario"]
+        if oracles is None:
+            oracles = data.get("oracles")
+    else:
+        scenario = data
+    return check_scenario(scenario, oracles)
+
+
+_TEST_TEMPLATE = '''"""Auto-generated fuzz regression test — do not edit by hand.
+
+Scenario {name}: originally failed the {oracles} oracle(s).
+Regenerate with `elastisim fuzz shrink` after an engine fix, or delete
+once the scenario stops being interesting.
+"""
+
+import json
+
+from repro.fuzz import check_scenario
+
+SCENARIO = json.loads(r"""
+{scenario_json}
+""")
+
+
+def test_{ident}():
+    assert check_scenario(SCENARIO, oracles={oracles!r}) == []
+'''
+
+
+def write_reproducer(
+    scenario: Dict[str, Any],
+    failures: List[OracleFailure],
+    directory: Union[str, Path],
+    *,
+    stem: Optional[str] = None,
+) -> Dict[str, Path]:
+    """Persist a failing scenario as replayable, runnable, testable files.
+
+    Writes ``<stem>.json`` (reproducer record for ``fuzz replay`` /
+    corpus promotion), ``<stem>.campaign.json`` (a campaign spec for
+    ``elastisim campaign run``) and ``<stem>_test.py`` (a pytest snippet
+    asserting the oracles pass — i.e. to commit *after* fixing the bug).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if stem is None:
+        stem = scenario.get("name", "reproducer").replace(":", "-")
+    oracle_names = sorted({f.oracle for f in failures})
+    record = {
+        "scenario": scenario,
+        "oracles": oracle_names,
+        "failures": [{"oracle": f.oracle, "detail": f.detail} for f in failures],
+    }
+    record_path = directory / f"{stem}.json"
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    campaign = {
+        key: scenario[key]
+        for key in ("name", "platform", "workload", "algorithm", "sim")
+        if key in scenario
+    }
+    if "seed" in scenario:
+        campaign["seeds"] = [scenario["seed"]]
+    campaign_path = directory / f"{stem}.campaign.json"
+    campaign_path.write_text(json.dumps(campaign, indent=2, sort_keys=True) + "\n")
+
+    ident = stem.replace("-", "_").replace(".", "_")
+    # The regression test replays only oracles a fixed engine must satisfy
+    # ("crash" is check_scenario's own verdict, not a replayable oracle).
+    replay_oracles = [name for name in oracle_names if name in ORACLES] or list(
+        ORACLES
+    )
+    test_path = directory / f"{stem}_test.py"
+    test_path.write_text(
+        _TEST_TEMPLATE.format(
+            name=scenario.get("name", stem),
+            oracles=replay_oracles,
+            ident=ident,
+            scenario_json=json.dumps(scenario, indent=2, sort_keys=True),
+        )
+    )
+    return {"record": record_path, "campaign": campaign_path, "test": test_path}

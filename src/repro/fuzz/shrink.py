@@ -1,0 +1,217 @@
+"""Greedy scenario shrinking: from a failing fuzz case to a minimal repro.
+
+``shrink_scenario`` takes a failing scenario and a predicate ("does this
+still fail the same way?") and walks toward a local minimum: each round
+proposes structurally smaller candidates — ordered by how much they
+remove — and greedily restarts from the first candidate that is still a
+valid scenario *and* still fails.  The result is the classic
+delta-debugging fixpoint: no single remaining reduction can be applied
+without losing the failure.
+
+The predicate is opaque (the runner re-checks only the originally-failing
+oracle), so the shrinker never needs to know *why* a scenario fails; a
+candidate that stops failing — including by crashing differently — is
+simply rejected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from repro.fuzz.generate import validate_scenario
+
+
+def _deepcopy(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    return json.loads(json.dumps(scenario))
+
+
+def _jobs(scenario: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return scenario["workload"]["inline"]["jobs"]
+
+
+def _magnitude_default(kind: str, field: str) -> float:
+    if field == "flops":
+        return 1e11
+    if field == "seconds":
+        return 1.0
+    return 1e6  # bytes / charge
+
+
+def _candidates(scenario: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Structurally smaller variants, biggest reductions first."""
+    jobs = _jobs(scenario)
+
+    # 1. Drop whole jobs.
+    if len(jobs) > 1:
+        for i in range(len(jobs)):
+            cand = _deepcopy(scenario)
+            del _jobs(cand)[i]
+            yield cand
+
+    # 2. Drop sim-level complexity: failure-trace entries, then options.
+    sim = scenario.get("sim", {})
+    trace = sim.get("failures", {}).get("trace", [])
+    for i in range(len(trace)):
+        cand = _deepcopy(scenario)
+        cand_trace = cand["sim"]["failures"]["trace"]
+        del cand_trace[i]
+        if not cand_trace:
+            del cand["sim"]["failures"]
+        yield cand
+    for key in ("checkpoint_restart", "requeue_on_failure", "max_requeues",
+                "invocation_interval"):
+        if key in sim:
+            cand = _deepcopy(scenario)
+            del cand["sim"][key]
+            yield cand
+
+    # 3. Simplify the platform: plain star topology, halved node count,
+    #    and unused capability blocks.
+    network = scenario["platform"].get("network", {})
+    if network.get("topology", "star") != "star":
+        cand = _deepcopy(scenario)
+        net = cand["platform"]["network"]
+        for key in list(net):
+            if key not in ("topology", "bandwidth", "latency", "pfs_bandwidth"):
+                del net[key]
+        net["topology"] = "star"
+        yield cand
+    count = scenario["platform"]["nodes"]["count"]
+    topology = network.get("topology", "star")
+    if count > 1 and topology != "dragonfly":
+        # Halve first (fast descent), then single steps (fine descent past
+        # the point where halving overshoots the failure region).  Tori
+        # shrink in steps of 2 with their dims kept consistent; dragonfly
+        # shapes are only reduced via the topology->star candidate above.
+        step = 2 if topology == "torus" else 1
+        floor = step
+        for new_count in (max(floor, count // 2 // step * step), count - step):
+            if new_count >= count or new_count < floor:
+                continue
+            cand = _deepcopy(scenario)
+            cand["platform"]["nodes"]["count"] = new_count
+            if topology == "torus":
+                cand["platform"]["network"]["dims"] = [2, new_count // 2]
+            for job in _jobs(cand):
+                job["num_nodes"] = min(job["num_nodes"], new_count)
+                for key in ("min_nodes", "max_nodes"):
+                    if key in job:
+                        job[key] = min(job[key], new_count)
+            for failure in cand.get("sim", {}).get("failures", {}).get("trace", []):
+                failure["node"] = failure["node"] % new_count
+            yield cand
+    task_kinds = {
+        task["type"]
+        for job in jobs
+        for phase in job.get("application", {}).get("phases", [])
+        for task in phase["tasks"]
+    }
+    platform = scenario["platform"]
+    if "burst_buffer" in platform and not task_kinds & {"bb_read", "bb_write"}:
+        cand = _deepcopy(scenario)
+        del cand["platform"]["burst_buffer"]
+        yield cand
+    if "pfs" in platform and not task_kinds & {"pfs_read", "pfs_write"}:
+        cand = _deepcopy(scenario)
+        del cand["platform"]["pfs"]
+        cand["platform"]["network"].pop("pfs_bandwidth", None)
+        yield cand
+    if platform["nodes"].get("gpus") and "gpu" not in task_kinds:
+        cand = _deepcopy(scenario)
+        cand["platform"]["nodes"].pop("gpus", None)
+        cand["platform"]["nodes"].pop("gpu_flops", None)
+        yield cand
+
+    # 4. Per-job structure: drop phases, then tasks, then iteration counts.
+    for j, job in enumerate(jobs):
+        phases = job.get("application", {}).get("phases", [])
+        if len(phases) > 1:
+            for p in range(len(phases)):
+                cand = _deepcopy(scenario)
+                del _jobs(cand)[j]["application"]["phases"][p]
+                yield cand
+        for p, phase in enumerate(phases):
+            if len(phase["tasks"]) > 1:
+                for t in range(len(phase["tasks"])):
+                    cand = _deepcopy(scenario)
+                    del _jobs(cand)[j]["application"]["phases"][p]["tasks"][t]
+                    yield cand
+            if phase.get("iterations", 1) > 1:
+                cand = _deepcopy(scenario)
+                del _jobs(cand)[j]["application"]["phases"][p]["iterations"]
+                yield cand
+
+    # 5. Shrink per-job node demands toward 1 (halve, then step).
+    for j, job in enumerate(jobs):
+        for smaller in (max(1, job["num_nodes"] // 2), job["num_nodes"] - 1):
+            if smaller == job["num_nodes"] or smaller < 1:
+                continue
+            cand = _deepcopy(scenario)
+            cjob = _jobs(cand)[j]
+            cjob["num_nodes"] = smaller
+            if "min_nodes" in cjob:
+                cjob["min_nodes"] = min(cjob["min_nodes"], smaller)
+            if "max_nodes" in cjob:
+                cjob["max_nodes"] = max(smaller, cjob["max_nodes"] // 2)
+            yield cand
+
+    # 6. Simplify expressions to literals; drop optional job fields.
+    for j, job in enumerate(jobs):
+        for p, phase in enumerate(job.get("application", {}).get("phases", [])):
+            for t, task in enumerate(phase["tasks"]):
+                for field in ("flops", "bytes", "seconds", "charge"):
+                    if isinstance(task.get(field), str):
+                        cand = _deepcopy(scenario)
+                        ctask = _jobs(cand)[j]["application"]["phases"][p][
+                            "tasks"][t]
+                        ctask[field] = _magnitude_default(task["type"], field)
+                        yield cand
+        for key in ("walltime", "priority"):
+            if key in job:
+                cand = _deepcopy(scenario)
+                del _jobs(cand)[j][key]
+                yield cand
+        if job.get("submit_time", 0.0) != 0.0:
+            cand = _deepcopy(scenario)
+            _jobs(cand)[j]["submit_time"] = 0.0
+            yield cand
+        app = job.get("application", {})
+        if "data_per_node" in app:
+            cand = _deepcopy(scenario)
+            del _jobs(cand)[j]["application"]["data_per_node"]
+            yield cand
+
+
+def shrink_scenario(
+    scenario: Dict[str, Any],
+    predicate: Callable[[Dict[str, Any]], bool],
+    *,
+    max_evals: int = 400,
+) -> Tuple[Dict[str, Any], int]:
+    """Reduce ``scenario`` while ``predicate`` holds; return (minimal, evals).
+
+    ``predicate(candidate)`` must return True iff the candidate still
+    exhibits the original failure.  ``max_evals`` bounds total predicate
+    invocations (each one typically re-runs the simulator several times);
+    hitting the bound returns the best scenario found so far, which is
+    still a valid reproducer — just maybe not minimal.
+    """
+    current = _deepcopy(scenario)
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(current):
+            if evals >= max_evals:
+                break
+            try:
+                validate_scenario(candidate)
+            except Exception:  # noqa: BLE001 - left the valid-input space
+                continue
+            evals += 1
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break  # restart proposals from the smaller scenario
+    return current, evals

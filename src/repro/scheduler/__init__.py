@@ -39,6 +39,7 @@ from repro.scheduler.algorithms import (
     MalleableScheduler,
     MoldableScheduler,
     PreemptivePriorityScheduler,
+    RandomDecisionScheduler,
     SjfBackfillingScheduler,
     UserFairShareScheduler,
     get_algorithm,
@@ -55,6 +56,7 @@ __all__ = [
     "MalleableScheduler",
     "MoldableScheduler",
     "PreemptivePriorityScheduler",
+    "RandomDecisionScheduler",
     "SchedulerContext",
     "SchedulerError",
     "SjfBackfillingScheduler",

@@ -7,6 +7,7 @@ run arbitrarily long, which disables backfilling around them.
 
 from __future__ import annotations
 
+import random
 from math import inf
 from typing import Dict, List, Optional, Type
 
@@ -539,6 +540,156 @@ class MalleableScheduler(Algorithm):
         ctx.reconfigure_job(job, target)
 
 
+class RandomDecisionScheduler(Algorithm):
+    """Adversarial scheduler: random-but-valid decisions at every invocation.
+
+    Built for the fuzzing harness (:mod:`repro.fuzz`): the engine must
+    stay correct under *any* legal decision sequence, so this policy draws
+    starts, expansions, shrinks, arbitrary node migrations, evolving
+    grants/denials, kills and preemption-requeues from a seeded RNG.  Two
+    properties keep it usable as a differential-oracle subject:
+
+    * **determinism** — every choice comes from one ``random.Random(seed)``
+      stream and depends only on the invocation sequence and the queue /
+      machine state, so identical engine behaviour yields identical
+      decisions (a fresh instance is built per run via ``random:<seed>``);
+    * **progress** — if nothing is running and nothing was started this
+      invocation, the first pending job that fits is force-started, so
+      randomness never starves the queue into a stall.
+
+    Preemption ping-pong is bounded: only first-attempt jobs are killed
+    with the auto-requeue reason ``"preempted"``; requeued attempts are
+    killed permanently (reason ``"random-kill"``).
+    """
+
+    name = "random"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    @classmethod
+    def from_param(cls, param: str) -> "RandomDecisionScheduler":
+        try:
+            seed = int(param)
+        except ValueError:
+            raise SchedulerError(
+                f"random scheduler parameter must be an integer seed, got {param!r}"
+            ) from None
+        return cls(seed=seed)
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        if (
+            invocation.type is InvocationType.EVOLVING_REQUEST
+            and invocation.job is not None
+        ):
+            self._resolve_evolving(ctx, invocation.job)
+        started = self._start_pass(ctx)
+        self._reconfigure_pass(ctx)
+        self._kill_pass(ctx)
+        if not started and not ctx.running_jobs:
+            self._force_progress(ctx)
+
+    # -- passes ------------------------------------------------------------
+
+    def _start_pass(self, ctx: SchedulerContext) -> bool:
+        rng = self.rng
+        started = False
+        pending = ctx.pending_jobs
+        rng.shuffle(pending)
+        for job in pending:
+            if rng.random() >= 0.7:
+                continue
+            free = ctx.free_nodes()
+            if job.is_rigid:
+                if job.num_nodes > len(free):
+                    continue
+                size = job.num_nodes
+            else:
+                if job.min_nodes > len(free):
+                    continue
+                size = rng.randint(job.min_nodes, min(job.max_nodes, len(free)))
+            ctx.start_job(job, rng.sample(free, size))
+            started = True
+        return started
+
+    def _reconfigure_pass(self, ctx: SchedulerContext) -> None:
+        rng = self.rng
+        for job in ctx.running_jobs:
+            if job.type is not JobType.MALLEABLE:
+                continue
+            if job.pending_reconfiguration is not None:
+                continue
+            if rng.random() >= 0.3:
+                continue
+            free = ctx.free_nodes()
+            current = list(job.assigned_nodes)
+            size = rng.randint(job.min_nodes, min(job.max_nodes, len(current) + len(free)))
+            # Arbitrary migration: any mix of kept and newly grabbed nodes
+            # of the chosen size exercises the redistribution cost model.
+            keep = rng.randint(max(0, size - len(free)), min(size, len(current)))
+            target = rng.sample(current, keep) + rng.sample(free, size - keep)
+            if {n.index for n in target} == {n.index for n in current}:
+                continue  # no-op order; nothing to reconfigure
+            ctx.reconfigure_job(job, target)
+
+    def _kill_pass(self, ctx: SchedulerContext) -> None:
+        rng = self.rng
+        for job in ctx.running_jobs:
+            if job.pending_reconfiguration is not None:
+                continue
+            if job.evolving_wait_event is not None:
+                continue
+            if rng.random() < 0.02:
+                reason = "preempted" if job.attempt == 1 else "random-kill"
+                ctx.kill_job(job, reason=reason)
+        for job in ctx.pending_jobs:
+            if rng.random() < 0.01:
+                ctx.kill_job(job, reason="random-kill")
+
+    def _force_progress(self, ctx: SchedulerContext) -> None:
+        for job in ctx.pending_jobs:
+            free = ctx.free_nodes()
+            need = job.num_nodes if job.is_rigid else job.min_nodes
+            if need <= len(free):
+                size = need if job.is_rigid else min(job.max_nodes, len(free))
+                ctx.start_job(job, free[:size])
+                return
+
+    def _resolve_evolving(self, ctx: SchedulerContext, job: Job) -> None:
+        """Grant (fully or partially), deny, or ignore an evolving request.
+
+        Blocking requests are always resolved — an ignored blocking request
+        suspends the job until another completion retries it, which turns
+        into a stall on the last job; randomness must not manufacture
+        deadlocks the engine is documented not to have.
+        """
+        rng = self.rng
+        desired = job.evolving_request
+        if desired is None or job.pending_reconfiguration is not None:
+            return
+        blocking = job.evolving_wait_event is not None
+        desired = max(job.min_nodes, min(desired, job.max_nodes))
+        current = len(job.assigned_nodes)
+        roll = rng.random()
+        if roll < 0.2 or desired == current:
+            if blocking or desired == current:
+                ctx.deny_evolving_request(job)
+            return
+        if desired > current:
+            free = ctx.free_nodes()
+            grow = min(desired - current, len(free))
+            if grow <= 0:
+                if blocking:
+                    ctx.deny_evolving_request(job)
+                return
+            if roll < 0.45 and grow > 1:
+                grow = rng.randint(1, grow - 1)  # partial grant
+            target = list(job.assigned_nodes) + rng.sample(free, grow)
+        else:
+            target = rng.sample(list(job.assigned_nodes), desired)
+        ctx.reconfigure_job(job, target)
+
+
 _REGISTRY: Dict[str, Type[Algorithm]] = {
     cls.name: cls
     for cls in (
@@ -551,15 +702,24 @@ _REGISTRY: Dict[str, Type[Algorithm]] = {
         MoldableScheduler,
         AdaptiveMoldableScheduler,
         MalleableScheduler,
+        RandomDecisionScheduler,
     )
 }
 
 
 def get_algorithm(name: str) -> Algorithm:
-    """Instantiate a built-in algorithm by registry name."""
+    """Instantiate a built-in algorithm by registry name.
+
+    ``name`` may carry a parameter after a colon (``random:42``), handed
+    to the class's :meth:`~repro.scheduler.base.Algorithm.from_param`.
+    """
+    base, sep, param = name.partition(":")
     try:
-        return _REGISTRY[name]()
+        cls = _REGISTRY[base]
     except KeyError:
         raise SchedulerError(
-            f"Unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+            f"Unknown algorithm {base!r}; available: {sorted(_REGISTRY)}"
         ) from None
+    if sep:
+        return cls.from_param(param)
+    return cls()

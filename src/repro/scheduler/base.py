@@ -18,6 +18,21 @@ class Algorithm:
     #: Registry name; subclasses override.
     name = "base"
 
+    @classmethod
+    def from_param(cls, param: str) -> "Algorithm":
+        """Build an instance from a ``name:param`` registry string.
+
+        Algorithms with tunable knobs (e.g. ``random:42`` seeds the
+        adversarial scheduler) override this; the default refuses the
+        parameter so typos fail loudly instead of silently instantiating
+        a default-configured algorithm.
+        """
+        from repro.scheduler.context import SchedulerError
+
+        raise SchedulerError(
+            f"algorithm {cls.name!r} takes no ':<param>' argument, got {param!r}"
+        )
+
     def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
         """Inspect the system and issue decisions.  Default: do nothing."""
 

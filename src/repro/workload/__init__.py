@@ -18,7 +18,14 @@ from repro.workload.generator import WorkloadSpec, generate_workload, iterative_
 from repro.workload.loader import WorkloadError, load_workload, workload_from_dict
 from repro.workload.analysis import WorkloadProfile, format_profile, profile_workload
 from repro.workload.serialize import job_to_dict, workload_to_dict
-from repro.workload.swf import jobs_from_swf, parse_swf
+from repro.workload.swf import (
+    SwfError,
+    SwfRecord,
+    jobs_from_swf,
+    parse_swf,
+    render_swf,
+    swf_records_from_jobs,
+)
 
 __all__ = [
     "WorkloadError",
@@ -32,6 +39,10 @@ __all__ = [
     "jobs_from_swf",
     "load_workload",
     "parse_swf",
+    "render_swf",
+    "SwfError",
+    "SwfRecord",
+    "swf_records_from_jobs",
     "workload_from_dict",
     "workload_to_dict",
 ]

@@ -158,13 +158,23 @@ class WorkloadSpec:
             raise ValueError("num_users must be >= 1")
 
 
-def generate_workload(spec: WorkloadSpec, seed: int = 0) -> List[Job]:
+def generate_workload(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    *,
+    rng: np.random.Generator | None = None,
+) -> List[Job]:
     """Generate a reproducible job list from ``spec``.
 
-    Returns jobs sorted by submit time with ids 1..num_jobs.
+    Returns jobs sorted by submit time with ids 1..num_jobs.  Every draw
+    comes from a single injected generator: either ``rng`` (callers that
+    fan one master seed out over several generation steps, e.g. the fuzz
+    harness) or a fresh ``np.random.default_rng(seed)`` — there is no
+    module-global randomness, so (spec, seed) is fully reproducible.
     """
     spec.validate()
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
 
     # Arrival times: Poisson process.
     if spec.mean_interarrival > 0:

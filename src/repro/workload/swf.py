@@ -109,6 +109,90 @@ def parse_swf(source: Union[str, Path]) -> List[SwfRecord]:
     return records
 
 
+def _swf_number(value: float, field: str, job_id: int) -> str:
+    """Render one numeric SWF field so that ``float()`` round-trips it.
+
+    Integral values collapse to plain integers (the archive's native
+    style); everything else uses ``repr``, which Python guarantees to
+    round-trip through ``float()`` exactly — fixed-width ``%.2f``-style
+    formatting silently loses precision on large submit times and is the
+    classic SWF-writer bug this refuses to reintroduce.
+    """
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise SwfError(f"job {job_id}: field {field!r} is not finite: {value!r}")
+    if value.is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+def render_swf(records: List[SwfRecord], *, header: bool = True) -> str:
+    """Render records as SWF text; the exact inverse of :func:`parse_swf`.
+
+    All 18 standard fields are emitted; the ones :class:`SwfRecord` does
+    not model are written as ``-1`` ("unknown"), which is what
+    :func:`parse_swf` reconstructs, so ``parse_swf(render_swf(rs)) == rs``
+    holds for any record list with finite fields.
+    """
+    lines: List[str] = []
+    if header:
+        lines.append("; SWF export (fields 1,2,4,5,8,9,12; -1 = unknown)")
+    for rec in records:
+        fields = [
+            str(int(rec.job_id)),
+            _swf_number(rec.submit_time, "submit_time", rec.job_id),
+            "-1",  # wait time (derived: start - submit)
+            _swf_number(rec.run_time, "run_time", rec.job_id),
+            str(int(rec.allocated_procs)),
+            "-1",  # average CPU time
+            "-1",  # used memory
+            str(int(rec.requested_procs)),
+            _swf_number(rec.requested_time, "requested_time", rec.job_id),
+            "-1",  # requested memory
+            "-1",  # completion status
+            str(int(rec.user_id)),
+            "-1",  # group id
+            "-1",  # executable id
+            "-1",  # queue number
+            "-1",  # partition number
+            "-1",  # preceding job
+            "-1",  # think time
+        ]
+        lines.append(" ".join(fields))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def swf_records_from_jobs(jobs: List[Job]) -> List[SwfRecord]:
+    """Project simulator jobs onto SWF records (post-run archival export).
+
+    Walltimes map to requested time, actual runtimes (when the job ran)
+    to run time, and ``user<N>`` accounts to numeric user ids; unknown
+    quantities become ``-1`` per SWF convention.
+    """
+    records: List[SwfRecord] = []
+    for job in jobs:
+        user_id = -1
+        if job.user.startswith("user"):
+            try:
+                user_id = int(job.user[4:])
+            except ValueError:
+                user_id = -1
+        runtime = getattr(job, "runtime", None)
+        allocated = len(job.assigned_nodes) if job.assigned_nodes else -1
+        records.append(
+            SwfRecord(
+                job_id=job.jid,
+                submit_time=job.submit_time,
+                run_time=float(runtime) if runtime is not None else -1.0,
+                allocated_procs=allocated,
+                requested_procs=job.num_nodes,
+                requested_time=job.walltime if job.walltime != inf else -1.0,
+                user_id=user_id,
+            )
+        )
+    return records
+
+
 def jobs_from_swf(
     source: Union[str, Path],
     *,

@@ -1,0 +1,127 @@
+"""The `elastisim fuzz` command group: exit codes and artifacts."""
+
+import json
+from pathlib import Path
+
+from repro.cli import EXIT_OK, EXIT_REGRESSION, EXIT_USAGE, main
+from repro.fuzz import generate_scenario
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+class TestFuzzRun:
+    def test_clean_sweep_exits_ok(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "fuzz", "run", "--seed", "0", "--count", "4",
+            "--oracles", "invariant", "--report", str(report_path),
+        ])
+        assert code == EXIT_OK
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["cases"] == 4
+        assert "4 case(s)" in capsys.readouterr().out
+
+    def test_pinned_algorithms_and_budget(self, capsys):
+        code = main([
+            "fuzz", "run", "--seed", "1", "--count", "2",
+            "--algorithms", "fcfs,easy", "--oracles", "invariant",
+            "--max-nodes", "6", "--max-jobs", "3",
+        ])
+        assert code == EXIT_OK
+        assert "4 case(s)" in capsys.readouterr().out
+
+    def test_failures_yield_regression_exit_and_artifacts(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.fuzz as fuzz_pkg
+        import repro.fuzz.runner as runner_mod
+        from repro.fuzz import OracleFailure
+
+        real_check = runner_mod.check_scenario
+
+        def fails_once(scenario, oracles):
+            if scenario["seed"] == failing_seed:
+                return [OracleFailure("invariant", "synthetic regression")]
+            return real_check(scenario, oracles)
+
+        from repro.campaign import derive_seed
+
+        failing_seed = derive_seed(0, "fuzz", 1)
+        monkeypatch.setattr(runner_mod, "check_scenario", fails_once)
+        # Shrinking re-checks candidates through cli's shrink_failure;
+        # keep that cheap and deterministic too.
+        monkeypatch.setattr(
+            fuzz_pkg, "shrink_failure",
+            lambda failure, max_evals=400: (failure.scenario, 0),
+        )
+        code = main([
+            "fuzz", "run", "--seed", "0", "--count", "3",
+            "--oracles", "invariant", "--output-dir", str(tmp_path),
+        ])
+        assert code == EXIT_REGRESSION
+        assert "synthetic regression" in capsys.readouterr().err
+        records = list(tmp_path.glob("fuzz-*.json"))
+        assert records, "no reproducer artifacts written"
+        tests = list(tmp_path.glob("fuzz-*_test.py"))
+        assert tests and "check_scenario" in tests[0].read_text()
+
+
+class TestFuzzReplay:
+    def test_replays_corpus_records_clean(self, capsys):
+        paths = sorted(str(p) for p in CORPUS_DIR.glob("*.json"))[:2]
+        assert paths
+        code = main(["fuzz", "replay", *paths])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert out.count("OK") == len(paths)
+
+    def test_failing_replay_exits_regression(self, tmp_path):
+        scenario = generate_scenario(2)
+        # Rigid job wider than the machine: construction fails -> crash.
+        scenario["workload"]["inline"]["jobs"][0].pop("min_nodes", None)
+        scenario["workload"]["inline"]["jobs"][0].pop("max_nodes", None)
+        scenario["workload"]["inline"]["jobs"][0]["type"] = "rigid"
+        scenario["workload"]["inline"]["jobs"][0]["num_nodes"] = 999
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["fuzz", "replay", str(path)]) == EXIT_REGRESSION
+
+    def test_missing_file_is_input_error(self, tmp_path):
+        from repro.cli import EXIT_INPUT
+
+        code = main(["fuzz", "replay", str(tmp_path / "nope.json")])
+        assert code == EXIT_INPUT
+
+
+class TestFuzzShrink:
+    def test_shrinking_a_clean_scenario_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.json"
+        path.write_text(json.dumps(generate_scenario(1)))
+        code = main(["fuzz", "shrink", str(path), "--output-dir", str(tmp_path)])
+        assert code == EXIT_USAGE
+        assert "nothing to shrink" in capsys.readouterr().err
+
+    def test_shrinks_failing_scenario_to_artifacts(self, tmp_path, capsys):
+        scenario = generate_scenario(3)
+        scenario["workload"]["inline"]["jobs"][0].pop("min_nodes", None)
+        scenario["workload"]["inline"]["jobs"][0].pop("max_nodes", None)
+        scenario["workload"]["inline"]["jobs"][0]["type"] = "rigid"
+        scenario["workload"]["inline"]["jobs"][0]["num_nodes"] = 999
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(scenario))
+        out_dir = tmp_path / "shrunk"
+        code = main([
+            "fuzz", "shrink", str(path),
+            "--output-dir", str(out_dir), "--max-evals", "60",
+        ])
+        assert code == EXIT_REGRESSION
+        assert "shrunk to" in capsys.readouterr().out
+        record_files = list(out_dir.glob("*.json"))
+        assert record_files
+        # The shrunk scenario must still crash (oversized rigid job kept).
+        record = json.loads(
+            next(p for p in record_files if not p.name.endswith("campaign.json"))
+            .read_text()
+        )
+        assert record["failures"][0]["oracle"] == "crash"

@@ -1,0 +1,36 @@
+"""Replay every committed reproducer in tests/fuzz/corpus/.
+
+Corpus records are shrunk scenarios that once exposed a bug (or pin a
+behaviour class worth watching, like the adversarial random scheduler).
+A fixed engine must keep each one green through the oracles recorded in
+the file.  Promote new entries with::
+
+    elastisim fuzz shrink failure.json --output-dir tests/fuzz/corpus
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import replay_scenario
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no corpus records under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_record_replays_clean(path):
+    failures = replay_scenario(path)
+    assert failures == [], "; ".join(str(f) for f in failures)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_record_is_well_formed(path):
+    record = json.loads(path.read_text())
+    assert "scenario" in record and "oracles" in record
+    assert record["provenance"]  # every entry says why it exists

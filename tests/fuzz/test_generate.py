@@ -1,0 +1,103 @@
+"""Scenario generator: determinism, validity, and budget compliance."""
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzBudget, generate_scenario
+from repro.fuzz.generate import ALGORITHM_POOL, validate_scenario
+
+SEEDS = range(25)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        for seed in (0, 7, 123456):
+            a = json.dumps(generate_scenario(seed), sort_keys=True)
+            b = json.dumps(generate_scenario(seed), sort_keys=True)
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        records = {json.dumps(generate_scenario(s), sort_keys=True) for s in SEEDS}
+        assert len(records) == len(SEEDS)
+
+    def test_pinning_algorithm_keeps_rest_of_scenario(self):
+        free = generate_scenario(3)
+        pinned = generate_scenario(3, algorithm="fcfs")
+        assert pinned["algorithm"] == "fcfs"
+        assert pinned["platform"] == free["platform"]
+        assert pinned["workload"] == free["workload"]
+        assert pinned["sim"] == free["sim"]
+
+
+class TestValidity:
+    def test_scenarios_survive_their_own_validator(self):
+        for seed in SEEDS:
+            validate_scenario(generate_scenario(seed))
+
+    def test_scenarios_are_canonical_campaign_data(self):
+        from repro.campaign.spec import canonicalize
+
+        for seed in SEEDS:
+            canonicalize(generate_scenario(seed))
+
+    def test_evolving_requests_are_never_blocking(self):
+        # A blocking request under a scheduler that never answers it
+        # suspends the job forever; the generator must not produce them.
+        for seed in SEEDS:
+            for job in generate_scenario(seed)["workload"]["inline"]["jobs"]:
+                for phase in job["application"]["phases"]:
+                    for task in phase["tasks"]:
+                        if task["type"] == "evolving_request":
+                            assert not task.get("blocking", False)
+
+    def test_expressions_never_reference_job_id(self):
+        # job_id in a magnitude would break the permute-jids oracle by
+        # construction.
+        for seed in SEEDS:
+            text = json.dumps(generate_scenario(seed))
+            assert "job_id" not in text
+
+
+class TestBudget:
+    def test_budget_caps_respected(self):
+        budget = FuzzBudget(max_nodes=4, max_jobs=2, max_phases=1,
+                            max_tasks_per_phase=1, max_iterations=1)
+        for seed in SEEDS:
+            scenario = generate_scenario(seed, budget=budget)
+            assert scenario["platform"]["nodes"]["count"] <= 4
+            jobs = scenario["workload"]["inline"]["jobs"]
+            assert len(jobs) <= 2
+            for job in jobs:
+                phases = job["application"]["phases"]
+                assert len(phases) <= 1
+                for phase in phases:
+                    assert len(phase["tasks"]) <= 1
+                    assert phase.get("iterations", 1) <= 1
+
+    def test_algorithm_pool_resolves(self):
+        from repro.scheduler import get_algorithm
+
+        for name in ALGORITHM_POOL + ["random:5"]:
+            assert get_algorithm(name) is not None
+
+
+def test_validator_rejects_oversubscribed_job():
+    scenario = generate_scenario(0)
+    scenario["workload"]["inline"]["jobs"][0].pop("min_nodes", None)
+    scenario["workload"]["inline"]["jobs"][0].pop("max_nodes", None)
+    scenario["workload"]["inline"]["jobs"][0]["type"] = "rigid"
+    scenario["workload"]["inline"]["jobs"][0]["num_nodes"] = (
+        scenario["platform"]["nodes"]["count"] + 5
+    )
+    with pytest.raises(ValueError):
+        validate_scenario(scenario)
+
+
+def test_validator_rejects_failure_outside_machine():
+    scenario = generate_scenario(0)
+    scenario.setdefault("sim", {})["failures"] = {
+        "trace": [{"time": 1.0, "node": 999, "downtime": 5.0}]
+    }
+    with pytest.raises(ValueError):
+        validate_scenario(scenario)

@@ -1,0 +1,150 @@
+"""Fuzz driver: report shape, seed derivation, and reproducer artifacts."""
+
+import json
+
+import pytest
+
+from repro.campaign import derive_seed, expand_campaign
+from repro.fuzz import (
+    FuzzFailure,
+    OracleFailure,
+    fuzz_run,
+    replay_scenario,
+    generate_scenario,
+    write_reproducer,
+)
+from repro.fuzz.runner import FuzzReport
+
+
+class TestFuzzRun:
+    def test_clean_sweep_reports_ok(self):
+        report = fuzz_run(0, 3, oracles=["invariant"])
+        assert report.ok
+        assert report.cases == 3
+        assert report.as_dict()["failures"] == []
+
+    def test_pinned_algorithms_multiply_cases(self):
+        report = fuzz_run(0, 2, algorithms=["fcfs", "easy"],
+                          oracles=["invariant"])
+        assert report.cases == 4
+        assert report.algorithms == ["fcfs", "easy"]
+
+    def test_case_seeds_are_derived_not_sequential(self):
+        # Replaying one case must not require replaying the sweep.
+        report = fuzz_run(0, 2, oracles=["invariant"])
+        assert report.ok
+        assert derive_seed(0, "fuzz", 0) != 0
+
+    def test_failures_are_collected_with_scenario(self, monkeypatch):
+        import repro.fuzz.runner as runner_mod
+
+        def always_fails(scenario, oracles):
+            return [OracleFailure("invariant", "synthetic")]
+
+        monkeypatch.setattr(runner_mod, "check_scenario", always_fails)
+        report = fuzz_run(0, 2, oracles=["invariant"])
+        assert not report.ok
+        assert len(report.failures) == 2
+        failure = report.failures[0]
+        assert failure.scenario["workload"]["inline"]["jobs"]
+        assert failure.failures[0].detail == "synthetic"
+        blob = json.dumps(report.as_dict(), sort_keys=True)
+        assert "synthetic" in blob
+
+    def test_max_failures_stops_early(self, monkeypatch):
+        import repro.fuzz.runner as runner_mod
+
+        checked = []
+
+        def always_fails(scenario, oracles):
+            checked.append(scenario["seed"])
+            return [OracleFailure("invariant", "synthetic")]
+
+        monkeypatch.setattr(runner_mod, "check_scenario", always_fails)
+        report = fuzz_run(0, 50, max_failures=2, oracles=["invariant"])
+        assert len(report.failures) == 2
+        assert len(checked) == 2
+
+    def test_progress_callback(self):
+        seen = []
+        fuzz_run(
+            0, 2, oracles=["invariant"],
+            progress=lambda done, total, rep: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestReplay:
+    def test_replays_raw_scenario_dict(self):
+        assert replay_scenario(generate_scenario(1), oracles=["invariant"]) == []
+
+    def test_replays_record_with_its_own_oracles(self, tmp_path, monkeypatch):
+        calls = []
+        import repro.fuzz.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "check_scenario",
+            lambda scenario, oracles: calls.append(list(oracles or [])) or [],
+        )
+        record = {"scenario": generate_scenario(1), "oracles": ["invariant"]}
+        path = tmp_path / "rec.json"
+        path.write_text(json.dumps(record))
+        assert replay_scenario(path) == []
+        assert calls == [["invariant"]]
+
+
+class TestWriteReproducer:
+    @pytest.fixture()
+    def written(self, tmp_path):
+        scenario = generate_scenario(5, algorithm="easy")
+        failures = [OracleFailure("differential", "details here")]
+        return scenario, write_reproducer(scenario, failures, tmp_path)
+
+    def test_record_is_replayable(self, written):
+        scenario, paths = written
+        record = json.loads(paths["record"].read_text())
+        assert record["scenario"] == scenario
+        assert record["oracles"] == ["differential"]
+        assert replay_scenario(paths["record"]) == []
+
+    def test_campaign_spec_expands(self, written):
+        scenario, paths = written
+        campaign = json.loads(paths["campaign"].read_text())
+        specs = expand_campaign(campaign)
+        assert len(specs) == 1
+        assert specs[0].algorithm == "easy"
+
+    def test_pytest_snippet_compiles_and_embeds_scenario(self, written):
+        scenario, paths = written
+        source = paths["test"].read_text()
+        compile(source, str(paths["test"]), "exec")
+        assert json.dumps(scenario, indent=2, sort_keys=True) in source
+        assert "check_scenario" in source
+
+    def test_crash_failures_fall_back_to_full_oracle_stack(self, tmp_path):
+        scenario = generate_scenario(5)
+        paths = write_reproducer(
+            scenario, [OracleFailure("crash", "boom")], tmp_path
+        )
+        source = paths["test"].read_text()
+        assert "differential" in source  # replays real oracles, not "crash"
+
+
+def test_fuzz_failure_as_dict_round_trips():
+    failure = FuzzFailure(
+        seed=9, algorithm="fcfs", scenario={"name": "x"},
+        failures=[OracleFailure("invariant", "d")],
+    )
+    data = json.loads(json.dumps(failure.as_dict()))
+    assert data["seed"] == 9
+    assert data["failures"][0]["oracle"] == "invariant"
+
+
+def test_report_as_dict_shape():
+    report = FuzzReport(base_seed=1, count=2, algorithms=None,
+                        oracles=["invariant"])
+    data = report.as_dict()
+    assert data == {
+        "base_seed": 1, "count": 2, "algorithms": None,
+        "oracles": ["invariant"], "cases": 0, "ok": True, "failures": [],
+    }

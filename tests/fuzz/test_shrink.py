@@ -1,0 +1,112 @@
+"""Shrinker behaviour on synthetic predicates (no engine involvement).
+
+Using structural predicates ("still contains a comm task") keeps these
+tests fast and makes the expected fixpoint exactly computable; the
+engine-coupled shrink path is covered by test_solver_mutation.py.
+"""
+
+import json
+
+from repro.fuzz import generate_scenario, shrink_scenario
+from repro.fuzz.generate import validate_scenario
+
+
+def has_task(scenario, kind):
+    return any(
+        task["type"] == kind
+        for job in scenario["workload"]["inline"]["jobs"]
+        for phase in job["application"]["phases"]
+        for task in phase["tasks"]
+    )
+
+
+def find_seed_with(kind, jobs_min=2):
+    for seed in range(200):
+        scenario = generate_scenario(seed)
+        if (
+            has_task(scenario, kind)
+            and len(scenario["workload"]["inline"]["jobs"]) >= jobs_min
+        ):
+            return scenario
+    raise AssertionError(f"no seed produced a {kind} task")  # pragma: no cover
+
+
+class TestShrink:
+    def test_reduces_to_single_job_single_task(self):
+        scenario = find_seed_with("comm")
+        small, evals = shrink_scenario(
+            scenario, lambda s: has_task(s, "comm")
+        )
+        assert has_task(small, "comm")
+        jobs = small["workload"]["inline"]["jobs"]
+        assert len(jobs) == 1
+        phases = jobs[0]["application"]["phases"]
+        assert len(phases) == 1
+        assert len(phases[0]["tasks"]) == 1
+        assert phases[0]["tasks"][0]["type"] == "comm"
+        assert evals > 0
+
+    def test_result_is_valid_scenario(self):
+        scenario = find_seed_with("cpu")
+        small, _ = shrink_scenario(scenario, lambda s: has_task(s, "cpu"))
+        validate_scenario(small)
+
+    def test_node_counts_shrink(self):
+        scenario = find_seed_with("cpu")
+        small, _ = shrink_scenario(scenario, lambda s: has_task(s, "cpu"))
+        # Nothing in the predicate needs nodes: both the platform and the
+        # surviving job should bottom out.
+        assert small["platform"]["nodes"]["count"] <= 2
+        assert small["workload"]["inline"]["jobs"][0]["num_nodes"] == 1
+
+    def test_expressions_simplify_to_literals(self):
+        for seed in range(200):
+            scenario = generate_scenario(seed)
+            text = json.dumps(scenario)
+            if '" / num_nodes' in text or "iteration" in text:
+                break
+        small, _ = shrink_scenario(scenario, lambda s: True)
+        for job in small["workload"]["inline"]["jobs"]:
+            for phase in job["application"]["phases"]:
+                for task in phase["tasks"]:
+                    for field in ("flops", "bytes", "seconds"):
+                        assert not isinstance(task.get(field), str)
+
+    def test_failure_traces_get_dropped(self):
+        for seed in range(200):
+            scenario = generate_scenario(seed)
+            if scenario["sim"].get("failures"):
+                break
+        assert scenario["sim"]["failures"]["trace"]
+        small, _ = shrink_scenario(scenario, lambda s: True)
+        assert "failures" not in small.get("sim", {})
+
+    def test_eval_budget_is_respected(self):
+        scenario = find_seed_with("cpu")
+        calls = []
+
+        def predicate(candidate):
+            calls.append(1)
+            return True
+
+        _, evals = shrink_scenario(scenario, predicate, max_evals=5)
+        assert evals == 5
+        assert len(calls) == 5
+
+    def test_rejects_candidates_that_stop_failing(self):
+        scenario = find_seed_with("comm", jobs_min=2)
+        original_jobs = len(scenario["workload"]["inline"]["jobs"])
+
+        # Predicate pins the exact job count: every drop-a-job candidate
+        # must be rejected, so the count survives shrinking.
+        small, _ = shrink_scenario(
+            scenario,
+            lambda s: len(s["workload"]["inline"]["jobs"]) == original_jobs,
+        )
+        assert len(small["workload"]["inline"]["jobs"]) == original_jobs
+
+    def test_original_scenario_is_not_mutated(self):
+        scenario = find_seed_with("cpu")
+        snapshot = json.dumps(scenario, sort_keys=True)
+        shrink_scenario(scenario, lambda s: True)
+        assert json.dumps(scenario, sort_keys=True) == snapshot

@@ -1,0 +1,37 @@
+"""Bounded, deterministic fuzz sweep that runs as part of tier-1.
+
+This is the every-commit slice of the fuzzer: a fixed window of seeds
+through the full oracle stack, plus a shipped-algorithm sweep on the
+cheap oracles.  The nightly CI job runs the same machinery with a much
+larger budget; anything it catches gets shrunk and promoted into
+tests/fuzz/corpus/ so tier-1 keeps paying attention to it.
+"""
+
+from repro.fuzz import fuzz_run
+from repro.fuzz.generate import SHIPPED_ALGORITHMS
+
+SMOKE_SEED = 0
+
+
+def test_mixed_pool_full_oracle_stack():
+    report = fuzz_run(SMOKE_SEED, 20)
+    assert report.ok, "\n".join(
+        f"seed={f.seed} algorithm={f.algorithm}: "
+        + "; ".join(str(x) for x in f.failures)
+        for f in report.failures
+    )
+    assert report.cases == 20
+
+
+def test_shipped_algorithms_differential_and_invariant():
+    report = fuzz_run(
+        SMOKE_SEED, 6,
+        algorithms=SHIPPED_ALGORITHMS,
+        oracles=["differential", "invariant"],
+    )
+    assert report.ok, "\n".join(
+        f"seed={f.seed} algorithm={f.algorithm}: "
+        + "; ".join(str(x) for x in f.failures)
+        for f in report.failures
+    )
+    assert report.cases == 6 * len(SHIPPED_ALGORITHMS)

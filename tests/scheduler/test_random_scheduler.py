@@ -1,0 +1,109 @@
+"""The adversarial random-decision scheduler (fuzzing subject).
+
+Its two documented contracts — determinism from the seed and guaranteed
+queue progress — are what make it usable as a differential-oracle
+subject; both are pinned here, along with the decision branches that
+bound preemption ping-pong.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import Simulation
+from repro.job import JobState, JobType
+from repro.scheduler import SchedulerError, get_algorithm
+from repro.scheduler.algorithms import RandomDecisionScheduler
+
+from tests.batch.conftest import make_job
+
+
+def mixed_jobs():
+    return [
+        make_job(1, total_flops=8e9, num_nodes=4, walltime=200),
+        make_job(2, total_flops=4e9, num_nodes=2, walltime=200,
+                 submit_time=0.5, job_type=JobType.MALLEABLE,
+                 min_nodes=1, max_nodes=6, phases=4),
+        make_job(3, total_flops=6e9, num_nodes=3, walltime=200,
+                 submit_time=1.0, job_type=JobType.MOLDABLE,
+                 min_nodes=1, max_nodes=8),
+        make_job(4, total_flops=2e9, num_nodes=8, walltime=200,
+                 submit_time=2.0),
+    ]
+
+
+def run_record(platform, seed):
+    jobs = mixed_jobs()
+    sim = Simulation(platform, jobs, algorithm=f"random:{seed}")
+    sim.run()
+    return json.dumps(
+        [
+            [j.jid, j.state.name, j.start_time, j.end_time, j.attempt]
+            for j in jobs
+        ],
+        sort_keys=True,
+    )
+
+
+class TestFromParam:
+    def test_param_seed_round_trips(self):
+        algorithm = get_algorithm("random:17")
+        assert isinstance(algorithm, RandomDecisionScheduler)
+        assert algorithm.rng.random() == RandomDecisionScheduler(seed=17).rng.random()
+
+    def test_non_integer_param_rejected(self):
+        with pytest.raises(SchedulerError):
+            get_algorithm("random:chaos")
+
+    def test_bare_name_defaults_seed_zero(self):
+        algorithm = get_algorithm("random")
+        assert isinstance(algorithm, RandomDecisionScheduler)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_outcome(self, platform):
+        assert run_record(platform, 5) == run_record(platform, 5)
+
+    def test_different_seeds_diverge_somewhere(self, platform):
+        outcomes = {run_record(platform, seed) for seed in range(6)}
+        assert len(outcomes) > 1
+
+
+class TestProgress:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_job_reaches_a_terminal_state(self, platform, seed):
+        jobs = mixed_jobs()
+        Simulation(platform, jobs, algorithm=f"random:{seed}").run()
+        for job in jobs:
+            assert job.state in (JobState.COMPLETED, JobState.KILLED), (
+                f"seed {seed}: job {job.jid} ended {job.state}"
+            )
+
+    def test_force_progress_starts_first_fit_when_rng_stalls(self, platform):
+        # An RNG that always rolls high makes every probabilistic branch
+        # a no-op; the force-progress fallback must still start work.
+        class HighRoll:
+            def random(self):
+                return 0.99
+
+            def shuffle(self, seq):
+                pass
+
+        algorithm = RandomDecisionScheduler(seed=0)
+        algorithm.rng = HighRoll()
+        jobs = [make_job(1, total_flops=8e9, num_nodes=4, walltime=200)]
+        Simulation(platform, jobs, algorithm=algorithm).run()
+        assert jobs[0].state is JobState.COMPLETED
+
+
+class TestKillBounds:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_preemption_ping_pong_is_bounded(self, platform, seed):
+        # First-attempt kills requeue ("preempted"); later kills are
+        # permanent, so no job ever runs more than two attempts.
+        jobs = mixed_jobs()
+        Simulation(platform, jobs, algorithm=f"random:{seed}").run()
+        for job in jobs:
+            assert job.attempt <= 2, (
+                f"seed {seed}: job {job.jid} ran {job.attempt} attempts"
+            )

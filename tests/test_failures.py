@@ -39,6 +39,32 @@ class TestFailureModel:
             generate_failures(num_nodes=1, horizon=0, mtbf=1, mean_repair=1)
         with pytest.raises(FailureError):
             generate_failures(num_nodes=1, horizon=1, mtbf=0, mean_repair=1)
+        with pytest.raises(FailureError):
+            generate_failures(num_nodes=1, horizon=1, mtbf=1, mean_repair=0)
+
+    def test_per_node_failures_never_overlap(self):
+        # A node that is down cannot fail again: consecutive faults on one
+        # node must be separated by at least the repair time.
+        failures = generate_failures(
+            num_nodes=4, horizon=1e5, mtbf=500, mean_repair=200, seed=7
+        )
+        by_node = {}
+        for f in failures:
+            by_node.setdefault(f.node_index, []).append(f)
+        assert len(failures) > 20  # dense enough to be a real check
+        for node_failures in by_node.values():
+            for prev, nxt in zip(node_failures, node_failures[1:]):
+                assert nxt.time >= prev.time + prev.downtime
+
+    def test_downtime_has_a_positive_floor(self):
+        # Exponential draws can be arbitrarily close to 0; the Failure
+        # validator rejects non-positive downtimes, so the generator must
+        # clamp.  mean_repair=1e-12 makes every raw draw effectively 0.
+        failures = generate_failures(
+            num_nodes=2, horizon=1e4, mtbf=100, mean_repair=1e-12, seed=0
+        )
+        assert failures
+        assert all(f.downtime >= 1e-6 for f in failures)
 
 
 class TestFailureInjection:

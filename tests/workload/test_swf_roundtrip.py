@@ -1,0 +1,54 @@
+"""Property test: render_swf is the exact inverse of parse_swf.
+
+The writer's contract (docstring of render_swf) is that
+``parse_swf(render_swf(records)) == records`` for any finite records —
+including awkward floats whose naive ``%.2f`` formatting would lose
+precision.  Hypothesis hunts that whole space instead of a few
+hand-picked examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.swf import SwfRecord, parse_swf, render_swf
+
+finite_times = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1.0, max_value=1e18
+)
+ids = st.integers(min_value=-1, max_value=2**31 - 1)
+
+records = st.builds(
+    SwfRecord,
+    job_id=ids,
+    submit_time=finite_times,
+    run_time=finite_times,
+    allocated_procs=ids,
+    requested_procs=ids,
+    requested_time=finite_times,
+    user_id=ids,
+)
+
+
+@settings(deadline=None, max_examples=200)
+@given(st.lists(records, max_size=20))
+def test_parse_render_round_trip(recs):
+    assert parse_swf(render_swf(recs)) == recs
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(records, min_size=1, max_size=5))
+def test_round_trip_without_header(recs):
+    assert parse_swf(render_swf(recs, header=False)) == recs
+
+
+@given(records)
+@settings(deadline=None, max_examples=100)
+def test_rendered_line_survives_comment_and_blank_noise(rec):
+    noisy = "; a comment\n\n" + render_swf([rec], header=False) + "\n; trailing\n"
+    assert parse_swf(noisy) == [rec]
+
+
+def test_large_submit_time_keeps_full_precision():
+    # The classic %.2f writer bug: 86400.000001 collapses to 86400.00.
+    rec = SwfRecord(1, 86400.000001, 10.0, 4, 4, 100.0, 7)
+    assert parse_swf(render_swf([rec]))[0].submit_time == 86400.000001
