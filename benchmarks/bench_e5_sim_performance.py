@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro import Simulation
+from repro.profiling import peak_rss_mb
 
 from benchmarks.common import evaluation_workload, print_table, reference_platform, write_bench_json
 
@@ -60,6 +61,9 @@ def _record(label, wall, events, invocations, resolves, scope, peak, solver_time
             scope / resolves if resolves else 0.0,
             peak,
             solver_time,
+            # Process high-water mark at the time this row finished; rows
+            # run smallest-first, so the last row's value bounds the run.
+            peak_rss_mb(),
         ]
     )
 
@@ -86,6 +90,25 @@ def test_e5_scaling_nodes(benchmark, num_nodes):
     assert result[1] > 0
 
 
+@pytest.mark.benchmark(group="e5-performance")
+@pytest.mark.parametrize("num_jobs,num_nodes", [(100, 10_000), (20, 100_000)])
+def test_e5_scaling_extreme(benchmark, num_jobs, num_nodes):
+    """10k/100k-node machines (fewer jobs at the top end).
+
+    Exercises the struct-of-arrays node state and the incremental
+    free-node index at machine sizes where any O(num_nodes) per-event
+    scan would dominate; the CI ``scale-smoke`` job runs the 10k-node
+    row under a hard timeout against the committed baseline.
+    """
+
+    def run():
+        return _simulate(num_jobs, num_nodes)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(f"{num_jobs} jobs / {num_nodes} nodes", *result)
+    assert result[1] > 0
+
+
 _HEADER = [
     "configuration",
     "events",
@@ -96,6 +119,7 @@ _HEADER = [
     "mean_solve_scope",
     "peak_components",
     "solver_time_s",
+    "peak_rss_mb",
 ]
 
 

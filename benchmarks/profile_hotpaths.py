@@ -33,6 +33,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--cprofile", action="store_true")
     parser.add_argument("--top", type=int, default=25)
+    parser.add_argument("--tracemalloc", action="store_true")
     args = parser.parse_args(argv)
 
     payload = profile_run(
@@ -42,6 +43,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         cprofile=args.cprofile,
         top=args.top,
+        trace_malloc=args.tracemalloc,
     )
     print(format_profile_report(payload))
     path = bench_results_dir() / "PROFILE_hotpaths.json"

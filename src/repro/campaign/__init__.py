@@ -40,6 +40,7 @@ from repro.campaign.runner import (
 from repro.campaign.spec import (
     CAMPAIGN_FORMAT,
     DEFAULT_SALT,
+    ENGINE_MODES,
     CampaignError,
     ScenarioSpec,
     campaign_name,
@@ -62,6 +63,7 @@ __all__ = [
     "CompareError",
     "DEFAULT_SALT",
     "Delta",
+    "ENGINE_MODES",
     "REPORT_METRICS",
     "ResultCache",
     "ScenarioSpec",

@@ -41,6 +41,39 @@ REPORT_METRICS = (
 )
 
 
+def _pin_engine(engine: Optional[Dict[str, Any]]) -> Callable[[], None]:
+    """Apply a scenario's engine-pinning block; returns the undo hook.
+
+    Pins select *how* the scenario executes — the backends produce
+    byte-identical ``run_record`` payloads — and are always undone,
+    because with ``workers <= 1`` the runner executes scenarios in the
+    caller's process and must not leak mode changes.
+    """
+    if not engine:
+        return lambda: None
+    import repro.sharing.model as sharing_model
+    from repro.expressions import compiled_enabled, set_compiled_enabled
+    from repro.sharing import array_engine_enabled, set_array_engine_enabled
+
+    old_compiled = compiled_enabled()
+    old_vectorize = sharing_model.DEFAULT_VECTORIZE
+    old_array = array_engine_enabled()
+    if "compiled" in engine:
+        set_compiled_enabled(bool(engine["compiled"]))
+    if "vectorize" in engine:
+        value = engine["vectorize"]
+        sharing_model.DEFAULT_VECTORIZE = None if value is None else bool(value)
+    if "array_engine" in engine:
+        set_array_engine_enabled(bool(engine["array_engine"]))
+
+    def restore() -> None:
+        set_compiled_enabled(old_compiled)
+        sharing_model.DEFAULT_VECTORIZE = old_vectorize
+        set_array_engine_enabled(old_array)
+
+    return restore
+
+
 def run_scenario(
     scenario: Dict[str, Any],
     trace_dir: Optional[str] = None,
@@ -54,7 +87,8 @@ def run_scenario(
     each scenario additionally writes ``<name>.trace.jsonl`` there; with
     ``check_invariants`` the flight-recorder invariant checker audits the
     run and failures come back as ``status="invariant_violation"`` with
-    the individual violations attached.
+    the individual violations attached.  An ``engine`` block in the
+    scenario pins performance backends for the duration of the run.
     """
     started = time.perf_counter()
     record: Dict[str, Any] = {
@@ -64,31 +98,35 @@ def run_scenario(
     try:
         from repro.batch import Simulation
 
-        sim = Simulation.from_spec(scenario)
-        until = scenario.get("sim", {}).get("until")
-        trace: Optional[Path] = None
-        if trace_dir is not None:
-            directory = Path(trace_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            trace = directory / f"{_safe_name(record['name'])}.trace.jsonl"
-            record["trace"] = str(trace)
+        restore_engine = _pin_engine(scenario.get("engine"))
         try:
-            monitor = sim.run(
-                until=until, trace=trace, check_invariants=check_invariants
-            )
-        except Exception as exc:
-            from repro.tracing import InvariantViolation
+            sim = Simulation.from_spec(scenario)
+            until = scenario.get("sim", {}).get("until")
+            trace: Optional[Path] = None
+            if trace_dir is not None:
+                directory = Path(trace_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                trace = directory / f"{_safe_name(record['name'])}.trace.jsonl"
+                record["trace"] = str(trace)
+            try:
+                monitor = sim.run(
+                    until=until, trace=trace, check_invariants=check_invariants
+                )
+            except Exception as exc:
+                from repro.tracing import InvariantViolation
 
-            if not isinstance(exc, InvariantViolation):
-                raise
-            record["status"] = "invariant_violation"
-            record["error"] = str(exc)
-            record["violations"] = [v.as_dict() for v in exc.violations]
-        else:
-            result = monitor.run_record()
-            result["invocations"] = sim.batch.invocations
-            record["status"] = "ok"
-            record["result"] = result
+                if not isinstance(exc, InvariantViolation):
+                    raise
+                record["status"] = "invariant_violation"
+                record["error"] = str(exc)
+                record["violations"] = [v.as_dict() for v in exc.violations]
+            else:
+                result = monitor.run_record()
+                result["invocations"] = sim.batch.invocations
+                record["status"] = "ok"
+                record["result"] = result
+        finally:
+            restore_engine()
     except Exception as exc:  # noqa: BLE001 - isolation boundary by design
         record["status"] = "failed"
         record["error"] = f"{type(exc).__name__}: {exc}"

@@ -55,6 +55,11 @@ DEFAULT_SALT = f"elastisim-campaign-f{CAMPAIGN_FORMAT}-v{__version__}"
 #: Dict keys whose string values are never treated as grid expressions.
 _LITERAL_KEYS = frozenset({"name", "topology", "file"})
 
+#: Engine-backend pins a scenario may carry: ``compiled`` (expression
+#: pipeline), ``vectorize`` (max-min solver dispatch; ``None`` = auto),
+#: ``array_engine`` (struct-of-arrays slot engine).
+ENGINE_MODES = frozenset({"array_engine", "compiled", "vectorize"})
+
 
 class CampaignError(Exception):
     """Raised for malformed campaign or scenario specifications."""
@@ -122,13 +127,45 @@ def derive_seed(base_seed: int, *parts: Any) -> int:
 # -- scenario ----------------------------------------------------------------
 
 
+def _normalize_engine(engine: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate an engine-pinning block and fold values to booleans.
+
+    Recognised keys are :data:`ENGINE_MODES`; ``vectorize`` additionally
+    accepts ``None`` for the shipped auto-dispatch.  Grid expressions
+    resolve to numbers, so 0/1 are accepted and folded to booleans.
+    """
+    unknown = set(engine) - ENGINE_MODES
+    if unknown:
+        raise CampaignError(
+            f"unknown engine modes: {sorted(unknown)} "
+            f"(recognised: {sorted(ENGINE_MODES)})"
+        )
+    out: Dict[str, Any] = {}
+    for key in sorted(engine):
+        value = engine[key]
+        if value is None and key == "vectorize":
+            out[key] = None
+        elif isinstance(value, bool):
+            out[key] = value
+        elif isinstance(value, (int, float)) and value in (0, 1):
+            out[key] = bool(value)
+        else:
+            raise CampaignError(f"engine mode {key!r} must be boolean, got {value!r}")
+    return out
+
+
 @dataclass
 class ScenarioSpec:
     """One grid point: everything needed to run a single simulation.
 
     ``platform``/``workload``/``algorithm``/``seed``/``sim`` define the
     physics and are hashed into the content key; ``name`` and ``params``
-    are report labels and deliberately excluded from it.
+    are report labels and deliberately excluded from it.  ``engine``
+    optionally pins performance backends (see :data:`ENGINE_MODES`) —
+    pins select *how* the run executes, never what it computes: the
+    backends are byte-identical on ``run_record``, so the result
+    fingerprint is unaffected, but a pinned scenario gets its own content
+    key so the cache cannot answer it with a run from another backend.
     """
 
     platform: Dict[str, Any]
@@ -136,6 +173,8 @@ class ScenarioSpec:
     algorithm: str = "easy"
     seed: int = 0
     sim: Dict[str, Any] = field(default_factory=dict)
+    #: Engine-backend pins; empty means "whatever the process defaults are".
+    engine: Dict[str, Any] = field(default_factory=dict)
     #: Grid-point coordinates, carried into report rows.
     params: Dict[str, Any] = field(default_factory=dict)
     name: str = ""
@@ -148,6 +187,7 @@ class ScenarioSpec:
                 "workload spec needs a 'generate' block, a 'file' path, "
                 "or an 'inline' workload"
             )
+        self.engine = _normalize_engine(self.engine)
         if not self.name:
             self.name = self._auto_name()
 
@@ -157,15 +197,20 @@ class ScenarioSpec:
 
     def canonical(self) -> Dict[str, Any]:
         """The hashed portion of the spec in canonical form."""
-        return canonicalize(
-            {
-                "platform": self.platform,
-                "workload": self.workload,
-                "algorithm": self.algorithm,
-                "seed": int(self.seed),
-                "sim": self.sim,
-            }
-        )
+        spec: Dict[str, Any] = {
+            "platform": self.platform,
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+            "seed": int(self.seed),
+            "sim": self.sim,
+        }
+        # Only present when pinned: unpinned scenarios keep the content
+        # keys (and therefore cached results) they had before the engine
+        # field existed.
+        if self.engine:
+            spec["engine"] = self.engine
+        result: Dict[str, Any] = canonicalize(spec)
+        return result
 
     def key(self, *, salt: str = DEFAULT_SALT) -> str:
         return scenario_key(self.canonical(), salt=salt)
@@ -223,7 +268,9 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
 
     Recognised keys: ``name``, ``platform``/``platforms``,
     ``workload``/``workloads``, ``algorithm``/``algorithms``, ``seeds``
-    (or ``num_seeds`` + optional ``base_seed``), ``sim``, ``grid``.
+    (or ``num_seeds`` + optional ``base_seed``), ``sim``, ``engine``,
+    ``grid``.  ``engine`` values may be grid expressions, so a campaign
+    can A/B engine backends along a grid axis.
     """
     unknown = set(spec) - {
         "name",
@@ -237,6 +284,7 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
         "num_seeds",
         "base_seed",
         "sim",
+        "engine",
         "grid",
     }
     if unknown:
@@ -260,6 +308,7 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
             raise CampaignError("'seeds' must be a non-empty list")
 
     sim = dict(spec.get("sim", {}))
+    engine = dict(spec.get("engine", {}))
     grid = dict(spec.get("grid", {}))
     for axis, values in grid.items():
         if not isinstance(values, (list, tuple)) or not values:
@@ -289,6 +338,7 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
                                 algorithm=algorithm,
                                 seed=seed,
                                 sim=_resolve(sim, variables),
+                                engine=_resolve(engine, variables),
                                 params=params,
                             )
                         )
@@ -376,6 +426,7 @@ def scenarios_from_grid(
 __all__ = [
     "CAMPAIGN_FORMAT",
     "DEFAULT_SALT",
+    "ENGINE_MODES",
     "CampaignError",
     "ScenarioSpec",
     "campaign_name",

@@ -268,6 +268,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also collect a cProfile top-functions table",
     )
     profile.add_argument(
+        "--tracemalloc",
+        action="store_true",
+        help="trace allocations (slows the run; wall numbers not comparable)",
+    )
+    profile.add_argument(
         "--top",
         type=int,
         default=25,
@@ -537,6 +542,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         cprofile=args.cprofile,
         top=args.top,
+        trace_malloc=args.tracemalloc,
     )
     print(format_profile_report(payload))
     if args.output is not None:

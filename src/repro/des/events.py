@@ -17,6 +17,7 @@ scheduled for the same instant.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.des.exceptions import SimulationError
@@ -135,7 +136,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined Environment.schedule(self) — zero delay, NORMAL priority;
+        # every activity completion and condition fire goes through here.
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -257,7 +261,7 @@ class Condition(Event):
     event immediately fail the condition.
     """
 
-    __slots__ = ("_evaluate", "_events", "_count", "_build_scheduled")
+    __slots__ = ("_evaluate", "_events", "_count", "_build_scheduled", "_target")
 
     def __init__(
         self,
@@ -270,17 +274,26 @@ class Condition(Event):
         self._events = list(events)
         self._count = 0
         self._build_scheduled = False
+        # Fired-count threshold for the built-in combinators, so the hot
+        # _check path compares two ints instead of calling back out.  -1
+        # falls through to the general evaluate callable.
+        if evaluate is Condition.all_events:
+            self._target = len(self._events)
+        elif evaluate is Condition.any_events:
+            self._target = 1 if self._events else 0
+        else:
+            self._target = -1
 
+        # Validate environments and register fire checks in one pass (the
+        # engine builds one condition per task fan-out; this loop is hot).
+        check = self._check
         for event in self._events:
             if event.env is not env:
                 raise ValueError("Cannot mix events from different environments")
-
-        # Register handled failures / fire checks.
-        for event in self._events:
             if event.callbacks is None:  # already processed
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
         # An empty condition is immediately true.
         if not self._events and self._value is PENDING:
@@ -316,7 +329,11 @@ class Condition(Event):
             event.defuse()
             self.fail(event._value)
             self._remove_check_callbacks()
-        elif not self._build_scheduled and self._evaluate(self._events, self._count):
+        elif not self._build_scheduled and (
+            self._count >= self._target
+            if self._target >= 0
+            else self._evaluate(self._events, self._count)
+        ):
             self._build_scheduled = True
             # Delay value construction until this event is processed, so the
             # ConditionValue contains every event fired at this instant.

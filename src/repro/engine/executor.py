@@ -218,8 +218,9 @@ class JobExecutor:
             flops = task.flops_per_node(variables, n)
             if flops <= 0:
                 return
+            payload = (self.job.jid, task.name)
             activities = [
-                Activity(flops, {node.cpu: 1.0}, payload=(self.job.jid, task.name))
+                Activity.unchecked(flops, {node.cpu: 1.0}, payload=payload)
                 for node in nodes
             ]
             yield from self._wait_all(activities)
@@ -229,6 +230,7 @@ class JobExecutor:
             flops = task.flops_per_node(variables, n)
             if flops <= 0:
                 return
+            payload = (self.job.jid, task.name)
             activities = []
             for node in nodes:
                 if node.gpu is None:
@@ -237,7 +239,7 @@ class JobExecutor:
                         f"but node {node.name} has none"
                     )
                 activities.append(
-                    Activity(flops, {node.gpu: 1.0}, payload=(self.job.jid, task.name))
+                    Activity.unchecked(flops, {node.gpu: 1.0}, payload=payload)
                 )
             yield from self._wait_all(activities)
             return
@@ -470,8 +472,7 @@ class JobExecutor:
 
     def _wait_all(self, activities: List[Activity]) -> Generator[Event, Any, None]:
         """Start ``activities`` and wait for all; cancellable via interrupt."""
-        for act in activities:
-            self.model.execute(act)
+        self.model.execute_many(activities)
         yield from self._wait_started(activities)
 
     def _wait_started(self, activities: List[Activity]) -> Generator[Event, Any, None]:

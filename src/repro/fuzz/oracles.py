@@ -27,14 +27,17 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-#: Engine-mode matrix (compiled expressions?, DEFAULT_VECTORIZE).  The
-#: first entry is the reference configuration; ``None`` is the shipped
-#: auto-dispatch.
+#: Engine-mode matrix (compiled expressions?, DEFAULT_VECTORIZE, array
+#: engine?).  The first entry is the reference configuration (everything
+#: shipped/default); ``None`` is the vectorize auto-dispatch; the last
+#: column flips the struct-of-arrays slot engine
+#: (:func:`repro.sharing.set_array_engine_enabled`).
 MODES = [
-    (True, None),
-    (True, False),
-    (True, True),
-    (False, False),
+    (True, None, True),
+    (True, None, False),
+    (True, False, True),
+    (True, True, False),
+    (False, False, False),
 ]
 
 #: Power-of-two factor used by the time-scaling oracle.  Must be a power
@@ -60,22 +63,29 @@ def run_scenario_record(
     *,
     compiled: bool = True,
     vectorize: Optional[bool] = None,
+    array: Optional[bool] = None,
     check_invariants: bool = False,
     prefail: int = 0,
 ) -> Dict[str, Any]:
     """Run a scenario under a given engine mode; return its run_record.
 
-    ``prefail`` marks the last N nodes failed before the run starts (the
-    spare-nodes oracle's way of adding capacity that is provably never
-    allocated without racing the t=0 scheduler invocation).
+    ``array`` pins the struct-of-arrays slot engine on/off for the run
+    (``None`` keeps the process default).  ``prefail`` marks the last N
+    nodes failed before the run starts (the spare-nodes oracle's way of
+    adding capacity that is provably never allocated without racing the
+    t=0 scheduler invocation).
     """
     import repro.sharing.model as sharing_model
     from repro import Simulation
     from repro.expressions import set_compiled_enabled
+    from repro.sharing import array_engine_enabled, set_array_engine_enabled
 
     set_compiled_enabled(compiled)
     old_vectorize = sharing_model.DEFAULT_VECTORIZE
     sharing_model.DEFAULT_VECTORIZE = vectorize
+    old_array = array_engine_enabled()
+    if array is not None:
+        set_array_engine_enabled(array)
     try:
         sim = Simulation.from_spec(scenario)
         if prefail:
@@ -85,6 +95,7 @@ def run_scenario_record(
     finally:
         set_compiled_enabled(True)
         sharing_model.DEFAULT_VECTORIZE = old_vectorize
+        set_array_engine_enabled(old_array)
     return monitor.run_record()
 
 
@@ -124,16 +135,19 @@ def _inline_jobs(scenario: Dict[str, Any]) -> List[Dict[str, Any]]:
 def differential_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
     """run_record must be byte-identical across all engine modes."""
     reference = run_scenario_record(
-        scenario, compiled=MODES[0][0], vectorize=MODES[0][1]
+        scenario, compiled=MODES[0][0], vectorize=MODES[0][1], array=MODES[0][2]
     )
     reference_bytes = _canonical(reference)
-    for compiled, vectorize in MODES[1:]:
-        record = run_scenario_record(scenario, compiled=compiled, vectorize=vectorize)
+    for compiled, vectorize, array in MODES[1:]:
+        record = run_scenario_record(
+            scenario, compiled=compiled, vectorize=vectorize, array=array
+        )
         if _canonical(record) != reference_bytes:
             return OracleFailure(
                 "differential",
                 f"run_record diverged under compiled={compiled} "
-                f"vectorize={vectorize}: {_first_diff(reference, record)}",
+                f"vectorize={vectorize} array={array}: "
+                f"{_first_diff(reference, record)}",
             )
     return None
 

@@ -50,6 +50,11 @@ class SolverStats:
         wall-clock-free and deterministic for a fixed ``vectorize`` setting,
         but they *depend* on that setting, so they stay out of
         ``Monitor.run_record()``.
+    slot_solves:
+        How many of the ``fast_solves`` were served by the struct-of-arrays
+        slot engine (see ``set_array_engine_enabled``).  Like the kernel
+        dispatch counts, this depends on the engine switch and stays out of
+        ``Monitor.run_record()``.
     """
 
     resolves: int = 0
@@ -65,6 +70,7 @@ class SolverStats:
     fast_solves: int = 0
     scalar_solves: int = 0
     vector_solves: int = 0
+    slot_solves: int = 0
 
     @property
     def mean_solve_scope(self) -> float:
@@ -89,6 +95,7 @@ class SolverStats:
             fast_solves=getattr(model, "fast_solves", 0),
             scalar_solves=getattr(model, "scalar_solves", 0),
             vector_solves=getattr(model, "vector_solves", 0),
+            slot_solves=getattr(model, "slot_solves", 0),
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -107,4 +114,5 @@ class SolverStats:
             "fast_solves": self.fast_solves,
             "scalar_solves": self.scalar_solves,
             "vector_solves": self.vector_solves,
+            "slot_solves": self.slot_solves,
         }

@@ -8,6 +8,11 @@ from typing import List, Optional, Sequence, Set
 from repro.platform.components import Node, NodeState, Pfs, PlatformError
 from repro.platform.topology import PFS, Route, Topology
 
+try:  # numpy backs the node-state masks; everything degrades to sets
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 
 class Platform:
     """A complete machine description.
@@ -55,12 +60,27 @@ class Platform:
         # *query*.  A node can belong to one platform at a time.
         self._free_ids: List[int] = []
         self._allocated_ids: Set[int] = set()
+        self._failed_ids: Set[int] = set()
+        #: Materialised free_nodes() result, rebuilt only after a change.
+        self._free_cache: Optional[List[Node]] = None
+        #: Node-state struct-of-arrays: boolean masks indexed by node id.
+        #: Maintained alongside the index structures so bulk queries
+        #: (counts, histograms, vectorized scheduling policies) read one
+        #: array instead of walking Node objects.  ``None`` without numpy.
+        self._free_mask = _np.zeros(len(self.nodes), dtype=bool) if _np is not None else None
+        self._failed_mask = _np.zeros(len(self.nodes), dtype=bool) if _np is not None else None
         for node in self.nodes:
             node._pool = self
             if node.free:
                 self._free_ids.append(node.index)
+                if self._free_mask is not None:
+                    self._free_mask[node.index] = True
             if node.assigned_job is not None:
                 self._allocated_ids.add(node.index)
+            if node.failed:
+                self._failed_ids.add(node.index)
+                if self._failed_mask is not None:
+                    self._failed_mask[node.index] = True
 
     # -- sizing -----------------------------------------------------------
 
@@ -78,7 +98,9 @@ class Platform:
         """Node state-transition hook keeping the incremental indices exact."""
         index = node.index
         free_ids = self._free_ids
-        if node.state is NodeState.FREE and not node.failed:
+        self._free_cache = None
+        is_free = node.state is NodeState.FREE and not node.failed
+        if is_free:
             pos = bisect_left(free_ids, index)
             if pos == len(free_ids) or free_ids[pos] != index:
                 insort(free_ids, index)
@@ -90,11 +112,28 @@ class Platform:
             self._allocated_ids.add(index)
         else:
             self._allocated_ids.discard(index)
+        if node.failed:
+            self._failed_ids.add(index)
+        else:
+            self._failed_ids.discard(index)
+        if self._free_mask is not None:
+            self._free_mask[index] = is_free
+            self._failed_mask[index] = node.failed
 
     def free_nodes(self) -> List[Node]:
-        """Nodes currently not held by any job, in index order."""
-        nodes = self.nodes
-        return [nodes[i] for i in self._free_ids]
+        """Nodes currently not held by any job, in index order.
+
+        Returns a cached list that is replaced — never mutated — on node
+        state changes.  Callers must treat it as read-only (every in-tree
+        consumer only slices/samples it); holding it across state changes
+        yields the same stale-snapshot semantics the previous fresh-list
+        implementation had.
+        """
+        cache = self._free_cache
+        if cache is None:
+            nodes = self.nodes
+            cache = self._free_cache = [nodes[i] for i in self._free_ids]
+        return cache
 
     def num_free_nodes(self) -> int:
         return len(self._free_ids)
@@ -104,7 +143,19 @@ class Platform:
         return len(self._allocated_ids)
 
     def num_failed_nodes(self) -> int:
-        return sum(1 for node in self.nodes if node.failed)
+        return len(self._failed_ids)
+
+    def free_mask(self):
+        """Boolean numpy mask of free nodes (``None`` without numpy).
+
+        Indexed by node id; a read-only struct-of-arrays view for bulk
+        queries and vectorized policies.  Callers must not write to it.
+        """
+        return self._free_mask
+
+    def failed_mask(self):
+        """Boolean numpy mask of failed nodes (``None`` without numpy)."""
+        return self._failed_mask
 
     def utilization(self) -> float:
         """Fraction of nodes currently allocated."""

@@ -40,10 +40,31 @@ from repro.expressions import CompiledExpression
 from repro.platform import platform_from_dict
 from repro.workload import WorkloadSpec, generate_workload
 
-__all__ = ["profile_run", "format_profile_report", "PROFILE_SCHEMA"]
+__all__ = ["profile_run", "format_profile_report", "peak_rss_mb", "PROFILE_SCHEMA"]
 
-#: Version tag stamped into every profile payload.
-PROFILE_SCHEMA = "elastisim-profile/1"
+#: Version tag stamped into every profile payload.  ``/2`` added the
+#: ``memory`` section (peak RSS, optional tracemalloc allocation stats).
+PROFILE_SCHEMA = "elastisim-profile/2"
+
+
+def peak_rss_mb() -> float:
+    """Peak resident-set size of this process in MiB (0.0 if unknown).
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — kilobytes on Linux,
+    bytes on macOS.  The value is a high-water mark for the *process*, so
+    in a long-lived process it reflects the largest phase so far, not the
+    current working set; benchmark drivers that want per-scenario peaks
+    should run scenarios in subprocesses or compare successive readings.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0.0
+    import sys
+
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return maxrss / divisor
 
 
 def _reference_simulation(
@@ -99,13 +120,16 @@ def profile_run(
     seed: int = 3,
     cprofile: bool = False,
     top: int = 25,
+    trace_malloc: bool = False,
 ) -> Dict[str, Any]:
     """Run the reference scenario and return a profile payload.
 
     Returns a JSON-serialisable dict: configuration, wall clock, the
     section split described in the module docstring, solver and expression
-    counters, and (with ``cprofile=True``) the ``top`` functions by
-    internal time.
+    counters, a ``memory`` section (peak RSS always; allocation stats when
+    ``trace_malloc=True`` — tracing slows the run several-fold, so wall
+    numbers from a traced run are not comparable), and (with
+    ``cprofile=True``) the ``top`` functions by internal time.
     """
     sim = _reference_simulation(num_jobs, num_nodes, algorithm, seed)
     sections = {"scheduler": 0.0, "expressions": 0.0}
@@ -144,8 +168,14 @@ def profile_run(
 
         profiler = cProfile.Profile()
 
+    tm = None
+    if trace_malloc:
+        import tracemalloc as tm
+
     expr_start = _EXPR_STATS.snapshot()
     try:
+        if tm is not None:
+            tm.start(1)
         start = perf_counter()
         if profiler is not None:
             profiler.enable()
@@ -155,7 +185,25 @@ def profile_run(
             if profiler is not None:
                 profiler.disable()
         wall = perf_counter() - start
+        malloc_stats = None
+        if tm is not None:
+            current_b, peak_b = tm.get_traced_memory()
+            top_allocs = [
+                {
+                    "location": f"{stat.traceback[0].filename}:{stat.traceback[0].lineno}",
+                    "size_mb": stat.size / (1024.0 * 1024.0),
+                    "blocks": stat.count,
+                }
+                for stat in tm.take_snapshot().statistics("lineno")[:10]
+            ]
+            malloc_stats = {
+                "current_mb": current_b / (1024.0 * 1024.0),
+                "peak_mb": peak_b / (1024.0 * 1024.0),
+                "top_allocations": top_allocs,
+            }
     finally:
+        if tm is not None:
+            tm.stop()
         CompiledExpression.evaluate = orig_evaluate  # type: ignore[method-assign]
         algo.schedule = orig_schedule  # type: ignore[method-assign]
 
@@ -187,6 +235,10 @@ def profile_run(
             "completed_jobs": monitor.summary().completed_jobs,
             "solver": solver.as_dict() if solver is not None else {},
             "expressions": _EXPR_STATS.since(expr_start).as_dict(),
+        },
+        "memory": {
+            "peak_rss_mb": peak_rss_mb(),
+            "tracemalloc": malloc_stats,
         },
     }
     if profiler is not None:
@@ -250,6 +302,21 @@ def format_profile_report(payload: Dict[str, Any]) -> str:
             f"{expr.get('evaluations', 0)} evaluations, "
             f"hit rate {expr.get('hit_rate', 0.0):.1%}"
         )
+    memory = payload.get("memory") or {}
+    if memory:
+        line = f"memory     : peak RSS {memory.get('peak_rss_mb', 0.0):.1f} MiB"
+        malloc_stats = memory.get("tracemalloc")
+        if malloc_stats:
+            line += (
+                f", traced peak {malloc_stats['peak_mb']:.1f} MiB "
+                f"(current {malloc_stats['current_mb']:.1f} MiB)"
+            )
+        lines.append(line)
+        for row in (malloc_stats or {}).get("top_allocations", [])[:5]:
+            lines.append(
+                f"  {row['size_mb']:8.1f} MiB  {row['blocks']:>9} blocks  "
+                f"{row['location']}"
+            )
     for row in payload.get("top_functions", [])[:10]:
         lines.append(
             f"  {row['tottime_s']:8.3f}s  {row['calls']:>9} calls  "

@@ -27,12 +27,13 @@ class FcfsScheduler(Algorithm):
     name = "fcfs"
 
     def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        free = ctx.free_nodes()  # changes only via start_job below
         for job in ctx.pending_jobs:
-            free = ctx.free_nodes()
-            need = _start_size(job)
+            need = job.num_nodes  # == _start_size(job), inlined (hot loop)
             if need > len(free):
                 return  # strict FCFS: later jobs must wait
             ctx.start_job(job, free[:need])
+            free = ctx.free_nodes()
 
 
 class EasyBackfillingScheduler(Algorithm):
@@ -56,14 +57,14 @@ class EasyBackfillingScheduler(Algorithm):
 
     def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
         self._start_in_order(ctx)
-        pending = [job for job in self.queue_order(ctx)]
+        pending = self.queue_order(ctx)  # contract: returns a fresh list
         if not pending:
             return
         head = pending[0]
         shadow_time, extra_nodes = self._reservation(ctx, head)
+        free = ctx.free_nodes()  # changes only via start_job below
         for job in pending[1:]:
-            free = ctx.free_nodes()
-            need = _start_size(job)
+            need = job.num_nodes  # == _start_size(job), inlined (hot loop)
             if need > len(free):
                 continue
             finishes_before_shadow = (
@@ -71,25 +72,38 @@ class EasyBackfillingScheduler(Algorithm):
             )
             if finishes_before_shadow:
                 ctx.start_job(job, free[:need])
+                free = ctx.free_nodes()
             elif need <= extra_nodes:
                 ctx.start_job(job, free[:need])
                 extra_nodes -= need
+                free = ctx.free_nodes()
 
     def _start_in_order(self, ctx: SchedulerContext) -> None:
+        free = ctx.free_nodes()  # changes only via start_job below
         for job in self.queue_order(ctx):
-            free = ctx.free_nodes()
-            need = _start_size(job)
+            need = job.num_nodes  # == _start_size(job), inlined (hot loop)
             if need > len(free):
                 return
             ctx.start_job(job, free[:need])
+            free = ctx.free_nodes()
 
     @staticmethod
     def _reservation(ctx: SchedulerContext, head: Job) -> tuple[float, int]:
         """(shadow time, nodes spare at it) for the queue head."""
         need = _start_size(head)
         available = ctx.num_free_nodes()
+        # Inlined ctx.expected_end: walltime-based end estimate, inf when
+        # unknowable (runs once per running job on every invocation).
         ends = sorted(
-            ((ctx.expected_end(job), len(job.assigned_nodes)) for job in ctx.running_jobs),
+            (
+                (
+                    inf
+                    if job.start_time is None or job.walltime == inf
+                    else job.start_time + job.walltime,
+                    len(job.assigned_nodes),
+                )
+                for job in ctx.running_jobs
+            ),
             key=lambda pair: pair[0],
         )
         for end, count in ends:

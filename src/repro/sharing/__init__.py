@@ -27,6 +27,8 @@ from repro.sharing.model import (
     ActivityCancelled,
     FairShareModel,
     SharedResource,
+    array_engine_enabled,
+    set_array_engine_enabled,
     solve_max_min,
 )
 
@@ -35,5 +37,7 @@ __all__ = [
     "ActivityCancelled",
     "FairShareModel",
     "SharedResource",
+    "array_engine_enabled",
+    "set_array_engine_enabled",
     "solve_max_min",
 ]

@@ -25,6 +25,7 @@ constant between the events that touch a component.
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappop, heappush
 from itertools import count
 from math import inf
@@ -47,10 +48,39 @@ _FINISH_TOL = 1e-9
 #: the numpy kernel; below it, array setup costs more than the dict scans.
 VECTOR_CROSSOVER = 32
 
+#: Dirty-slot batch size from which the array engine's slot solve switches
+#: to the numpy kernel; below it the scalar loop is cheaper (same floats
+#: either way, so the crossover only affects speed).
+SLOT_VECTOR_CROSSOVER = 32
+
 #: Process-wide default for ``solve_max_min``'s auto dispatch: ``True``
 #: forces the vectorized kernel, ``False`` forces the scalar loop, ``None``
 #: selects by component size.  Tests flip this for whole-run A/B checks.
 DEFAULT_VECTORIZE: Optional[bool] = None
+
+#: Process-wide default for the struct-of-arrays "slot" engine (see
+#: :class:`_SlotTable`).  On by default; ``ELASTISIM_ARRAY_ENGINE=0`` in
+#: the environment or :func:`set_array_engine_enabled` turn it off for
+#: whole-run A/B comparisons.  Both engines are specified to produce
+#: byte-identical ``run_record()`` payloads (the fuzzer's differential
+#: oracle and ``tests/batch/test_mode_equivalence.py`` enforce it).
+_ARRAY_ENGINE: bool = os.environ.get("ELASTISIM_ARRAY_ENGINE", "1") != "0"
+
+
+def set_array_engine_enabled(enabled: bool) -> None:
+    """Process-wide switch for the array (struct-of-arrays) engine core.
+
+    Mirrors ``repro.expressions.set_compiled_enabled``: a pure performance
+    A/B toggle that models read at construction time.  Simulation results
+    are identical either way; only speed and memory layout change.
+    """
+    global _ARRAY_ENGINE
+    _ARRAY_ENGINE = bool(enabled)
+
+
+def array_engine_enabled() -> bool:
+    """Current process-wide default of the array-engine switch."""
+    return _ARRAY_ENGINE
 
 
 class ActivityCancelled(Exception):
@@ -159,6 +189,39 @@ class Activity:
         self._model: Optional["FairShareModel"] = None
         #: Creation-order id; fixes processing order for determinism.
         self._seq: int = next(Activity._counter)
+
+    @classmethod
+    def unchecked(
+        cls,
+        work: float,
+        usages: Dict[SharedResource, float],
+        *,
+        weight: float = 1.0,
+        bound: float = inf,
+        payload: Any = None,
+    ) -> "Activity":
+        """Construct without validation or a usage-dict copy (hot paths).
+
+        The engine's task fan-out creates one activity per node per task;
+        the constructor's validation loops and defensive dict copy are
+        measurable there.  Callers must guarantee what ``__init__`` checks
+        — ``work >= 0``, positive weight/bound/usage factors — and must
+        hand over exclusive ownership of ``usages``.
+        """
+        self = cls.__new__(cls)
+        self.work = work = float(work)
+        self.remaining = work
+        self.usages = usages
+        self.weight = weight
+        self.bound = bound
+        self.payload = payload
+        self.rate = 0.0
+        self.done = None
+        self.started_at = None
+        self.finished_at = None
+        self._model = None
+        self._seq = next(cls._counter)
+        return self
 
     def __repr__(self) -> str:
         return (
@@ -516,6 +579,73 @@ class Component:
         return f"<Component #{self.id} acts={len(self.acts)}>"
 
 
+class _SlotTable:
+    """Struct-of-arrays store for *simple* activities (the array engine).
+
+    A simple activity uses exactly one resource and is that resource's sole
+    user — a singleton component of the activity↔resource graph.  In the
+    reference workloads this is the dominant case by far (E5: 100% of
+    solves are singletons), and each one pays for a ``Component`` object, a
+    per-component dict walk, and attribute chasing per solve.  The slot
+    table strips that to parallel Python lists indexed by an integer slot:
+    one row per live simple activity, scalar reads/writes on hot paths, and
+    bulk numpy gathers when enough slots are dirty at one instant
+    (:data:`SLOT_VECTOR_CROSSOVER`).
+
+    Plain lists beat numpy arrays for the per-slot scalar traffic (indexed
+    numpy scalar writes cost ~3x a list store); numpy enters only at batch
+    solve points where whole columns are gathered at once.
+
+    The table is an engine-internal mirror: ``Activity.rate`` and
+    ``Activity.remaining`` are written back at exactly the observation
+    points the object engine writes them (solve, integrate), so external
+    behaviour — including ``run_record`` — is byte-identical.  A slot's
+    ``version`` is bumped on every solve *and* on free, so horizon-heap
+    entries referencing a recycled slot lazily invalidate, exactly like
+    ``Component.version``.  ``cid`` holds the component id the slot
+    consumed from the model's id counter, keeping id sequences (and thus
+    split/merge determinism) identical across engines; promotion to a real
+    ``Component`` reuses it.
+
+    A slot's max-min rate depends only on quantities that are immutable
+    after ``execute`` (resource capacity, usage factor, weight, bound), so
+    it is solved once at admission — the same float operations as
+    :func:`_solve_single`, hence the same bits — and every re-solve
+    thereafter is just a horizon division against the integrated remaining
+    work.  The finish threshold ``_FINISH_TOL * (1 + work)`` is likewise
+    constant and precomputed.
+    """
+
+    __slots__ = (
+        "act",
+        "res",
+        "rate0",
+        "thresh",
+        "remaining",
+        "last",
+        "version",
+        "cid",
+        "free",
+        "live",
+    )
+
+    def __init__(self) -> None:
+        self.act: List[Optional[Activity]] = []
+        self.res: List[Optional[SharedResource]] = []
+        #: Precomputed solved rate (bit-identical to ``_solve_single``).
+        self.rate0: List[float] = []
+        #: Precomputed finish threshold ``_FINISH_TOL * (1 + work)``.
+        self.thresh: List[float] = []
+        self.remaining: List[float] = []
+        self.last: List[float] = []
+        self.version: List[int] = []
+        self.cid: List[int] = []
+        #: Recycled slot indices (stack).
+        self.free: List[int] = []
+        #: Number of occupied slots.
+        self.live: int = 0
+
+
 class FairShareModel:
     """Drives activities to completion on a DES environment.
 
@@ -551,6 +681,12 @@ class FairShareModel:
         Per-model override for the solver kernel, passed through to
         :func:`solve_max_min` (``None`` = auto by component size; both
         kernels are bit-identical, so this only affects speed).
+    array_engine:
+        Per-model override for the struct-of-arrays slot engine
+        (:class:`_SlotTable`); ``None`` (default) defers to the process-wide
+        :func:`set_array_engine_enabled` switch.  Only effective with
+        ``partition=True`` (the global-component reference mode has no
+        singletons to accelerate).  Results are byte-identical either way.
 
     Event-count bookkeeping (``resolves`` et al.) feeds the E5 simulator
     performance benchmark; see :class:`repro.monitoring.SolverStats`.
@@ -562,10 +698,23 @@ class FairShareModel:
         *,
         partition: bool = True,
         vectorize: Optional[bool] = None,
+        array_engine: Optional[bool] = None,
     ) -> None:
         self.env = env
         self._partition = partition
         self._vectorize = vectorize
+        use_array = _ARRAY_ENGINE if array_engine is None else array_engine
+        #: Slot table for simple (single-resource, sole-user) activities;
+        #: ``None`` runs everything through the object engine.
+        self._array: Optional[_SlotTable] = (
+            _SlotTable() if (use_array and partition) else None
+        )
+        #: activity → slot index (array engine's running-activity registry).
+        self._slot_of: Dict[Activity, int] = {}
+        #: resource → slot index of its sole (simple) user.
+        self._res_slot: Dict[SharedResource, int] = {}
+        #: slot indices awaiting a re-solve at the current instant.
+        self._dirty_slots: Dict[int, None] = {}
         #: activity → owning component (also the running-activity registry).
         self._comp_of: Dict[Activity, Component] = {}
         #: resource → ordered dict of current users (adjacency index).
@@ -602,6 +751,9 @@ class FairShareModel:
         self.fast_solves: int = 0
         self.scalar_solves: int = 0
         self.vector_solves: int = 0
+        #: Solves served by the struct-of-arrays slot engine (a subset of
+        #: ``fast_solves``: every slot solve is a singleton solve).
+        self.slot_solves: int = 0
         #: Optional flight recorder (see :mod:`repro.tracing`); attached by
         #: ``Simulation.run(trace=...)``.  Guarded per flush, so the
         #: disabled path costs one ``is None`` check per solve event.
@@ -612,16 +764,30 @@ class FairShareModel:
     @property
     def activities(self) -> frozenset[Activity]:
         """Snapshot of the running activities."""
+        if self._slot_of:
+            return frozenset(self._comp_of) | frozenset(self._slot_of)
         return frozenset(self._comp_of)
 
     @property
     def component_count(self) -> int:
-        """Number of live connected components."""
-        return len(self._components)
+        """Number of live connected components (slot rows included)."""
+        table = self._array
+        return len(self._components) + (table.live if table is not None else 0)
 
     def component_sizes(self) -> List[int]:
-        """Sizes of the live components, in component-creation order."""
-        return [len(comp.acts) for comp in self._components]
+        """Sizes of the live components, in component-creation order.
+
+        Slot rows count as singleton components under their reserved
+        component id, so both engines report the same list.
+        """
+        if not self._slot_of:
+            return [len(comp.acts) for comp in self._components]
+        table = self._array
+        assert table is not None
+        entries = [(comp.id, len(comp.acts)) for comp in self._components]
+        entries.extend((table.cid[s], 1) for s in self._slot_of.values())
+        entries.sort()
+        return [size for _, size in entries]
 
     def component_size_histogram(self) -> Dict[int, int]:
         """Mapping of component size → number of components of that size."""
@@ -629,6 +795,8 @@ class FairShareModel:
         for comp in self._components:
             size = len(comp.acts)
             histogram[size] = histogram.get(size, 0) + 1
+        if self._slot_of:
+            histogram[1] = histogram.get(1, 0) + len(self._slot_of)
         return dict(sorted(histogram.items()))
 
     def execute(self, activity: Activity) -> Activity:
@@ -648,14 +816,163 @@ class FairShareModel:
                 raise ValueError(f"Cannot execute on zero-capacity {res!r}")
         activity._model = self
 
+        usages = activity.usages
+        if self._array is not None and len(usages) == 1:
+            ((res, factor),) = usages.items()
+            if res not in self._res_users and res not in self._res_slot:
+                # Simple activity: sole user of its one resource — a
+                # singleton component served entirely by the slot table.
+                self._add_slot(activity, res, factor)
+                self._request_resolve()
+                return activity
+
         comp = self._join(activity)
         comp.acts[activity] = None
         self._comp_of[activity] = comp
-        for res in activity.usages:
+        for res in usages:
             self._res_users.setdefault(res, {})[activity] = None
         self._mark_dirty(comp)
         self._request_resolve()
         return activity
+
+    def execute_many(self, activities: Iterable[Activity]) -> None:
+        """Start several activities at the current instant.
+
+        Semantically a loop over :meth:`execute`.  With the array engine
+        on, slot-eligible activities take a fused bulk path: the guard
+        checks, admission bookkeeping and rate precompute run with every
+        table column and dict hoisted to locals, and the re-solve request
+        is coalesced to one call for the whole batch (the object engine's
+        per-activity requests collapse to the same single URGENT event, so
+        the event stream is unchanged).  Anything not slot-eligible falls
+        back to :meth:`execute` mid-batch with identical semantics.
+        """
+        table = self._array
+        if table is None:
+            for activity in activities:
+                self.execute(activity)
+            return
+        env = self.env
+        now = env.now
+        res_users = self._res_users
+        res_slot = self._res_slot
+        slot_of = self._slot_of
+        dirty_slots = self._dirty_slots
+        comp_ids = self._comp_ids
+        free_stack = table.free
+        t_act = table.act
+        t_res = table.res
+        t_rate0 = table.rate0
+        t_thresh = table.thresh
+        t_rem = table.remaining
+        t_last = table.last
+        t_version = table.version
+        t_cid = table.cid
+        added = False
+        # One-entry rate memo: a task fan-out admits N activities with
+        # identical (capacity, factor, weight, bound), so the precompute
+        # runs once per batch instead of once per activity.  Exact float
+        # equality on the inputs guarantees a bit-identical rate.
+        m_cap: Any = None
+        m_factor: Any = None
+        m_w: Any = None
+        m_bound: Any = None
+        m_rate = 0.0
+        for activity in activities:
+            usages = activity.usages
+            if (
+                activity._model is not None
+                or activity.done is not None
+                or len(usages) != 1
+            ):
+                self._batch_peak(table)
+                self.execute(activity)
+                continue
+            ((res, factor),) = usages.items()
+            if res in res_users or res in res_slot:
+                self._batch_peak(table)
+                self.execute(activity)
+                continue
+            activity.done = Event(env)
+            activity.started_at = now
+            if activity.remaining <= 0:
+                activity.finished_at = now
+                activity.done.succeed(activity)
+                continue
+            cap = res.capacity
+            if cap <= 0:  # defensive; constructor forbids it
+                raise ValueError(f"Cannot execute on zero-capacity {res!r}")
+            activity._model = self
+            # Inlined _add_slot: same float ops, columns hoisted.
+            w = activity.weight
+            bound = activity.bound
+            if cap == m_cap and factor == m_factor and w == m_w and bound == m_bound:
+                rate = m_rate
+            else:
+                theta = inf
+                d = factor * w
+                if d > 1e-15:
+                    theta = cap / d
+                limited = False
+                if bound < inf:
+                    ratio = (bound - 0.0) / w
+                    if ratio < theta:
+                        theta = ratio
+                        limited = True
+                if theta == inf:
+                    rate = inf
+                else:
+                    rate = 0.0
+                    if theta > 0:
+                        rate = 0.0 + theta * w
+                    if bound < inf and rate >= bound * (1 - 1e-12):
+                        rate = bound
+                    if limited:
+                        rate = bound
+                m_cap = cap
+                m_factor = factor
+                m_w = w
+                m_bound = bound
+                m_rate = rate
+            if free_stack:
+                s = free_stack.pop()
+                t_act[s] = activity
+                t_res[s] = res
+                t_rate0[s] = rate
+                t_thresh[s] = _FINISH_TOL * (1 + activity.work)
+                t_rem[s] = activity.remaining
+                t_last[s] = now
+                t_cid[s] = next(comp_ids)
+            else:
+                s = len(t_act)
+                t_act.append(activity)
+                t_res.append(res)
+                t_rate0.append(rate)
+                t_thresh.append(_FINISH_TOL * (1 + activity.work))
+                t_rem.append(activity.remaining)
+                t_last.append(now)
+                t_version.append(0)
+                t_cid.append(next(comp_ids))
+            table.live += 1
+            slot_of[activity] = s
+            res_slot[res] = s
+            dirty_slots[s] = None
+            added = True
+        self._batch_peak(table)
+        if added:
+            self._request_resolve()
+
+    def _batch_peak(self, table: "_SlotTable") -> None:
+        """Fold a run of slot admissions into the peak-components counter.
+
+        Within a run of consecutive slot adds the total only grows, so
+        checking at the end of the run observes its maximum; a fallback
+        :meth:`execute` mid-batch can merge components (shrinking the
+        total), so the check must also run right before each fallback.
+        """
+        total = len(self._components) + table.live
+        if total > self.peak_components:
+            self.peak_components = total
 
     def cancel(self, activity: Activity) -> None:
         """Abort a running activity; fails its ``done`` with a defused error.
@@ -665,8 +982,13 @@ class FairShareModel:
         """
         if activity._model is not self:
             return
-        self._integrate(self._comp_of[activity])
-        self._remove(activity)
+        slot = self._slot_of.get(activity)
+        if slot is not None:
+            self._integrate_slot(slot)
+            self._free_slot(slot)
+        else:
+            self._integrate(self._comp_of[activity])
+            self._remove(activity)
         activity._model = None
         activity.rate = 0.0
         if activity.done is not None and not activity.done.triggered:
@@ -685,12 +1007,23 @@ class FairShareModel:
         """
         for comp in self._components:
             self._integrate(comp)
+        if self._slot_of:
+            for slot in self._slot_of.values():
+                self._integrate_slot(slot)
 
     # -- component maintenance --------------------------------------------
 
     def _join(self, activity: Activity) -> Component:
         """Find-or-create the component a starting activity belongs to,
         merging every component reachable through its resources."""
+        if self._res_slot:
+            # Any slot sharing a resource with the newcomer stops being
+            # simple: promote it to a real Component first, then let the
+            # ordinary merge machinery below see it as `involved`.
+            for res in activity.usages:
+                slot = self._res_slot.get(res)
+                if slot is not None:
+                    self._promote_slot(slot)
         involved: List[Component] = []
         if self._partition:
             seen: set[int] = set()
@@ -792,6 +1125,135 @@ class FairShareModel:
         if len(self._components) > self.peak_components:
             self.peak_components = len(self._components)
 
+    # -- slot engine (struct-of-arrays) -------------------------------------
+
+    def _add_slot(self, activity: Activity, res: SharedResource, factor: float) -> None:
+        """Register a simple activity in the slot table (array engine).
+
+        Solves the slot's rate immediately — the inputs are immutable, so
+        this replays :func:`_solve_single`'s float operations once and the
+        per-resolve work shrinks to a horizon division.  ``Activity.rate``
+        is *not* written here: the object engine only writes it at solve
+        flushes, and the first flush happens at this same instant anyway.
+        """
+        w = activity.weight
+        theta = inf
+        d = factor * w
+        if d > 1e-15:
+            theta = res.capacity / d
+        bound = activity.bound
+        limited = False
+        if bound < inf:
+            ratio = (bound - 0.0) / w
+            if ratio < theta:
+                theta = ratio
+                limited = True
+        if theta == inf:
+            rate = inf
+        else:
+            rate = 0.0
+            if theta > 0:
+                rate = 0.0 + theta * w
+            if bound < inf and rate >= bound * (1 - 1e-12):
+                rate = bound
+            if limited:
+                rate = bound
+        thresh = _FINISH_TOL * (1 + activity.work)
+
+        table = self._array
+        assert table is not None
+        if table.free:
+            s = table.free.pop()
+            table.act[s] = activity
+            table.res[s] = res
+            table.rate0[s] = rate
+            table.thresh[s] = thresh
+            table.remaining[s] = activity.remaining
+            table.last[s] = self.env.now
+            table.cid[s] = next(self._comp_ids)
+        else:
+            s = len(table.act)
+            table.act.append(activity)
+            table.res.append(res)
+            table.rate0.append(rate)
+            table.thresh.append(thresh)
+            table.remaining.append(activity.remaining)
+            table.last.append(self.env.now)
+            table.version.append(0)
+            table.cid.append(next(self._comp_ids))
+        table.live += 1
+        self._slot_of[activity] = s
+        self._res_slot[res] = s
+        self._dirty_slots[s] = None
+        total = len(self._components) + table.live
+        if total > self.peak_components:
+            self.peak_components = total
+
+    def _free_slot(self, s: int) -> None:
+        """Release a slot; bump its version so heap entries lazily die."""
+        table = self._array
+        assert table is not None
+        act = table.act[s]
+        del self._slot_of[act]  # type: ignore[index]
+        del self._res_slot[table.res[s]]  # type: ignore[index]
+        table.act[s] = None
+        table.res[s] = None
+        table.version[s] += 1
+        table.live -= 1
+        table.free.append(s)
+        self._dirty_slots.pop(s, None)
+
+    def _promote_slot(self, s: int) -> None:
+        """Turn a slot into a real singleton ``Component`` (same id).
+
+        Happens when a second activity arrives on the slot's resource: the
+        activity is no longer "simple", so it rejoins the object engine.
+        Integration runs first, so the component's ``last_update`` and the
+        activity's ``remaining`` match what the object engine would hold.
+        ``Activity.rate`` is left alone: both engines last wrote it at the
+        same solve point (or never, for a slot added this instant).
+        """
+        table = self._array
+        assert table is not None
+        self._integrate_slot(s)
+        act = table.act[s]
+        res = table.res[s]
+        assert act is not None and res is not None
+        comp = Component(table.cid[s], table.last[s])
+        comp.acts[act] = None
+        self._components[comp] = None
+        self._comp_of[act] = comp
+        self._res_users[res] = {act: None}
+        was_dirty = s in self._dirty_slots
+        self._free_slot(s)
+        if was_dirty:
+            self._dirty[comp] = None
+
+    def _integrate_slot(self, s: int) -> None:
+        """Integrate one slot's remaining work up to the current time.
+
+        Uses the precomputed ``rate0``: time cannot advance between a
+        slot's admission and its first solve flush (the resolve event fires
+        URGENT at the same instant), so whenever ``dt > 0`` the applied
+        rate equals the precomputed one.
+        """
+        table = self._array
+        assert table is not None
+        now = self.env.now
+        dt = now - table.last[s]
+        if dt > 0:
+            rate = table.rate0[s]
+            if rate == inf:
+                table.remaining[s] = 0.0
+                table.act[s].remaining = 0.0  # type: ignore[union-attr]
+            elif rate > 0:
+                rem = table.remaining[s] - rate * dt
+                if rem < 0.0:
+                    rem = 0.0
+                table.remaining[s] = rem
+                table.act[s].remaining = rem  # type: ignore[union-attr]
+        table.last[s] = now
+
     # -- lazy progress ------------------------------------------------------
 
     def _integrate(self, comp: Component) -> None:
@@ -832,51 +1294,58 @@ class FairShareModel:
         self._flush()
 
     def _flush(self) -> None:
-        """Re-solve every dirty component and re-arm the completion wake."""
-        if self._dirty:
+        """Re-solve every dirty component/slot and re-arm the completion wake."""
+        if self._dirty or self._dirty_slots:
             self.solve_events += 1
-            dirty, self._dirty = self._dirty, {}
             now = self.env.now
             solved_components = 0
             solved_scope = 0
-            for comp in dirty:
-                if not comp.alive or not comp.acts:
-                    continue
-                started = perf_counter()
-                path = solve_max_min(comp.acts, vectorize=self._vectorize)
-                self.solver_time += perf_counter() - started
-                if path == "fast":
-                    self.fast_solves += 1
-                elif path == "vector":
-                    self.vector_solves += 1
-                else:
-                    self.scalar_solves += 1
-                self.resolves += 1
-                size = len(comp.acts)
-                self.solved_activities += size
-                solved_components += 1
-                solved_scope += size
-                if size > self.max_solve_scope:
-                    self.max_solve_scope = size
+            if self._dirty:
+                dirty, self._dirty = self._dirty, {}
+                for comp in dirty:
+                    if not comp.alive or not comp.acts:
+                        continue
+                    started = perf_counter()
+                    path = solve_max_min(comp.acts, vectorize=self._vectorize)
+                    self.solver_time += perf_counter() - started
+                    if path == "fast":
+                        self.fast_solves += 1
+                    elif path == "vector":
+                        self.vector_solves += 1
+                    else:
+                        self.scalar_solves += 1
+                    self.resolves += 1
+                    size = len(comp.acts)
+                    self.solved_activities += size
+                    solved_components += 1
+                    solved_scope += size
+                    if size > self.max_solve_scope:
+                        self.max_solve_scope = size
 
-                horizon = inf
-                for act in comp.acts:
-                    if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work):
-                        horizon = 0.0
-                        break
-                    if act.rate > 0:
-                        horizon = min(horizon, act.remaining / act.rate)
-                if horizon == inf:
-                    # Nothing can progress (all rates zero) — should not
-                    # happen with positive capacities; avoid hanging silently.
-                    raise RuntimeError(
-                        "FairShareModel deadlock: no activity can progress"
+                    horizon = inf
+                    for act in comp.acts:
+                        if act.rate == inf or act.remaining <= _FINISH_TOL * (1 + act.work):
+                            horizon = 0.0
+                            break
+                        if act.rate > 0:
+                            horizon = min(horizon, act.remaining / act.rate)
+                    if horizon == inf:
+                        # Nothing can progress (all rates zero) — should not
+                        # happen with positive capacities; avoid hanging silently.
+                        raise RuntimeError(
+                            "FairShareModel deadlock: no activity can progress"
+                        )
+                    comp.version += 1
+                    heappush(
+                        self._horizon_heap,
+                        (now + horizon, next(self._entry_ids), comp, comp.version),
                     )
-                comp.version += 1
-                heappush(
-                    self._horizon_heap,
-                    (now + horizon, next(self._entry_ids), comp, comp.version),
-                )
+            if self._dirty_slots:
+                slots = list(self._dirty_slots)
+                self._dirty_slots.clear()
+                n = self._solve_slots(slots, now)
+                solved_components += n
+                solved_scope += n
             self._compact_heap()
             tracer = self.tracer
             if tracer is not None and solved_components:
@@ -890,24 +1359,125 @@ class FairShareModel:
                 )
         self._arm_wake()
 
+    def _solve_slots(self, slots: List[int], now: float) -> int:
+        """Re-solve every dirty slot; returns how many were solved.
+
+        Rates were precomputed at admission (:meth:`_add_slot`), so a
+        re-solve reduces to the batched completion-horizon recomputation:
+        per slot, one finished check and one ``remaining / rate`` division,
+        then a horizon-heap push — the same float operations (hence bits)
+        as the object engine's per-component ``_flush`` loop.  Above
+        :data:`SLOT_VECTOR_CROSSOVER` the divisions run as one numpy sweep
+        (float64 elementwise ops are IEEE-identical, so only speed
+        changes).
+        """
+        table = self._array
+        assert table is not None
+        started = perf_counter()
+        heap = self._horizon_heap
+        entry_ids = self._entry_ids
+        acts = table.act
+        rate0 = table.rate0
+        version = table.version
+        count_solved = 0
+        if (
+            _np is not None
+            and self._vectorize is not False
+            and len(slots) >= SLOT_VECTOR_CROSSOVER
+        ):
+            np = _np
+            idx = [s for s in slots if acts[s] is not None]
+            if idx:
+                rates = np.array([rate0[s] for s in idx])
+                rem = np.array([table.remaining[s] for s in idx])
+                thresh = np.array([table.thresh[s] for s in idx])
+                finished = (rates == inf) | (rem <= thresh)
+                horizons = np.full(len(idx), inf)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    np.divide(rem, rates, out=horizons, where=rates > 0)
+                horizons[finished] = 0.0
+                if np.isinf(horizons).any():
+                    raise RuntimeError(
+                        "FairShareModel deadlock: no activity can progress"
+                    )
+                abs_h = now + horizons
+                for k, s in enumerate(idx):
+                    acts[s].rate = rate0[s]  # type: ignore[union-attr]
+                    v = version[s] + 1
+                    version[s] = v
+                    heappush(heap, (float(abs_h[k]), next(entry_ids), s, v))
+                count_solved = len(idx)
+        else:
+            remaining = table.remaining
+            thresh = table.thresh
+            for s in slots:
+                act = acts[s]
+                if act is None:
+                    continue
+                rate = rate0[s]
+                act.rate = rate
+                rem = remaining[s]
+                if rate == inf or rem <= thresh[s]:
+                    horizon = 0.0
+                elif rate > 0:
+                    horizon = rem / rate
+                else:
+                    raise RuntimeError(
+                        "FairShareModel deadlock: no activity can progress"
+                    )
+                v = version[s] + 1
+                version[s] = v
+                heappush(heap, (now + horizon, next(entry_ids), s, v))
+                count_solved += 1
+        self.solver_time += perf_counter() - started
+        self.resolves += count_solved
+        self.fast_solves += count_solved
+        self.slot_solves += count_solved
+        self.solved_activities += count_solved
+        if count_solved and self.max_solve_scope < 1:
+            self.max_solve_scope = 1
+        return count_solved
+
     def _compact_heap(self) -> None:
         """Drop stale horizon entries once they dominate the heap."""
         heap = self._horizon_heap
-        if len(heap) > 64 and len(heap) > 4 * len(self._components):
-            self._horizon_heap = [
-                entry for entry in heap if entry[3] == entry[2].version and entry[2].alive
-            ]
+        table = self._array
+        live = table.live if table is not None else 0
+        if len(heap) > 64 and len(heap) > 4 * (len(self._components) + live):
+            if table is None:
+                self._horizon_heap = [
+                    entry
+                    for entry in heap
+                    if entry[3] == entry[2].version and entry[2].alive
+                ]
+            else:
+                version = table.version
+                acts = table.act
+                fresh = []
+                for entry in heap:
+                    ref = entry[2]
+                    if type(ref) is int:
+                        if entry[3] == version[ref] and acts[ref] is not None:
+                            fresh.append(entry)
+                    elif entry[3] == ref.version and ref.alive:
+                        fresh.append(entry)
+                self._horizon_heap = fresh
             heapify(self._horizon_heap)
 
     # -- completion wake-ups -------------------------------------------------
 
     def _arm_wake(self) -> None:
-        """Schedule one wake-up at the earliest valid component horizon."""
+        """Schedule one wake-up at the earliest valid horizon (comp or slot)."""
         self._wake_version += 1
         heap = self._horizon_heap
+        table = self._array
         while heap:
-            _, _, comp, version = heap[0]
-            if version != comp.version or not comp.alive or not comp.acts:
+            _, _, ref, version = heap[0]
+            if type(ref) is int:
+                if version != table.version[ref] or table.act[ref] is None:  # type: ignore[union-attr]
+                    heappop(heap)
+                    continue
+            elif version != ref.version or not ref.alive or not ref.acts:
                 heappop(heap)
                 continue
             break
@@ -923,21 +1493,33 @@ class FairShareModel:
             return  # stale wake-up; the activity set changed since
         now = self.env.now
         heap = self._horizon_heap
+        table = self._array
         due: List[Component] = []
+        due_slots: List[int] = []
         while heap:
-            horizon, _, comp, entry_version = heap[0]
-            if entry_version != comp.version or not comp.alive or not comp.acts:
+            horizon, _, ref, entry_version = heap[0]
+            if type(ref) is int:
+                if entry_version != table.version[ref] or table.act[ref] is None:  # type: ignore[union-attr]
+                    heappop(heap)
+                    continue
+                if horizon > now:
+                    break
                 heappop(heap)
-                continue
-            if horizon > now:
-                break
-            heappop(heap)
-            due.append(comp)
-        if not due:
+                due_slots.append(ref)
+            else:
+                if entry_version != ref.version or not ref.alive or not ref.acts:
+                    heappop(heap)
+                    continue
+                if horizon > now:
+                    break
+                heappop(heap)
+                due.append(ref)
+        if not due and not due_slots:
             self._arm_wake()
             return
 
         finished: List[Activity] = []
+        finished_slots: Dict[Activity, int] = {}
         for comp in due:
             self._integrate(comp)
             for act in comp.acts:
@@ -947,13 +1529,76 @@ class FairShareModel:
             # float drift left nothing quite finished: the new (shorter)
             # horizon re-arms and converges within tolerance.
             self._mark_dirty(comp)
+        if due_slots:
+            # Inlined _integrate_slot + finished check, columns hoisted.
+            t_act = table.act  # type: ignore[union-attr]
+            t_rate0 = table.rate0  # type: ignore[union-attr]
+            t_rem = table.remaining  # type: ignore[union-attr]
+            t_last = table.last  # type: ignore[union-attr]
+            t_thresh = table.thresh  # type: ignore[union-attr]
+            dirty_slots = self._dirty_slots
+            for s in due_slots:
+                act = t_act[s]
+                rate = t_rate0[s]
+                rem = t_rem[s]
+                dt = now - t_last[s]
+                if dt > 0:
+                    if rate == inf:
+                        rem = 0.0
+                        t_rem[s] = 0.0
+                        act.remaining = 0.0  # type: ignore[union-attr]
+                    elif rate > 0:
+                        rem = rem - rate * dt
+                        if rem < 0.0:
+                            rem = 0.0
+                        t_rem[s] = rem
+                        act.remaining = rem  # type: ignore[union-attr]
+                    t_last[s] = now
+                else:
+                    t_last[s] = now
+                if rate == inf or rem <= t_thresh[s]:
+                    finished.append(act)  # type: ignore[arg-type]
+                    finished_slots[act] = s  # type: ignore[index]
+                # Re-dirty like components; a finished slot's dirty mark is
+                # dropped again by the free below (as _remove does for comps).
+                dirty_slots[s] = None
 
         finished.sort(key=lambda a: a._seq)  # deterministic completion order
-        for act in finished:
-            self._remove(act)
-            act._model = None
-            act.remaining = 0.0
-            act.rate = 0.0
-            act.finished_at = now
-            act.done.succeed(act)
+        if finished_slots and not due:
+            # Pure-slot completion burst (the hot shape): inlined _free_slot.
+            t_act = table.act  # type: ignore[union-attr]
+            t_res = table.res  # type: ignore[union-attr]
+            t_version = table.version  # type: ignore[union-attr]
+            free_stack = table.free  # type: ignore[union-attr]
+            slot_of = self._slot_of
+            res_slot = self._res_slot
+            dirty_slots = self._dirty_slots
+            finished_count = len(finished)
+            for act in finished:
+                s = finished_slots[act]
+                del slot_of[act]
+                del res_slot[t_res[s]]
+                t_act[s] = None
+                t_res[s] = None
+                t_version[s] += 1
+                free_stack.append(s)
+                dirty_slots.pop(s, None)
+                act._model = None
+                act.remaining = 0.0
+                act.rate = 0.0
+                act.finished_at = now
+                act.done.succeed(act)
+            table.live -= finished_count  # type: ignore[union-attr]
+        else:
+            for act in finished:
+                s = finished_slots.get(act)
+                if s is not None:
+                    self._free_slot(s)
+                else:
+                    self._remove(act)
+                act._model = None
+                act.remaining = 0.0
+                act.rate = 0.0
+                act.finished_at = now
+                act.done.succeed(act)
         self._flush()

@@ -1,10 +1,11 @@
 """Engine fast paths must not change simulation results.
 
-The compiled-expression pipeline and the vectorized max-min kernel are
-pure performance features: a run's ``Monitor.run_record()`` — the payload
-campaign fingerprints and the CI regression gate key on — must serialise
-byte-identically whichever combination of (compiled | interpreted
-expressions) x (scalar | vectorized | auto solver) is active, across
+The compiled-expression pipeline, the vectorized max-min kernel, and the
+struct-of-arrays slot engine are pure performance features: a run's
+``Monitor.run_record()`` — the payload campaign fingerprints and the CI
+regression gate key on — must serialise byte-identically whichever
+combination of (compiled | interpreted expressions) x (scalar |
+vectorized | auto solver) x (array | object engine) is active, across
 rigid, malleable, and evolving jobs, with the invariant checker on.
 """
 
@@ -15,6 +16,7 @@ import pytest
 import repro.sharing.model as sharing_model
 from repro import Simulation, platform_from_dict
 from repro.expressions import set_compiled_enabled
+from repro.sharing import array_engine_enabled, set_array_engine_enabled
 from repro.workload import WorkloadSpec, generate_workload
 
 PLATFORM_SPEC = {
@@ -23,17 +25,19 @@ PLATFORM_SPEC = {
     "pfs": {"read_bw": 1e11, "write_bw": 8e10},
 }
 
-#: (compiled expressions?, DEFAULT_VECTORIZE) — None is the shipped
-#: auto-dispatch; the first entry is the reference configuration.
+#: (compiled expressions?, DEFAULT_VECTORIZE, array engine?) — None is
+#: the shipped auto-dispatch; the first entry is the reference
+#: configuration (everything on/default).
 MODES = [
-    (True, None),
-    (True, False),
-    (True, True),
-    (False, False),
+    (True, None, True),
+    (True, None, False),
+    (True, False, True),
+    (True, True, False),
+    (False, False, False),
 ]
 
 
-def _run_record(compiled: bool, vectorize, algorithm: str) -> str:
+def _run_record(compiled: bool, vectorize, array: bool, algorithm: str) -> str:
     platform = platform_from_dict(PLATFORM_SPEC)
     jobs = generate_workload(
         WorkloadSpec(
@@ -53,6 +57,8 @@ def _run_record(compiled: bool, vectorize, algorithm: str) -> str:
     set_compiled_enabled(compiled)
     old_vectorize = sharing_model.DEFAULT_VECTORIZE
     sharing_model.DEFAULT_VECTORIZE = vectorize
+    old_array = array_engine_enabled()
+    set_array_engine_enabled(array)
     try:
         monitor = Simulation(platform, jobs, algorithm=algorithm).run(
             check_invariants=True
@@ -60,14 +66,15 @@ def _run_record(compiled: bool, vectorize, algorithm: str) -> str:
     finally:
         set_compiled_enabled(True)
         sharing_model.DEFAULT_VECTORIZE = old_vectorize
+        set_array_engine_enabled(old_array)
     return json.dumps(monitor.run_record(), sort_keys=True)
 
 
 @pytest.mark.parametrize("algorithm", ["easy", "malleable"])
 def test_run_record_byte_identical_across_engine_modes(algorithm):
     reference = _run_record(*MODES[0], algorithm)
-    for compiled, vectorize in MODES[1:]:
-        assert _run_record(compiled, vectorize, algorithm) == reference, (
+    for compiled, vectorize, array in MODES[1:]:
+        assert _run_record(compiled, vectorize, array, algorithm) == reference, (
             f"run_record diverged for compiled={compiled} "
-            f"vectorize={vectorize} algorithm={algorithm}"
+            f"vectorize={vectorize} array={array} algorithm={algorithm}"
         )

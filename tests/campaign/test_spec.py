@@ -104,6 +104,37 @@ class TestScenarioSpec:
         assert scenario.name == "easy/load=0.9/seed=7"
 
 
+class TestEngine:
+    def test_numeric_values_fold_to_booleans(self):
+        scenario = make_scenario(engine={"array_engine": 1, "vectorize": 0})
+        assert scenario.engine == {"array_engine": True, "vectorize": False}
+
+    def test_vectorize_accepts_none_for_auto_dispatch(self):
+        assert make_scenario(engine={"vectorize": None}).engine == {"vectorize": None}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CampaignError):
+            make_scenario(engine={"turbo": True})
+
+    def test_non_boolean_value_rejected(self):
+        with pytest.raises(CampaignError):
+            make_scenario(engine={"compiled": "yes"})
+        with pytest.raises(CampaignError):
+            make_scenario(engine={"array_engine": None})
+
+    def test_unpinned_spec_keeps_its_pre_engine_key(self):
+        # Scenarios without pins must hash exactly as they did before the
+        # engine field existed, so existing result caches stay warm.
+        assert make_scenario(engine={}).key() == make_scenario().key()
+        assert "engine" not in make_scenario().canonical()
+
+    def test_pinned_spec_gets_its_own_key(self):
+        base = make_scenario().key()
+        on = make_scenario(engine={"array_engine": True}).key()
+        off = make_scenario(engine={"array_engine": False}).key()
+        assert base != on and base != off and on != off
+
+
 class TestDeriveSeed:
     def test_deterministic_and_distinct(self):
         assert derive_seed(0, "a") == derive_seed(0, "a")
@@ -152,6 +183,13 @@ class TestExpandCampaign:
         }
         for load, share, runtime in picked:
             assert runtime == 100 * load
+
+    def test_engine_block_binds_grid_expressions(self):
+        scenarios = expand_campaign(
+            self.base(engine={"array_engine": "arr"}, grid={"arr": [0, 1]})
+        )
+        pins = {(s.params["arr"], s.engine["array_engine"]) for s in scenarios}
+        assert pins == {(0, False), (1, True)}
 
     def test_non_expression_strings_pass_through(self):
         scenarios = expand_campaign(self.base())

@@ -62,19 +62,24 @@ def scenario_dict(algorithm="easy", **sim):
 class TestRunScenarioRecord:
     def test_all_modes_produce_a_record(self):
         scenario = scenario_dict()
-        for compiled, vectorize in MODES:
+        for compiled, vectorize, array in MODES:
             record = run_scenario_record(
-                scenario, compiled=compiled, vectorize=vectorize
+                scenario, compiled=compiled, vectorize=vectorize, array=array
             )
             assert record["num_jobs"] == 2
             assert record["summary"]["completed_jobs"] == 2
 
     def test_engine_toggles_are_restored(self):
         from repro.expressions import compiled_enabled
+        from repro.sharing import array_engine_enabled
 
-        run_scenario_record(scenario_dict(), compiled=False, vectorize=True)
+        before_array = array_engine_enabled()
+        run_scenario_record(
+            scenario_dict(), compiled=False, vectorize=True, array=not before_array
+        )
         assert sharing_model.DEFAULT_VECTORIZE is None
         assert compiled_enabled() is True
+        assert array_engine_enabled() is before_array
 
     def test_prefail_keeps_nodes_out_of_service(self):
         scenario = scenario_dict()

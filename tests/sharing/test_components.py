@@ -133,9 +133,10 @@ def test_property_partition_matches_scratch_components(system):
         frozenset(group)
         for group in _scratch_components(still_running)
     }
-    actual = {
-        frozenset(comp.acts) for comp in model._components
-    }
+    # The array engine keeps simple (single-resource, sole-user) activities
+    # in slot rows rather than Component objects; both are components.
+    actual = {frozenset(comp.acts) for comp in model._components}
+    actual.update(frozenset([act]) for act in model._slot_of)
     assert actual == expected
     assert model.component_count == len(expected)
 

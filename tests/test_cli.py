@@ -491,7 +491,7 @@ class TestProfile:
         assert code == EXIT_OK
         assert "kernel/other" in capsys.readouterr().out
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "elastisim-profile/1"
+        assert payload["schema"] == "elastisim-profile/2"
         sections = payload["sections"]
         total = sum(sections.values())
         # Sections partition the wall clock (other_s absorbs the remainder).
@@ -499,6 +499,31 @@ class TestProfile:
         assert payload["events"] > 0
         assert payload["counters"]["solver"]["resolves"] > 0
         assert payload["counters"]["expressions"]["evaluations"] > 0
+        assert payload["memory"]["peak_rss_mb"] > 0
+        assert payload["memory"]["tracemalloc"] is None
+
+    def test_profile_tracemalloc_section(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--jobs",
+                "5",
+                "--nodes",
+                "4",
+                "--tracemalloc",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == EXIT_OK
+        assert "traced peak" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        malloc_stats = payload["memory"]["tracemalloc"]
+        assert malloc_stats["peak_mb"] > 0
+        assert malloc_stats["top_allocations"]
+        for row in malloc_stats["top_allocations"]:
+            assert row["size_mb"] >= 0 and row["blocks"] >= 1 and row["location"]
 
     def test_profile_cprofile_top_functions(self, capsys):
         code = main(
