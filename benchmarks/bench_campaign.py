@@ -5,14 +5,19 @@ seed) three ways and writes ``BENCH_campaign.json``:
 
 * ``serial-loop``   — the plain one-`Simulation`-at-a-time loop the
   campaign runner replaces (the pre-campaign baseline);
-* ``parallel-cold`` — :class:`CampaignRunner` over all cores, empty cache;
-* ``cache-warm``    — the same campaign again, answered from the cache.
+* ``parallel-cold`` — :class:`CampaignRunner` over all cores, empty cache
+  (the default ``process-pool`` executor);
+* ``cache-warm``    — the same campaign again, answered from the cache;
+* ``executor-*``    — the same sweep, cold, through every other executor
+  backend: ``in-process``, ``asyncio``, and a ``queue-worker`` fleet of
+  :data:`QUEUE_WORKERS` spawned worker processes.
 
-Asserted floors (the PR's acceptance criteria): with >= 8 cores the
-parallel campaign must beat the serial loop >= 3x, and the warm re-run
-must finish in under 10% of the cold time on any machine.  The parallel
-records must also be *fingerprint-identical* to serial execution — speed
-never buys a different answer.
+Asserted floors (acceptance criteria): with >= 8 cores the parallel
+campaign must beat the serial loop >= 3x; with >= 4 cores the 3-worker
+queue fleet must beat it >= 2x; and the warm re-run must finish in under
+10% of the cold time on any machine.  Every executor's records must also
+be *fingerprint-identical* to serial execution — speed never buys a
+different answer.
 
 The deterministic aggregate report lands in
 ``<results>/campaign_bench/campaign.json``; CI diffs it against
@@ -47,6 +52,12 @@ MAX_REQUEST = 16
 PARALLEL_FLOOR = 3.0
 PARALLEL_FLOOR_MIN_CORES = 8
 WARM_FRACTION_CEILING = 0.10
+
+#: Distributed floor: a 3-worker queue fleet must beat the serial loop
+#: >= 2x — but only where the cores exist to run the fleet at all.
+QUEUE_WORKERS = 3
+QUEUE_FLOOR = 2.0
+QUEUE_FLOOR_MIN_CORES = 4
 
 
 def _grid():
@@ -101,6 +112,37 @@ def campaign_timings(tmp_path_factory):
     ).run()
     warm_s = time.perf_counter() - t0
 
+    # Executor matrix: the same sweep, cold and cacheless, through every
+    # other backend.  (parallel-cold above already measures process-pool,
+    # the default executor.)
+    executor_runs = {}
+    matrix = [
+        ("in-process", {}),
+        ("asyncio", {}),
+        (
+            "queue-worker",
+            {
+                "queue_dir": tmp_path_factory.mktemp("bench-queue") / "q",
+                "workers": QUEUE_WORKERS,
+            },
+        ),
+    ]
+    for name, options in matrix:
+        runner = CampaignRunner(
+            scenarios,
+            name="bench",
+            workers=workers,
+            cache=None,
+            executor=name,
+            executor_options=options,
+        )
+        t0 = time.perf_counter()
+        report = runner.run()
+        executor_runs[name] = {
+            "report": report,
+            "wall_s": time.perf_counter() - t0,
+        }
+
     return {
         "scenarios": scenarios,
         "serial_summaries": serial_summaries,
@@ -110,6 +152,7 @@ def campaign_timings(tmp_path_factory):
         "warm": warm,
         "warm_s": warm_s,
         "workers": workers,
+        "executor_runs": executor_runs,
     }
 
 
@@ -131,6 +174,20 @@ def test_warm_rerun_is_fingerprint_identical(campaign_timings):
         assert result_fingerprint(a) == result_fingerprint(b)
 
 
+def test_executor_matrix_is_fingerprint_identical(campaign_timings):
+    """Every executor backend must produce byte-identical results."""
+    reference = [
+        result_fingerprint(r) for r in campaign_timings["cold"].records
+    ]
+    for name, run in campaign_timings["executor_runs"].items():
+        report = run["report"]
+        assert len(report.failed) == 0, f"{name} executor had failures"
+        assert report.executor == name
+        assert [
+            result_fingerprint(r) for r in report.records
+        ] == reference, f"{name} executor diverged from process-pool results"
+
+
 def test_campaign_speedups_and_report(campaign_timings):
     serial_s = campaign_timings["serial_s"]
     cold_s = campaign_timings["cold_s"]
@@ -145,12 +202,18 @@ def test_campaign_speedups_and_report(campaign_timings):
         ["parallel-cold", 32, cold_s, speedup],
         ["cache-warm", 32, warm_s, serial_s / warm_s if warm_s > 0 else float("inf")],
     ]
+    executor_speedups = {}
+    for name, run in campaign_timings["executor_runs"].items():
+        wall = run["wall_s"]
+        executor_speedups[name] = serial_s / wall if wall > 0 else float("inf")
+        rows.append([f"executor-{name}", 32, wall, executor_speedups[name]])
     print_table(
         "campaign: 32-scenario sweep, serial loop vs campaign runner",
         ["mode", "scenarios", "wall_s", "speedup_vs_serial"],
         rows,
         note=f"{cores} cores, {workers} workers; warm fraction "
-        f"{warm_fraction:.3f} (ceiling {WARM_FRACTION_CEILING})",
+        f"{warm_fraction:.3f} (ceiling {WARM_FRACTION_CEILING}); "
+        f"queue fleet {QUEUE_WORKERS} workers",
     )
     out = campaign_timings["cold"].write(bench_results_dir() / "campaign_bench")
     write_bench_json(
@@ -164,6 +227,9 @@ def test_campaign_speedups_and_report(campaign_timings):
             "warm_fraction": warm_fraction,
             "warm_cache_hits": campaign_timings["warm"].cache_hits,
             "parallel_floor_asserted": cores >= PARALLEL_FLOOR_MIN_CORES,
+            "queue_floor_asserted": cores >= QUEUE_FLOOR_MIN_CORES,
+            "queue_workers": QUEUE_WORKERS,
+            "executor_speedups": executor_speedups,
             "aggregate_report": str(out["aggregate"]),
         },
     )
@@ -175,4 +241,12 @@ def test_campaign_speedups_and_report(campaign_timings):
         assert speedup >= PARALLEL_FLOOR, (
             f"campaign speedup {speedup:.2f}x below the {PARALLEL_FLOOR}x floor "
             f"on {cores} cores"
+        )
+    # So does the distributed floor: a 3-worker fleet pays process spawn
+    # and filesystem-queue overhead, but must still halve the wall time.
+    if cores >= QUEUE_FLOOR_MIN_CORES:
+        queue_speedup = executor_speedups["queue-worker"]
+        assert queue_speedup >= QUEUE_FLOOR, (
+            f"queue-worker speedup {queue_speedup:.2f}x below the "
+            f"{QUEUE_FLOOR}x floor on {cores} cores"
         )

@@ -2,7 +2,9 @@
 
 The scaling axis *across* simulations: where :class:`repro.Simulation`
 runs one scenario, a campaign runs a whole parameter grid — fanned out
-over worker processes, memoised in a content-addressed result cache, and
+over a pluggable executor backend (in-process, process pool, asyncio,
+or a distributed queue-worker fleet), memoised in a content-addressed
+result cache that can be layered over a shared artifact store, and
 reported in a machine-readable form CI can diff against baselines.
 
     >>> from repro.campaign import CampaignRunner, ScenarioSpec
@@ -19,9 +21,16 @@ reported in a machine-readable form CI can diff against baselines.
     >>> len(report.ok)
     2
 
-See ``docs/CAMPAIGNS.md`` for the campaign-file format and CLI usage.
+See ``docs/CAMPAIGNS.md`` for the campaign-file format, executor and
+distributed-run configuration, and CLI usage.
 """
 
+from repro.campaign.aggregate import (
+    AGGREGATE_SCHEMA,
+    MetricAccumulator,
+    QuantileSketch,
+    StreamingAggregator,
+)
 from repro.campaign.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.campaign.compare import (
     Comparison,
@@ -30,10 +39,30 @@ from repro.campaign.compare import (
     compare_reports,
     load_report,
 )
+from repro.campaign.executors import (
+    AsyncioExecutor,
+    BaseExecutor,
+    ExecutorBroken,
+    ExecutorError,
+    InProcessExecutor,
+    ProcessPoolCampaignExecutor,
+    executor_names,
+    make_executor,
+)
+from repro.campaign.queue import (
+    DEFAULT_LEASE_S,
+    QueueError,
+    QueueWorkerExecutor,
+    ScenarioQueue,
+    spawn_worker,
+    worker_loop,
+)
 from repro.campaign.runner import (
+    DEFAULT_EXECUTOR,
     REPORT_METRICS,
     CampaignReport,
     CampaignRunner,
+    ScenarioTimeout,
     result_fingerprint,
     run_scenario,
 )
@@ -44,16 +73,23 @@ from repro.campaign.spec import (
     CampaignError,
     ScenarioSpec,
     campaign_name,
+    campaign_run_settings,
     canonical_json,
     canonicalize,
     derive_seed,
     expand_campaign,
     load_campaign,
+    load_campaign_spec,
     scenario_key,
     scenarios_from_grid,
 )
+from repro.campaign.store import STORE_DIR_ENV, ArtifactStore, default_store_dir
 
 __all__ = [
+    "AGGREGATE_SCHEMA",
+    "ArtifactStore",
+    "AsyncioExecutor",
+    "BaseExecutor",
     "CACHE_DIR_ENV",
     "CAMPAIGN_FORMAT",
     "CampaignError",
@@ -61,23 +97,44 @@ __all__ = [
     "CampaignRunner",
     "Comparison",
     "CompareError",
+    "DEFAULT_EXECUTOR",
+    "DEFAULT_LEASE_S",
     "DEFAULT_SALT",
     "Delta",
     "ENGINE_MODES",
+    "ExecutorBroken",
+    "ExecutorError",
+    "InProcessExecutor",
+    "MetricAccumulator",
+    "ProcessPoolCampaignExecutor",
+    "QuantileSketch",
+    "QueueError",
+    "QueueWorkerExecutor",
     "REPORT_METRICS",
     "ResultCache",
+    "STORE_DIR_ENV",
+    "ScenarioQueue",
     "ScenarioSpec",
+    "ScenarioTimeout",
+    "StreamingAggregator",
     "campaign_name",
+    "campaign_run_settings",
     "canonical_json",
     "canonicalize",
     "compare_reports",
     "default_cache_dir",
+    "default_store_dir",
     "derive_seed",
+    "executor_names",
     "expand_campaign",
     "load_campaign",
+    "load_campaign_spec",
     "load_report",
+    "make_executor",
     "result_fingerprint",
     "run_scenario",
     "scenario_key",
     "scenarios_from_grid",
+    "spawn_worker",
+    "worker_loop",
 ]

@@ -1,32 +1,46 @@
-"""Parallel campaign execution with cache reuse and failure isolation.
+"""Campaign execution over pluggable executors, with caching and isolation.
 
 :class:`CampaignRunner` takes an expanded scenario list and produces a
 :class:`CampaignReport`:
 
 * cache hits are answered without touching a worker;
-* misses fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (``workers <= 1`` degrades to a plain in-process loop — same results,
-  same report);
+* misses fan out over a pluggable backend
+  (:mod:`repro.campaign.executors`): ``in-process``, ``process-pool``
+  (the default), ``asyncio``, or the distributed ``queue-worker`` —
+  ``workers <= 1`` degrades to a plain in-process loop, same results,
+  same report;
 * one crashing scenario is recorded as ``status="failed"`` and the rest
-  of the campaign carries on, including after a hard worker death
-  (:class:`~concurrent.futures.process.BrokenProcessPool`).
+  of the campaign carries on, including after a hard backend death
+  (:class:`~repro.campaign.executors.ExecutorBroken`): the stranded
+  scenarios are re-run in-process;
+* a scenario overrunning ``scenario_timeout`` seconds is recorded as
+  ``failed`` with ``error_kind: "timeout"`` instead of hanging the sweep.
 
 Scenario records keep the deterministic physics (``result``) strictly
 separated from volatile run metadata (``wall_s``, ``cached``): the same
-spec and seed always produce a byte-identical ``result`` section, which
-is what the regression checker (:mod:`repro.campaign.compare`) diffs.
+spec and seed always produce a byte-identical ``result`` section — on
+*every* executor — which is what the regression checker
+(:mod:`repro.campaign.compare`) diffs.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import signal
+import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache
+from repro.campaign.executors import (
+    BaseExecutor,
+    ExecutorBroken,
+    executor_names,
+    make_executor,
+)
 from repro.campaign.spec import DEFAULT_SALT, CampaignError, ScenarioSpec, canonical_json
 
 #: Metrics promoted from the summary into aggregate report rows.
@@ -39,6 +53,64 @@ REPORT_METRICS = (
     "killed_jobs",
     "total_reconfigurations",
 )
+
+#: Backend used when parallelism is wanted and none was named.
+DEFAULT_EXECUTOR = "process-pool"
+
+
+class ScenarioTimeout(Exception):
+    """A scenario overran its per-scenario deadline."""
+
+
+@contextmanager
+def _scenario_deadline(timeout: Optional[float]) -> Iterator[None]:
+    """Raise :class:`ScenarioTimeout` in this thread after ``timeout`` seconds.
+
+    In the main thread the deadline is a real ``SIGALRM`` timer, which
+    interrupts even a simulation stuck in a tight loop (this covers the
+    serial runner, process-pool workers, and queue workers — scenario
+    code always runs on their main thread).  Off the main thread (the
+    asyncio executor's ``to_thread`` workers) signals are unavailable, so
+    a watchdog injects the exception asynchronously; delivery waits for
+    the next bytecode boundary, which the pure-Python simulation loop
+    crosses constantly.
+    """
+    if timeout is None or timeout <= 0:
+        yield
+        return
+    if threading.current_thread() is threading.main_thread():
+
+        def _alarm(signum: int, frame: Any) -> None:
+            raise ScenarioTimeout(f"scenario exceeded {timeout:g}s")
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    else:
+        import ctypes
+
+        target = threading.get_ident()
+        finished = threading.Event()
+
+        def _watchdog() -> None:
+            if not finished.wait(float(timeout)):
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(target), ctypes.py_object(ScenarioTimeout)
+                )
+
+        watchdog = threading.Thread(
+            target=_watchdog, daemon=True, name="scenario-deadline"
+        )
+        watchdog.start()
+        try:
+            yield
+        finally:
+            finished.set()
+            watchdog.join(timeout=1.0)
 
 
 def _pin_engine(engine: Optional[Dict[str, Any]]) -> Callable[[], None]:
@@ -78,13 +150,16 @@ def run_scenario(
     scenario: Dict[str, Any],
     trace_dir: Optional[str] = None,
     check_invariants: bool = False,
+    timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Execute one scenario record end to end (runs inside workers).
 
     Never raises: any failure — bad spec, unknown algorithm, stalled
     simulation — comes back as a ``status="failed"`` record so a single
-    rotten grid point cannot take down the campaign.  With ``trace_dir``
-    each scenario additionally writes ``<name>.trace.jsonl`` there; with
+    rotten grid point cannot take down the campaign.  Failed records
+    carry ``error_kind`` (``"timeout"`` when ``timeout`` seconds elapsed,
+    ``"exception"`` otherwise).  With ``trace_dir`` each scenario
+    additionally writes ``<name>.trace.jsonl`` there; with
     ``check_invariants`` the flight-recorder invariant checker audits the
     run and failures come back as ``status="invariant_violation"`` with
     the individual violations attached.  An ``engine`` block in the
@@ -100,36 +175,42 @@ def run_scenario(
 
         restore_engine = _pin_engine(scenario.get("engine"))
         try:
-            sim = Simulation.from_spec(scenario)
-            until = scenario.get("sim", {}).get("until")
-            trace: Optional[Path] = None
-            if trace_dir is not None:
-                directory = Path(trace_dir)
-                directory.mkdir(parents=True, exist_ok=True)
-                trace = directory / f"{_safe_name(record['name'])}.trace.jsonl"
-                record["trace"] = str(trace)
-            try:
-                monitor = sim.run(
-                    until=until, trace=trace, check_invariants=check_invariants
-                )
-            except Exception as exc:
-                from repro.tracing import InvariantViolation
+            with _scenario_deadline(timeout):
+                sim = Simulation.from_spec(scenario)
+                until = scenario.get("sim", {}).get("until")
+                trace: Optional[Path] = None
+                if trace_dir is not None:
+                    directory = Path(trace_dir)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    trace = directory / f"{_safe_name(record['name'])}.trace.jsonl"
+                    record["trace"] = str(trace)
+                try:
+                    monitor = sim.run(
+                        until=until, trace=trace, check_invariants=check_invariants
+                    )
+                except Exception as exc:
+                    from repro.tracing import InvariantViolation
 
-                if not isinstance(exc, InvariantViolation):
-                    raise
-                record["status"] = "invariant_violation"
-                record["error"] = str(exc)
-                record["violations"] = [v.as_dict() for v in exc.violations]
-            else:
-                result = monitor.run_record()
-                result["invocations"] = sim.batch.invocations
-                record["status"] = "ok"
-                record["result"] = result
+                    if not isinstance(exc, InvariantViolation):
+                        raise
+                    record["status"] = "invariant_violation"
+                    record["error"] = str(exc)
+                    record["violations"] = [v.as_dict() for v in exc.violations]
+                else:
+                    result = monitor.run_record()
+                    result["invocations"] = sim.batch.invocations
+                    record["status"] = "ok"
+                    record["result"] = result
         finally:
             restore_engine()
+    except ScenarioTimeout as exc:
+        record["status"] = "failed"
+        record["error"] = f"ScenarioTimeout: {exc}"
+        record["error_kind"] = "timeout"
     except Exception as exc:  # noqa: BLE001 - isolation boundary by design
         record["status"] = "failed"
         record["error"] = f"{type(exc).__name__}: {exc}"
+        record["error_kind"] = "exception"
     record["wall_s"] = time.perf_counter() - started
     return record
 
@@ -151,6 +232,7 @@ class CampaignReport:
         cache_hits: int,
         executed: int,
         workers: int,
+        executor: str = "serial",
     ) -> None:
         self.name = name
         self.records = records
@@ -158,6 +240,7 @@ class CampaignReport:
         self.cache_hits = cache_hits
         self.executed = executed
         self.workers = workers
+        self.executor = executor
 
     @property
     def failed(self) -> List[Dict[str, Any]]:
@@ -196,6 +279,7 @@ class CampaignReport:
                 "cache_hits": self.cache_hits,
                 "executed": self.executed,
                 "workers": self.workers,
+                "executor": self.executor,
                 "wall_s": self.wall_s,
             },
         }
@@ -219,7 +303,7 @@ class CampaignReport:
 
 
 class CampaignRunner:
-    """Run a scenario grid in parallel, reusing cached results."""
+    """Run a scenario grid over a pluggable executor, reusing cached results."""
 
     def __init__(
         self,
@@ -232,6 +316,9 @@ class CampaignRunner:
         salt: str = DEFAULT_SALT,
         trace_dir: Optional[Union[str, Path]] = None,
         check_invariants: bool = False,
+        executor: Union[str, BaseExecutor, None] = None,
+        executor_options: Optional[Dict[str, Any]] = None,
+        scenario_timeout: Optional[float] = None,
     ) -> None:
         if not scenarios:
             raise CampaignError("campaign has no scenarios")
@@ -248,6 +335,25 @@ class CampaignRunner:
         # Checked and unchecked runs must not share cache entries: a
         # cached plain record would silently skip the invariant audit.
         self.salt = salt + "+invariants" if check_invariants else salt
+        if scenario_timeout is not None and float(scenario_timeout) <= 0:
+            raise CampaignError(
+                f"scenario_timeout must be positive, got {scenario_timeout!r}"
+            )
+        self.scenario_timeout = (
+            float(scenario_timeout) if scenario_timeout is not None else None
+        )
+        if isinstance(executor, BaseExecutor):
+            self.executor: Optional[BaseExecutor] = executor
+            self.executor_name: Optional[str] = executor.name
+        else:
+            self.executor = None
+            if executor is not None and executor not in executor_names():
+                raise CampaignError(
+                    f"unknown executor {executor!r} "
+                    f"(available: {', '.join(executor_names())})"
+                )
+            self.executor_name = executor
+        self.executor_options = dict(executor_options or {})
 
     def run(
         self,
@@ -292,16 +398,25 @@ class CampaignRunner:
             if progress is not None:
                 progress(record)
 
-        if self.workers <= 1 or len(pending) <= 1:
+        explicit = self.executor is not None or self.executor_name is not None
+        if not pending:
+            label = "cache"
+        elif not explicit and (self.workers <= 1 or len(pending) <= 1):
+            # No executor machinery for trivially serial work: the plain
+            # loop keeps debugging transparent and avoids event-loop setup.
+            label = "serial"
             for index in pending:
                 finish(
                     index,
                     run_scenario(
-                        payloads[index], self.trace_dir, self.check_invariants
+                        payloads[index],
+                        self.trace_dir,
+                        self.check_invariants,
+                        self.scenario_timeout,
                     ),
                 )
         else:
-            self._run_pool(payloads, pending, finish)
+            label = self._dispatch(payloads, pending, finish)
 
         final = [r for r in records if r is not None]
         assert len(final) == len(payloads)
@@ -312,57 +427,96 @@ class CampaignRunner:
             cache_hits=cache_hits,
             executed=len(pending),
             workers=self.workers,
+            executor=label,
         )
 
-    def _run_pool(
+    # -- executor dispatch ---------------------------------------------------
+
+    def _build_executor(self, pending_count: int) -> BaseExecutor:
+        """Materialise the configured backend for this run."""
+        name = self.executor_name or DEFAULT_EXECUTOR
+        options = dict(self.executor_options)
+        if name != "in-process":
+            options.setdefault("workers", min(self.workers, max(1, pending_count)))
+        if name == "queue-worker":
+            # Workers must agree with this runner on content addresses and
+            # run options, and should dedupe through the same store.
+            options.setdefault("salt", self.salt)
+            if self.cache is not None:
+                options.setdefault("cache_dir", str(self.cache.root))
+                shared = getattr(self.cache, "shared", None)
+                if shared is not None:
+                    options.setdefault("store_dir", str(shared.root))
+            options.setdefault(
+                "run_options",
+                {
+                    "trace_dir": self.trace_dir,
+                    "check_invariants": self.check_invariants,
+                    "scenario_timeout": self.scenario_timeout,
+                },
+            )
+        return make_executor(name, **options)
+
+    def _dispatch(
         self,
         payloads: List[Dict[str, Any]],
         pending: List[int],
         finish: Callable[[int, Dict[str, Any]], None],
-    ) -> None:
-        """Fan pending scenarios out over a process pool.
+    ) -> str:
+        """Fan pending scenarios out over the configured executor.
 
         ``run_scenario`` already converts ordinary exceptions into failed
         records inside the worker, so the only thing that reaches this
-        level is a worker dying hard (OOM kill, segfault) — which poisons
-        every in-flight future with :class:`BrokenProcessPool`.  The
-        scenarios left hanging are re-run in-process, where the same
-        per-scenario isolation applies, instead of killing the campaign.
+        level is the backend itself breaking (a pool worker OOM-killed, a
+        queue fleet dying) — surfaced as :class:`ExecutorBroken` per
+        affected submit.  Those scenarios are re-run in-process, where the
+        same per-scenario isolation applies, instead of killing the
+        campaign.
         """
-        completed: set = set()
-        futures: Dict[Future, int] = {}
-        try:
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
-                for index in pending:
-                    futures[
-                        pool.submit(
-                            run_scenario,
-                            payloads[index],
-                            self.trace_dir,
-                            self.check_invariants,
-                        )
-                    ] = index
-                for future in as_completed(futures):
-                    index = futures[future]
-                    finish(index, future.result())
-                    completed.add(index)
-        except BrokenProcessPool:
-            pass
-        for index in pending:
-            if index not in completed:
-                finish(
-                    index,
-                    run_scenario(
-                        payloads[index], self.trace_dir, self.check_invariants
-                    ),
-                )
+        broken: List[int] = []
+
+        async def drive() -> str:
+            executor = self.executor or self._build_executor(len(pending))
+
+            async def one(index: int) -> None:
+                try:
+                    record = await executor.submit(
+                        run_scenario,
+                        payloads[index],
+                        self.trace_dir,
+                        self.check_invariants,
+                        self.scenario_timeout,
+                    )
+                except ExecutorBroken:
+                    broken.append(index)
+                else:
+                    finish(index, record)
+
+            try:
+                await asyncio.gather(*(one(index) for index in pending))
+            finally:
+                await executor.shutdown()
+            return executor.name
+
+        label = asyncio.run(drive())
+        for index in sorted(broken):
+            finish(
+                index,
+                run_scenario(
+                    payloads[index],
+                    self.trace_dir,
+                    self.check_invariants,
+                    self.scenario_timeout,
+                ),
+            )
+        return label
 
 
 def result_fingerprint(record: Dict[str, Any]) -> str:
     """Canonical serialisation of the deterministic part of a record.
 
     Two runs of the same scenario spec — serial or parallel, cached or
-    fresh — must agree byte-for-byte on this string.
+    fresh, on any executor — must agree byte-for-byte on this string.
     """
     return canonical_json(record.get("result", {}))
 
@@ -374,9 +528,11 @@ def _default_workers() -> int:
 
 
 __all__ = [
+    "DEFAULT_EXECUTOR",
     "REPORT_METRICS",
     "CampaignReport",
     "CampaignRunner",
+    "ScenarioTimeout",
     "result_fingerprint",
     "run_scenario",
 ]

@@ -286,9 +286,12 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
         "sim",
         "engine",
         "grid",
+        "scenario_timeout",
+        "executor",
     }
     if unknown:
         raise CampaignError(f"unknown campaign keys: {sorted(unknown)}")
+    campaign_run_settings(spec)  # validate runner-level keys early
 
     platforms = _as_list(spec, "platform", "platforms", None)
     workloads = _as_list(spec, "workload", "workloads", None)
@@ -349,8 +352,8 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
     return scenarios
 
 
-def load_campaign(path: Union[str, Path]) -> List[ScenarioSpec]:
-    """Load and expand a campaign file (JSON, or TOML by extension)."""
+def load_campaign_spec(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse a campaign file into its raw mapping (JSON, or TOML by extension)."""
     path = Path(path)
     try:
         text = path.read_text()
@@ -370,6 +373,13 @@ def load_campaign(path: Union[str, Path]) -> List[ScenarioSpec]:
             raise CampaignError(f"invalid JSON in {path}: {exc}") from None
     if not isinstance(spec, Mapping):
         raise CampaignError(f"campaign file must hold an object, got {type(spec).__name__}")
+    return dict(spec)
+
+
+def load_campaign(path: Union[str, Path]) -> List[ScenarioSpec]:
+    """Load and expand a campaign file (JSON, or TOML by extension)."""
+    path = Path(path)
+    spec = load_campaign_spec(path)
     scenarios = expand_campaign(spec)
     base = path.parent
     for scenario in scenarios:
@@ -396,6 +406,37 @@ def _pin_workload_file(scenario: ScenarioSpec, base: Path) -> None:
         raise CampaignError(f"cannot read workload file {resolved}: {exc}") from None
     scenario.workload["file"] = str(resolved)
     scenario.workload["sha256"] = hashlib.sha256(payload).hexdigest()
+
+
+def campaign_run_settings(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Runner-level settings a campaign file may carry.
+
+    ``scenario_timeout`` (positive seconds) and ``executor`` (a backend
+    name) configure *how* the campaign runs, never what it computes —
+    they are excluded from scenario content keys, and CLI flags override
+    them.  Returns only the keys actually present.
+    """
+    out: Dict[str, Any] = {}
+    timeout = spec.get("scenario_timeout")
+    if timeout is not None:
+        if (
+            not isinstance(timeout, (int, float))
+            or isinstance(timeout, bool)
+            or timeout <= 0
+        ):
+            raise CampaignError(
+                f"scenario_timeout must be a positive number of seconds, "
+                f"got {timeout!r}"
+            )
+        out["scenario_timeout"] = float(timeout)
+    executor = spec.get("executor")
+    if executor is not None:
+        if not isinstance(executor, str) or not executor:
+            raise CampaignError(
+                f"executor must be a backend name string, got {executor!r}"
+            )
+        out["executor"] = executor
+    return out
 
 
 def campaign_name(spec: Mapping[str, Any], default: str = "campaign") -> str:
@@ -430,11 +471,13 @@ __all__ = [
     "CampaignError",
     "ScenarioSpec",
     "campaign_name",
+    "campaign_run_settings",
     "canonical_json",
     "canonicalize",
     "derive_seed",
     "expand_campaign",
     "load_campaign",
+    "load_campaign_spec",
     "scenario_key",
     "scenarios_from_grid",
 ]

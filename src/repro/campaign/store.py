@@ -1,0 +1,92 @@
+"""Shared artifact store: the content-addressed cache, fleet-wide.
+
+:class:`ArtifactStore` layers two :class:`~repro.campaign.cache.ResultCache`
+trees under one lookup/store interface:
+
+* a **local** tree (the per-host cache, ``~/.cache/elastisim/campaigns``
+  by default) answering most lookups at local-disk speed;
+* an optional **shared** tree on a filesystem every worker can reach
+  (NFS scratch, a job array's shared project dir), so a fleet of queue
+  workers — and every future campaign pointed at the same store —
+  dedupes globally.
+
+Semantics:
+
+* **read-through** — a local miss falls through to the shared tree, and
+  a shared hit is copied back into the local tree so the next lookup on
+  this host never crosses the network again;
+* **write-through** — fresh results land in both trees (each write is
+  atomic: temp file + rename, exactly as the local cache always did),
+  so concurrent writers on different hosts can only ever race to write
+  byte-identical records to the same content address;
+* the content addresses are unchanged — the same SHA-256 over the
+  canonical scenario spec plus simulator-version salt — so a shared
+  store is just a second place the existing keys resolve.
+
+``$ELASTISIM_STORE_DIR`` supplies a default shared root; the CLI flag
+``--store-dir`` overrides it per run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import DEFAULT_SALT
+
+#: Environment variable supplying a default shared store root.
+STORE_DIR_ENV = "ELASTISIM_STORE_DIR"
+
+
+def default_store_dir() -> Optional[Path]:
+    """``$ELASTISIM_STORE_DIR`` as a path, or ``None`` when unset."""
+    override = os.environ.get(STORE_DIR_ENV)
+    return Path(override) if override else None
+
+
+class ArtifactStore(ResultCache):
+    """A :class:`ResultCache` with an optional shared second layer.
+
+    With ``shared_root=None`` this is exactly the plain local cache.
+    """
+
+    def __init__(
+        self,
+        local_root: Union[str, Path, None] = None,
+        *,
+        shared_root: Union[str, Path, None] = None,
+        salt: str = DEFAULT_SALT,
+    ) -> None:
+        super().__init__(local_root, salt=salt)
+        if shared_root is None:
+            shared_root = default_store_dir()
+        self.shared: Optional[ResultCache] = (
+            ResultCache(shared_root, salt=salt) if shared_root is not None else None
+        )
+        #: Lookups answered by the shared layer (local misses).
+        self.shared_hits = 0
+
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """Local tree first, then the shared tree with local copy-back."""
+        record = super().lookup(key)
+        if record is not None or self.shared is None:
+            return record
+        record = self.shared.lookup(key)
+        if record is not None:
+            self.shared_hits += 1
+            # Copy-back: future lookups on this host stay local.  The
+            # super() call keeps the local hit/miss counters honest.
+            super().store(key, record)
+        return record
+
+    def store(self, key: str, record: Dict[str, Any]) -> Optional[Path]:
+        """Write-through: persist to the local tree and the shared tree."""
+        path = super().store(key, record)
+        if self.shared is not None:
+            self.shared.store(key, record)
+        return path
+
+
+__all__ = ["STORE_DIR_ENV", "ArtifactStore", "default_store_dir"]

@@ -5,7 +5,10 @@ Subcommands::
     elastisim run       --platform p.json --workload w.json --algorithm easy
     elastisim generate  --num-jobs 100 --seed 0 --output w.json [mix options]
     elastisim validate  --platform p.json [--workload w.json]
-    elastisim campaign run     --spec campaign.json [--workers N] [...]
+    elastisim campaign run     --spec campaign.json [--workers N]
+                               [--executor NAME] [--scenario-timeout S] [...]
+    elastisim campaign worker  --queue-dir DIR [--worker-id ID] [...]
+    elastisim campaign aggregate PATHS... [--output agg.json]
     elastisim campaign compare current.json baseline.json [...]
     elastisim trace record  --platform p.json --workload w.json --output t.json
     elastisim trace convert t.jsonl t.json
@@ -47,10 +50,16 @@ from typing import List, Optional
 
 from repro.batch import BatchError, Simulation
 from repro.campaign import (
+    ArtifactStore,
     CampaignError,
     CampaignRunner,
-    ResultCache,
+    StreamingAggregator,
+    campaign_run_settings,
+    executor_names,
     load_campaign,
+    load_campaign_spec,
+    result_fingerprint,
+    worker_loop,
 )
 from repro.campaign import compare as campaign_compare
 from repro.platform import PlatformError, load_platform
@@ -199,6 +208,120 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit every scenario with the invariant checker; violations "
         "are reported as status=invariant_violation",
+    )
+    crun.add_argument(
+        "--executor",
+        default=None,
+        choices=list(executor_names()),
+        help="execution backend (default: spec's 'executor' key, else "
+        "process-pool when parallel)",
+    )
+    crun.add_argument(
+        "--scenario-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-scenario deadline; overruns are recorded as failed with "
+        "error_kind=timeout (default: spec's 'scenario_timeout' key)",
+    )
+    crun.add_argument(
+        "--store-dir",
+        default=None,
+        help="shared artifact store root layered over the local cache "
+        "(default $ELASTISIM_STORE_DIR; unset = local cache only)",
+    )
+    crun.add_argument(
+        "--queue-dir",
+        default=None,
+        help="queue directory for --executor queue-worker "
+        "(default: a fresh temporary directory)",
+    )
+    crun.add_argument(
+        "--queue-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="local worker processes spawned for --executor queue-worker "
+        "(0 = rely on externally started workers; default --workers)",
+    )
+    crun.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="queue claim lease before a silent worker is presumed dead",
+    )
+    crun.add_argument(
+        "--fingerprints",
+        default=None,
+        metavar="PATH",
+        help="write {scenario name: result fingerprint} JSON here "
+        "(byte-identical across executors; CI diffs these)",
+    )
+
+    cworker = csub.add_parser(
+        "worker", help="serve scenarios from a shared campaign queue"
+    )
+    cworker.add_argument(
+        "--queue-dir", required=True, help="queue directory to attach to"
+    )
+    cworker.add_argument(
+        "--worker-id", default=None, help="stable worker name (default: generated)"
+    )
+    cworker.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="claim lease override (default: the queue manifest's)",
+    )
+    cworker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle poll interval (default 0.2)",
+    )
+    cworker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many scenarios",
+    )
+    cworker.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit when nothing is claimable instead of waiting for close",
+    )
+    cworker.add_argument(
+        "--wait-for-queue",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wait this long for the queue manifest to appear (default 60)",
+    )
+    cworker.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress lines"
+    )
+
+    caggregate = csub.add_parser(
+        "aggregate",
+        help="fold JSONL result increments into streaming statistics",
+    )
+    caggregate.add_argument(
+        "paths",
+        nargs="+",
+        help="JSONL shards, directories of shards, or queue directories",
+    )
+    caggregate.add_argument(
+        "--output", default=None, metavar="PATH", help="write the aggregate JSON here"
+    )
+    caggregate.add_argument(
+        "--compression",
+        type=int,
+        default=None,
+        metavar="DELTA",
+        help="quantile sketch resolution (default 100)",
     )
 
     ccompare = csub.add_parser(
@@ -455,8 +578,28 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     scenarios = load_campaign(args.spec)
+    settings = campaign_run_settings(load_campaign_spec(args.spec))
     name = args.name or Path(args.spec).stem
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # ArtifactStore without a shared root behaves exactly like the plain
+    # local cache; --store-dir / $ELASTISIM_STORE_DIR arm the shared layer.
+    cache = (
+        None
+        if args.no_cache
+        else ArtifactStore(args.cache_dir, shared_root=args.store_dir)
+    )
+    executor = args.executor or settings.get("executor")
+    executor_options: dict = {}
+    if executor == "queue-worker":
+        queue_dir = args.queue_dir
+        if queue_dir is None:
+            import tempfile
+
+            queue_dir = tempfile.mkdtemp(prefix=f"elastisim-queue-{name}-")
+        executor_options["queue_dir"] = queue_dir
+        if args.queue_workers is not None:
+            executor_options["workers"] = max(0, args.queue_workers)
+        if args.lease is not None:
+            executor_options["lease_s"] = args.lease
     runner = CampaignRunner(
         scenarios,
         name=name,
@@ -465,6 +608,13 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         force=args.force,
         trace_dir=args.trace_dir,
         check_invariants=args.check_invariants,
+        executor=executor,
+        executor_options=executor_options,
+        scenario_timeout=(
+            args.scenario_timeout
+            if args.scenario_timeout is not None
+            else settings.get("scenario_timeout")
+        ),
     )
 
     def progress(record: dict) -> None:
@@ -480,11 +630,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
     output_dir = Path(args.output_dir or Path("campaign-results") / name)
     files = report.write(output_dir)
+    if args.fingerprints is not None:
+        fingerprints = {
+            record["name"]: result_fingerprint(record) for record in report.records
+        }
+        path = Path(args.fingerprints)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(fingerprints, sort_keys=True, indent=2) + "\n")
+        print(f"fingerprints: {path}")
     print("-" * 46)
     print(
         f"{len(report.ok)}/{len(report.records)} scenarios ok, "
         f"{report.cache_hits} cache hits, {report.executed} executed "
-        f"in {report.wall_s:.2f}s on {report.workers} workers"
+        f"in {report.wall_s:.2f}s on {report.workers} workers "
+        f"({report.executor})"
     )
     print(f"report: {files['aggregate']}")
     if report.failed:
@@ -497,6 +656,66 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         if any(r.get("status") == "invariant_violation" for r in report.failed):
             return EXIT_REGRESSION
         return EXIT_RUNTIME
+    return EXIT_OK
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    executed = worker_loop(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        max_tasks=args.max_tasks,
+        exit_when_idle=args.exit_when_idle,
+        wait_for_queue_s=args.wait_for_queue,
+        log=None if args.quiet else print,
+    )
+    print(f"worker done: {executed} scenario(s) executed")
+    return EXIT_OK
+
+
+def _aggregate_shards(paths: List[str]) -> List[Path]:
+    """Expand aggregate inputs: files, shard directories, queue directories."""
+    shards: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            increments = path / "increments"
+            root = increments if increments.is_dir() else path
+            shards.extend(sorted(root.glob("*.jsonl")))
+        else:
+            shards.append(path)
+    return shards
+
+
+def _cmd_campaign_aggregate(args: argparse.Namespace) -> int:
+    shards = _aggregate_shards(args.paths)
+    if not shards:
+        print("nothing to aggregate: no JSONL shards found", file=sys.stderr)
+        return EXIT_USAGE
+    aggregator = (
+        StreamingAggregator(compression=args.compression)
+        if args.compression is not None
+        else StreamingAggregator()
+    )
+    folded = aggregator.fold_paths(shards)
+    payload = aggregator.as_dict()
+    print(
+        f"aggregated {folded} record(s) from {len(shards)} shard(s): "
+        + ", ".join(f"{k}={v}" for k, v in payload["status"].items())
+    )
+    for metric, stats in payload["metrics"].items():
+        if not stats["count"]:
+            continue
+        print(
+            f"  {metric:24s} n={stats['count']:<6d} mean={stats['mean']:.4g} "
+            f"p50={stats['p50']:.4g} p99={stats['p99']:.4g}"
+        )
+    if args.output is not None:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"aggregate written to {out}")
     return EXIT_OK
 
 
@@ -699,6 +918,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "campaign":
             if args.campaign_command == "compare":
                 return campaign_compare.main(args.compare_args)
+            if args.campaign_command == "worker":
+                return _cmd_campaign_worker(args)
+            if args.campaign_command == "aggregate":
+                return _cmd_campaign_aggregate(args)
             return _cmd_campaign_run(args)
         if args.command == "trace":
             return _cmd_trace(args)

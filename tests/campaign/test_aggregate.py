@@ -1,0 +1,234 @@
+"""Streaming aggregation: exact folds, certified sketch bounds, merge laws."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    AGGREGATE_SCHEMA,
+    MetricAccumulator,
+    QuantileSketch,
+    StreamingAggregator,
+)
+
+METRIC = "makespan"
+
+finite_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def ok_record(value, wall=0.5):
+    return {
+        "status": "ok",
+        "wall_s": wall,
+        "result": {"summary": {METRIC: value}},
+    }
+
+
+def exact_quantile(values, q):
+    """Linear interpolation between order statistics (numpy's default)."""
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    low, high = math.floor(rank), math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+class TestQuantileSketch:
+    def test_small_inputs_are_exact(self):
+        # n <= 2 * compression: nothing is ever compressed.
+        values = [9.0, 1.0, 5.0, 3.0, 7.0]
+        sketch = QuantileSketch(compression=10)
+        for value in values:
+            sketch.add(value)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert sketch.quantile(q) == pytest.approx(exact_quantile(values, q))
+
+    def test_memory_stays_bounded(self):
+        sketch = QuantileSketch(compression=50)
+        for i in range(10_000):
+            sketch.add(math.sin(i) * 1000.0)
+        sketch._compress()
+        assert len(sketch) <= 2 * sketch.compression + 1
+        assert sketch.count == 10_000
+
+    def test_bracket_certifies_exact_quantile(self):
+        values = [float((i * 37) % 1000) for i in range(5_000)]
+        sketch = QuantileSketch(compression=25)
+        for value in values:
+            sketch.add(value)
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99):
+            lo, hi = sketch.quantile_bounds(q)
+            assert lo <= exact_quantile(values, q) <= hi
+            assert lo <= sketch.quantile(q) <= hi
+
+    def test_rejects_nonfinite(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="finite"):
+            sketch.add(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            sketch.add(float("inf"))
+
+    def test_rejects_bad_compression(self):
+        with pytest.raises(ValueError, match="compression"):
+            QuantileSketch(compression=0)
+
+    def test_empty_sketch_has_no_quantiles(self):
+        with pytest.raises(ValueError, match="empty"):
+            QuantileSketch().quantile(0.5)
+        with pytest.raises(ValueError, match="empty"):
+            QuantileSketch().quantile_bounds(0.5)
+
+    def test_serialization_roundtrip(self):
+        sketch = QuantileSketch(compression=20)
+        for i in range(500):
+            sketch.add(float(i % 97))
+        clone = QuantileSketch.from_dict(json.loads(json.dumps(sketch.to_dict())))
+        assert clone.count == sketch.count
+        for q in (0.1, 0.5, 0.9):
+            assert clone.quantile(q) == sketch.quantile(q)
+            assert clone.quantile_bounds(q) == sketch.quantile_bounds(q)
+
+
+class TestStreamingAggregator:
+    def test_counts_statuses_and_error_kinds(self):
+        agg = StreamingAggregator(metrics=(METRIC,))
+        agg.fold_record(ok_record(10.0))
+        agg.fold_record({"status": "failed", "error_kind": "timeout"})
+        agg.fold_record({"status": "failed", "error_kind": "exception"})
+        agg.fold_record({"status": "failed", "error_kind": "timeout"})
+        payload = agg.as_dict()
+        assert payload["schema"] == AGGREGATE_SCHEMA
+        assert payload["scenarios"] == 4
+        assert payload["status"] == {"failed": 3, "ok": 1}
+        assert payload["error_kinds"] == {"exception": 1, "timeout": 2}
+        assert payload["metrics"][METRIC]["count"] == 1
+
+    def test_fold_jsonl_skips_blank_and_corrupt_lines(self, tmp_path):
+        shard = tmp_path / "w1.jsonl"
+        shard.write_text(
+            json.dumps(ok_record(1.0))
+            + "\n\n"
+            + "not json at all\n"
+            + json.dumps(ok_record(3.0))
+            + "\n"
+            + '{"status": "ok", "result": {"summ'  # killed mid-append
+        )
+        agg = StreamingAggregator(metrics=(METRIC,))
+        assert agg.fold_jsonl(shard) == 2
+        assert agg.accumulator(METRIC).mean == pytest.approx(2.0)
+
+    def test_merge_requires_matching_metrics(self):
+        left = StreamingAggregator(metrics=("a",))
+        right = StreamingAggregator(metrics=("b",))
+        with pytest.raises(ValueError, match="different metrics"):
+            left.merge(right)
+
+    def test_percentile_labels(self):
+        agg = StreamingAggregator(metrics=(METRIC,))
+        agg.fold_record(ok_record(1.0))
+        block = agg.as_dict(percentiles=(0.5, 0.999))["metrics"][METRIC]
+        assert set(block) == {"count", "mean", "min", "max", "p50", "p99_9"}
+
+    def test_nonnumeric_and_bool_summary_values_ignored(self):
+        agg = StreamingAggregator(metrics=(METRIC,))
+        agg.fold_record(
+            {"status": "ok", "result": {"summary": {METRIC: True}}}
+        )
+        agg.fold_record(
+            {"status": "ok", "result": {"summary": {METRIC: "fast"}}}
+        )
+        assert agg.accumulator(METRIC).count == 0
+
+
+class TestShardingInvariance:
+    """ISSUE satellite: any sharded/permuted split folds identically."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_sharded_permuted_fold_matches_sequential(self, data, tmp_path_factory):
+        values = data.draw(
+            st.lists(finite_values, min_size=1, max_size=120), label="values"
+        )
+        order = data.draw(st.permutations(range(len(values))), label="order")
+        cuts = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(values)), max_size=4
+            ).map(sorted),
+            label="cuts",
+        )
+        failures = data.draw(
+            st.lists(st.sampled_from(["timeout", "exception"]), max_size=5),
+            label="failures",
+        )
+
+        records = [ok_record(values[i]) for i in order]
+        records += [{"status": "failed", "error_kind": kind} for kind in failures]
+        bounds = [0, *cuts, len(records)]
+        shards = [
+            records[start:stop] for start, stop in zip(bounds, bounds[1:])
+        ]
+
+        # Sequential reference: one aggregator, original order.
+        compression = 8  # small enough that 120 values exercise compression
+        reference = StreamingAggregator(metrics=(METRIC,), compression=compression)
+        for record in [ok_record(v) for v in values] + records[len(values):]:
+            reference.fold_record(record)
+
+        # Sharded run: each shard becomes a JSONL file folded by its own
+        # aggregator, then partials merge as a reduction tree would.
+        shard_dir = tmp_path_factory.mktemp("shards")
+        partials = []
+        for index, shard in enumerate(shards):
+            path = shard_dir / f"w{index}.jsonl"
+            path.write_text(
+                "".join(json.dumps(record) + "\n" for record in shard)
+            )
+            partial = StreamingAggregator(
+                metrics=(METRIC,), compression=compression
+            )
+            partial.fold_jsonl(path)
+            partials.append(partial)
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged.merge(partial)
+
+        # Counts and means are exact — bit-identical, not approximate.
+        assert merged.scenarios == reference.scenarios
+        assert merged.status_counts == reference.status_counts
+        assert merged.error_kinds == reference.error_kinds
+        acc, ref_acc = merged.accumulator(METRIC), reference.accumulator(METRIC)
+        assert acc.count == ref_acc.count
+        assert acc.mean == ref_acc.mean
+        assert acc.min == ref_acc.min
+        assert acc.max == ref_acc.max
+
+        # Percentile estimates respect the documented certified bracket:
+        # the order statistics around the exact quantile lie within
+        # quantile_bounds, and the point estimate stays inside it (up to
+        # one interpolation rounding).
+        ordered = sorted(values)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            lo, hi = acc.sketch.quantile_bounds(q)
+            rank = q * (len(ordered) - 1)
+            assert lo <= ordered[math.floor(rank)]
+            assert ordered[math.ceil(rank)] <= hi
+            slack = 1e-9 * max(1.0, abs(lo), abs(hi))
+            assert lo - slack <= acc.sketch.quantile(q) <= hi + slack
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(finite_values, min_size=1, max_size=60))
+    def test_mean_is_order_independent_bit_for_bit(self, values):
+        forward = MetricAccumulator()
+        backward = MetricAccumulator()
+        for value in values:
+            forward.add(value)
+        for value in reversed(values):
+            backward.add(value)
+        assert forward.mean == backward.mean
+        assert forward.count == backward.count

@@ -1,0 +1,224 @@
+"""Executor protocol: capability flags, fingerprint identity, failure paths."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    AsyncioExecutor,
+    BaseExecutor,
+    CampaignError,
+    CampaignRunner,
+    ExecutorBroken,
+    ExecutorError,
+    InProcessExecutor,
+    ProcessPoolCampaignExecutor,
+    QueueWorkerExecutor,
+    ScenarioSpec,
+    executor_names,
+    make_executor,
+    result_fingerprint,
+    run_scenario,
+)
+
+PLATFORM = {
+    "nodes": {"count": 8, "flops": 1e12},
+    "network": {"topology": "star", "bandwidth": 1e10},
+}
+
+
+def make_scenario(**overrides):
+    kwargs = dict(
+        platform=PLATFORM,
+        workload={
+            "generate": {
+                "num_jobs": 4,
+                "max_request": 4,
+                "mean_runtime": 60.0,
+                "malleable_fraction": 0.5,
+            }
+        },
+        algorithm="malleable",
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def small_grid():
+    return [
+        make_scenario(algorithm=algorithm, seed=seed)
+        for algorithm in ("easy", "malleable")
+        for seed in (3, 4)
+    ]
+
+
+def slow_scenario():
+    """A valid scenario big enough to outlive any sub-second deadline."""
+    return make_scenario(
+        algorithm="easy",
+        workload={"generate": {"num_jobs": 2000, "max_request": 4}},
+    )
+
+
+class TestProtocol:
+    def test_registry_names(self):
+        assert executor_names() == (
+            "in-process",
+            "process-pool",
+            "asyncio",
+            "queue-worker",
+        )
+
+    def test_capability_flags(self):
+        assert not InProcessExecutor.parallel
+        assert not InProcessExecutor.distributed
+        assert ProcessPoolCampaignExecutor.parallel
+        assert ProcessPoolCampaignExecutor.isolates_processes
+        assert AsyncioExecutor.parallel
+        assert not AsyncioExecutor.isolates_processes
+        assert QueueWorkerExecutor.distributed
+        assert QueueWorkerExecutor.isolates_processes
+
+    def test_all_backends_implement_base(self):
+        for cls in (
+            InProcessExecutor,
+            ProcessPoolCampaignExecutor,
+            AsyncioExecutor,
+            QueueWorkerExecutor,
+        ):
+            assert issubclass(cls, BaseExecutor)
+            assert cls.name in executor_names()
+
+    def test_make_executor_unknown_name(self):
+        with pytest.raises(ExecutorError, match="unknown executor"):
+            make_executor("carrier-pigeon")
+
+    def test_make_executor_bad_options(self):
+        with pytest.raises(ExecutorError, match="bad options"):
+            make_executor("in-process", workers=4)
+
+    def test_queue_worker_requires_queue_dir(self):
+        with pytest.raises(ExecutorError, match="queue_dir"):
+            make_executor("queue-worker")
+
+    def test_runner_rejects_unknown_executor(self):
+        with pytest.raises(CampaignError, match="unknown executor"):
+            CampaignRunner([make_scenario()], executor="carrier-pigeon")
+
+
+class TestFingerprintIdentity:
+    """The serial/parallel/cached identity contract, across the matrix."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        report = CampaignRunner(small_grid(), workers=1).run()
+        assert [r["status"] for r in report.records] == ["ok"] * 4
+        return [result_fingerprint(r) for r in report.records]
+
+    @pytest.mark.parametrize("name", ["in-process", "asyncio", "process-pool"])
+    def test_backend_matches_serial_reference(self, name, reference):
+        report = CampaignRunner(small_grid(), workers=2, executor=name).run()
+        assert report.executor == name
+        assert [result_fingerprint(r) for r in report.records] == reference
+
+    def test_queue_worker_matches_serial_reference(self, reference, tmp_path):
+        report = CampaignRunner(
+            small_grid(),
+            workers=2,
+            executor="queue-worker",
+            executor_options={
+                "queue_dir": tmp_path / "queue",
+                "workers": 1,
+                "lease_s": 15.0,
+            },
+        ).run()
+        assert report.executor == "queue-worker"
+        assert [result_fingerprint(r) for r in report.records] == reference
+
+    def test_explicit_executor_instance(self, reference):
+        report = CampaignRunner(
+            small_grid(), workers=2, executor=AsyncioExecutor(workers=2)
+        ).run()
+        assert [result_fingerprint(r) for r in report.records] == reference
+
+
+class TestScenarioTimeout:
+    def test_run_scenario_times_out_with_error_kind(self):
+        record = run_scenario(slow_scenario().as_record(), None, False, 0.2)
+        assert record["status"] == "failed"
+        assert record["error_kind"] == "timeout"
+        assert "ScenarioTimeout" in record["error"]
+
+    def test_ordinary_failures_are_kind_exception(self):
+        record = run_scenario(make_scenario(algorithm="wishful").as_record())
+        assert record["status"] == "failed"
+        assert record["error_kind"] == "exception"
+
+    def test_fast_scenario_unaffected_by_deadline(self):
+        with_deadline = run_scenario(make_scenario().as_record(), None, False, 60.0)
+        without = run_scenario(make_scenario().as_record())
+        assert with_deadline["status"] == "ok"
+        assert result_fingerprint(with_deadline) == result_fingerprint(without)
+
+    def test_runner_records_timeout_and_continues(self):
+        scenarios = [slow_scenario(), make_scenario(algorithm="easy", seed=4)]
+        report = CampaignRunner(scenarios, workers=1, scenario_timeout=0.2).run()
+        statuses = {r["name"]: r.get("status") for r in report.records}
+        kinds = {r["name"]: r.get("error_kind") for r in report.records}
+        assert statuses[scenarios[0].name] == "failed"
+        assert kinds[scenarios[0].name] == "timeout"
+        assert statuses[scenarios[1].name] == "ok"
+
+    def test_timeout_on_asyncio_executor_thread(self):
+        # to_thread workers cannot receive signals; the watchdog injects
+        # the timeout asynchronously instead.
+        report = CampaignRunner(
+            [slow_scenario()],
+            workers=2,
+            executor="asyncio",
+            scenario_timeout=0.2,
+        ).run()
+        (record,) = report.records
+        assert record["status"] == "failed"
+        assert record["error_kind"] == "timeout"
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(CampaignError, match="scenario_timeout"):
+            CampaignRunner([make_scenario()], scenario_timeout=0.0)
+
+
+class _BrokenOnceExecutor(BaseExecutor):
+    """Raises ExecutorBroken for every other submit."""
+
+    name = "broken-once"
+
+    def __init__(self):
+        self.calls = 0
+
+    async def submit(self, fn, /, *args):
+        self.calls += 1
+        if self.calls % 2 == 1:
+            raise ExecutorBroken("simulated backend death")
+        return fn(*args)
+
+
+class TestBrokenExecutor:
+    def test_broken_submits_rerun_in_process(self):
+        grid = small_grid()
+        reference = [
+            result_fingerprint(r)
+            for r in CampaignRunner(grid, workers=1).run().records
+        ]
+        report = CampaignRunner(grid, executor=_BrokenOnceExecutor()).run()
+        assert [r["status"] for r in report.records] == ["ok"] * 4
+        assert [result_fingerprint(r) for r in report.records] == reference
+
+
+class TestReportShape:
+    def test_campaign_dict_carries_executor(self):
+        report = CampaignRunner([make_scenario()], workers=1).run()
+        payload = report.as_dict()
+        assert payload["campaign"]["executor"] == "serial"
+        fingerprint = result_fingerprint(report.records[0])
+        assert "wall_s" not in json.loads(fingerprint)

@@ -1,0 +1,113 @@
+"""Shared artifact store: read-through, write-through, copy-back, env default."""
+
+import json
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignRunner,
+    ResultCache,
+    ScenarioSpec,
+    default_store_dir,
+    result_fingerprint,
+)
+from repro.campaign.store import STORE_DIR_ENV
+
+PLATFORM = {
+    "nodes": {"count": 8, "flops": 1e12},
+    "network": {"topology": "star", "bandwidth": 1e10},
+}
+
+OK_RECORD = {"status": "ok", "result": {"summary": {"makespan": 1.0}}}
+KEY = "ab" + "0" * 62
+
+
+def make_scenario(seed=3):
+    return ScenarioSpec(
+        platform=PLATFORM,
+        workload={"generate": {"num_jobs": 4, "max_request": 4}},
+        algorithm="easy",
+        seed=seed,
+    )
+
+
+class TestArtifactStore:
+    def test_local_only_is_a_plain_cache(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        store = ArtifactStore(tmp_path / "local")
+        assert store.shared is None
+        assert isinstance(store, ResultCache)
+        store.store(KEY, OK_RECORD)
+        assert store.lookup(KEY) == OK_RECORD
+        assert store.shared_hits == 0
+
+    def test_write_through_lands_in_both_trees(self, tmp_path):
+        store = ArtifactStore(tmp_path / "local", shared_root=tmp_path / "shared")
+        store.store(KEY, OK_RECORD)
+        local = ResultCache(tmp_path / "local")
+        shared = ResultCache(tmp_path / "shared")
+        assert local.lookup(KEY) == OK_RECORD
+        assert shared.lookup(KEY) == OK_RECORD
+
+    def test_read_through_with_copy_back(self, tmp_path):
+        # Another host populated the shared tree; this host's local tree
+        # is empty.
+        ResultCache(tmp_path / "shared").store(KEY, OK_RECORD)
+        store = ArtifactStore(tmp_path / "local", shared_root=tmp_path / "shared")
+        assert store.lookup(KEY) == OK_RECORD
+        assert store.shared_hits == 1
+        # Copy-back: the next lookup is answered locally.
+        assert ResultCache(tmp_path / "local").lookup(KEY) == OK_RECORD
+        assert store.lookup(KEY) == OK_RECORD
+        assert store.shared_hits == 1
+
+    def test_miss_everywhere_is_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "local", shared_root=tmp_path / "shared")
+        assert store.lookup(KEY) is None
+
+    def test_failed_records_never_stored(self, tmp_path):
+        store = ArtifactStore(tmp_path / "local", shared_root=tmp_path / "shared")
+        store.store(KEY, {"status": "failed", "error": "boom"})
+        assert store.lookup(KEY) is None
+        assert ResultCache(tmp_path / "shared").lookup(KEY) is None
+
+    def test_env_default_arms_the_shared_layer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "env-shared"))
+        assert default_store_dir() == tmp_path / "env-shared"
+        store = ArtifactStore(tmp_path / "local")
+        assert store.shared is not None
+        store.store(KEY, OK_RECORD)
+        assert ResultCache(tmp_path / "env-shared").lookup(KEY) == OK_RECORD
+
+
+class TestFleetDedupe:
+    def test_two_hosts_share_results_through_the_store(self, tmp_path):
+        """Distinct local caches, one shared store: compute once, reuse."""
+        scenarios = [make_scenario(seed=seed) for seed in (3, 4)]
+        host_a = ArtifactStore(tmp_path / "a", shared_root=tmp_path / "shared")
+        first = CampaignRunner(scenarios, workers=1, cache=host_a).run()
+        assert first.executed == 2
+
+        host_b = ArtifactStore(tmp_path / "b", shared_root=tmp_path / "shared")
+        second = CampaignRunner(scenarios, workers=1, cache=host_b).run()
+        assert second.executed == 0
+        assert second.cache_hits == 2
+        assert host_b.shared_hits == 2
+        assert [result_fingerprint(r) for r in second.records] == [
+            result_fingerprint(r) for r in first.records
+        ]
+
+    def test_cached_records_are_byte_identical(self, tmp_path):
+        scenario = make_scenario()
+        store = ArtifactStore(tmp_path / "local", shared_root=tmp_path / "shared")
+        fresh = CampaignRunner([scenario], workers=1, cache=store).run()
+        cached = CampaignRunner([scenario], workers=1, cache=store).run()
+        assert cached.records[0]["cached"] is True
+        assert result_fingerprint(cached.records[0]) == result_fingerprint(
+            fresh.records[0]
+        )
+        # The stored payload is canonical JSON on disk in both trees.
+        local_path = store.path_for(fresh.records[0]["key"])
+        shared_path = store.shared.path_for(fresh.records[0]["key"])
+        assert json.loads(local_path.read_text()) == json.loads(
+            shared_path.read_text()
+        )

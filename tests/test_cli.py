@@ -317,6 +317,109 @@ class TestCampaign:
         )
 
 
+class TestCampaignExecutors:
+    @pytest.fixture()
+    def campaign_file(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(CAMPAIGN))
+        return path
+
+    def run_with(self, campaign_file, tmp_path, label, *extra):
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--spec",
+                str(campaign_file),
+                "--output-dir",
+                str(tmp_path / f"out-{label}"),
+                "--no-cache",
+                "--workers",
+                "1",
+                "--fingerprints",
+                str(tmp_path / f"{label}.json"),
+                *extra,
+            ]
+        )
+        assert code == EXIT_OK
+        return (tmp_path / f"{label}.json").read_bytes()
+
+    def test_executor_flag_and_fingerprint_identity(
+        self, campaign_file, tmp_path, capsys
+    ):
+        serial = self.run_with(campaign_file, tmp_path, "serial")
+        in_process = self.run_with(
+            campaign_file, tmp_path, "inproc", "--executor", "in-process"
+        )
+        # The contract the CI matrix fan-in enforces: byte-identical files.
+        assert in_process == serial
+        assert "(in-process)" in capsys.readouterr().out
+        names = set(json.loads(serial))
+        assert names == {"fcfs/seed=0", "easy/seed=0"}
+
+    def test_spec_executor_is_validated_early(self, tmp_path, capsys):
+        spec = dict(CAMPAIGN, executor="carrier-pigeon")
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec))
+        assert main(["campaign", "run", "--spec", str(path)]) == EXIT_INPUT
+        assert "unknown executor" in capsys.readouterr().err
+
+    def test_spec_scenario_timeout_is_validated_early(self, tmp_path, capsys):
+        spec = dict(CAMPAIGN, scenario_timeout=-5)
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec))
+        assert main(["campaign", "run", "--spec", str(path)]) == EXIT_INPUT
+        assert "scenario_timeout" in capsys.readouterr().err
+
+    def test_worker_against_missing_queue(self, tmp_path, capsys):
+        code = main(
+            [
+                "campaign",
+                "worker",
+                "--queue-dir",
+                str(tmp_path / "ghost"),
+                "--wait-for-queue",
+                "0",
+                "--quiet",
+            ]
+        )
+        assert code == EXIT_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_aggregate_folds_shards(self, tmp_path, capsys):
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        record = {
+            "status": "ok",
+            "wall_s": 0.25,
+            "result": {"summary": {"makespan": 100.0}},
+        }
+        (shard_dir / "w1.jsonl").write_text(json.dumps(record) + "\n")
+        (shard_dir / "w2.jsonl").write_text(
+            json.dumps(dict(record, result={"summary": {"makespan": 200.0}}))
+            + "\n"
+            + json.dumps({"status": "failed", "error_kind": "timeout"})
+            + "\n"
+        )
+        out = tmp_path / "aggregate.json"
+        code = main(
+            ["campaign", "aggregate", str(shard_dir), "--output", str(out)]
+        )
+        assert code == EXIT_OK
+        stdout = capsys.readouterr().out
+        assert "failed=1" in stdout and "ok=2" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["scenarios"] == 3
+        assert payload["error_kinds"] == {"timeout": 1}
+        assert payload["metrics"]["makespan"]["mean"] == pytest.approx(150.0)
+
+    def test_aggregate_without_shards(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["campaign", "aggregate", str(empty)]) == EXIT_USAGE
+        assert "nothing to aggregate" in capsys.readouterr().err
+
+
 class TestRoundTrip:
     def test_workload_roundtrip_preserves_jobs(self, tmp_path):
         from repro.workload import (
