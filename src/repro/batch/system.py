@@ -598,8 +598,10 @@ class Simulation:
 
         Recognised keys: ``platform`` (a :func:`platform_from_dict` spec),
         ``workload`` (``{"generate": {<WorkloadSpec fields>}}``,
-        ``{"file": <path>}`` or an explicit inline job list
-        ``{"inline": {<workload_from_dict spec>}}``), ``algorithm``,
+        ``{"file": <path>}``, an explicit inline job list
+        ``{"inline": {<workload_from_dict spec>}}``, or an SWF
+        trace-conversion block ``{"swf": {<jobs_from_swf_block keys>}}``),
+        ``algorithm``,
         ``seed``, and ``sim`` (``invocation_interval``,
         ``requeue_on_failure``, ``max_requeues``, ``checkpoint_restart``,
         and optional ``failures`` — either a synthetic-trace block with
@@ -635,10 +637,15 @@ class Simulation:
             workload = load_workload(workload_spec["file"])
         elif "inline" in workload_spec:
             workload = workload_from_dict(workload_spec["inline"])
+        elif "swf" in workload_spec:
+            from repro.workload import jobs_from_swf_block
+
+            block = dict(workload_spec["swf"])
+            workload = jobs_from_swf_block(block, seed=seed)
         else:
             raise BatchError(
                 "workload spec needs a 'generate' block, a 'file' path, "
-                "or an 'inline' workload"
+                "an 'inline' workload, or an 'swf' trace block"
             )
 
         sim = dict(spec.get("sim", {}))

@@ -49,6 +49,12 @@ from repro.campaign.executors import (
     executor_names,
     make_executor,
 )
+from repro.campaign.report import (
+    REPORT_SCHEMA,
+    STUDY_METRICS,
+    CampaignStudyReport,
+    build_report,
+)
 from repro.campaign.queue import (
     DEFAULT_LEASE_S,
     QueueError,
@@ -95,6 +101,7 @@ __all__ = [
     "CampaignError",
     "CampaignReport",
     "CampaignRunner",
+    "CampaignStudyReport",
     "Comparison",
     "CompareError",
     "DEFAULT_EXECUTOR",
@@ -111,12 +118,15 @@ __all__ = [
     "QueueError",
     "QueueWorkerExecutor",
     "REPORT_METRICS",
+    "REPORT_SCHEMA",
+    "STUDY_METRICS",
     "ResultCache",
     "STORE_DIR_ENV",
     "ScenarioQueue",
     "ScenarioSpec",
     "ScenarioTimeout",
     "StreamingAggregator",
+    "build_report",
     "campaign_name",
     "campaign_run_settings",
     "canonical_json",

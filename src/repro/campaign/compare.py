@@ -91,7 +91,41 @@ def metric_direction(metric: str) -> bool:
     return any(token in lowered for token in HIGHER_IS_BETTER)
 
 
+def _normalize_report(report: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Fold alternative report shapes into the ``header``/``rows`` one.
+
+    The streaming-aggregation payloads written by ``elastisim campaign
+    aggregate`` (schema ``elastisim-campaign-aggregate/1``) carry a
+    ``metrics`` mapping instead of rows; they become one row per metric,
+    labelled by metric name, so aggregate regressions gate exactly like
+    bench and campaign tables.
+    """
+    schema = report.get("schema")
+    metrics = report.get("metrics")
+    if (
+        isinstance(schema, str)
+        and schema.startswith("elastisim-campaign-aggregate/")
+        and isinstance(metrics, Mapping)
+    ):
+        # One row, columns "<metric>_<stat>": the metric name stays part
+        # of every column so metric_direction() sees it (utilization
+        # means are higher-is-better even though the stat is "mean").
+        row: Dict[str, Any] = {"report": "aggregate"}
+        for name in sorted(metrics):
+            stats = metrics[name]
+            if not isinstance(stats, Mapping):
+                raise CompareError(f"malformed aggregate metric {name!r}: {stats!r}")
+            for stat in sorted(stats):
+                row[f"{name}_{stat}"] = stats[stat]
+        scenarios = report.get("scenarios")
+        if isinstance(scenarios, (int, float)):
+            row["scenarios"] = scenarios
+        return {"header": ["report", *[c for c in row if c != "report"]], "rows": [row]}
+    return report
+
+
 def _rows_by_label(report: Mapping[str, Any]) -> Dict[str, Mapping[str, Any]]:
+    report = _normalize_report(report)
     header = report.get("header")
     rows = report.get("rows")
     if not isinstance(header, list) or not header or not isinstance(rows, list):

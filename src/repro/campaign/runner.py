@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -47,6 +46,8 @@ from repro.campaign.spec import DEFAULT_SALT, CampaignError, ScenarioSpec, canon
 REPORT_METRICS = (
     "makespan",
     "mean_wait",
+    "mean_turnaround",
+    "p95_turnaround",
     "mean_bounded_slowdown",
     "mean_utilization",
     "completed_jobs",
@@ -58,59 +59,81 @@ REPORT_METRICS = (
 DEFAULT_EXECUTOR = "process-pool"
 
 
-class ScenarioTimeout(Exception):
-    """A scenario overran its per-scenario deadline."""
+class ScenarioTimeout(BaseException):
+    """A scenario overran its per-scenario deadline.
+
+    Deliberately a ``BaseException``: the deadline is delivered
+    asynchronously (``PyThreadState_SetAsyncExc``) and can surface at
+    *any* bytecode boundary, including inside a simulation process
+    generator.  Engine code catches ``Exception`` to convert process
+    crashes into failed events — a timeout must tunnel through those
+    handlers (like ``KeyboardInterrupt``) or a defused process failure
+    silently swallows the injection and the scenario runs unbounded.
+    """
+
+
+#: Seconds between repeat injections once a deadline has expired.
+_REINJECT_INTERVAL = 0.05
 
 
 @contextmanager
 def _scenario_deadline(timeout: Optional[float]) -> Iterator[None]:
     """Raise :class:`ScenarioTimeout` in this thread after ``timeout`` seconds.
 
-    In the main thread the deadline is a real ``SIGALRM`` timer, which
-    interrupts even a simulation stuck in a tight loop (this covers the
-    serial runner, process-pool workers, and queue workers — scenario
-    code always runs on their main thread).  Off the main thread (the
-    asyncio executor's ``to_thread`` workers) signals are unavailable, so
-    a watchdog injects the exception asynchronously; delivery waits for
-    the next bytecode boundary, which the pure-Python simulation loop
-    crosses constantly.
+    A watchdog thread injects the exception into the scenario thread with
+    ``PyThreadState_SetAsyncExc``; delivery happens at the next bytecode
+    boundary, which the pure-Python simulation loop crosses constantly.
+    Asynchronous delivery is inherently lossy — the pending exception can
+    be consumed by whatever ``except`` clause happens to enclose the
+    boundary it lands on, or silently discarded as unraisable when it
+    lands inside a GC callback (observed in practice: a deadline vanished
+    into a callback registered by a test dependency) — so a single
+    injection is not a deadline, it is a coin flip.  The watchdog
+    therefore keeps re-injecting every :data:`_REINJECT_INTERVAL` seconds
+    until the scenario frame actually unwinds and releases it; a stream
+    of injections cannot be swallowed transiently.  The same mechanism
+    serves every executor: the serial runner (main thread), process-pool
+    and queue workers (their own main threads), and the asyncio
+    executor's ``to_thread`` workers, where signals would be unusable
+    anyway.
     """
     if timeout is None or timeout <= 0:
         yield
         return
-    if threading.current_thread() is threading.main_thread():
+    import ctypes
 
-        def _alarm(signum: int, frame: Any) -> None:
-            raise ScenarioTimeout(f"scenario exceeded {timeout:g}s")
+    set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    target = ctypes.c_ulong(threading.get_ident())
+    finished = threading.Event()
 
-        previous = signal.signal(signal.SIGALRM, _alarm)
-        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    def _watchdog() -> None:
+        if finished.wait(float(timeout)):
+            return
+        while not finished.is_set():
+            set_async_exc(target, ctypes.py_object(ScenarioTimeout))
+            if finished.wait(_REINJECT_INTERVAL):
+                return
+
+    watchdog = threading.Thread(target=_watchdog, daemon=True, name="scenario-deadline")
+    watchdog.start()
+    try:
+        yield
+    finally:
         try:
-            yield
-        finally:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
-    else:
-        import ctypes
-
-        target = threading.get_ident()
-        finished = threading.Event()
-
-        def _watchdog() -> None:
-            if not finished.wait(float(timeout)):
-                ctypes.pythonapi.PyThreadState_SetAsyncExc(
-                    ctypes.c_ulong(target), ctypes.py_object(ScenarioTimeout)
-                )
-
-        watchdog = threading.Thread(
-            target=_watchdog, daemon=True, name="scenario-deadline"
-        )
-        watchdog.start()
-        try:
-            yield
-        finally:
             finished.set()
-            watchdog.join(timeout=1.0)
+            watchdog.join()
+            # An injection that lost the race with scenario completion is
+            # still pending on this thread.  Spin across enough bytecode
+            # boundaries for it to land here, and absorb it — this is the
+            # only safe disposal: clearing it with
+            # ``PyThreadState_SetAsyncExc(tid, NULL)`` leaves the
+            # interpreter's eval-breaker permanently signalled on CPython
+            # 3.11, which silently degrades every later profiled run into
+            # a near-livelock.
+            for _ in range(10000):
+                pass
+        except ScenarioTimeout:
+            pass
 
 
 def _pin_engine(engine: Optional[Dict[str, Any]]) -> Callable[[], None]:

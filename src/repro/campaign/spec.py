@@ -53,7 +53,12 @@ CAMPAIGN_FORMAT = 1
 DEFAULT_SALT = f"elastisim-campaign-f{CAMPAIGN_FORMAT}-v{__version__}"
 
 #: Dict keys whose string values are never treated as grid expressions.
-_LITERAL_KEYS = frozenset({"name", "topology", "file"})
+#: ``type_mix`` carries ``"rigid,moldable,malleable"`` probability vectors
+#: (see :mod:`repro.workload.malleable_mix`).
+_LITERAL_KEYS = frozenset({"name", "topology", "file", "type_mix"})
+
+#: Ways a scenario may obtain its workload.
+_WORKLOAD_KINDS = ("generate", "file", "inline", "swf")
 
 #: Engine-backend pins a scenario may carry: ``compiled`` (expression
 #: pipeline), ``vectorize`` (max-min solver dispatch; ``None`` = auto),
@@ -182,10 +187,10 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str) or not self.algorithm:
             raise CampaignError(f"algorithm must be a non-empty string: {self.algorithm!r}")
-        if not any(k in self.workload for k in ("generate", "file", "inline")):
+        if not any(k in self.workload for k in _WORKLOAD_KINDS):
             raise CampaignError(
                 "workload spec needs a 'generate' block, a 'file' path, "
-                "or an 'inline' workload"
+                "an 'inline' workload, or an 'swf' trace block"
             )
         self.engine = _normalize_engine(self.engine)
         if not self.name:
@@ -333,7 +338,11 @@ def expand_campaign(spec: Mapping[str, Any]) -> List[ScenarioSpec]:
                         if label_platform:
                             params["platform"] = platform.get("name", f"p{p_index}")
                         if label_workload:
-                            params["workload"] = f"w{w_index}"
+                            params["workload"] = (
+                                workload.get("name", f"w{w_index}")
+                                if isinstance(workload, Mapping)
+                                else f"w{w_index}"
+                            )
                         scenarios.append(
                             ScenarioSpec(
                                 platform=_resolve(platform, variables),
@@ -388,24 +397,32 @@ def load_campaign(path: Union[str, Path]) -> List[ScenarioSpec]:
 
 
 def _pin_workload_file(scenario: ScenarioSpec, base: Path) -> None:
-    """Resolve a ``workload.file`` path and pin its content hash.
+    """Resolve workload file paths and pin their content hashes.
 
     The file's SHA-256 is embedded into the spec so the content address —
     and therefore the result cache — tracks the file's *content*, not its
-    name.
+    name.  Applies to both ``workload.file`` job lists and the trace
+    inside a ``workload.swf`` block.
     """
-    ref = scenario.workload.get("file")
-    if ref is None:
-        return
-    resolved = Path(ref)
-    if not resolved.is_absolute():
-        resolved = base / resolved
-    try:
-        payload = resolved.read_bytes()
-    except OSError as exc:
-        raise CampaignError(f"cannot read workload file {resolved}: {exc}") from None
-    scenario.workload["file"] = str(resolved)
-    scenario.workload["sha256"] = hashlib.sha256(payload).hexdigest()
+    targets = [scenario.workload]
+    swf = scenario.workload.get("swf")
+    if isinstance(swf, dict):
+        targets.append(swf)
+    for block in targets:
+        ref = block.get("file")
+        if ref is None:
+            continue
+        resolved = Path(ref)
+        if not resolved.is_absolute():
+            resolved = base / resolved
+        try:
+            payload = resolved.read_bytes()
+        except OSError as exc:
+            raise CampaignError(
+                f"cannot read workload file {resolved}: {exc}"
+            ) from None
+        block["file"] = str(resolved)
+        block["sha256"] = hashlib.sha256(payload).hexdigest()
 
 
 def campaign_run_settings(spec: Mapping[str, Any]) -> Dict[str, Any]:

@@ -9,6 +9,7 @@ Subcommands::
                                [--executor NAME] [--scenario-timeout S] [...]
     elastisim campaign worker  --queue-dir DIR [--worker-id ID] [...]
     elastisim campaign aggregate PATHS... [--output agg.json]
+    elastisim campaign report PATHS... [--output-dir DIR] [--group-by K,K]
     elastisim campaign compare current.json baseline.json [...]
     elastisim trace record  --platform p.json --workload w.json --output t.json
     elastisim trace convert t.jsonl t.json
@@ -53,6 +54,8 @@ from repro.campaign import (
     ArtifactStore,
     CampaignError,
     CampaignRunner,
+    CampaignStudyReport,
+    STUDY_METRICS,
     StreamingAggregator,
     campaign_run_settings,
     executor_names,
@@ -322,6 +325,39 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DELTA",
         help="quantile sketch resolution (default 100)",
+    )
+
+    creport = csub.add_parser(
+        "report",
+        help="fold scenario records into grouped study tables (markdown + JSON)",
+    )
+    creport.add_argument(
+        "paths",
+        nargs="+",
+        help="scenarios.jsonl files, campaign result directories, or shards",
+    )
+    creport.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="write report.json + report.md here (default: print markdown only)",
+    )
+    creport.add_argument(
+        "--group-by",
+        default=None,
+        metavar="KEYS",
+        help="comma-separated params keys to group rows by "
+        "(default: every grid coordinate)",
+    )
+    creport.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="summary metrics to tabulate (repeatable; default: study metrics)",
+    )
+    creport.add_argument(
+        "--title", default="Campaign report", help="markdown report title"
     )
 
     ccompare = csub.add_parser(
@@ -719,6 +755,31 @@ def _cmd_campaign_aggregate(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    shards = _aggregate_shards(args.paths)
+    if not shards:
+        print("nothing to report: no JSONL records found", file=sys.stderr)
+        return EXIT_USAGE
+    group_by = (
+        [key.strip() for key in args.group_by.split(",") if key.strip()]
+        if args.group_by is not None
+        else None
+    )
+    report = CampaignStudyReport(
+        group_by=group_by,
+        metrics=tuple(args.metric) if args.metric else STUDY_METRICS,
+    )
+    folded = report.fold_paths(shards)
+    if not folded:
+        print("nothing to report: shards held no records", file=sys.stderr)
+        return EXIT_USAGE
+    print(report.to_markdown(title=args.title))
+    if args.output_dir is not None:
+        paths = report.write(args.output_dir, title=args.title)
+        print(f"report written to {paths['json']} and {paths['markdown']}")
+    return EXIT_OK
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.tracing import check_trace, convert_jsonl_to_chrome
 
@@ -922,6 +983,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _cmd_campaign_worker(args)
             if args.campaign_command == "aggregate":
                 return _cmd_campaign_aggregate(args)
+            if args.campaign_command == "report":
+                return _cmd_campaign_report(args)
             return _cmd_campaign_run(args)
         if args.command == "trace":
             return _cmd_trace(args)

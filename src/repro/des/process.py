@@ -102,6 +102,15 @@ class Process(Event):
                 env.schedule(self)
                 break
             except BaseException as error:
+                if not isinstance(error, Exception):
+                    # Asynchronous control flow — KeyboardInterrupt,
+                    # SystemExit, a deadline injected by SIGALRM or
+                    # PyThreadState_SetAsyncExc — must abort the whole
+                    # run, never become a "process crashed" event: a
+                    # watcher could defuse that event and the (one-shot)
+                    # interrupt would be silently swallowed.
+                    env._active_process = None
+                    raise
                 # Process crashed: fail the process event with a traceback.
                 self._ok = False
                 self._value = error
@@ -135,6 +144,9 @@ class Process(Event):
         try:
             self._generator.throw(SimulationError, error)
         except BaseException as exc:
+            if not isinstance(exc, Exception):
+                self.env._active_process = None
+                raise
             self._ok = False
             self._value = exc
             self.env.schedule(self)

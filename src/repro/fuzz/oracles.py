@@ -200,6 +200,7 @@ _SCALED_SUMMARY_FIELDS = {
     "median_wait",
     "max_wait",
     "mean_turnaround",
+    "p95_turnaround",
 }
 
 #: Bounded slowdown uses a fixed interactivity threshold (tau = 10s) that

@@ -33,6 +33,10 @@ class SummaryStatistics:
     median_wait: float
     max_wait: float
     mean_turnaround: float
+    #: 95th-percentile turnaround (response time) across finished jobs —
+    #: the tail metric the malleability study tables report next to the
+    #: mean (numpy-style linear interpolation between order statistics).
+    p95_turnaround: float
     mean_bounded_slowdown: float
     mean_utilization: float
     completed_jobs: int
@@ -46,12 +50,24 @@ class SummaryStatistics:
             "median_wait": self.median_wait,
             "max_wait": self.max_wait,
             "mean_turnaround": self.mean_turnaround,
+            "p95_turnaround": self.p95_turnaround,
             "mean_bounded_slowdown": self.mean_bounded_slowdown,
             "mean_utilization": self.mean_utilization,
             "completed_jobs": self.completed_jobs,
             "killed_jobs": self.killed_jobs,
             "total_reconfigurations": self.total_reconfigurations,
         }
+
+
+def _quantile(values: List[float], q: float) -> float:
+    """Linear-interpolation quantile (numpy's default method) of ``values``."""
+    if not values:
+        return nan
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * (rank - lower)
 
 
 def _json_safe(value: Any) -> Any:
@@ -277,6 +293,7 @@ class Monitor:
             median_wait=median(waits) if waits else nan,
             max_wait=max(waits) if waits else nan,
             mean_turnaround=mean(turnarounds) if turnarounds else nan,
+            p95_turnaround=_quantile(turnarounds, 0.95),
             mean_bounded_slowdown=mean(slowdowns) if slowdowns else nan,
             mean_utilization=self.mean_utilization(),
             completed_jobs=len(completed),
@@ -369,6 +386,7 @@ class Monitor:
                 median_wait=median(waits) if waits else nan,
                 max_wait=max(waits) if waits else nan,
                 mean_turnaround=mean(turnarounds) if turnarounds else nan,
+                p95_turnaround=_quantile(turnarounds, 0.95),
                 mean_bounded_slowdown=mean(slowdowns) if slowdowns else nan,
                 mean_utilization=self.mean_utilization(),
                 completed_jobs=sum(

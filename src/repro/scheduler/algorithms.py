@@ -536,22 +536,282 @@ class MalleableScheduler(Algorithm):
             ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
 
     def _handle_evolving(self, ctx: SchedulerContext, job: Job) -> None:
-        desired = job.evolving_request
-        if desired is None or job.pending_reconfiguration is not None:
+        _grant_evolving(ctx, job)
+
+
+def _grant_evolving(ctx: SchedulerContext, job: Job) -> None:
+    """Grant an evolving request with whatever is free, clamped to bounds."""
+    desired = job.evolving_request
+    if desired is None or job.pending_reconfiguration is not None:
+        return
+    current = len(job.assigned_nodes)
+    desired = max(job.min_nodes, min(desired, job.max_nodes))
+    if desired > current:
+        free = ctx.free_nodes()
+        grow = min(desired - current, len(free))
+        if grow <= 0:
             return
-        current = len(job.assigned_nodes)
-        desired = max(job.min_nodes, min(desired, job.max_nodes))
-        if desired > current:
-            free = ctx.free_nodes()
-            grow = min(desired - current, len(free))
-            if grow <= 0:
-                return
-            target = list(job.assigned_nodes) + free[:grow]
-        elif desired < current:
-            target = job.assigned_nodes[:desired]
+        target = list(job.assigned_nodes) + free[:grow]
+    elif desired < current:
+        target = job.assigned_nodes[:desired]
+    else:
+        return
+    ctx.reconfigure_job(job, target)
+
+
+class RigidEasyBackfillScheduler(EasyBackfillingScheduler):
+    """The real-workload study's baseline: EASY backfilling, no flexibility.
+
+    Identical to :class:`EasyBackfillingScheduler` — every job starts at
+    exactly its requested size and is never reconfigured, *even when the
+    workload declares jobs moldable or malleable*.  Registered under its
+    own name so the malleability study (``docs/STUDY.md``) can sweep type
+    mixes against a scheduler that deliberately ignores them: any
+    improvement the flexible strategies show over this baseline is
+    attributable to exploiting malleability, not to a different queue
+    policy.
+    """
+
+    name = "rigid-easy-backfill"
+
+
+class PrefCommonPoolScheduler(Algorithm):
+    """Preferred-size scheduling over a common pool of spare nodes.
+
+    The ported ``pref_common_pool`` strategy family: every flexible job
+    has a *preferred* size (its traced/requested ``num_nodes``); nodes
+    beyond the sum of preferences form a common pool that running
+    malleable jobs may borrow from, and must return as soon as queued
+    jobs need them.
+
+    Per invocation:
+
+    1. **start** (strict FCFS): rigid jobs need their exact request;
+       flexible jobs start once ``min_nodes`` are free, at up to their
+       preferred size — never more, so the pool is not drained by
+       starters;
+    2. **reclaim**: if the queue head still cannot start, running
+       malleable jobs above preference are shrunk back to it (the
+       borrowed nodes return to the pool at the jobs' next scheduling
+       points, which re-invokes the scheduler);
+    3. **lend**: with an empty queue, free nodes are lent to running
+       malleable jobs — below-preference jobs are topped up to
+       preference first, then the pool spreads up to ``max_nodes``,
+       smallest allocation first.
+    """
+
+    name = "pref-common-pool"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        if (
+            invocation.type is InvocationType.EVOLVING_REQUEST
+            and invocation.job is not None
+        ):
+            _grant_evolving(ctx, invocation.job)
+        self._start_pass(ctx)
+        if ctx.pending_jobs:
+            self._reclaim_pass(ctx)
         else:
+            self._lend_pass(ctx)
+
+    @staticmethod
+    def _start_pass(ctx: SchedulerContext) -> None:
+        for job in ctx.pending_jobs:
+            free = ctx.free_nodes()
+            if job.is_rigid:
+                if job.num_nodes > len(free):
+                    return  # strict FCFS: the head blocks the queue
+                ctx.start_job(job, free[: job.num_nodes])
+            else:
+                if job.min_nodes > len(free):
+                    return
+                size = min(job.num_nodes, len(free))
+                ctx.start_job(job, free[:size])
+
+    @staticmethod
+    def _reclaim_pass(ctx: SchedulerContext) -> None:
+        for job in ctx.running_jobs:
+            if job.type is not JobType.MALLEABLE:
+                continue
+            if job.pending_reconfiguration is not None:
+                continue
+            if len(job.assigned_nodes) > job.num_nodes:
+                ctx.reconfigure_job(job, job.assigned_nodes[: job.num_nodes])
+
+    @staticmethod
+    def _lend_pass(ctx: SchedulerContext) -> None:
+        candidates = sorted(
+            (
+                job
+                for job in ctx.running_jobs
+                if job.type is JobType.MALLEABLE
+                and job.pending_reconfiguration is None
+                and len(job.assigned_nodes) < job.max_nodes
+            ),
+            key=lambda j: (
+                len(j.assigned_nodes) >= j.num_nodes,  # below preference first
+                len(j.assigned_nodes),
+                j.jid,
+            ),
+        )
+        for job in candidates:
+            free = ctx.free_nodes()
+            if not free:
+                return
+            grow = min(len(free), job.max_nodes - len(job.assigned_nodes))
+            if grow <= 0:
+                continue
+            ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
+
+
+class AverageStealAgreementScheduler(Algorithm):
+    """Agreement-based grow/shrink negotiation around the average share.
+
+    The ported ``average_steal_agreement`` strategy family: instead of a
+    full equipartition solve, every malleable claimant *agrees* to meet
+    at the machine average — ``budget // claimants``, clamped to its own
+    ``[min_nodes, max_nodes]`` — where the budget is whatever is not
+    held by rigid/moldable jobs or already-committed reconfigurations.
+    Claimants are the running malleable jobs plus the FCFS-admittable
+    queue prefix, so arrivals immediately lower the average everyone
+    agreed to.
+
+    Per invocation:
+
+    1. **steal**: if the queue head cannot start, running malleable jobs
+       above their agreed share are ordered to shrink to it (largest
+       surplus first); the stolen nodes arrive at the victims' next
+       scheduling points, re-invoking the scheduler to start the head;
+    2. **start** (strict FCFS): rigid jobs at their request, flexible
+       jobs at their agreed share (clamped by what is actually free);
+    3. **grow**: leftover free nodes raise below-share malleable jobs up
+       to — never past — their agreed share.
+    """
+
+    name = "average-steal-agreement"
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        if (
+            invocation.type is InvocationType.EVOLVING_REQUEST
+            and invocation.job is not None
+        ):
+            _grant_evolving(ctx, invocation.job)
+        targets, admitted = self._agreed_shares(ctx)
+        self._steal_pass(ctx, targets)
+        self._start_pass(ctx, targets, admitted)
+        self._grow_pass(ctx, targets)
+
+    @staticmethod
+    def _agreed_shares(ctx: SchedulerContext) -> tuple[Dict[int, int], List[Job]]:
+        """(jid → agreed share, admittable pending prefix)."""
+        total = ctx.platform.num_nodes
+        fixed = 0
+        claimants: List[Job] = []
+        for job in ctx.running_jobs:
+            order = job.pending_reconfiguration
+            if order is not None:
+                fixed += len(order.target)  # committed, cannot renegotiate
+            elif job.type is JobType.MALLEABLE:
+                claimants.append(job)
+            else:
+                fixed += len(job.assigned_nodes)
+
+        budget = total - fixed
+        admitted: List[Job] = []
+        committed = sum(job.min_nodes for job in claimants)
+        for job in ctx.pending_jobs:
+            need = job.num_nodes if job.is_rigid else job.min_nodes
+            if committed + need > budget:
+                break  # strict FCFS admission
+            admitted.append(job)
+            committed += need
+            if not job.is_rigid:
+                claimants.append(job)
+
+        # Rigid admits hold their nodes outright; the rest is averaged.
+        flexible_budget = budget - sum(
+            job.num_nodes for job in admitted if job.is_rigid
+        )
+        targets: Dict[int, int] = {}
+        if claimants:
+            average = max(0, flexible_budget) // len(claimants)
+            for job in claimants:
+                targets[job.jid] = max(job.min_nodes, min(average, job.max_nodes))
+        for job in admitted:
+            if job.is_rigid:
+                targets[job.jid] = job.num_nodes
+        return targets, admitted
+
+    @staticmethod
+    def _steal_pass(ctx: SchedulerContext, targets: Dict[int, int]) -> None:
+        pending = ctx.pending_jobs
+        if not pending:
             return
-        ctx.reconfigure_job(job, target)
+        head = pending[0]
+        need = head.num_nodes if head.is_rigid else head.min_nodes
+        deficit = need - ctx.num_free_nodes()
+        if deficit <= 0:
+            return
+        victims = sorted(
+            (
+                job
+                for job in ctx.running_jobs
+                if job.type is JobType.MALLEABLE
+                and job.pending_reconfiguration is None
+                and len(job.assigned_nodes) > targets.get(job.jid, job.max_nodes)
+            ),
+            key=lambda j: (
+                targets.get(j.jid, 0) - len(j.assigned_nodes),  # largest surplus
+                j.jid,
+            ),
+        )
+        for job in victims:
+            if deficit <= 0:
+                return
+            surplus = len(job.assigned_nodes) - targets[job.jid]
+            ctx.reconfigure_job(job, job.assigned_nodes[: targets[job.jid]])
+            deficit -= surplus
+
+    @staticmethod
+    def _start_pass(
+        ctx: SchedulerContext, targets: Dict[int, int], admitted: List[Job]
+    ) -> None:
+        admitted_ids = {job.jid for job in admitted}
+        for job in ctx.pending_jobs:
+            if job.jid not in admitted_ids:
+                return  # strict FCFS: an unadmitted job blocks the rest
+            free = ctx.free_nodes()
+            if job.is_rigid:
+                if job.num_nodes > len(free):
+                    return  # stolen nodes are still being released
+                ctx.start_job(job, free[: job.num_nodes])
+            else:
+                if job.min_nodes > len(free):
+                    return
+                size = min(targets.get(job.jid, job.num_nodes), len(free), job.max_nodes)
+                size = max(size, job.min_nodes)
+                ctx.start_job(job, free[:size])
+
+    @staticmethod
+    def _grow_pass(ctx: SchedulerContext, targets: Dict[int, int]) -> None:
+        candidates = sorted(
+            (
+                job
+                for job in ctx.running_jobs
+                if job.type is JobType.MALLEABLE
+                and job.pending_reconfiguration is None
+                and targets.get(job.jid, 0) > len(job.assigned_nodes)
+            ),
+            key=lambda j: (len(j.assigned_nodes), j.jid),
+        )
+        for job in candidates:
+            free = ctx.free_nodes()
+            if not free:
+                return
+            grow = min(len(free), targets[job.jid] - len(job.assigned_nodes))
+            if grow <= 0:
+                continue
+            ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
 
 
 class RandomDecisionScheduler(Algorithm):
@@ -716,6 +976,9 @@ _REGISTRY: Dict[str, Type[Algorithm]] = {
         MoldableScheduler,
         AdaptiveMoldableScheduler,
         MalleableScheduler,
+        RigidEasyBackfillScheduler,
+        PrefCommonPoolScheduler,
+        AverageStealAgreementScheduler,
         RandomDecisionScheduler,
     )
 }

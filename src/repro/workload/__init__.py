@@ -14,9 +14,16 @@ Three ways to obtain a job list:
   models sized for a given per-node flops rate.
 """
 
+from repro.workload.apportion import largest_remainder
 from repro.workload.generator import WorkloadSpec, generate_workload, iterative_application
 from repro.workload.loader import WorkloadError, load_workload, workload_from_dict
 from repro.workload.analysis import WorkloadProfile, format_profile, profile_workload
+from repro.workload.malleable_mix import (
+    DEFAULT_PARALLEL_FRACTIONS,
+    TypeMix,
+    convert_trace,
+    jobs_from_swf_block,
+)
 from repro.workload.serialize import job_to_dict, workload_to_dict
 from repro.workload.swf import (
     SwfError,
@@ -28,8 +35,11 @@ from repro.workload.swf import (
 )
 
 __all__ = [
+    "DEFAULT_PARALLEL_FRACTIONS",
+    "TypeMix",
     "WorkloadError",
     "WorkloadProfile",
+    "convert_trace",
     "format_profile",
     "profile_workload",
     "WorkloadSpec",
@@ -37,6 +47,8 @@ __all__ = [
     "iterative_application",
     "job_to_dict",
     "jobs_from_swf",
+    "jobs_from_swf_block",
+    "largest_remainder",
     "load_workload",
     "parse_swf",
     "render_swf",

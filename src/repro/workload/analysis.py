@@ -62,12 +62,12 @@ def _job_flops(job: Job) -> float:
                     scoped = dict(variables)
                     scoped["iteration"] = iteration
                     per_node = task.flops_per_node(scoped, job.num_nodes)
-                    if task.distribution.value == "even":
-                        # flops_per_node already divided the total; undo to
-                        # count machine work (x nodes).
-                        per_iter += per_node * job.num_nodes
-                    else:
-                        per_iter += per_node * job.num_nodes
+                    # Machine work is per-node flops x nodes for *both*
+                    # distributions: EVEN's flops_per_node applied the
+                    # Amdahl split of the task total (so x nodes undoes
+                    # it, serial overhead included), while PER_NODE means
+                    # every node does the full amount (weak scaling).
+                    per_iter += per_node * job.num_nodes
                 total += per_iter
     return total
 

@@ -1,0 +1,61 @@
+"""Exact integer apportionment of job counts to type fractions.
+
+Both the synthetic generator (:func:`repro.workload.generate_workload`)
+and the SWF trace converter (:mod:`repro.workload.malleable_mix`) must
+turn a probability vector over job types into integer per-type counts.
+Rounding each class independently oversubscribes the total — 3 jobs at
+0.5/0.5 round to 2+2 — which silently truncates whichever class is
+assigned last.  The largest-remainder method (Hamilton's method) is the
+standard fix: it satisfies *quota* (every count is the floor or ceiling
+of its exact share) and the counts sum to the total by construction.
+"""
+
+from __future__ import annotations
+
+from math import floor
+from typing import List, Sequence
+
+#: Fractions may undershoot/overshoot 1 by at most this much (float noise).
+_SUM_TOLERANCE = 1e-9
+
+
+def largest_remainder(fractions: Sequence[float], total: int) -> List[int]:
+    """Apportion ``total`` items into counts proportional to ``fractions``.
+
+    ``fractions`` must be non-negative and sum to 1 (within float
+    tolerance).  Returns one count per fraction with two guarantees:
+
+    * ``sum(counts) == total`` exactly;
+    * each count is ``floor(f * total)`` or ``ceil(f * total)`` (the
+      *quota* property), i.e. within one of its exact share.
+
+    Leftover items after flooring go to the classes with the largest
+    fractional remainders; ties break toward the lowest index, so the
+    result is deterministic in the order fractions are given.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    shares = [float(f) for f in fractions]
+    if not shares:
+        raise ValueError("need at least one fraction")
+    for share in shares:
+        if share < 0 or share != share:
+            raise ValueError(f"fractions must be >= 0, got {share!r}")
+    mass = sum(shares)
+    if abs(mass - 1.0) > _SUM_TOLERANCE:
+        raise ValueError(f"fractions must sum to 1, got {mass!r}")
+
+    quotas = [share * total for share in shares]
+    counts = [floor(q) for q in quotas]
+    leftover = total - sum(counts)
+    # leftover == sum of fractional parts (an integer by construction);
+    # hand the spare items to the largest remainders, lowest index first.
+    by_remainder = sorted(
+        range(len(shares)), key=lambda i: (-(quotas[i] - counts[i]), i)
+    )
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    return counts
+
+
+__all__ = ["largest_remainder"]

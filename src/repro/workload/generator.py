@@ -25,6 +25,7 @@ from repro.application.tasks import (
     PfsWriteTask,
 )
 from repro.job import Job, JobType
+from repro.workload.apportion import largest_remainder
 
 
 def iterative_application(
@@ -199,11 +200,23 @@ def generate_workload(
     )
 
     # Job types: deterministic assignment by fraction using a shuffled index
-    # set (keeps exact fractions rather than binomial noise).
+    # set (keeps exact fractions rather than binomial noise).  Counts come
+    # from largest-remainder apportionment: per-class rounding can
+    # oversubscribe num_jobs (3 jobs at 0.5/0.5 round to 2+2), silently
+    # truncating the last class via out-of-range slicing.
     order = rng.permutation(spec.num_jobs)
-    n_malleable = int(round(spec.malleable_fraction * spec.num_jobs))
-    n_moldable = int(round(spec.moldable_fraction * spec.num_jobs))
-    n_evolving = int(round(spec.evolving_fraction * spec.num_jobs))
+    flexible = (
+        spec.malleable_fraction + spec.moldable_fraction + spec.evolving_fraction
+    )
+    _, n_malleable, n_moldable, n_evolving = largest_remainder(
+        (
+            max(0.0, 1.0 - flexible),
+            spec.malleable_fraction,
+            spec.moldable_fraction,
+            spec.evolving_fraction,
+        ),
+        spec.num_jobs,
+    )
     types = np.full(spec.num_jobs, 0)  # 0 rigid
     cursor = 0
     for code, count in ((1, n_malleable), (2, n_moldable), (3, n_evolving)):

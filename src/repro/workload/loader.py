@@ -95,10 +95,36 @@ def _job_from_dict(
         raise WorkloadError(f"{context}: {exc}") from exc
 
 
-def workload_from_dict(spec: Dict[str, Any]) -> List[Job]:
-    """Build a job list from a parsed JSON workload description."""
+def workload_from_dict(
+    spec: Dict[str, Any], *, base: Union[str, Path, None] = None
+) -> List[Job]:
+    """Build a job list from a parsed JSON workload description.
+
+    Besides the explicit ``jobs`` form above, a workload file may hold a
+    single ``{"swf": {...}}`` trace-conversion block (the same shape the
+    campaign layer accepts; see
+    :func:`repro.workload.jobs_from_swf_block`).  ``base`` anchors a
+    relative trace path — :func:`load_workload` passes the workload
+    file's own directory.
+    """
     if not isinstance(spec, dict):
         raise WorkloadError(f"Workload spec must be an object, got {type(spec).__name__}")
+
+    if "swf" in spec:
+        from repro.workload.malleable_mix import jobs_from_swf_block
+        from repro.workload.swf import SwfError
+
+        extra = sorted(set(spec) - {"swf"})
+        if extra:
+            raise WorkloadError(
+                f"workload: 'swf' block cannot be combined with {extra}"
+            )
+        try:
+            return jobs_from_swf_block(
+                dict(spec["swf"]), base=None if base is None else Path(base)
+            )
+        except SwfError as exc:
+            raise WorkloadError(f"workload: {exc}") from exc
 
     applications: Dict[str, ApplicationModel] = {}
     for name, app_spec in (spec.get("applications") or {}).items():
@@ -127,4 +153,4 @@ def load_workload(path: Union[str, Path]) -> List[Job]:
         raise WorkloadError(f"Workload file not found: {path}") from None
     except json.JSONDecodeError as exc:
         raise WorkloadError(f"Invalid JSON in {path}: {exc}") from exc
-    return workload_from_dict(spec)
+    return workload_from_dict(spec, base=path.parent)

@@ -4,17 +4,18 @@ SWF is the Parallel Workloads Archive's trace format: one job per line,
 18 whitespace-separated fields, ``;`` comments.  We use the fields that
 matter for batch simulation:
 
-====== =======================
+====== ==========================================
 field  meaning
-====== =======================
+====== ==========================================
 1      job id
 2      submit time (s)
 4      run time (s)
 5      allocated processors
 8      requested processors
 9      requested time (s)
-11     status (we keep all)
-====== =======================
+11     completion status (1 ok, 0 failed, 5 cancelled, -1 unknown)
+12     user id
+====== ==========================================
 
 Because SWF traces record only runtimes (not application structure), each
 job becomes a compute-only application whose total flops reproduce the
@@ -37,6 +38,13 @@ class SwfError(Exception):
     """Raised for malformed SWF input."""
 
 
+#: SWF completion-status codes (field 11 of the standard).
+SWF_STATUS_COMPLETED = 1
+SWF_STATUS_FAILED = 0
+SWF_STATUS_CANCELLED = 5
+SWF_STATUS_UNKNOWN = -1
+
+
 @dataclass(frozen=True)
 class SwfRecord:
     """One parsed SWF line (fields we consume; -1 encodes 'unknown')."""
@@ -48,6 +56,21 @@ class SwfRecord:
     requested_procs: int
     requested_time: float
     user_id: int
+    #: Completion status: 1 completed, 0 failed, 5 cancelled, -1 unknown.
+    status: int = SWF_STATUS_UNKNOWN
+
+    @property
+    def simulable(self) -> bool:
+        """Whether this job actually ran (the Zojer et al. trace filter).
+
+        Failed (0) and cancelled (5) jobs are dropped by status; when the
+        trace carries no status (-1), ``run_time <= 0`` is the proxy.
+        A positive run time is always required — a job with no recorded
+        runtime cannot be sized into flops.
+        """
+        if self.run_time <= 0:
+            return False
+        return self.status not in (SWF_STATUS_FAILED, SWF_STATUS_CANCELLED)
 
 
 def parse_swf(source: Union[str, Path]) -> List[SwfRecord]:
@@ -102,6 +125,7 @@ def parse_swf(source: Union[str, Path]) -> List[SwfRecord]:
                     requested_procs=int(fields[7]),
                     requested_time=float(fields[8]),
                     user_id=int(fields[11]) if len(fields) > 11 else -1,
+                    status=int(fields[10]),
                 )
             )
         except ValueError as exc:
@@ -136,7 +160,7 @@ def render_swf(records: List[SwfRecord], *, header: bool = True) -> str:
     """
     lines: List[str] = []
     if header:
-        lines.append("; SWF export (fields 1,2,4,5,8,9,12; -1 = unknown)")
+        lines.append("; SWF export (fields 1,2,4,5,8,9,11,12; -1 = unknown)")
     for rec in records:
         fields = [
             str(int(rec.job_id)),
@@ -149,7 +173,7 @@ def render_swf(records: List[SwfRecord], *, header: bool = True) -> str:
             str(int(rec.requested_procs)),
             _swf_number(rec.requested_time, "requested_time", rec.job_id),
             "-1",  # requested memory
-            "-1",  # completion status
+            str(int(rec.status)),
             str(int(rec.user_id)),
             "-1",  # group id
             "-1",  # executable id
@@ -179,6 +203,14 @@ def swf_records_from_jobs(jobs: List[Job]) -> List[SwfRecord]:
                 user_id = -1
         runtime = getattr(job, "runtime", None)
         allocated = len(job.assigned_nodes) if job.assigned_nodes else -1
+        state = getattr(job, "state", None)
+        state_value = getattr(state, "value", None)
+        if state_value == "completed":
+            status = SWF_STATUS_COMPLETED
+        elif state_value == "killed":
+            status = SWF_STATUS_FAILED
+        else:
+            status = SWF_STATUS_UNKNOWN
         records.append(
             SwfRecord(
                 job_id=job.jid,
@@ -188,6 +220,7 @@ def swf_records_from_jobs(jobs: List[Job]) -> List[SwfRecord]:
                 requested_procs=job.num_nodes,
                 requested_time=job.walltime if job.walltime != inf else -1.0,
                 user_id=user_id,
+                status=status,
             )
         )
     return records
@@ -233,8 +266,8 @@ def jobs_from_swf(
 
     jobs: List[Job] = []
     for rec in parse_swf(source):
-        if rec.run_time <= 0:
-            continue  # cancelled / failed before start: not simulable
+        if not rec.simulable:
+            continue  # failed/cancelled by status (or no runtime recorded)
         procs = rec.requested_procs if rec.requested_procs > 0 else rec.allocated_procs
         if procs <= 0:
             continue

@@ -150,3 +150,54 @@ class TestCli:
         path.write_text("[1, 2]")
         with pytest.raises(CompareError):
             load_report(path)
+
+
+def aggregate_payload(metrics, scenarios=4):
+    return {
+        "schema": "elastisim-campaign-aggregate/1",
+        "scenarios": scenarios,
+        "metrics": metrics,
+    }
+
+
+class TestAggregateSchemaNormalization:
+    """Streaming-aggregate payloads gate exactly like row tables."""
+
+    def test_identical_aggregates_are_clean(self):
+        payload = aggregate_payload({"makespan": {"mean": 100.0, "max": 120.0}})
+        comparison = compare_reports(payload, json.loads(json.dumps(payload)))
+        assert comparison.clean
+        assert {d.metric for d in comparison.deltas} == {
+            "makespan_mean",
+            "makespan_max",
+            "scenarios",
+        }
+
+    def test_metric_name_keeps_direction_visible(self):
+        # The whole point of <metric>_<stat> columns: utilization means
+        # must stay higher-is-better even though the stat is "mean".
+        base = aggregate_payload(
+            {"mean_utilization": {"mean": 0.9}, "makespan": {"mean": 100.0}}
+        )
+        worse = aggregate_payload(
+            {"mean_utilization": {"mean": 0.5}, "makespan": {"mean": 100.0}}
+        )
+        comparison = compare_reports(worse, base)
+        (regressed,) = comparison.regressions
+        assert regressed.metric == "mean_utilization_mean"
+        assert regressed.higher_is_better
+
+    def test_makespan_increase_regresses(self):
+        base = aggregate_payload({"makespan": {"mean": 100.0}})
+        worse = aggregate_payload({"makespan": {"mean": 200.0}})
+        assert not compare_reports(worse, base).clean
+
+    def test_malformed_aggregate_metric_rejected(self):
+        bad = aggregate_payload({"makespan": 100.0})
+        with pytest.raises(CompareError):
+            compare_reports(bad, bad)
+
+    def test_plain_reports_pass_through_unchanged(self):
+        plain = report([["a", 100.0, 0.8]])
+        comparison = compare_reports(plain, plain)
+        assert comparison.clean

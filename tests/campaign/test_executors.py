@@ -171,8 +171,8 @@ class TestScenarioTimeout:
         assert statuses[scenarios[1].name] == "ok"
 
     def test_timeout_on_asyncio_executor_thread(self):
-        # to_thread workers cannot receive signals; the watchdog injects
-        # the timeout asynchronously instead.
+        # to_thread workers cannot receive signals; the watchdog must
+        # deliver the deadline to non-main threads too.
         report = CampaignRunner(
             [slow_scenario()],
             workers=2,
@@ -186,6 +186,59 @@ class TestScenarioTimeout:
     def test_rejects_nonpositive_timeout(self):
         with pytest.raises(CampaignError, match="scenario_timeout"):
             CampaignRunner([make_scenario()], scenario_timeout=0.0)
+
+    def test_deadline_survives_a_swallowed_delivery(self):
+        # Asynchronous injection can land inside an arbitrary except
+        # clause and be absorbed; the watchdog must re-inject until the
+        # scenario frame actually unwinds, or the deadline is lost and
+        # the scenario runs unbounded.
+        import time
+
+        from repro.campaign.runner import ScenarioTimeout, _scenario_deadline
+
+        absorbed = False
+        with pytest.raises(ScenarioTimeout):
+            with _scenario_deadline(0.05):
+                try:
+                    end = time.monotonic() + 30.0
+                    while time.monotonic() < end:
+                        pass
+                except ScenarioTimeout:
+                    absorbed = True
+                # The first delivery was swallowed above; only a repeat
+                # injection can terminate this second spin.
+                end = time.monotonic() + 30.0
+                while time.monotonic() < end:
+                    pass
+        assert absorbed
+
+    def test_deadline_exit_leaves_profiling_usable(self):
+        # Disposal of a raced injection must not leave the interpreter's
+        # eval-breaker signalled (as PyThreadState_SetAsyncExc(tid, NULL)
+        # does on CPython 3.11): that silently turns every later
+        # cProfile'd run into a near-livelock, surfacing as
+        # order-dependent multi-minute stalls in unrelated tests.
+        import cProfile
+        import time
+
+        from repro.campaign.runner import ScenarioTimeout, _scenario_deadline
+
+        with _scenario_deadline(60.0):
+            pass
+        with pytest.raises(ScenarioTimeout):
+            with _scenario_deadline(0.05):
+                end = time.monotonic() + 30.0
+                while time.monotonic() < end:
+                    pass
+        start = time.perf_counter()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        total = 0
+        for i in range(100_000):
+            total += i
+        profiler.disable()
+        assert total == sum(range(100_000))
+        assert time.perf_counter() - start < 10.0
 
 
 class _BrokenOnceExecutor(BaseExecutor):

@@ -1,0 +1,166 @@
+"""Tests for the grouped campaign study report."""
+
+import json
+
+from repro.campaign import (
+    REPORT_SCHEMA,
+    STUDY_METRICS,
+    CampaignStudyReport,
+    build_report,
+)
+
+
+def record(
+    *,
+    workload="mix-a",
+    algorithm="easy",
+    seed=0,
+    makespan=100.0,
+    util=0.5,
+    status="ok",
+):
+    return {
+        "name": f"{algorithm}/{workload}/seed={seed}",
+        "params": {"workload": workload},
+        "status": status,
+        "result": {
+            "summary": {
+                "makespan": makespan,
+                "mean_utilization": util,
+                "completed_jobs": 10,
+            }
+        },
+        "scenario": {"algorithm": algorithm, "seed": seed},
+    }
+
+
+class TestGrouping:
+    def test_default_groups_by_params_and_algorithm(self):
+        report = build_report(
+            [
+                record(workload="mix-a", algorithm="easy"),
+                record(workload="mix-a", algorithm="malleable"),
+                record(workload="mix-b", algorithm="easy"),
+            ],
+            metrics=("makespan",),
+        )
+        labels = [row["group"] for row in report.rows()]
+        assert labels == [
+            "algorithm=easy/workload=mix-a",
+            "algorithm=easy/workload=mix-b",
+            "algorithm=malleable/workload=mix-a",
+        ]
+
+    def test_seeds_aggregate_within_group(self):
+        report = build_report(
+            [
+                record(seed=0, makespan=100.0),
+                record(seed=1, makespan=300.0),
+            ],
+            metrics=("makespan",),
+        )
+        (row,) = report.rows()
+        assert row["scenarios"] == 2
+        assert row["makespan_mean"] == 200.0
+        assert row["makespan_min"] == 100.0
+        assert row["makespan_max"] == 300.0
+
+    def test_explicit_group_by(self):
+        report = build_report(
+            [record(workload="mix-a", algorithm="easy"),
+             record(workload="mix-a", algorithm="malleable")],
+            group_by=("workload",),
+            metrics=("makespan",),
+        )
+        (row,) = report.rows()  # algorithms merged on purpose
+        assert row["group"] == "workload=mix-a"
+        assert row["scenarios"] == 2
+
+    def test_records_without_params_group_as_all(self):
+        report = build_report(
+            [{"status": "ok", "result": {"summary": {"makespan": 5.0}}}],
+            metrics=("makespan",),
+        )
+        (row,) = report.rows()
+        assert row["group"] == "all"
+        assert row["makespan_mean"] == 5.0
+
+    def test_failed_records_counted_not_folded(self):
+        report = build_report(
+            [record(makespan=100.0), record(status="failed")],
+            metrics=("makespan",),
+        )
+        (row,) = report.rows()
+        assert row["scenarios"] == 2
+        assert row["failed"] == 1
+        assert row["makespan_mean"] == 100.0
+
+
+class TestDeterminism:
+    def test_json_identical_under_record_permutation(self):
+        records = [
+            record(workload=w, algorithm=a, seed=s, makespan=100.0 * (s + 1))
+            for w in ("mix-a", "mix-b")
+            for a in ("easy", "malleable")
+            for s in (0, 1, 2)
+        ]
+        forward = build_report(records, metrics=("makespan",)).to_json()
+        backward = build_report(list(reversed(records)), metrics=("makespan",)).to_json()
+        assert forward == backward
+
+    def test_fold_jsonl_matches_in_memory(self, tmp_path):
+        records = [record(seed=s, makespan=10.0 * s) for s in range(5)]
+        path = tmp_path / "scenarios.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        from_file = CampaignStudyReport(metrics=("makespan",))
+        assert from_file.fold_jsonl(path) == 5
+        assert from_file.to_json() == build_report(
+            records, metrics=("makespan",)
+        ).to_json()
+
+    def test_fold_jsonl_skips_corrupt_tail(self, tmp_path):
+        path = tmp_path / "increment.jsonl"
+        path.write_text(json.dumps(record()) + "\n{ truncated")
+        report = CampaignStudyReport(metrics=("makespan",))
+        assert report.fold_jsonl(path) == 1
+
+
+class TestRendering:
+    def test_schema_and_header(self):
+        report = build_report([record()], metrics=("makespan", "mean_utilization"))
+        payload = report.as_dict()
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["header"][:3] == ["group", "scenarios", "failed"]
+        assert "makespan_mean" in payload["header"]
+        assert "mean_utilization_max" in payload["header"]
+
+    def test_markdown_table(self):
+        text = build_report(
+            [record(makespan=123.5, util=0.75)], metrics=("makespan",)
+        ).to_markdown(title="Study")
+        lines = text.splitlines()
+        assert lines[0] == "# Study"
+        assert lines[2].startswith("| group |")
+        assert "123.5" in text
+
+    def test_markdown_renders_missing_metric_as_dash(self):
+        text = build_report([record()], metrics=("no_such_metric",)).to_markdown()
+        assert "—" in text
+
+    def test_write_emits_json_and_markdown(self, tmp_path):
+        report = build_report([record()], metrics=STUDY_METRICS)
+        paths = report.write(tmp_path / "out", title="T")
+        assert paths["json"].read_text() == report.to_json()
+        assert paths["markdown"].read_text() == report.to_markdown(title="T")
+
+    def test_compare_accepts_report_payload(self):
+        # The report must diff against itself cleanly through the
+        # regression comparer (the CI golden-gate path).
+        from repro.campaign.compare import compare_reports
+
+        payload = build_report(
+            [record(makespan=100.0)], metrics=("makespan", "mean_utilization")
+        ).as_dict()
+        comparison = compare_reports(payload, json.loads(json.dumps(payload)))
+        assert comparison.clean
+        assert comparison.deltas

@@ -230,3 +230,31 @@ def test_active_process_visible_inside():
     env.run()
     assert seen == [p]
     assert env.active_process is None
+
+
+def test_base_exception_aborts_run_even_with_handling_parent():
+    """Async control-flow interrupts (KeyboardInterrupt, scenario
+    deadlines) raised inside a process must abort the whole run, not be
+    converted into a process-failure event a parent could defuse —
+    defusing would silently swallow a one-shot SIGALRM deadline and let
+    the simulation run unbounded."""
+    env = Environment()
+
+    class Deadline(BaseException):
+        pass
+
+    def child(env):
+        yield env.timeout(1)
+        raise Deadline()
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except BaseException:  # noqa: B036 - would defuse the failure
+            pass
+        return "absorbed"
+
+    env.process(parent(env))
+    with pytest.raises(Deadline):
+        env.run()
+    assert env.active_process is None

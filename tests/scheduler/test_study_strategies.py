@@ -1,0 +1,103 @@
+"""Smoke tests for the ported malleability-study strategies.
+
+Two contracts from the study (docs/STUDY.md):
+
+* on a malleable mix that a rigid scheduler cannot pack (wide jobs that
+  leave permanent holes), every flexible strategy must beat or match the
+  ``rigid-easy-backfill`` baseline's makespan;
+* within each flexible strategy, the all-malleable mix must improve on
+  the all-rigid mix (the mix-vs-mix comparison the study reports);
+* ``rigid-easy-backfill`` itself must be mix-invariant — it is the
+  control row.
+"""
+
+import pytest
+
+from repro import Simulation, platform_from_dict
+from repro.scheduler import get_algorithm
+from repro.workload import convert_trace
+from repro.workload.swf import SwfRecord
+
+STRATEGIES = ("rigid-easy-backfill", "pref-common-pool", "average-steal-agreement")
+NODE_FLOPS = 1e9
+
+
+def build_platform():
+    return platform_from_dict(
+        {
+            "name": "study-smoke",
+            "nodes": {"count": 32, "flops": NODE_FLOPS},
+            "network": {"topology": "star", "bandwidth": 1e10},
+        }
+    )
+
+
+def wide_trace(n=6, procs=20, run_time=100.0):
+    """Wide jobs a 32-node machine cannot pack two-abreast: a rigid
+    scheduler strands 12 nodes per job, a flexible one reclaims them."""
+    return [
+        SwfRecord(
+            job_id=i + 1,
+            submit_time=0.0,
+            run_time=run_time,
+            allocated_procs=procs,
+            requested_procs=procs,
+            requested_time=run_time,
+            user_id=1,
+            status=1,
+        )
+        for i in range(n)
+    ]
+
+
+def replay(algorithm, mix, *, parallel=0.9999):
+    jobs = convert_trace(
+        wide_trace(),
+        mix,
+        node_flops=NODE_FLOPS,
+        max_nodes=32,
+        parallel_fractions=[parallel],
+        walltime_slack=4.0,
+    )
+    monitor = Simulation(build_platform(), jobs, algorithm=algorithm).run()
+    return monitor.summary()
+
+
+@pytest.mark.parametrize("name", STRATEGIES)
+def test_strategy_registered_and_runs(name):
+    assert get_algorithm(name) is not None
+    summary = replay(name, "50,0,50")
+    assert summary.completed_jobs == 6
+    assert summary.killed_jobs == 0
+
+
+@pytest.mark.parametrize("name", ("pref-common-pool", "average-steal-agreement"))
+def test_flexible_strategies_beat_rigid_baseline_on_malleable_mix(name):
+    baseline = replay("rigid-easy-backfill", "0,0,100")
+    flexible = replay(name, "0,0,100")
+    assert flexible.makespan <= baseline.makespan
+    assert flexible.mean_utilization >= baseline.mean_utilization
+
+
+@pytest.mark.parametrize("name", ("pref-common-pool", "average-steal-agreement"))
+def test_malleable_mix_improves_on_rigid_mix_within_strategy(name):
+    rigid_mix = replay(name, "100,0,0")
+    malleable_mix = replay(name, "0,0,100")
+    assert malleable_mix.makespan < rigid_mix.makespan
+    assert malleable_mix.mean_turnaround < rigid_mix.mean_turnaround
+    assert malleable_mix.mean_utilization > rigid_mix.mean_utilization
+
+
+def test_rigid_easy_backfill_is_mix_invariant():
+    results = [replay("rigid-easy-backfill", mix).as_dict()
+               for mix in ("100,0,0", "50,0,50", "0,0,100")]
+    assert results[0] == results[1] == results[2]
+
+
+def test_reconfigurations_only_from_flexible_strategies():
+    assert replay("rigid-easy-backfill", "0,0,100").total_reconfigurations == 0
+    flexible_total = sum(
+        replay(name, "0,0,100").total_reconfigurations
+        for name in ("pref-common-pool", "average-steal-agreement")
+    )
+    assert flexible_total > 0

@@ -317,6 +317,77 @@ class TestCampaign:
         )
 
 
+class TestCampaignReport:
+    @staticmethod
+    def record(workload, algorithm, makespan):
+        return {
+            "name": f"{algorithm}/{workload}/seed=0",
+            "params": {"workload": workload},
+            "status": "ok",
+            "result": {
+                "summary": {
+                    "makespan": makespan,
+                    "mean_utilization": 0.8,
+                    "completed_jobs": 4,
+                }
+            },
+            "scenario": {"algorithm": algorithm, "seed": 0},
+        }
+
+    @pytest.fixture()
+    def shards(self, tmp_path):
+        path = tmp_path / "scenarios.jsonl"
+        records = [
+            self.record("mix-a", "easy", 100.0),
+            self.record("mix-a", "malleable", 80.0),
+            self.record("mix-b", "easy", 120.0),
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_campaign_report_renders_and_writes(self, shards, tmp_path, capsys):
+        outdir = tmp_path / "report"
+        code = main(
+            [
+                "campaign",
+                "report",
+                str(shards),
+                "--group-by",
+                "workload,algorithm",
+                "--title",
+                "CLI study",
+                "--output-dir",
+                str(outdir),
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "# CLI study" in out
+        assert "workload=mix-a/algorithm=malleable" in out
+        payload = json.loads((outdir / "report.json").read_text())
+        assert len(payload["rows"]) == 3
+        assert (outdir / "report.md").read_text().startswith("# CLI study")
+
+    def test_campaign_report_metric_selection(self, shards, capsys):
+        code = main(
+            ["campaign", "report", str(shards), "--metric", "makespan"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "makespan_mean" in out
+        assert "mean_utilization_mean" not in out
+
+    def test_campaign_report_missing_file_is_input_error(self, tmp_path, capsys):
+        code = main(["campaign", "report", str(tmp_path / "ghost.jsonl")])
+        assert code == EXIT_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_report_empty_dir_is_usage_error(self, tmp_path, capsys):
+        code = main(["campaign", "report", str(tmp_path)])
+        assert code == EXIT_USAGE
+        assert "nothing to report" in capsys.readouterr().err
+
+
 class TestCampaignExecutors:
     @pytest.fixture()
     def campaign_file(self, tmp_path):

@@ -44,6 +44,27 @@ class TestProfileWorkload:
         profile = profile_workload(jobs)
         assert profile.total_flops == pytest.approx(1e12)
 
+    def test_total_flops_even_distribution(self):
+        # EVEN: flops_per_node is the task total split (serial overhead
+        # included), so machine work = per-node x nodes = the task total.
+        from repro.application import ApplicationModel, CpuTask, Phase
+
+        app = ApplicationModel([Phase([CpuTask(8e12)], name="solve")])
+        profile = profile_workload([Job(1, app, num_nodes=4)])
+        assert profile.total_flops == pytest.approx(8e12)
+
+    def test_total_flops_per_node_distribution(self):
+        # PER_NODE (weak scaling): every node does the full amount, so
+        # machine work = per-node x nodes — the two branches of the old
+        # dead-code conditional must genuinely agree on this accounting.
+        from repro.application import ApplicationModel, CpuTask, Distribution, Phase
+
+        app = ApplicationModel(
+            [Phase([CpuTask(2e12, distribution=Distribution.PER_NODE)], name="solve")]
+        )
+        profile = profile_workload([Job(1, app, num_nodes=4)])
+        assert profile.total_flops == pytest.approx(8e12)
+
     def test_runtime_estimates(self):
         app = iterative_application(total_flops=4e12, iterations=1)
         jobs = [Job(1, app, num_nodes=4, submit_time=0)]

@@ -1,0 +1,72 @@
+"""Largest-remainder apportionment: the exact-count contract.
+
+The workload generator and the SWF mix converter both turn fractional
+type shares into whole-job counts through :func:`largest_remainder`; the
+property under test is the one independent rounding cannot give you —
+the counts always sum to exactly ``total`` and each stays within one job
+of its exact quota.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import largest_remainder
+
+weights = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=8
+).filter(lambda ws: sum(ws) > 1e-6)
+
+
+@st.composite
+def fraction_vectors(draw):
+    ws = draw(weights)
+    total = sum(ws)
+    return [w / total for w in ws]
+
+
+@settings(deadline=None, max_examples=300)
+@given(fractions=fraction_vectors(), total=st.integers(min_value=0, max_value=10_000))
+def test_counts_sum_exactly_and_respect_quota(fractions, total):
+    counts = largest_remainder(fractions, total)
+    assert sum(counts) == total
+    for fraction, count in zip(fractions, counts):
+        quota = fraction * total
+        # Hamilton's method satisfies the quota property: each count is
+        # the floor or the ceiling of its exact share.
+        assert quota - 1 < count < quota + 1
+        assert count >= 0
+
+
+@settings(deadline=None, max_examples=100)
+@given(fractions=fraction_vectors(), total=st.integers(min_value=0, max_value=1000))
+def test_deterministic(fractions, total):
+    assert largest_remainder(fractions, total) == largest_remainder(fractions, total)
+
+
+def test_exact_shares_untouched():
+    assert largest_remainder((0.5, 0.25, 0.25), 8) == [4, 2, 2]
+
+
+def test_remainder_goes_to_largest_fraction():
+    # 3 x 1/3 over 4: one share gets the leftover, ties break low-index.
+    third = 1.0 / 3.0
+    assert largest_remainder((third, third, third), 4) == [2, 1, 1]
+
+
+def test_three_jobs_half_half():
+    # The regression case: round(1.5) + round(1.5) would give 4 jobs.
+    counts = largest_remainder((0.5, 0.5), 3)
+    assert sum(counts) == 3
+    assert counts == [2, 1]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        largest_remainder((0.5, 0.6), 10)  # does not sum to 1
+    with pytest.raises(ValueError):
+        largest_remainder((1.5, -0.5), 10)  # negative share
+    with pytest.raises(ValueError):
+        largest_remainder((0.5, 0.5), -1)  # negative total
+    with pytest.raises(ValueError):
+        largest_remainder((), 10)  # empty

@@ -107,6 +107,31 @@ class TestGenerateWorkload:
         jobs = generate_workload(WorkloadSpec(num_jobs=10), seed=0)
         assert all(j.type is JobType.RIGID for j in jobs)
 
+    def test_type_counts_never_oversubscribe(self):
+        # Regression: independent int(round(...)) per class turned 3 jobs
+        # at 0.5/0.5 into 2 malleable + 2 moldable, silently truncating
+        # whichever class was assigned last.  Largest-remainder counts
+        # must cover every job exactly once.
+        spec = WorkloadSpec(num_jobs=3, malleable_fraction=0.5, moldable_fraction=0.5)
+        jobs = generate_workload(spec, seed=0)
+        counts = {t: sum(1 for j in jobs if j.type is t) for t in JobType}
+        assert len(jobs) == 3
+        assert counts[JobType.RIGID] == 0
+        assert sorted([counts[JobType.MALLEABLE], counts[JobType.MOLDABLE]]) == [1, 2]
+
+    def test_type_counts_within_one_of_exact_share(self):
+        spec = WorkloadSpec(
+            num_jobs=7,
+            malleable_fraction=0.3,
+            moldable_fraction=0.3,
+            evolving_fraction=0.3,
+        )
+        jobs = generate_workload(spec, seed=1)
+        counts = {t: sum(1 for j in jobs if j.type is t) for t in JobType}
+        assert sum(counts.values()) == 7
+        for job_type in (JobType.MALLEABLE, JobType.MOLDABLE, JobType.EVOLVING):
+            assert 0.3 * 7 - 1 < counts[job_type] < 0.3 * 7 + 1
+
     def test_flexible_bounds_derived_from_request(self):
         spec = WorkloadSpec(
             num_jobs=20,

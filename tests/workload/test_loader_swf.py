@@ -105,6 +105,50 @@ class TestJsonLoader:
         with pytest.raises(WorkloadError, match="not found"):
             load_workload(tmp_path / "nope.json")
 
+    def test_swf_block_workload_file(self, tmp_path):
+        # `elastisim run --workload` must accept the same `{"swf": ...}`
+        # block campaign specs do, with the trace path resolved relative
+        # to the workload file itself.
+        from repro.workload.swf import SwfRecord, render_swf
+
+        records = [
+            SwfRecord(
+                job_id=i + 1,
+                submit_time=10.0 * i,
+                run_time=100.0,
+                allocated_procs=4,
+                requested_procs=4,
+                requested_time=200.0,
+                user_id=1,
+                status=1,
+            )
+            for i in range(5)
+        ]
+        (tmp_path / "trace.swf").write_text(render_swf(records))
+        wl = tmp_path / "wl.json"
+        wl.write_text(
+            json.dumps(
+                {
+                    "swf": {
+                        "file": "trace.swf",
+                        "type_mix": "0,0,100",
+                        "node_flops": 1e9,
+                    }
+                }
+            )
+        )
+        jobs = load_workload(wl)
+        assert len(jobs) == 5
+        assert all(j.type is JobType.MALLEABLE for j in jobs)
+
+    def test_swf_block_rejects_sibling_keys(self):
+        with pytest.raises(WorkloadError, match="cannot be combined"):
+            workload_from_dict({"swf": {}, "jobs": []})
+
+    def test_swf_block_errors_wrapped(self):
+        with pytest.raises(WorkloadError, match="workload:"):
+            workload_from_dict({"swf": {"type_mix": "100,0,0"}})
+
 
 SWF_TEXT = """\
 ; Sample SWF trace

@@ -1,0 +1,179 @@
+"""Tests for the SWF → rigid/moldable/malleable mix converter."""
+
+import hashlib
+
+import pytest
+
+from repro.job import JobType
+from repro.workload import TypeMix, convert_trace, jobs_from_swf_block
+from repro.workload.swf import SwfError, SwfRecord
+
+
+def make_records(n, *, procs=4, run_time=100.0, status=1):
+    return [
+        SwfRecord(
+            job_id=i + 1,
+            submit_time=10.0 * i,
+            run_time=run_time,
+            allocated_procs=procs,
+            requested_procs=procs,
+            requested_time=2 * run_time,
+            user_id=7,
+            status=status,
+        )
+        for i in range(n)
+    ]
+
+
+class TestTypeMix:
+    def test_parse_percent_vector(self):
+        mix = TypeMix.parse("100,0,0")
+        assert (mix.rigid, mix.moldable, mix.malleable) == (1.0, 0.0, 0.0)
+
+    def test_parse_fraction_vector(self):
+        mix = TypeMix.parse([0.5, 0.25, 0.25])
+        assert mix.moldable == 0.25
+
+    def test_label(self):
+        assert TypeMix.parse("50,25,25").label == "50-25-25"
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(SwfError):
+            TypeMix.parse("1,2")  # not three shares
+        with pytest.raises(SwfError):
+            TypeMix.parse("60,30,30")  # percent vector not summing to 100
+        with pytest.raises(SwfError):
+            TypeMix.parse("x,y,z")
+
+
+class TestConvertTrace:
+    def test_exact_apportionment(self):
+        jobs = convert_trace(make_records(10), "50,30,20", node_flops=1e9)
+        counts = {t: sum(1 for j in jobs if j.type is t) for t in JobType}
+        assert len(jobs) == 10
+        assert counts[JobType.RIGID] == 5
+        assert counts[JobType.MOLDABLE] == 3
+        assert counts[JobType.MALLEABLE] == 2
+
+    def test_apportionment_never_oversubscribes(self):
+        # 3 jobs at 0/50/50 must convert all 3, not 2+2.
+        jobs = convert_trace(make_records(3), "0,50,50", node_flops=1e9)
+        assert len(jobs) == 3
+        counts = {t: sum(1 for j in jobs if j.type is t) for t in JobType}
+        assert sorted([counts[JobType.MOLDABLE], counts[JobType.MALLEABLE]]) == [1, 2]
+
+    def test_status_filter_drops_failed_and_cancelled(self):
+        records = (
+            make_records(4, status=1)
+            + make_records(2, status=0)
+            + make_records(3, status=5)
+        )
+        jobs = convert_trace(records, "100,0,0", node_flops=1e9)
+        assert len(jobs) == 4
+
+    def test_amdahl_sizing_reproduces_trace_runtime(self):
+        # At the traced allocation, compute time must equal the recorded
+        # runtime regardless of the drawn parallel fraction.
+        node_flops = 1e9
+        for parallel in (1.0, 0.99, 0.95):
+            (job,) = convert_trace(
+                make_records(1, procs=4, run_time=300.0),
+                "100,0,0",
+                node_flops=node_flops,
+                parallel_fractions=[parallel],
+            )
+            phase = job.application.phases[0]
+            iterations = phase.num_iterations({})
+            per_node = phase.tasks[0].flops_per_node({}, job.num_nodes)
+            assert iterations * per_node / node_flops == pytest.approx(300.0)
+
+    def test_flexible_jobs_get_bounds_around_preference(self):
+        (job,) = convert_trace(
+            make_records(1, procs=8), "0,0,100", node_flops=1e9, max_nodes=12
+        )
+        assert job.type is JobType.MALLEABLE
+        assert job.num_nodes == 8
+        assert job.min_nodes == 4
+        assert job.max_nodes == 12  # doubled preference clamped to the machine
+
+    def test_deterministic_for_seed(self):
+        records = make_records(20)
+        a = convert_trace(records, "40,30,30", node_flops=1e9, seed=5)
+        b = convert_trace(records, "40,30,30", node_flops=1e9, seed=5)
+        assert [j.type for j in a] == [j.type for j in b]
+        c = convert_trace(records, "40,30,30", node_flops=1e9, seed=6)
+        assert [j.type for j in a] != [j.type for j in c]
+
+    def test_submit_times_normalized_and_sorted(self):
+        records = make_records(3)
+        for rec in records:
+            object.__setattr__(rec, "submit_time", rec.submit_time + 5000.0)
+        jobs = convert_trace(records, "100,0,0", node_flops=1e9)
+        assert jobs[0].submit_time == 0.0
+        assert [j.submit_time for j in jobs] == sorted(j.submit_time for j in jobs)
+
+    def test_max_jobs_truncates(self):
+        jobs = convert_trace(make_records(10), "100,0,0", node_flops=1e9, max_jobs=4)
+        assert len(jobs) == 4
+
+    def test_validation(self):
+        records = make_records(2)
+        with pytest.raises(SwfError):
+            convert_trace(records, "100,0,0", node_flops=0)
+        with pytest.raises(SwfError):
+            convert_trace(records, "100,0,0", node_flops=1e9, parallel_fractions=[])
+        with pytest.raises(SwfError):
+            convert_trace(records, "100,0,0", node_flops=1e9, parallel_fractions=[1.5])
+        with pytest.raises(SwfError):
+            convert_trace([], "100,0,0", node_flops=1e9)
+
+
+class TestJobsFromSwfBlock:
+    def write_trace(self, tmp_path):
+        from repro.workload.swf import render_swf
+
+        path = tmp_path / "trace.swf"
+        path.write_text(render_swf(make_records(6)))
+        return path
+
+    def test_materialises_block(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        jobs = jobs_from_swf_block(
+            {"file": str(path), "type_mix": "0,0,100", "node_flops": 1e9}
+        )
+        assert len(jobs) == 6
+        assert all(j.type is JobType.MALLEABLE for j in jobs)
+
+    def test_sha256_pin_verified(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        good = hashlib.sha256(path.read_bytes()).hexdigest()
+        jobs = jobs_from_swf_block(
+            {"file": str(path), "type_mix": "100,0,0", "node_flops": 1e9,
+             "sha256": good}
+        )
+        assert len(jobs) == 6
+        with pytest.raises(SwfError, match="hash"):
+            jobs_from_swf_block(
+                {"file": str(path), "type_mix": "100,0,0", "node_flops": 1e9,
+                 "sha256": "0" * 64}
+            )
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        with pytest.raises(SwfError, match="unknown"):
+            jobs_from_swf_block(
+                {"file": str(path), "type_mix": "100,0,0", "node_flops": 1e9,
+                 "typo_key": 1}
+            )
+
+    def test_missing_required_key(self):
+        with pytest.raises(SwfError):
+            jobs_from_swf_block({"type_mix": "100,0,0", "node_flops": 1e9})
+
+    def test_relative_path_resolved_against_base(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        jobs = jobs_from_swf_block(
+            {"file": path.name, "type_mix": "100,0,0", "node_flops": 1e9},
+            base=tmp_path,
+        )
+        assert len(jobs) == 6

@@ -17,6 +17,8 @@ finite_times = st.floats(
 )
 ids = st.integers(min_value=-1, max_value=2**31 - 1)
 
+statuses = st.one_of(st.sampled_from([-1, 0, 1, 5]), st.integers(-10, 10))
+
 records = st.builds(
     SwfRecord,
     job_id=ids,
@@ -26,6 +28,7 @@ records = st.builds(
     requested_procs=ids,
     requested_time=finite_times,
     user_id=ids,
+    status=statuses,
 )
 
 
@@ -52,3 +55,12 @@ def test_large_submit_time_keeps_full_precision():
     # The classic %.2f writer bug: 86400.000001 collapses to 86400.00.
     rec = SwfRecord(1, 86400.000001, 10.0, 4, 4, 100.0, 7)
     assert parse_swf(render_swf([rec]))[0].submit_time == 86400.000001
+
+
+@settings(deadline=None, max_examples=100)
+@given(statuses)
+def test_status_survives_round_trip(status):
+    # The regression: render_swf used to emit -1 for every status, so a
+    # parse-render cycle silently forgot which jobs actually completed.
+    rec = SwfRecord(1, 0.0, 10.0, 4, 4, 100.0, 7, status=status)
+    assert parse_swf(render_swf([rec]))[0].status == status
