@@ -35,6 +35,7 @@ class BatchSystem:
         requeue_on_failure: bool = False,
         max_requeues: int = 3,
         checkpoint_restart: bool = False,
+        start_processes: bool = True,
     ) -> None:
         if not jobs:
             raise BatchError("No jobs to simulate")
@@ -72,8 +73,27 @@ class BatchSystem:
 
         self._procs: Dict[int, Process] = {}
         self._done_events: Dict[int, Event] = {}
-        #: Jobs with an unsatisfied blocking evolving request.
-        self._waiting_evolving: set[Job] = set()
+        #: Per-job executors of running jobs (snapshot capture walks these).
+        self._executors: Dict[int, JobExecutor] = {}
+        #: Pending submit timeouts by jid (popped when the submit fires).
+        self._submit_timers: Dict[int, Event] = {}
+        #: Watchdog walltime timers by jid (popped when the watchdog ends).
+        self._watchdog_timers: Dict[int, Event] = {}
+        #: Live watchdog processes by jid.
+        self._watchdog_procs: Dict[int, Process] = {}
+        #: The periodic scheduler's pending timer and process (if enabled).
+        self._periodic_timer: Optional[Event] = None
+        self._periodic_proc: Optional[Process] = None
+        #: Failure-injector bookkeeping by injector index: which wait the
+        #: injector is suspended on (0 = pre-failure, 1 = overlap extension,
+        #: 2 = downtime before repair), its pending timer, and its process.
+        self._failure_stage: Dict[int, int] = {}
+        self._failure_timers: Dict[int, Event] = {}
+        self._failure_procs: Dict[int, Process] = {}
+        #: Jobs with an unsatisfied blocking evolving request.  A dict used
+        #: as an insertion-ordered set: iteration order must never depend
+        #: on hash seeds or id() values, or snapshot-resumed runs diverge.
+        self._waiting_evolving: Dict[Job, None] = {}
         #: Jobs with a kill interrupt queued but not yet delivered.
         self._kill_pending: set[int] = set()
         self._finished_count = 0
@@ -89,18 +109,24 @@ class BatchSystem:
         #: flight (tracing only; None outside a traced invocation).
         self._decision_log: Optional[List[str]] = None
 
-        for job in self.jobs:
-            env.process(self._submitter(job), name=f"submit-{job.name}")
-        if invocation_interval is not None:
-            env.process(self._periodic(), name="periodic-scheduler")
-        for failure in failures or ():
+        self.failures: List[Failure] = list(failures or ())
+        for failure in self.failures:
             if not 0 <= failure.node_index < platform.num_nodes:
                 raise BatchError(
                     f"Failure targets node {failure.node_index}, platform "
                     f"has {platform.num_nodes}"
                 )
-            env.process(
-                self._failure_injector(failure),
+        if not start_processes:
+            return  # snapshot restore: processes are rebuilt by re-entry
+        for job in self.jobs:
+            env.process(self._submitter(job), name=f"submit-{job.name}")
+        if invocation_interval is not None:
+            self._periodic_proc = env.process(
+                self._periodic(), name="periodic-scheduler"
+            )
+        for idx, failure in enumerate(self.failures):
+            self._failure_procs[idx] = env.process(
+                self._failure_injector(idx, failure),
                 name=f"failure-n{failure.node_index}",
             )
 
@@ -109,7 +135,22 @@ class BatchSystem:
     def _submitter(self, job: Job):
         delay = job.submit_time - self.env.now
         if delay > 0:
-            yield self.env.timeout(delay)
+            timer = self.env.timeout(delay)
+            self._submit_timers[job.jid] = timer
+            yield from self._submit_after(job, timer)
+            return
+        self._submit_now(job)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _submit_after(self, job: Job, timer: Event):
+        """Submitter tail: also the resume generator for a submitter that a
+        snapshot caught waiting on its submit timeout."""
+        yield timer
+        self._submit_timers.pop(job.jid, None)
+        self._submit_now(job)
+
+    def _submit_now(self, job: Job) -> None:
         self.queue.append(job)
         self.monitor.on_submit(job)
         tracer = self.tracer
@@ -128,20 +169,64 @@ class BatchSystem:
         self._invoke(InvocationType.JOB_SUBMIT, job)
 
     def _periodic(self):
-        while self._finished_count < len(self.jobs):
-            yield self.env.timeout(self.invocation_interval)
+        if self._finished_count >= len(self.jobs):
+            return
+        timer = self.env.timeout(self.invocation_interval)
+        self._periodic_timer = timer
+        yield from self._periodic_from(timer)
+
+    def _periodic_from(self, timer: Event):
+        """Periodic-scheduler loop from a pending timer: also the resume
+        generator when a snapshot caught the loop mid-wait."""
+        while True:
+            yield timer
             if self._finished_count >= len(self.jobs):
                 return
             self._invoke(InvocationType.PERIODIC)
+            if self._finished_count >= len(self.jobs):
+                return
+            timer = self.env.timeout(self.invocation_interval)
+            self._periodic_timer = timer
 
-    def _failure_injector(self, failure: Failure):
+    def _failure_injector(self, idx: int, failure: Failure):
         if failure.time > 0:
-            yield self.env.timeout(failure.time)
+            timer = self.env.timeout(failure.time)
+            self._failure_stage[idx] = 0
+            self._failure_timers[idx] = timer
+            yield from self._failure_armed(idx, failure, timer)
+            return
+        yield from self._failure_body(idx, failure)
+
+    def _failure_armed(self, idx: int, failure: Failure, timer: Event):
+        """Stage 0: waiting for the failure instant."""
+        yield timer
+        yield from self._failure_body(idx, failure)
+
+    def _failure_body(self, idx: int, failure: Failure):
         node = self.platform.nodes[failure.node_index]
         if node.failed:
             # Already down (overlapping trace entries): extend implicitly.
-            yield self.env.timeout(failure.downtime)
+            timer = self.env.timeout(failure.downtime)
+            self._failure_stage[idx] = 1
+            self._failure_timers[idx] = timer
+            yield from self._failure_extend(idx, timer)
             return
+        timer = self._fail_node(idx, failure)
+        yield from self._failure_downtime(idx, failure, timer)
+
+    def _failure_extend(self, idx: int, timer: Event):
+        """Stage 1: riding out an overlapping downtime, nothing to do after."""
+        yield timer
+        self._failure_done(idx)
+
+    def _failure_downtime(self, idx: int, failure: Failure, timer: Event):
+        """Stage 2: the node is down; repair it when the downtime elapses."""
+        yield timer
+        self._repair_node(idx, failure)
+
+    def _fail_node(self, idx: int, failure: Failure) -> Event:
+        """Take the node down and arm the downtime timer (stage 2)."""
+        node = self.platform.nodes[failure.node_index]
         node.fail()
         self.monitor.on_node_failure(node.index)
         tracer = self.tracer
@@ -154,7 +239,13 @@ class BatchSystem:
         if isinstance(victim, Job) and victim.state is JobState.RUNNING:
             self.kill_job(victim, reason="node_failure")
         self._invoke(InvocationType.NODE_FAILURE)
-        yield self.env.timeout(failure.downtime)
+        timer = self.env.timeout(failure.downtime)
+        self._failure_stage[idx] = 2
+        self._failure_timers[idx] = timer
+        return timer
+
+    def _repair_node(self, idx: int, failure: Failure) -> None:
+        node = self.platform.nodes[failure.node_index]
         node.repair()
         self.monitor.on_node_repair(node.index)
         tracer = self.tracer
@@ -163,16 +254,33 @@ class BatchSystem:
                 "node.repair", f"node:{node.index}", node.name, self.env.now,
                 node=node.index,
             )
+        self._failure_done(idx)
         self._invoke(InvocationType.NODE_REPAIR)
 
-    def _runner(self, job: Job):
-        executor = JobExecutor(self.env, self.platform, self.model, job, self)
+    def _failure_done(self, idx: int) -> None:
+        self._failure_stage.pop(idx, None)
+        self._failure_timers.pop(idx, None)
+        self._failure_procs.pop(idx, None)
+
+    def _runner(self, job: Job, executor: JobExecutor):
         outcome = yield from executor.run()
+        self._finish_job(job, outcome)
+
+    def _runner_resumed(self, job: Job, executor: JobExecutor, cursor, resolved):
+        """Runner body when the executor is rebuilt from a snapshot."""
+        outcome = yield from executor.resume_run(cursor, resolved)
         self._finish_job(job, outcome)
 
     def _watchdog(self, job: Job, proc: Process, done: Event):
         timer = self.env.timeout(job.walltime)
+        self._watchdog_timers[job.jid] = timer
+        yield from self._watchdog_wait(job, proc, done, timer)
+
+    def _watchdog_wait(self, job: Job, proc: Process, done: Event, timer: Event):
+        """Watchdog wait: also the resume generator after a snapshot."""
         yield timer | done
+        self._watchdog_timers.pop(job.jid, None)
+        self._watchdog_procs.pop(job.jid, None)
         if not done.triggered and proc.is_alive:
             proc.interrupt("walltime")
         else:
@@ -245,10 +353,12 @@ class BatchSystem:
 
         done = self.env.event()
         self._done_events[job.jid] = done
-        proc = self.env.process(self._runner(job), name=f"run-{job.name}")
+        executor = JobExecutor(self.env, self.platform, self.model, job, self)
+        self._executors[job.jid] = executor
+        proc = self.env.process(self._runner(job, executor), name=f"run-{job.name}")
         self._procs[job.jid] = proc
         if job.walltime < inf:
-            self.env.process(
+            self._watchdog_procs[job.jid] = self.env.process(
                 self._watchdog(job, proc, done), name=f"watchdog-{job.name}"
             )
 
@@ -281,7 +391,7 @@ class BatchSystem:
         """Explicitly deny a blocking evolving request: the job continues
         with its current allocation instead of waiting for a grant."""
         job.evolving_denied = True
-        self._waiting_evolving.discard(job)
+        self._waiting_evolving.pop(job, None)
         self._log_decision(f"deny:{job.name}")
         tracer = self.tracer
         if tracer is not None:
@@ -291,7 +401,7 @@ class BatchSystem:
         self._release_evolving_wait(job)
 
     def _release_evolving_wait(self, job: Job) -> None:
-        self._waiting_evolving.discard(job)
+        self._waiting_evolving.pop(job, None)
         wait = job.evolving_wait_event
         if wait is not None and not wait.triggered:
             wait.succeed()
@@ -350,7 +460,7 @@ class BatchSystem:
         # Track the job before invoking: a blocking request that the
         # algorithm cannot satisfy right now is retried when resources
         # free up (completions / committed reconfigurations).
-        self._waiting_evolving.add(job)
+        self._waiting_evolving[job] = None
         tracer = self.tracer
         if tracer is not None:
             tracer.instant(
@@ -364,7 +474,7 @@ class BatchSystem:
             )
         self._invoke(InvocationType.EVOLVING_REQUEST, job)
         if job.pending_reconfiguration is not None or job.evolving_request is None:
-            self._waiting_evolving.discard(job)
+            self._waiting_evolving.pop(job, None)
 
     def _retry_waiting_evolving(self) -> None:
         for job in sorted(self._waiting_evolving, key=lambda j: j.jid):
@@ -373,11 +483,11 @@ class BatchSystem:
                 or job.evolving_request is None
                 or job.pending_reconfiguration is not None
             ):
-                self._waiting_evolving.discard(job)
+                self._waiting_evolving.pop(job, None)
                 continue
             self._invoke(InvocationType.EVOLVING_REQUEST, job)
             if job.pending_reconfiguration is not None:
-                self._waiting_evolving.discard(job)
+                self._waiting_evolving.pop(job, None)
 
     def commit_reconfiguration(self, job: Job, new_nodes: Sequence[Node]) -> None:
         old_count = len(job.assigned_nodes)
@@ -446,8 +556,9 @@ class BatchSystem:
         if done is not None and not done.triggered:
             done.succeed()
         self._procs.pop(job.jid, None)
+        self._executors.pop(job.jid, None)
         self._kill_pending.discard(job.jid)
-        self._waiting_evolving.discard(job)
+        self._waiting_evolving.pop(job, None)
         job.evolving_wait_event = None
 
         # Requeue first so the clone raises the completion target before the
@@ -510,6 +621,157 @@ class BatchSystem:
         if tracer is not None:
             tracer.instant("alloc.count", "batch", "allocated", self.env.now, n=allocated)
 
+    # -- snapshot / restore --------------------------------------------------
+
+    def capture_state(self, registry) -> dict:
+        """Snapshot queue/running membership, counters, and every live
+        batch process as (resume generator id, pending timer) pairs.
+
+        Must run at a quiet boundary: no kill interrupts in flight, no
+        scheduler invocation on the stack.  Claims all batch-owned queued
+        timeouts in ``registry`` so the environment capture can reference
+        them; executor capture claims activity waits recursively.
+        """
+        if self._kill_pending:
+            raise RuntimeError(
+                f"kill interrupts in flight for jids {sorted(self._kill_pending)}; "
+                "not a quiet boundary"
+            )
+        if self._decision_log is not None:
+            raise RuntimeError("scheduler invocation in flight; not a quiet boundary")
+
+        submitters = []
+        for jid, timer in sorted(self._submit_timers.items()):
+            sid = f"submit.{jid}"
+            registry.claim(sid, timer)
+            submitters.append({"jid": jid, "sid": sid, "delay": timer.delay})
+
+        periodic = None
+        if self._periodic_proc is not None and self._periodic_proc.is_alive:
+            sid = "periodic.timer"
+            registry.claim(sid, self._periodic_timer)
+            periodic = {"sid": sid, "delay": self._periodic_timer.delay}
+
+        failures = []
+        for idx in sorted(self._failure_procs):
+            proc = self._failure_procs[idx]
+            if not proc.is_alive:
+                continue
+            timer = self._failure_timers[idx]
+            sid = f"failure.{idx}.timer"
+            registry.claim(sid, timer)
+            failures.append(
+                {
+                    "idx": idx,
+                    "stage": self._failure_stage[idx],
+                    "sid": sid,
+                    "delay": timer.delay,
+                }
+            )
+
+        watchdogs = []
+        for jid, timer in sorted(self._watchdog_timers.items()):
+            sid = f"watchdog.{jid}.timer"
+            registry.claim(sid, timer)
+            watchdogs.append({"jid": jid, "sid": sid, "delay": timer.delay})
+
+        executors = {
+            str(jid): self._executors[jid].capture_state(registry, f"exec.{jid}")
+            for jid in sorted(self._executors)
+        }
+
+        return {
+            "queue": [job.jid for job in self.queue],
+            "running": [job.jid for job in self.running],
+            "finished_count": self._finished_count,
+            "invocations": self.invocations,
+            "waiting_evolving": [job.jid for job in self._waiting_evolving],
+            "submitters": submitters,
+            "periodic": periodic,
+            "failures": failures,
+            "watchdogs": watchdogs,
+            "executors": executors,
+        }
+
+    def restore_state(self, state: dict, registry, ctx) -> None:
+        """Rebuild batch containers and re-enter every live process.
+
+        ``ctx`` is the replay restore helper: ``rebuild_timeout(sid, delay)``
+        returns a raw (constructor-bypassing) Timeout claimed under ``sid``,
+        and ``resolve_executor_wait(...)`` turns a captured executor cursor
+        into the live wait objects its resume generator needs.  Re-entry
+        creates no event ids — the environment's queue restore assigns the
+        canonical ids afterwards.
+        """
+        jobs_by_jid = {job.jid: job for job in self.jobs}
+        self.queue = [jobs_by_jid[jid] for jid in state["queue"]]
+        self.running = [jobs_by_jid[jid] for jid in state["running"]]
+        self._finished_count = state["finished_count"]
+        self.invocations = state["invocations"]
+        self._waiting_evolving = {
+            jobs_by_jid[jid]: None for jid in state["waiting_evolving"]
+        }
+
+        for rec in state["submitters"]:
+            job = jobs_by_jid[rec["jid"]]
+            timer = ctx.rebuild_timeout(rec["sid"], rec["delay"])
+            self._submit_timers[job.jid] = timer
+            Process.reenter(
+                self.env, self._submit_after(job, timer), f"submit-{job.name}"
+            )
+
+        if state["periodic"] is not None:
+            timer = ctx.rebuild_timeout(
+                state["periodic"]["sid"], state["periodic"]["delay"]
+            )
+            self._periodic_timer = timer
+            self._periodic_proc = Process.reenter(
+                self.env, self._periodic_from(timer), "periodic-scheduler"
+            )
+
+        for rec in state["failures"]:
+            idx = rec["idx"]
+            failure = self.failures[idx]
+            timer = ctx.rebuild_timeout(rec["sid"], rec["delay"])
+            stage = rec["stage"]
+            self._failure_stage[idx] = stage
+            self._failure_timers[idx] = timer
+            if stage == 0:
+                gen = self._failure_armed(idx, failure, timer)
+            elif stage == 1:
+                gen = self._failure_extend(idx, timer)
+            else:
+                gen = self._failure_downtime(idx, failure, timer)
+            self._failure_procs[idx] = Process.reenter(
+                self.env, gen, f"failure-n{failure.node_index}"
+            )
+
+        watchdog_recs = {rec["jid"]: rec for rec in state["watchdogs"]}
+        for job in self.running:
+            cursor = state["executors"][str(job.jid)]
+            executor = JobExecutor(self.env, self.platform, self.model, job, self)
+            self._executors[job.jid] = executor
+            resolved = ctx.resolve_executor_wait(
+                self, executor, cursor, f"exec.{job.jid}"
+            )
+            proc = Process.reenter(
+                self.env,
+                self._runner_resumed(job, executor, cursor, resolved),
+                f"run-{job.name}",
+            )
+            self._procs[job.jid] = proc
+            done = self.env.event()
+            self._done_events[job.jid] = done
+            rec = watchdog_recs.get(job.jid)
+            if rec is not None:
+                timer = ctx.rebuild_timeout(rec["sid"], rec["delay"])
+                self._watchdog_timers[job.jid] = timer
+                self._watchdog_procs[job.jid] = Process.reenter(
+                    self.env,
+                    self._watchdog_wait(job, proc, done, timer),
+                    f"watchdog-{job.name}",
+                )
+
     # -- tracing helpers -----------------------------------------------------
 
     def _trace_node_alloc(self, tracer, node: Node, job: Job, *, reserved: bool) -> None:
@@ -566,12 +828,19 @@ class Simulation:
         max_requeues: int = 3,
         checkpoint_restart: bool = False,
         env: Optional[Environment] = None,
+        start_processes: bool = True,
     ) -> None:
         self.env = env if env is not None else Environment()
         #: Flight recorder of the last traced :meth:`run` (None otherwise).
         self.tracer = None
         #: Invariant violations found by the last checked :meth:`run`.
         self.violations: List = []
+        #: The scenario spec this simulation was built from (set by
+        #: :meth:`from_spec`; None for directly-constructed simulations).
+        #: Snapshots embed it so a resume can rebuild the object graph.
+        self.spec: Optional[dict] = None
+        #: Snapshots taken by the last ``run(snapshot_every=...)``.
+        self.snapshots: List = []
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         self.batch = BatchSystem(
@@ -584,10 +853,11 @@ class Simulation:
             requeue_on_failure=requeue_on_failure,
             max_requeues=max_requeues,
             checkpoint_restart=checkpoint_restart,
+            start_processes=start_processes,
         )
 
     @classmethod
-    def from_spec(cls, spec: Mapping) -> "Simulation":
+    def from_spec(cls, spec: Mapping, *, start_processes: bool = True) -> "Simulation":
         """Build a simulation from a plain-dict scenario spec.
 
         The worker-safe construction path used by campaign workers
@@ -683,18 +953,35 @@ class Simulation:
         unknown = set(sim) - known
         if unknown:
             raise BatchError(f"unknown sim options: {sorted(unknown)}")
-        return cls(
+        instance = cls(
             platform,
             workload,
             algorithm=spec.get("algorithm", "easy"),
             invocation_interval=interval,
             failures=failures,
+            start_processes=start_processes,
             **sim,
         )
+        from copy import deepcopy
+
+        instance.spec = deepcopy(dict(spec))
+        return instance
 
     @property
     def monitor(self) -> Monitor:
         return self.batch.monitor
+
+    @classmethod
+    def resume(cls, snapshot) -> "Simulation":
+        """Rebuild a live simulation from a :mod:`repro.replay` snapshot.
+
+        The returned simulation continues bit-for-bit where the snapshot
+        was taken: calling :meth:`run` on it produces a ``run_record`` and
+        ``processed_events`` byte-identical to the cold run's.
+        """
+        from repro.replay import restore_simulation
+
+        return restore_simulation(snapshot)
 
     def run(
         self,
@@ -702,6 +989,8 @@ class Simulation:
         *,
         trace=None,
         check_invariants: bool = False,
+        snapshot_every: Optional[int] = None,
+        snapshot_callback=None,
     ) -> Monitor:
         """Run to completion (or ``until``) and return the monitor.
 
@@ -709,6 +998,13 @@ class Simulation:
         ----------
         until:
             Optional stop time (default: run until every job finished).
+        snapshot_every:
+            Take a full-state snapshot roughly every N processed events
+            (at the first quiet boundary at or after each multiple; see
+            :mod:`repro.replay`).  Snapshots collect on :attr:`snapshots`
+            and are passed to ``snapshot_callback`` if given.  Requires a
+            run to completion (``until=None``), a ``from_spec``-built
+            simulation, and no tracing.
         trace:
             Enable the flight recorder (see :mod:`repro.tracing`).  Pass a
             :class:`~repro.tracing.Tracer` to buffer in memory, or a path
@@ -756,12 +1052,36 @@ class Simulation:
                 algorithm=self.batch.algorithm.name,
             )
 
+        hook = first_target = None
+        if snapshot_every is not None:
+            if snapshot_every <= 0:
+                raise BatchError("snapshot_every must be > 0")
+            if until is not None:
+                raise BatchError("snapshot_every requires a run to completion")
+            if tracer is not None:
+                raise BatchError("snapshot_every is incompatible with tracing")
+            from repro.replay import capture_snapshot
+
+            self.snapshots = []
+
+            def hook() -> int:
+                snap = capture_snapshot(self)
+                self.snapshots.append(snap)
+                if snapshot_callback is not None:
+                    snapshot_callback(snap)
+                return self.env.processed_events + snapshot_every
+
+            first_target = self.env.processed_events + snapshot_every
+
         try:
             if until is not None:
                 self.env.run(until=until)
             else:
                 try:
-                    self.env.run(until=self.batch.all_done)
+                    if hook is not None:
+                        self.env.run_hooked(self.batch.all_done, first_target, hook)
+                    else:
+                        self.env.run(until=self.batch.all_done)
                 except SimulationError:
                     stuck = [job.name for job in self.batch.queue]
                     running = [job.name for job in self.batch.running]

@@ -71,6 +71,7 @@ from repro.campaign.runner import (
     ScenarioTimeout,
     result_fingerprint,
     run_scenario,
+    run_scenario_warm,
 )
 from repro.campaign.spec import (
     CAMPAIGN_FORMAT,
@@ -143,6 +144,7 @@ __all__ = [
     "make_executor",
     "result_fingerprint",
     "run_scenario",
+    "run_scenario_warm",
     "scenario_key",
     "scenarios_from_grid",
     "spawn_worker",

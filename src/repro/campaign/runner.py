@@ -238,6 +238,51 @@ def run_scenario(
     return record
 
 
+def run_scenario_warm(
+    scenario: Dict[str, Any],
+    session: Any,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Warm-start variant of :func:`run_scenario` (serial in-process only).
+
+    ``session`` is a :class:`repro.replay.WhatIfSession`: the first
+    scenario of each compatibility group (identical spec apart from its
+    inline jobs) is cold-run with periodic snapshots, later members
+    restore the latest checkpoint before their workload diverges and
+    replay only the suffix.  Results are byte-identical to cold runs;
+    records gain ``warm_start`` (and ``events_saved`` when warm).  The
+    same isolation contract as :func:`run_scenario` applies: failures
+    come back as ``status="failed"`` records, never exceptions.
+    """
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "name": scenario.get("name", "scenario"),
+        "params": scenario.get("params", {}),
+    }
+    try:
+        restore_engine = _pin_engine(scenario.get("engine"))
+        try:
+            with _scenario_deadline(timeout):
+                outcome = session.run(scenario)
+        finally:
+            restore_engine()
+        record["status"] = "ok"
+        record["result"] = outcome.record
+        record["warm_start"] = outcome.warm
+        if outcome.warm:
+            record["events_saved"] = outcome.events_saved
+    except ScenarioTimeout as exc:
+        record["status"] = "failed"
+        record["error"] = f"ScenarioTimeout: {exc}"
+        record["error_kind"] = "timeout"
+    except Exception as exc:  # noqa: BLE001 - isolation boundary by design
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["error_kind"] = "exception"
+    record["wall_s"] = time.perf_counter() - started
+    return record
+
+
 def _safe_name(name: str) -> str:
     """Scenario name → filesystem-safe trace file stem."""
     return "".join(c if c.isalnum() or c in "._-" else "_" for c in name) or "scenario"
@@ -342,6 +387,7 @@ class CampaignRunner:
         executor: Union[str, BaseExecutor, None] = None,
         executor_options: Optional[Dict[str, Any]] = None,
         scenario_timeout: Optional[float] = None,
+        warm_start: bool = False,
     ) -> None:
         if not scenarios:
             raise CampaignError("campaign has no scenarios")
@@ -377,6 +423,22 @@ class CampaignRunner:
                 )
             self.executor_name = executor
         self.executor_options = dict(executor_options or {})
+        self.warm_start = bool(warm_start)
+        if self.warm_start:
+            # Warm starts share one snapshot cache, so they run serially
+            # in-process; snapshots also cannot coexist with the flight
+            # recorder, ruling out tracing and invariant audits.
+            if self.executor is not None or self.executor_name is not None:
+                raise CampaignError(
+                    "warm_start runs serially in-process and cannot be "
+                    "combined with an explicit executor"
+                )
+            if self.trace_dir is not None or check_invariants:
+                raise CampaignError(
+                    "warm_start is incompatible with tracing and invariant "
+                    "checks (snapshots cannot be taken from a traced run)"
+                )
+            self.salt = self.salt + "+warm"
 
     def run(
         self,
@@ -424,6 +486,20 @@ class CampaignRunner:
         explicit = self.executor is not None or self.executor_name is not None
         if not pending:
             label = "cache"
+        elif self.warm_start:
+            # Serial by design: every scenario feeds (or reuses) the shared
+            # snapshot cache, so later grid points replay only their suffix.
+            label = "serial+warm-start"
+            from repro.replay import WhatIfSession
+
+            session = WhatIfSession()
+            for index in pending:
+                finish(
+                    index,
+                    run_scenario_warm(
+                        payloads[index], session, self.scenario_timeout
+                    ),
+                )
         elif not explicit and (self.workers <= 1 or len(pending) <= 1):
             # No executor machinery for trivially serial work: the plain
             # loop keeps debugging transparent and avoids event-loop setup.

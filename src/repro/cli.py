@@ -15,8 +15,9 @@ Subcommands::
     elastisim trace convert t.jsonl t.json
     elastisim trace check   t.jsonl [--nodes N]
     elastisim profile   [--jobs N] [--nodes N] [--cprofile] [--output p.json]
+    elastisim whatif    --base s.json [--edited s2.json | --resume-at F]
     elastisim fuzz run     [--seed N] [--count N] [--algorithms a,b] [...]
-    elastisim fuzz shrink  reproducer.json [--output-dir DIR]
+    elastisim fuzz shrink  reproducer.json [--output-dir DIR] [--bisect]
     elastisim fuzz replay  reproducer.json [...]
     elastisim algorithms
 
@@ -261,6 +262,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write {scenario name: result fingerprint} JSON here "
         "(byte-identical across executors; CI diffs these)",
     )
+    crun.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="serial in-process mode where grid scenarios sharing a "
+        "workload prefix reuse one snapshotted base run and replay only "
+        "their suffix (results stay byte-identical; see docs/REPLAY.md)",
+    )
 
     cworker = csub.add_parser(
         "worker", help="serve scenarios from a shared campaign queue"
@@ -438,6 +446,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="functions to keep in the cProfile table",
     )
 
+    whatif = sub.add_parser(
+        "whatif",
+        help="incremental what-if replay: edit a scenario, replay only "
+        "the divergent suffix from a snapshot (see docs/REPLAY.md)",
+    )
+    whatif.add_argument("--base", required=True, help="base scenario JSON file")
+    whatif.add_argument(
+        "--edited",
+        default=None,
+        help="edited scenario JSON; diffed against the base to find the "
+        "divergence and warm-start from the latest safe checkpoint",
+    )
+    whatif.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="checkpoint cadence of the base run in processed events "
+        "(default 2000)",
+    )
+    whatif.add_argument(
+        "--resume-at",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="self-test mode: snapshot the base run, resume from the "
+        "checkpoint nearest this fraction of processed events, and write "
+        "cold_record.json / resumed_record.json for byte comparison",
+    )
+    whatif.add_argument(
+        "--verify",
+        action="store_true",
+        help="with --edited: also cold-run the edited scenario and fail "
+        "unless the warm record is byte-identical",
+    )
+    whatif.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for the emitted record files (default: cwd)",
+    )
+
     fuzz = sub.add_parser(
         "fuzz", help="scenario fuzzing with differential/metamorphic oracles"
     )
@@ -497,6 +546,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=400,
         help="predicate evaluation budget for the shrinker",
+    )
+    fshrink.add_argument(
+        "--bisect",
+        action="store_true",
+        help="for crash failures: checkpoint-bisect the run to its "
+        "shortest failing suffix and bulk-drop already-finished jobs "
+        "before the greedy walk",
     )
 
     freplay = fsub.add_parser(
@@ -651,6 +707,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             if args.scenario_timeout is not None
             else settings.get("scenario_timeout")
         ),
+        warm_start=args.warm_start,
     )
 
     def progress(record: dict) -> None:
@@ -837,6 +894,83 @@ def _split_csv(value: Optional[str]) -> Optional[List[str]]:
     return [part.strip() for part in value.split(",") if part.strip()]
 
 
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.replay import run_with_snapshots, whatif
+
+    base = json.loads(Path(args.base).read_text())
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    def dump(record: dict, name: str) -> Path:
+        path = output_dir / name
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    if args.resume_at is not None:
+        if not 0.0 < args.resume_at < 1.0:
+            print("--resume-at must be a fraction in (0, 1)", file=sys.stderr)
+            return EXIT_USAGE
+        cold, snapshots = run_with_snapshots(base, args.snapshot_every)
+        if not snapshots:
+            print(
+                "run finished before the first checkpoint; lower "
+                "--snapshot-every",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        total = cold["processed_events"]
+        target = args.resume_at * total
+        snap = min(snapshots, key=lambda s: abs(s.processed_events - target))
+        resumed_sim = Simulation.resume(snap)
+        resumed = resumed_sim.run().run_record()
+        resumed["invocations"] = resumed_sim.batch.invocations
+        cold_path = dump(cold, "cold_record.json")
+        resumed_path = dump(resumed, "resumed_record.json")
+        identical = json.dumps(cold, sort_keys=True) == json.dumps(
+            resumed, sort_keys=True
+        )
+        print(
+            f"resumed from checkpoint at t={snap.time:g} "
+            f"({snap.processed_events}/{total} events, "
+            f"{len(snapshots)} checkpoints)"
+        )
+        print(f"  cold:    {cold_path}")
+        print(f"  resumed: {resumed_path}")
+        print(f"records byte-identical: {identical}")
+        return EXIT_OK if identical else EXIT_REGRESSION
+
+    if args.edited is None:
+        print("provide --edited (replay an edit) or --resume-at (self-test)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    edited = json.loads(Path(args.edited).read_text())
+    result = whatif(base, edited, snapshot_every=args.snapshot_every)
+    record_path = dump(result.record, "whatif_record.json")
+    if result.warm:
+        print(
+            f"warm replay from checkpoint at t={result.snapshot_time:g}: "
+            f"replayed {result.events_replayed} of {result.events_total} "
+            f"events ({result.events_saved} saved)"
+        )
+    else:
+        print(f"cold run ({result.reason})")
+    print(f"record: {record_path}")
+    if args.verify:
+        from repro.batch import Simulation as _Sim
+
+        sim = _Sim.from_spec(edited)
+        reference = sim.run(until=edited.get("sim", {}).get("until")).run_record()
+        reference["invocations"] = sim.batch.invocations
+        identical = json.dumps(reference, sort_keys=True) == json.dumps(
+            result.record, sort_keys=True
+        )
+        print(f"verified against cold run: byte-identical={identical}")
+        if not identical:
+            dump(reference, "cold_record.json")
+            return EXIT_REGRESSION
+    return EXIT_OK
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -882,7 +1016,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             scenario=scenario,
             failures=failures,
         )
-        small, evals = shrink_failure(case, max_evals=args.max_evals)
+        small, evals = shrink_failure(
+            case, max_evals=args.max_evals, bisect=args.bisect
+        )
         small_failures = replay_scenario(
             small, oracles=[f.oracle for f in failures if f.oracle in ORACLES]
         )
@@ -990,6 +1126,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "whatif":
+            return _cmd_whatif(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
         if args.command == "algorithms":

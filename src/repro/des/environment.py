@@ -269,6 +269,158 @@ class Environment:
                     ) from None
             return None
 
+    def run_hooked(
+        self,
+        until: Union[None, float, Event],
+        next_target: Optional[int],
+        hook: Any,
+    ) -> Any:
+        """Like :meth:`run`, invoking ``hook`` at quiet event-count targets.
+
+        Once :attr:`processed_events` reaches ``next_target`` *and* the
+        simulation is at a quiet boundary (queue empty, or the next entry
+        strictly in the future — i.e. no more events fire at the current
+        instant), ``hook()`` is called and must return the next target (or
+        ``None`` to stop hooking).  Quiet boundaries are the only points
+        where a snapshot is well-defined: every process is suspended on a
+        future event and no kernel-internal work (resolves, condition
+        builds) is in flight.
+
+        Kept as a separate copy of the :meth:`run` hot loop so the
+        default path pays nothing for the feature.
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:  # already processed
+                    return stop._value
+                stop.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be earlier than now ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, priority=URGENT, delay=at - self._now)
+                stop.callbacks.append(self._stop_callback)
+
+        queue = self._queue
+        pop = heappop
+        pool = self._event_pool
+        try:
+            while True:
+                while True:
+                    if not queue:
+                        raise EmptySchedule()
+                    now, _, _, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is not None:
+                        event.callbacks = None
+                        break
+                self._now = now
+                self.processed_events += 1
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if type(event) is PooledEvent and len(pool) < 128:
+                    pool.append(event)
+                if next_target is not None and self.processed_events >= next_target:
+                    if not queue or queue[0][0] > now:
+                        next_target = hook()
+        except StopSimulation as stop_exc:
+            return stop_exc.value
+        except EmptySchedule:
+            if stop is not None and stop.callbacks is not None:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        f"No scheduled events left but until={until!r} was not triggered"
+                    ) from None
+            return None
+
+    # -- snapshot/restore ---------------------------------------------------
+
+    def capture_state(self, registry: Any) -> dict:
+        """Snapshot the clock, counters and the live event-queue skeleton.
+
+        ``registry`` maps live queued events to stable snapshot ids (see
+        :class:`repro.replay.snapshot.SidRegistry`); every owner module must
+        have *claimed* its queue-resident events before this runs — an
+        unclaimed live entry means some state holder would be silently lost,
+        so it is a hard error.  Cancelled entries (``callbacks is None``) are
+        dropped: the kernel would discard them without observable effect.
+
+        Each entry records its original insertion id as a *rank*.  Only the
+        relative order of ranks is observable (ties in ``(time, priority)``
+        break on insertion id), so restore renumbers the queue canonically —
+        which both keeps resumed runs byte-identical and gives what-if
+        editing a clean way to splice entries between existing ranks.
+        """
+        entries = []
+        for time, priority, eid, event in sorted(self._queue):
+            if event.callbacks is None:
+                continue  # cancelled; kernel would drop it silently
+            if not event.callbacks:
+                # Subscriber-less but not cancelled — e.g. the delay timeout
+                # of a killed job whose interrupt unsubscribed the process.
+                # Processing it only advances the clock and the event count,
+                # so any bare succeeded event reproduces it exactly.
+                entries.append([time, priority, eid, "__bare__"])
+                continue
+            sid = registry.sid_of(event)
+            if sid is None:
+                raise SimulationError(
+                    f"Unclaimed live queue entry at t={time} prio={priority}: "
+                    f"{event!r}. Every queued event must be claimed by its "
+                    "owning module's capture_state()."
+                )
+            entries.append([time, priority, eid, sid])
+        return {
+            "time": self._now,
+            "processed_events": self.processed_events,
+            "queue": entries,
+        }
+
+    def restore_state(self, state: dict, registry: Any) -> None:
+        """Rebuild the event queue from a snapshot (see :meth:`capture_state`).
+
+        Ranks are normalized to tuples so a what-if edit can splice an entry
+        between rank ``r`` and ``r + 1`` with ``(r, 1, k)`` — tuple order
+        puts ``(r,)`` before ``(r, 1, k)`` before ``(r + 1,)``.  Fresh
+        insertion ids ``0..n-1`` are assigned in rank order and the id
+        counter continues from ``n``.
+        """
+
+        def rank_key(entry: list) -> tuple:
+            time, priority, rank, _sid = entry
+            if isinstance(rank, (list, tuple)):
+                return (time, priority, tuple(rank))
+            return (time, priority, (rank,))
+
+        queue: list[tuple[float, int, int, Event]] = []
+        for n, (time, priority, _rank, sid) in enumerate(
+            sorted(state["queue"], key=rank_key)
+        ):
+            if sid == "__bare__":
+                event = Event(self)
+                event._ok = True
+                event._value = None
+            else:
+                event = registry.event_of(sid)
+            queue.append((time, priority, n, event))
+        self._now = state["time"]
+        self.processed_events = state["processed_events"]
+        self._queue = queue  # sorted list is a valid heap
+        self._eid = count(len(queue))
+        self._event_pool = []
+
     @staticmethod
     def _stop_callback(event: Event) -> None:
         if event._ok:

@@ -42,6 +42,56 @@ class Process(Event):
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {id(self):#x}>"
 
+    @classmethod
+    def reenter(
+        cls,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str,
+    ) -> "Process":
+        """Rebuild a suspended process from a deterministic resume generator.
+
+        Snapshot restore cannot pickle live generators, so each process
+        owner records *where* its generator was suspended and rebuilds an
+        equivalent one that starts at that wait.  Unlike ``__init__`` this
+        does not schedule an :class:`Initialize` event (the original
+        initialization was already processed before the snapshot): the
+        generator is advanced to its first ``yield`` right here and the
+        process subscribes to that event, exactly reproducing the suspended
+        wiring (``target.callbacks == [..., process._resume]``).
+
+        The resume generator must therefore perform no event *scheduling*
+        before its first yield beyond what the original performed after its
+        last processed event — the first yielded event is normally one
+        rebuilt from the snapshot rather than a fresh one.
+        """
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        proc = cls.__new__(cls)
+        Event.__init__(proc, env)
+        proc._generator = generator
+        proc._target = None
+        proc.name = name
+        try:
+            first = next(generator)
+        except StopIteration:
+            raise SimulationError(
+                f"Resume generator for {name!r} terminated before its first "
+                "wait; a suspended process must have one"
+            ) from None
+        if not isinstance(first, Event) or first.env is not env:
+            raise SimulationError(
+                f"Resume generator for {name!r} yielded invalid item {first!r}"
+            )
+        if first.callbacks is None:
+            raise SimulationError(
+                f"Resume generator for {name!r} yielded an already-processed "
+                "event; the rebuilt wait must still be pending"
+            )
+        first.callbacks.append(proc._resume)
+        proc._target = first
+        return proc
+
     @property
     def is_alive(self) -> bool:
         """True while the generator has not terminated."""

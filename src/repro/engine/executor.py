@@ -109,6 +109,30 @@ class JobExecutor:
         self._outstanding: List[Activity] = []
         self._current_wait: Optional[Event] = None
         self._parallel_branches: List = []
+        #: (branch event, branch executor) per task of an in-flight parallel
+        #: phase, in task order.  Unlike ``_parallel_branches`` (live procs
+        #: only, for cancellation) this keeps finished branches too, so a
+        #: snapshot can record each branch slot as done or mid-wait.
+        self._branch_slots: List = []
+        # -- resume cursor ---------------------------------------------------
+        # Where the generator currently is, updated at every step so a
+        # snapshot can rebuild an equivalent generator by deterministic
+        # re-entry (see capture_state / resume_run).
+        self._phase_idx: int = 0
+        self._iteration: int = 0
+        #: ``phase.num_iterations(...)`` is evaluated once per phase with
+        #: the then-current allocation, so the evaluated count is state.
+        self._iterations_total: Optional[int] = None
+        self._task_idx: int = 0
+        #: What the generator is suspended on: "acts" | "delay" |
+        #: "evolving" | "parallel", or None while running.
+        self._wait_kind: Optional[str] = None
+        #: For "acts" waits: "task" (inside _execute_task) or "reconfig"
+        #: (inside _redistribute).
+        self._wait_ctx: str = "task"
+        #: Who triggered the in-flight reconfiguration: "sched"
+        #: (scheduling point) or "evolving" (blocking/non-blocking request).
+        self._reconfig_origin: Optional[str] = None
 
     # -- top level ---------------------------------------------------------
 
@@ -121,20 +145,64 @@ class JobExecutor:
         """
         job = self.job
         try:
-            for phase_idx, phase in enumerate(job.application.phases):
-                iterations = phase.num_iterations(job.expression_variables())
-                for iteration in range(iterations):
-                    yield from self._run_iteration(phase, iteration)
-                    if phase.scheduling_point:
-                        # Scheduling points are the checkpoint locations:
-                        # record progress for checkpoint/restart requeues.
-                        job.checkpoint_marker = (phase_idx, iteration + 1, iterations)
-                        yield from self._scheduling_point()
+            yield from self._drive(0, 0, None, 0, None)
             return "completed"
         except Interrupt as intr:
             self._cancel_outstanding()
             job.kill_reason = str(intr.cause) if intr.cause is not None else "killed"
             return "killed"
+
+    def _drive(
+        self,
+        start_phase: int,
+        start_iter: int,
+        start_total: Optional[int],
+        task_start: int,
+        resume_point: Optional[str],
+    ) -> Generator[Event, Any, None]:
+        """Run the application from a given position to completion.
+
+        A cold run enters at ``(0, 0, None, 0, None)``; a snapshot resume
+        enters at the captured cursor with ``resume_point`` naming what is
+        already done at that position: ``"mid-iteration"`` (tasks before
+        ``task_start`` are done), ``"post-iteration"`` (the whole iteration
+        body is done, its scheduling point is not), or
+        ``"post-scheduling-point"`` (both are done).  ``start_total``
+        carries the captured ``num_iterations`` evaluation for the start
+        phase — it must not be re-evaluated, the allocation may have
+        changed since the phase began.
+        """
+        job = self.job
+        phases = job.application.phases
+        for p_idx in range(start_phase, len(phases)):
+            phase = phases[p_idx]
+            self._phase_idx = p_idx
+            if p_idx == start_phase and start_total is not None:
+                iterations = start_total
+            else:
+                iterations = phase.num_iterations(job.expression_variables())
+            self._iterations_total = iterations
+            first_iter = start_iter if p_idx == start_phase else 0
+            for iteration in range(first_iter, iterations):
+                self._iteration = iteration
+                point = (
+                    resume_point
+                    if p_idx == start_phase and iteration == start_iter
+                    else None
+                )
+                if point == "post-scheduling-point":
+                    continue
+                if point == "mid-iteration":
+                    for t_idx in range(task_start, len(phase.tasks)):
+                        self._task_idx = t_idx
+                        yield from self._run_task(phase.tasks[t_idx], iteration)
+                elif point != "post-iteration":
+                    yield from self._run_iteration(phase, iteration)
+                if phase.scheduling_point:
+                    # Scheduling points are the checkpoint locations:
+                    # record progress for checkpoint/restart requeues.
+                    job.checkpoint_marker = (p_idx, iteration + 1, iterations)
+                    yield from self._scheduling_point()
 
     # -- phases and tasks -------------------------------------------------------
 
@@ -144,7 +212,8 @@ class JobExecutor:
         if phase.parallel:
             yield from self._run_parallel_tasks(phase, iteration)
             return
-        for task in phase.tasks:
+        for task_idx, task in enumerate(phase.tasks):
+            self._task_idx = task_idx
             yield from self._run_task(task, iteration)
 
     def _run_parallel_tasks(
@@ -157,21 +226,31 @@ class JobExecutor:
         of the main process can cancel every branch cleanly.
         """
         branches = []
-        for task in phase.tasks:
+        slots = []
+        for task_idx, task in enumerate(phase.tasks):
             branch_exec = JobExecutor(
                 self.env, self.platform, self.model, self.job, self.batch
             )
+            branch_exec._phase_idx = self._phase_idx
+            branch_exec._iteration = iteration
+            branch_exec._iterations_total = self._iterations_total
+            branch_exec._task_idx = task_idx
             proc = self.env.process(
                 self._branch(branch_exec, task, iteration),
                 name=f"{self.job.name}/{phase.name}/{task.name}",
             )
             branches.append(proc)
+            slots.append((proc, branch_exec))
         self._parallel_branches = branches
+        self._branch_slots = slots
         condition = self.env.all_of(branches)
         self._current_wait = condition
+        self._wait_kind = "parallel"
         yield condition
+        self._wait_kind = None
         self._current_wait = None
         self._parallel_branches = []
+        self._branch_slots = []
 
     @staticmethod
     def _branch(executor: "JobExecutor", task: Task, iteration: int):
@@ -284,7 +363,12 @@ class JobExecutor:
         if isinstance(task, DelayTask):
             duration = task.duration(variables)
             if duration > 0:
-                yield self.env.timeout(duration)
+                timer = self.env.timeout(duration)
+                self._current_wait = timer
+                self._wait_kind = "delay"
+                yield timer
+                self._wait_kind = None
+                self._current_wait = None
             return
 
         if isinstance(task, EvolvingRequest):
@@ -303,12 +387,16 @@ class JobExecutor:
                     wait = Event(self.env)
                     self.job.evolving_wait_event = wait
                     self._current_wait = wait
+                    self._wait_kind = "evolving"
                     yield wait
+                    self._wait_kind = None
                     self._current_wait = None
                     self.job.evolving_wait_event = None
                 # An evolving request is itself a scheduling point: apply
                 # whatever the scheduler granted right away.
+                self._reconfig_origin = "evolving"
                 yield from self._apply_pending_reconfiguration()
+                self._reconfig_origin = None
                 self.job.evolving_request = None
                 self.job.evolving_denied = False
             return
@@ -376,7 +464,9 @@ class JobExecutor:
     def _scheduling_point(self) -> Generator[Event, Any, None]:
         self.job.scheduling_points_seen += 1
         self.batch.on_scheduling_point(self.job)
+        self._reconfig_origin = "sched"
         yield from self._apply_pending_reconfiguration()
+        self._reconfig_origin = None
 
     def _apply_pending_reconfiguration(self) -> Generator[Event, Any, None]:
         order = self.job.pending_reconfiguration
@@ -393,7 +483,9 @@ class JobExecutor:
         # redistribution, or a second order issued mid-flight would be
         # computed from a stale allocation.  It also lets a kill during
         # redistribution release the reserved target nodes.
+        self._wait_ctx = "reconfig"
         yield from self._redistribute(old_nodes, new_nodes)
+        self._wait_ctx = "task"
 
         self.batch.commit_reconfiguration(self.job, new_nodes)
         self.job.pending_reconfiguration = None
@@ -482,9 +574,11 @@ class JobExecutor:
         self._outstanding = activities
         condition = self.env.all_of([act.done for act in activities])
         self._current_wait = condition
+        self._wait_kind = "acts"
         # No try/finally: on an interrupt the state must survive so that
         # run()'s handler can cancel the in-flight activities.
         yield condition
+        self._wait_kind = None
         self._current_wait = None
         self._outstanding = []
 
@@ -502,4 +596,239 @@ class JobExecutor:
             self._current_wait.defuse()
         self._outstanding = []
         self._parallel_branches = []
+        self._branch_slots = []
         self._current_wait = None
+        self._wait_kind = None
+
+    # -- snapshot / resume --------------------------------------------------
+    #
+    # A suspended executor generator cannot be serialized, but its position
+    # is fully determined by the resume cursor maintained above plus the
+    # wait it is suspended on.  capture_state() records both; resume_run()
+    # rebuilds an equivalent generator that re-creates the wait, yields it,
+    # runs the current task's tail, and hands the rest of the application
+    # to _drive() — producing the exact event sequence the original
+    # generator would have produced.
+
+    def capture_state(self, registry, prefix: str) -> dict:
+        """Record the resume cursor and the current wait as JSON-safe state.
+
+        ``registry`` is the snapshot's sid registry: running activities were
+        already claimed by the fair-share model's capture (``act.<seq>``);
+        a pending delay timeout is claimed here under ``<prefix>.delay``.
+        Must only be called at a quiet boundary while the executor's
+        process is suspended on a wait.
+        """
+        if self._wait_kind is None:
+            raise RuntimeError(
+                f"executor for job {self.job.jid} is not suspended on a wait"
+            )
+        state = {
+            "phase_idx": self._phase_idx,
+            "iteration": self._iteration,
+            "iterations_total": self._iterations_total,
+            "task_idx": self._task_idx,
+            "wait_kind": self._wait_kind,
+            "wait_ctx": self._wait_ctx,
+            "reconfig_origin": self._reconfig_origin,
+        }
+        if self._wait_kind == "acts":
+            outstanding = []
+            for act in self._outstanding:
+                if act._model is not None:
+                    outstanding.append({"ref": registry.sid_of(act)})
+                else:
+                    # Already finished: its done event is processed, but the
+                    # AllOf still references it.  Record enough to rebuild a
+                    # behaviorally-equivalent placeholder.
+                    outstanding.append(
+                        {
+                            "done": {
+                                "work": act.work,
+                                "payload": (
+                                    list(act.payload)
+                                    if isinstance(act.payload, tuple)
+                                    else act.payload
+                                ),
+                                "seq": act._seq,
+                                "started_at": act.started_at,
+                                "finished_at": act.finished_at,
+                            }
+                        }
+                    )
+            state["outstanding"] = outstanding
+        elif self._wait_kind == "delay":
+            sid = f"{prefix}.delay"
+            registry.claim(sid, self._current_wait)
+            state["delay"] = {
+                "sid": sid,
+                "delay": self._current_wait.delay,
+            }
+        elif self._wait_kind == "parallel":
+            branches = []
+            for k, (event, branch_exec) in enumerate(self._branch_slots):
+                alive = event.callbacks is not None
+                branches.append(
+                    {
+                        "alive": alive,
+                        "state": (
+                            branch_exec.capture_state(registry, f"{prefix}.b{k}")
+                            if alive
+                            else None
+                        ),
+                    }
+                )
+            state["branches"] = branches
+        # "evolving" needs nothing beyond the cursor: the wait event is
+        # pending (not queued) and is recreated fresh on resume.
+        return state
+
+    def resume_run(self, cursor: dict, resolved: dict) -> Generator[Event, Any, str]:
+        """Replacement for :meth:`run` when resuming from a snapshot.
+
+        ``resolved`` carries the live objects the restore layer rebuilt for
+        the captured wait (activities, a raw timeout, or branch events).
+        """
+        job = self.job
+        try:
+            yield from self._resume_wait(cursor, resolved)
+            yield from self._drive(
+                cursor["phase_idx"],
+                cursor["iteration"],
+                cursor["iterations_total"],
+                cursor["task_idx"] + 1,
+                self._resume_point(cursor),
+            )
+            return "completed"
+        except Interrupt as intr:
+            self._cancel_outstanding()
+            job.kill_reason = str(intr.cause) if intr.cause is not None else "killed"
+            return "killed"
+
+    def resume_branch(self, cursor: dict, resolved: dict) -> Generator[Event, Any, None]:
+        """Replacement for :meth:`_branch` when resuming a parallel branch."""
+        try:
+            yield from self._resume_wait(cursor, resolved)
+        except Interrupt:
+            self._cancel_outstanding()
+
+    @staticmethod
+    def _resume_point(cursor: dict) -> str:
+        """Where _drive() should pick up once the captured wait completes."""
+        if cursor["wait_kind"] == "parallel":
+            # The parallel wait IS the iteration body; its scheduling point
+            # has not run yet.
+            return "post-iteration"
+        if cursor["wait_ctx"] == "reconfig" and cursor["reconfig_origin"] == "sched":
+            # Suspended inside the scheduling point's redistribution: the
+            # iteration and the point's bookkeeping are both done.
+            return "post-scheduling-point"
+        return "mid-iteration"
+
+    def _resume_wait(self, cursor: dict, resolved: dict) -> Generator[Event, Any, None]:
+        """Rebuild the captured wait, complete it, and run the task tail."""
+        job = self.job
+        kind = cursor["wait_kind"]
+        self._phase_idx = cursor["phase_idx"]
+        self._iteration = cursor["iteration"]
+        self._iterations_total = cursor["iterations_total"]
+        self._task_idx = cursor["task_idx"]
+        self._wait_ctx = cursor["wait_ctx"]
+        self._reconfig_origin = cursor["reconfig_origin"]
+        phase = job.application.phases[self._phase_idx]
+        iteration = self._iteration
+
+        if kind == "acts":
+            activities = resolved["acts"]
+            self._outstanding = activities
+            condition = self.env.all_of([act.done for act in activities])
+            self._current_wait = condition
+            self._wait_kind = "acts"
+            yield condition
+            self._wait_kind = None
+            self._current_wait = None
+            self._outstanding = []
+            if cursor["wait_ctx"] == "reconfig":
+                yield from self._finish_reconfiguration(cursor)
+            else:
+                yield from self._task_tail(phase.tasks[self._task_idx], iteration)
+            return
+
+        if kind == "delay":
+            timer = resolved["timer"]
+            self._current_wait = timer
+            self._wait_kind = "delay"
+            yield timer
+            self._wait_kind = None
+            self._current_wait = None
+            return  # DelayTask has no tail
+
+        if kind == "evolving":
+            wait = Event(self.env)
+            job.evolving_wait_event = wait
+            self._current_wait = wait
+            self._wait_kind = "evolving"
+            yield wait
+            self._wait_kind = None
+            self._current_wait = None
+            job.evolving_wait_event = None
+            self._reconfig_origin = "evolving"
+            yield from self._apply_pending_reconfiguration()
+            self._reconfig_origin = None
+            job.evolving_request = None
+            job.evolving_denied = False
+            return
+
+        if kind == "parallel":
+            self._parallel_branches = resolved["branch_procs"]
+            self._branch_slots = resolved["branch_slots"]
+            condition = self.env.all_of(resolved["branch_events"])
+            self._current_wait = condition
+            self._wait_kind = "parallel"
+            yield condition
+            self._wait_kind = None
+            self._current_wait = None
+            self._parallel_branches = []
+            self._branch_slots = []
+            return
+
+        raise RuntimeError(f"unknown wait kind {kind!r} in snapshot cursor")
+
+    def _finish_reconfiguration(self, cursor: dict) -> Generator[Event, Any, None]:
+        """Tail of _apply_pending_reconfiguration after the redistribution
+        wait: commit the still-pending order, then (for evolving-origin
+        reconfigurations) clear the request like _execute_task does."""
+        job = self.job
+        self._wait_ctx = "task"
+        order = job.pending_reconfiguration
+        new_nodes = list(order.target)
+        self.batch.commit_reconfiguration(job, new_nodes)
+        job.pending_reconfiguration = None
+        job.reconfigurations_applied += 1
+        if cursor["reconfig_origin"] == "evolving":
+            self._reconfig_origin = None
+            job.evolving_request = None
+            job.evolving_denied = False
+        return
+        yield  # pragma: no cover - makes this a generator for uniformity
+
+    def _task_tail(self, task: Task, iteration: int) -> Generator[Event, Any, None]:
+        """Post-wait remainder of _execute_task for the captured task.
+
+        Only burst-buffer writes have one: the capacity charge after the
+        transfer completes.  The byte count is recomputed from the same
+        variables the cold run used — the allocation cannot change
+        mid-task, so the evaluation is identical.
+        """
+        if isinstance(task, BbWriteTask) and getattr(task, "charge", False):
+            nodes = self.job.assigned_nodes
+            variables = self.job.expression_variables(
+                iteration=iteration,
+                gpus_per_node=nodes[0].gpus if nodes else 0,
+            )
+            nbytes = task.bytes_per_node(variables, len(nodes))
+            if nbytes > 0:
+                for node in nodes:
+                    node.bb.charge(nbytes)
+        return
+        yield  # pragma: no cover - makes this a generator for uniformity

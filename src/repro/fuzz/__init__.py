@@ -35,6 +35,7 @@ from repro.fuzz.oracles import (
 )
 from repro.fuzz.runner import (
     FuzzFailure,
+    bisect_candidates,
     FuzzReport,
     fuzz_run,
     replay_scenario,
@@ -49,6 +50,7 @@ __all__ = [
     "FuzzReport",
     "ORACLES",
     "OracleFailure",
+    "bisect_candidates",
     "check_scenario",
     "fuzz_run",
     "generate_scenario",

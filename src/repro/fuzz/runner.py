@@ -127,10 +127,91 @@ def fuzz_run(
     return report
 
 
+def bisect_candidates(
+    scenario: Dict[str, Any], *, snapshot_every: int = 400
+) -> tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Checkpoint-bisect a crashing scenario to its shortest failing suffix.
+
+    Re-runs the scenario with periodic snapshots up to the crash, then
+    binary-searches for the *latest* snapshot whose resumed run still
+    crashes with the same exception type — the failure lives entirely in
+    the suffix after it.  Every job already finished at that boundary is
+    provably uninvolved, so the derived head-start candidate drops them
+    all in one step (the greedy shrinker would need one full eval per
+    job to discover the same thing).
+
+    Only meaningful for the crash oracle: snapshots cannot coexist with
+    the flight recorder the other oracles rely on.  Returns
+    ``(candidates, info)`` — candidates may be empty when the scenario
+    does not crash, crashes before the first checkpoint, or had no
+    finished jobs at the bisected boundary.
+    """
+    from repro.batch import Simulation
+
+    info: Dict[str, Any] = {"snapshots": 0}
+    snapshots: List[Any] = []
+    try:
+        sim = Simulation.from_spec(json.loads(json.dumps(scenario)))
+        sim.run(snapshot_every=snapshot_every, snapshot_callback=snapshots.append)
+    except Exception as exc:  # noqa: BLE001 - the crash is the point
+        info["signature"] = type(exc).__name__
+    else:
+        info["signature"] = None
+        return [], info  # no crash: nothing to bisect
+    info["snapshots"] = len(snapshots)
+    if not snapshots:
+        return [], info
+
+    def crashes(snap: Any) -> bool:
+        try:
+            Simulation.resume(snap).run()
+        except Exception as exc:  # noqa: BLE001
+            return type(exc).__name__ == info["signature"]
+        return False
+
+    lo, hi, best = 0, len(snapshots) - 1, -1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if crashes(snapshots[mid]):
+            best, lo = mid, mid + 1
+        else:
+            hi = mid - 1
+    if best < 0:
+        return [], info
+    snap = snapshots[best]
+    batch_state = snap.state["batch"]
+    alive = (
+        set(batch_state["queue"])
+        | set(batch_state["running"])
+        | {rec["jid"] for rec in batch_state["submitters"]}
+    )
+    info.update(
+        bisected_to=best, suffix_time=snap.time, suffix_events=snap.processed_events
+    )
+    jobs = scenario["workload"]["inline"]["jobs"]
+    keep = [
+        job
+        for index, job in enumerate(jobs)
+        if job.get("id", index + 1) in alive
+    ]
+    info["dropped_jobs"] = len(jobs) - len(keep)
+    if not keep or len(keep) == len(jobs):
+        return [], info
+    candidate = json.loads(json.dumps(scenario))
+    candidate["workload"]["inline"]["jobs"] = json.loads(json.dumps(keep))
+    return [candidate], info
+
+
 def shrink_failure(
-    failure: FuzzFailure, *, max_evals: int = 400
+    failure: FuzzFailure, *, max_evals: int = 400, bisect: bool = False
 ) -> tuple[Dict[str, Any], int]:
-    """Shrink a failing case, preserving its *first* failing oracle."""
+    """Shrink a failing case, preserving its *first* failing oracle.
+
+    With ``bisect`` (crash failures only), checkpoint bisection first
+    cuts the trace to its shortest failing suffix and bulk-drops every
+    job that had already finished there, giving the greedy walk a much
+    smaller starting point.
+    """
     target = failure.failures[0].oracle
     oracle_names = list(ORACLES) if target == "crash" else [target]
 
@@ -139,7 +220,15 @@ def shrink_failure(
             f.oracle == target for f in check_scenario(candidate, oracle_names)
         )
 
-    return shrink_scenario(failure.scenario, still_fails, max_evals=max_evals)
+    initial: List[Dict[str, Any]] = []
+    if bisect and target == "crash":
+        initial, _info = bisect_candidates(failure.scenario)
+    return shrink_scenario(
+        failure.scenario,
+        still_fails,
+        max_evals=max_evals,
+        initial_candidates=initial,
+    )
 
 
 def replay_scenario(

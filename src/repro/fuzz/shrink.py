@@ -17,7 +17,7 @@ simply rejected.
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
 
 from repro.fuzz.generate import validate_scenario
 
@@ -188,6 +188,7 @@ def shrink_scenario(
     predicate: Callable[[Dict[str, Any]], bool],
     *,
     max_evals: int = 400,
+    initial_candidates: Iterable[Dict[str, Any]] = (),
 ) -> Tuple[Dict[str, Any], int]:
     """Reduce ``scenario`` while ``predicate`` holds; return (minimal, evals).
 
@@ -196,9 +197,25 @@ def shrink_scenario(
     invocations (each one typically re-runs the simulator several times);
     hitting the bound returns the best scenario found so far, which is
     still a valid reproducer — just maybe not minimal.
+
+    ``initial_candidates`` are caller-supplied head starts tried before
+    the structural walk, biggest first — e.g. the bulk job-drop derived
+    from checkpoint bisection (``elastisim fuzz shrink --bisect``).  The
+    first one that validates and still fails becomes the starting point.
     """
     current = _deepcopy(scenario)
     evals = 0
+    for candidate in initial_candidates:
+        if evals >= max_evals:
+            break
+        try:
+            validate_scenario(candidate)
+        except Exception:  # noqa: BLE001 - left the valid-input space
+            continue
+        evals += 1
+        if predicate(candidate):
+            current = _deepcopy(candidate)
+            break  # take the biggest head start that still fails
     improved = True
     while improved and evals < max_evals:
         improved = False

@@ -175,6 +175,10 @@ class Job:
         self.attempt = 1
         #: The jid of the original submission when this job is a requeue.
         self.origin_jid: Optional[int] = None
+        #: The jid this clone was made from (the *immediate* source, unlike
+        #: :attr:`origin_jid` which is the chain root).  Snapshots use it to
+        #: rebuild requeue clones by replaying the clone call.
+        self.source_jid: Optional[int] = None
         #: Progress watermark set by the engine at every scheduling point:
         #: (phase index, iterations completed in it, iterations total).
         #: Scheduling points are where application state is consistent —
@@ -212,7 +216,78 @@ class Job:
         )
         clone.attempt = self.attempt + 1
         clone.origin_jid = self.origin_jid if self.origin_jid is not None else self.jid
+        clone.source_jid = self.jid
         return clone
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot the runtime fields (description fields come from the
+        scenario spec, or — for requeue clones — from lineage replay).
+
+        ``evolving_wait_event`` is deliberately absent: the executor owns
+        that wait and rebuilds the event on resume.  The expression-variable
+        cache restores invalid and is lazily rebuilt on first use.
+        """
+        pending = self.pending_reconfiguration
+        return {
+            "state": self.state.value,
+            "assigned_nodes": [node.index for node in self._assigned_nodes],
+            "allocation_generation": self._allocation_generation,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "kill_reason": self.kill_reason,
+            "pending_reconfiguration": (
+                {
+                    "target": [node.index for node in pending.target],
+                    "issued_at": pending.issued_at,
+                }
+                if pending is not None
+                else None
+            ),
+            "evolving_request": self.evolving_request,
+            "evolving_denied": self.evolving_denied,
+            "scheduling_points_seen": self.scheduling_points_seen,
+            "reconfigurations_applied": self.reconfigurations_applied,
+            "redistribution_bytes_moved": self.redistribution_bytes_moved,
+            "attempt": self.attempt,
+            "origin_jid": self.origin_jid,
+            "checkpoint_marker": (
+                list(self.checkpoint_marker)
+                if self.checkpoint_marker is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict, nodes: Sequence) -> None:
+        """Apply captured runtime state; ``nodes`` is the platform's node
+        list for resolving allocation indices."""
+        self.state = JobState(state["state"])
+        self._assigned_nodes = [nodes[i] for i in state["assigned_nodes"]]
+        self._allocation_generation = state["allocation_generation"]
+        self._variables_cache = None
+        self._variables_generation = -1
+        self.start_time = state["start_time"]
+        self.end_time = state["end_time"]
+        self.kill_reason = state["kill_reason"]
+        pending = state["pending_reconfiguration"]
+        if pending is not None:
+            order = ReconfigurationOrder(
+                [nodes[i] for i in pending["target"]], pending["issued_at"]
+            )
+            self.pending_reconfiguration = order
+        else:
+            self.pending_reconfiguration = None
+        self.evolving_request = state["evolving_request"]
+        self.evolving_wait_event = None
+        self.evolving_denied = state["evolving_denied"]
+        self.scheduling_points_seen = state["scheduling_points_seen"]
+        self.reconfigurations_applied = state["reconfigurations_applied"]
+        self.redistribution_bytes_moved = state["redistribution_bytes_moved"]
+        self.attempt = state["attempt"]
+        self.origin_jid = state["origin_jid"]
+        marker = state["checkpoint_marker"]
+        self.checkpoint_marker = tuple(marker) if marker is not None else None
 
     # -- type predicates -----------------------------------------------------
 

@@ -198,6 +198,61 @@ class Monitor:
         """
         self.expressions = stats
 
+    # -- snapshot/restore ------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot the recorded series and counters mid-run.
+
+        Jobs are stored as jid references in registration (insertion)
+        order; solver/expression stats are absent because they are only
+        attached at the very end of a run — capturing mid-run asserts so.
+        """
+        if self._finalized_at is not None:
+            raise RuntimeError("Cannot snapshot a finalized monitor")
+        if self.solver is not None or self.expressions is not None:
+            raise RuntimeError(
+                "Cannot snapshot: end-of-run stats already attached"
+            )
+        return {
+            "allocation_series": [list(p) for p in self.allocation_series],
+            "queue_series": [list(p) for p in self.queue_series],
+            "events": [list(e) for e in self.events],
+            "node_events": [list(e) for e in self.node_events],
+            "segments": [
+                [
+                    jid,
+                    [
+                        [seg.start, seg.end, list(seg.node_indices)]
+                        for seg in segments
+                    ],
+                ]
+                for jid, segments in self._segments.items()
+            ],
+            "allocated": self._allocated,
+            "queued": self._queued,
+            "jobs": list(self._jobs),
+        }
+
+    def restore_state(self, state: dict, jobs_by_jid: Dict[int, Job]) -> None:
+        """Rebuild the monitor's series from a snapshot."""
+        self.allocation_series = [tuple(p) for p in state["allocation_series"]]
+        self.queue_series = [tuple(p) for p in state["queue_series"]]
+        self.events = [tuple(e) for e in state["events"]]
+        self.node_events = [tuple(e) for e in state["node_events"]]
+        self._segments = {
+            jid: [
+                AllocationSegment(
+                    start=start, end=end, node_indices=tuple(indices)
+                )
+                for start, end, indices in segments
+            ]
+            for jid, segments in state["segments"]
+        }
+        self._allocated = state["allocated"]
+        self._queued = state["queued"]
+        self._jobs = {jid: jobs_by_jid[jid] for jid in state["jobs"]}
+        self._finalized_at = None
+
     # -- internals ------------------------------------------------------------
 
     def _push_allocation(self) -> None:

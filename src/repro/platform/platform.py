@@ -181,6 +181,75 @@ class Platform:
         if self.pfs is None:
             raise PlatformError(f"Platform {self.name!r} has no PFS configured")
 
+    # -- snapshot/restore ---------------------------------------------------
+
+    def shared_resources(self) -> List:
+        """Every shared resource of the machine, in a deterministic walk.
+
+        Snapshot capture references resources positionally through this
+        list (node-owned resources in index order, then the PFS service
+        resources, then the topology's own list), so capture and restore
+        agree on indices for any platform built from the same description.
+        Resources owned by both a node and the topology (a star topology's
+        NICs) are deduplicated by identity, keeping indices unique.
+        """
+        resources: List = []
+        seen: Set[int] = set()
+
+        def add(res) -> None:
+            if res is not None and id(res) not in seen:
+                seen.add(id(res))
+                resources.append(res)
+
+        for node in self.nodes:
+            add(node.cpu)
+            add(node.gpu)
+            add(node.up)
+            add(node.down)
+            if node.bb is not None:
+                add(node.bb.read)
+                add(node.bb.write)
+        if self.pfs is not None:
+            add(self.pfs.read)
+            add(self.pfs.write)
+        for res in self.topology.shared_resources():
+            add(res)
+        return resources
+
+    def capture_state(self) -> dict:
+        """Snapshot the mutable machine state (node/occupancy flags only)."""
+        nodes = []
+        for node in self.nodes:
+            nodes.append(
+                {
+                    "state": node.state.value,
+                    "assigned_jid": (
+                        node.assigned_job.jid
+                        if node.assigned_job is not None
+                        else None
+                    ),
+                    "failed": node.failed,
+                    "bb_used": node.bb.used if node.bb is not None else None,
+                }
+            )
+        return {
+            "nodes": nodes,
+            "pfs_used": self.pfs.used if self.pfs is not None else None,
+        }
+
+    def restore_state(self, state: dict, jobs_by_jid: dict) -> None:
+        """Apply a captured machine state to this (freshly built) platform."""
+        for node, rec in zip(self.nodes, state["nodes"]):
+            node.state = NodeState(rec["state"])
+            jid = rec["assigned_jid"]
+            node.assigned_job = jobs_by_jid[jid] if jid is not None else None
+            node.failed = rec["failed"]
+            if node.bb is not None and rec["bb_used"] is not None:
+                node.bb.used = rec["bb_used"]
+            self._node_changed(node)
+        if self.pfs is not None and state["pfs_used"] is not None:
+            self.pfs.used = state["pfs_used"]
+
     def __repr__(self) -> str:
         return (
             f"<Platform {self.name!r} nodes={self.num_nodes} "

@@ -80,6 +80,17 @@ class Topology:
         """Give nodes their ``up``/``down`` NIC resources (topology-owned)."""
         raise NotImplementedError
 
+    def shared_resources(self) -> List[SharedResource]:
+        """Every topology-owned shared resource, in a deterministic order.
+
+        Snapshot capture refers to resources by their position in the
+        platform's resource walk (node-owned resources first, then this
+        list) rather than by name: names are user-controlled in graph
+        topologies and may collide, positions cannot.  The order must be a
+        pure function of the topology's construction inputs.
+        """
+        raise NotImplementedError
+
 
 class StarTopology(Topology):
     """All nodes on one non-blocking switch; PFS on dedicated uplinks.
@@ -126,6 +137,15 @@ class StarTopology(Topology):
         for node, up, down in zip(nodes, self._up, self._down):
             node.up = up
             node.down = down
+
+    def shared_resources(self) -> List[SharedResource]:
+        resources: List[SharedResource] = []
+        for up, down in zip(self._up, self._down):
+            resources.append(up)
+            resources.append(down)
+        resources.append(self._pfs_in)
+        resources.append(self._pfs_out)
+        return resources
 
     def _check_index(self, idx: int) -> None:
         if not 0 <= idx < self.num_nodes:
@@ -178,6 +198,15 @@ class GraphTopology(Topology):
         for node in nodes:
             node.up = None
             node.down = None
+
+    def shared_resources(self) -> List[SharedResource]:
+        # networkx preserves edge insertion order, and the builders add
+        # edges in a deterministic order derived from their parameters.
+        resources = [
+            data["link"].resource for _, _, data in self.graph.edges(data=True)
+        ]
+        resources.extend(self._nic)
+        return resources
 
     def _vertex(self, endpoint: Endpoint) -> Hashable:
         if endpoint == PFS:

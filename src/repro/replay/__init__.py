@@ -1,0 +1,42 @@
+"""Snapshot/restore of full simulation state and incremental what-if replay.
+
+Public surface:
+
+- :class:`Snapshot`, :class:`SidRegistry`, :data:`SCHEMA_VERSION` — the
+  JSON-safe snapshot document and the capture/restore id registry.
+- :func:`capture_snapshot` — snapshot a live simulation at a quiet
+  boundary (``Simulation.run(snapshot_every=N)`` drives this).
+- :func:`restore_simulation` — rebuild a live simulation that continues
+  bit-for-bit (``Simulation.resume`` delegates here).
+- :func:`whatif`, :class:`WhatIfSession`, :func:`run_with_snapshots` —
+  incremental replay: diff an edited scenario against the base, restore
+  the latest checkpoint before the first divergence, replay the suffix.
+
+See docs/REPLAY.md for the snapshot format and the determinism contract.
+"""
+
+from repro.replay.capture import capture_snapshot
+from repro.replay.restore import RestoreContext, restore_simulation
+from repro.replay.snapshot import SCHEMA_VERSION, ReplayError, SidRegistry, Snapshot
+from repro.replay.whatif import (
+    WhatIfResult,
+    WhatIfSession,
+    diff_workloads,
+    run_with_snapshots,
+    whatif,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ReplayError",
+    "RestoreContext",
+    "SidRegistry",
+    "Snapshot",
+    "WhatIfResult",
+    "WhatIfSession",
+    "capture_snapshot",
+    "diff_workloads",
+    "restore_simulation",
+    "run_with_snapshots",
+    "whatif",
+]

@@ -1,0 +1,67 @@
+"""Capture a live simulation into a :class:`~repro.replay.Snapshot`.
+
+Capture is only defined at a *quiet boundary*: the clock sits strictly
+before the next queued event, every process is suspended on a future
+event, and no kernel-internal work (kill interrupts, scheduler
+invocations, fair-share resolves) is in flight.  ``Simulation.run`` with
+``snapshot_every=N`` arranges exactly that via the environment's hooked
+run loop; calling :func:`capture_snapshot` anywhere else raises.
+
+Capture order matters: the fair-share model claims running activities and
+queued wake events first, then the batch system claims its timers and the
+executors' waits (which reference activity sids), and only then does the
+environment walk its queue — at which point every live entry must have an
+owner.
+"""
+
+from __future__ import annotations
+
+from repro.replay.snapshot import SCHEMA_VERSION, ReplayError, SidRegistry, Snapshot
+
+
+def capture_snapshot(sim) -> Snapshot:
+    """Snapshot a live :class:`~repro.batch.Simulation` mid-run."""
+    if sim.spec is None:
+        raise ReplayError(
+            "snapshot requires a Simulation built via from_spec (the spec "
+            "is embedded so a resume can rebuild the object graph)"
+        )
+    batch = sim.batch
+    env = sim.env
+    if sim.tracer is not None or batch.tracer is not None or env.tracer is not None:
+        raise ReplayError("cannot snapshot a traced run")
+
+    registry = SidRegistry()
+    resources = batch.platform.shared_resources()
+    res_index = {res: idx for idx, res in enumerate(resources)}
+
+    state = {}
+    # Model first: claims activity and wake sids the executors reference.
+    state["model"] = batch.model.capture_state(registry, res_index)
+    # Batch next: claims its timers and walks every executor's wait.
+    state["batch"] = batch.capture_state(registry)
+    # Environment last: every live queue entry must be claimed by now.
+    state["env"] = env.capture_state(registry)
+
+    jobs = []
+    for job in batch.jobs:
+        rec = {"jid": job.jid, "state": job.capture_state()}
+        if job.source_jid is not None:
+            # Requeue clone: record the lineage so restore can replay the
+            # clone call (the trimmed application derives from the source's
+            # checkpoint marker, which the source's state carries).
+            rec["source_jid"] = job.source_jid
+            rec["submit_time"] = job.submit_time
+        jobs.append(rec)
+    state["jobs"] = jobs
+    state["platform"] = batch.platform.capture_state()
+    state["monitor"] = batch.monitor.capture_state()
+    state["scheduler"] = batch.algorithm.capture_state()
+
+    return Snapshot(
+        schema_version=SCHEMA_VERSION,
+        time=env.now,
+        processed_events=env.processed_events,
+        spec=sim.spec,
+        state=state,
+    )

@@ -158,6 +158,12 @@ class UserFairShareScheduler(EasyBackfillingScheduler):
             self.usage[job.user] = self.usage.get(job.user, 0.0) + consumed
         super().schedule(ctx, invocation)
 
+    def capture_state(self) -> dict:
+        return {"usage": dict(self.usage)}
+
+    def restore_state(self, state: "dict | None") -> None:
+        self.usage = dict(state["usage"]) if state is not None else {}
+
 
 class PreemptivePriorityScheduler(EasyBackfillingScheduler):
     """Priority queue ordering with optional preemption.
@@ -850,6 +856,16 @@ class RandomDecisionScheduler(Algorithm):
                 f"random scheduler parameter must be an integer seed, got {param!r}"
             ) from None
         return cls(seed=seed)
+
+    def capture_state(self) -> dict:
+        version, internal, gauss_next = self.rng.getstate()
+        return {"rng": [version, list(internal), gauss_next]}
+
+    def restore_state(self, state: "dict | None") -> None:
+        if state is None:
+            return
+        version, internal, gauss_next = state["rng"]
+        self.rng.setstate((version, tuple(internal), gauss_next))
 
     def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
         if (

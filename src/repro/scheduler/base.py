@@ -36,5 +36,19 @@ class Algorithm:
     def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
         """Inspect the system and issue decisions.  Default: do nothing."""
 
+    def capture_state(self) -> "dict | None":
+        """Snapshot internal cross-invocation state as a JSON-safe dict.
+
+        Stateless (or config-only) algorithms return ``None`` — the
+        default.  Algorithms carrying mutable state across invocations
+        (RNG streams, usage accumulators, reservations) must override both
+        this and :meth:`restore_state`, or snapshot-resumed runs will
+        silently diverge from cold runs.
+        """
+        return None
+
+    def restore_state(self, state: "dict | None") -> None:
+        """Apply a :meth:`capture_state` snapshot.  Default: no-op."""
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -33,7 +33,7 @@ from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.des.environment import Environment
-from repro.des.events import Event, URGENT
+from repro.des.events import Event, PooledEvent, URGENT
 
 try:  # numpy backs the vectorized solver; scalar path needs nothing
     import numpy as _np
@@ -729,6 +729,12 @@ class FairShareModel:
         self._comp_ids = count()
         self._wake_version: int = 0
         self._resolve_scheduled: bool = False
+        #: Queued completion wake-ups and the ``_wake_version`` each was
+        #: armed with.  ``_arm_wake`` deliberately never cancels previous
+        #: wakes (stale ones no-op via the version check), so several can
+        #: sit in the event queue at once; snapshot capture must be able to
+        #: enumerate and claim every one of them.  Insertion-ordered.
+        self._pending_wakes: Dict[Event, int] = {}
 
         # -- diagnostics / perf counters (see monitoring.SolverStats) -----
         #: Number of component rate re-computations performed.
@@ -1485,8 +1491,20 @@ class FairShareModel:
             return
         version = self._wake_version
         wake = self.env.pooled_event()
-        wake.callbacks.append(lambda _e: self._on_wake(version))
+        self._pending_wakes[wake] = version
+        wake.callbacks.append(lambda _e: self._wake_fired(wake, version))
         self.env.schedule_at(wake, heap[0][0], priority=URGENT)
+
+    def _wake_fired(self, wake: Event, version: int) -> None:
+        """Deregister a fired wake-up, then handle it.
+
+        The pop must happen even for stale wakes: once processed, the
+        pooled event can be recycled, so leaving it in ``_pending_wakes``
+        would let a later snapshot claim an event that now serves an
+        unrelated purpose.
+        """
+        self._pending_wakes.pop(wake, None)
+        self._on_wake(version)
 
     def _on_wake(self, version: int) -> None:
         if version != self._wake_version:
@@ -1602,3 +1620,276 @@ class FairShareModel:
                 act.finished_at = now
                 act.done.succeed(act)
         self._flush()
+
+    # -- snapshot/restore ---------------------------------------------------
+
+    def capture_state(self, registry: Any, res_index: Dict[SharedResource, int]) -> dict:
+        """Snapshot the model at a quiet boundary (see docs/REPLAY.md).
+
+        ``registry`` receives a claim for every model-owned object another
+        module (or the environment's queue walk) may reference: running
+        activities under ``act.<seq>`` and queued completion wake-ups under
+        ``model.wake.<k>``.  ``res_index`` maps every shared resource to its
+        positional index in the platform's deterministic resource walk
+        (:meth:`repro.platform.topology` — names are user-controlled and may
+        collide, positions cannot).
+
+        Counter capture consumes one tick (``next(counter)``): the consumed
+        value is the snapshot's, and the live run's future ids shift up by
+        one uniformly — order-preserving, hence unobservable, since entry
+        ids only break heap ties and component ids only break merge ties
+        among coexisting objects.
+        """
+        if self._dirty or self._dirty_slots:
+            raise RuntimeError("Cannot snapshot: model has unflushed dirty state")
+        if self._resolve_scheduled:
+            raise RuntimeError("Cannot snapshot: a resolve event is in flight")
+        if self.tracer is not None:
+            raise RuntimeError("Cannot snapshot: a tracer is attached to the model")
+
+        acts = sorted(
+            list(self._comp_of) + list(self._slot_of), key=lambda a: a._seq
+        )
+        act_records = []
+        for act in acts:
+            sid = f"act.{act._seq}"
+            registry.claim(sid, act)
+            usages = []
+            for res, factor in act.usages.items():
+                idx = res_index.get(res)
+                if idx is None:
+                    raise RuntimeError(
+                        f"Activity uses unindexed resource {res!r}; the "
+                        "platform resource walk must cover every resource"
+                    )
+                usages.append([idx, factor])
+            act_records.append(
+                {
+                    "sid": sid,
+                    "seq": act._seq,
+                    "work": act.work,
+                    "remaining": act.remaining,
+                    "usages": usages,
+                    "weight": act.weight,
+                    "bound": act.bound,
+                    "payload": list(act.payload) if act.payload is not None else None,
+                    "rate": act.rate,
+                    "started_at": act.started_at,
+                }
+            )
+
+        components = [
+            {
+                "cid": comp.id,
+                "last_update": comp.last_update,
+                "version": comp.version,
+                "acts": [f"act.{a._seq}" for a in comp.acts],
+            }
+            for comp in self._components
+        ]
+        res_users = [
+            [res_index[res], [f"act.{a._seq}" for a in users]]
+            for res, users in self._res_users.items()
+        ]
+
+        table = self._array
+        slots = None
+        if table is not None:
+            slots = {
+                "act": [
+                    f"act.{a._seq}" if a is not None else None for a in table.act
+                ],
+                "res": [
+                    res_index[r] if r is not None else None for r in table.res
+                ],
+                "rate0": list(table.rate0),
+                "thresh": list(table.thresh),
+                "remaining": list(table.remaining),
+                "last": list(table.last),
+                "version": list(table.version),
+                "cid": list(table.cid),
+                "free": list(table.free),
+                "live": table.live,
+            }
+
+        # Live horizon entries only: stale ones (version mismatch, dead or
+        # freed referent) would be lazily dropped by _arm_wake/_on_wake
+        # without any observable effect, and may reference dead Component
+        # objects that cannot be rebuilt.
+        heap_records = []
+        for time, entry_id, ref, version in sorted(self._horizon_heap):
+            if type(ref) is int:
+                if table is None or version != table.version[ref] or table.act[ref] is None:
+                    continue
+                heap_records.append([time, entry_id, ["slot", ref], version])
+            else:
+                if version != ref.version or not ref.alive or not ref.acts:
+                    continue
+                heap_records.append([time, entry_id, ["comp", ref.id], version])
+
+        wakes = []
+        for k, (wake, version) in enumerate(self._pending_wakes.items()):
+            sid = f"model.wake.{k}"
+            registry.claim(sid, wake)
+            wakes.append([sid, version])
+
+        return {
+            "partition": self._partition,
+            "vectorize": self._vectorize,
+            "array": table is not None,
+            "activities": act_records,
+            "act_counter": next(Activity._counter),
+            "components": components,
+            "res_users": res_users,
+            "slots": slots,
+            "slot_of": [[f"act.{a._seq}", s] for a, s in self._slot_of.items()],
+            "res_slot": [[res_index[r], s] for r, s in self._res_slot.items()],
+            "horizon_heap": heap_records,
+            "entry_ids": next(self._entry_ids),
+            "comp_ids": next(self._comp_ids),
+            "wake_version": self._wake_version,
+            "wakes": wakes,
+            "counters": {
+                "resolves": self.resolves,
+                "solve_events": self.solve_events,
+                "solved_activities": self.solved_activities,
+                "max_solve_scope": self.max_solve_scope,
+                "solver_time": self.solver_time,
+                "merges": self.merges,
+                "splits": self.splits,
+                "peak_components": self.peak_components,
+                "fast_solves": self.fast_solves,
+                "scalar_solves": self.scalar_solves,
+                "vector_solves": self.vector_solves,
+                "slot_solves": self.slot_solves,
+            },
+        }
+
+    def restore_state(
+        self,
+        state: dict,
+        registry: Any,
+        resources: List[SharedResource],
+    ) -> None:
+        """Rebuild the model from :meth:`capture_state` output.
+
+        The model must be freshly constructed with the captured engine
+        flags (``partition``/``vectorize``/``array_engine``); state is
+        rebuilt by direct assignment, never by re-admission through
+        :meth:`execute` (which would re-solve, re-count and re-schedule).
+        Queued wake events are recreated here and claimed in ``registry``
+        so the environment's queue restore can re-link them; the event
+        pool starts empty — a captured pooled event is never handed back
+        out by a restored run.
+        """
+        if (self._array is not None) != bool(state["array"]):
+            raise RuntimeError(
+                "Engine-mode mismatch: snapshot was captured with "
+                f"array_engine={state['array']}"
+            )
+        env = self.env
+
+        acts_by_sid: Dict[str, Activity] = {}
+        for rec in state["activities"]:
+            act = Activity.__new__(Activity)
+            act.work = rec["work"]
+            act.remaining = rec["remaining"]
+            act.usages = {resources[i]: factor for i, factor in rec["usages"]}
+            act.weight = rec["weight"]
+            act.bound = rec["bound"]
+            payload = rec["payload"]
+            act.payload = tuple(payload) if payload is not None else None
+            act.rate = rec["rate"]
+            act.done = Event(env)
+            act.started_at = rec["started_at"]
+            act.finished_at = None
+            act._model = self
+            act._seq = rec["seq"]
+            acts_by_sid[rec["sid"]] = act
+            registry.claim(rec["sid"], act)
+
+        comp_by_cid: Dict[int, Component] = {}
+        for rec in state["components"]:
+            comp = Component(rec["cid"], rec["last_update"])
+            comp.version = rec["version"]
+            for sid in rec["acts"]:
+                act = acts_by_sid[sid]
+                comp.acts[act] = None
+                self._comp_of[act] = comp
+            self._components[comp] = None
+            comp_by_cid[rec["cid"]] = comp
+
+        for idx, sids in state["res_users"]:
+            self._res_users[resources[idx]] = {
+                acts_by_sid[sid]: None for sid in sids
+            }
+
+        table = self._array
+        if table is not None:
+            slots = state["slots"]
+            table.act = [
+                acts_by_sid[sid] if sid is not None else None
+                for sid in slots["act"]
+            ]
+            table.res = [
+                resources[i] if i is not None else None for i in slots["res"]
+            ]
+            table.rate0 = list(slots["rate0"])
+            table.thresh = list(slots["thresh"])
+            table.remaining = list(slots["remaining"])
+            table.last = list(slots["last"])
+            table.version = list(slots["version"])
+            table.cid = list(slots["cid"])
+            table.free = list(slots["free"])
+            table.live = slots["live"]
+        for sid, s in state["slot_of"]:
+            self._slot_of[acts_by_sid[sid]] = s
+        for idx, s in state["res_slot"]:
+            self._res_slot[resources[idx]] = s
+
+        heap: List[tuple] = []
+        for time, entry_id, (kind, ref), version in state["horizon_heap"]:
+            heap.append(
+                (
+                    time,
+                    entry_id,
+                    ref if kind == "slot" else comp_by_cid[ref],
+                    version,
+                )
+            )
+        self._horizon_heap = heap  # sorted at capture: a valid heap
+
+        self._entry_ids = count(state["entry_ids"] + 1)
+        self._comp_ids = count(state["comp_ids"] + 1)
+        self._wake_version = state["wake_version"]
+        for sid, version in state["wakes"]:
+            wake = PooledEvent(env)
+            wake._ok = True
+            wake._value = None
+            self._pending_wakes[wake] = version
+            wake.callbacks.append(
+                lambda _e, w=wake, v=version: self._wake_fired(w, v)
+            )
+            registry.claim(sid, wake)
+
+        # The class-global activity counter only ever moves forward: new
+        # activities must outrank every restored _seq (relative order is
+        # all the determinism contract needs), but rewinding would break
+        # other live simulations in the same process.
+        cur = next(Activity._counter)
+        if cur < state["act_counter"]:
+            Activity._counter = count(state["act_counter"] + 1)
+
+        counters = state["counters"]
+        self.resolves = counters["resolves"]
+        self.solve_events = counters["solve_events"]
+        self.solved_activities = counters["solved_activities"]
+        self.max_solve_scope = counters["max_solve_scope"]
+        self.solver_time = counters["solver_time"]
+        self.merges = counters["merges"]
+        self.splits = counters["splits"]
+        self.peak_components = counters["peak_components"]
+        self.fast_solves = counters["fast_solves"]
+        self.scalar_solves = counters["scalar_solves"]
+        self.vector_solves = counters["vector_solves"]
+        self.slot_solves = counters["slot_solves"]

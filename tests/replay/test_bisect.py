@@ -1,0 +1,109 @@
+"""Checkpoint bisection of crashing fuzz cases (``fuzz shrink --bisect``).
+
+A deterministic crash is injected via a test-only scheduler that raises
+once simulated time passes a threshold; bisection must find the latest
+checkpoint whose resume still crashes and bulk-drop every job already
+finished there, and ``shrink_failure(bisect=True)`` must accept that
+head start and still converge on a failing reproducer.
+"""
+
+import pytest
+
+from repro.fuzz import bisect_candidates, shrink_failure
+from repro.fuzz.oracles import OracleFailure, check_scenario
+from repro.fuzz.runner import FuzzFailure
+from repro.scheduler import FcfsScheduler
+from repro.scheduler.algorithms import _REGISTRY
+
+CRASH_TIME = 120.0
+
+
+class CrashAfterScheduler(FcfsScheduler):
+    """FCFS until ``CRASH_TIME``, then raises — deterministic, state-free."""
+
+    name = "crash-after"
+
+    def schedule(self, ctx, invocation):
+        if invocation.time > CRASH_TIME:
+            raise RuntimeError(f"scheduler crash at t={invocation.time:g}")
+        super().schedule(ctx, invocation)
+
+
+@pytest.fixture(autouse=True)
+def _register_crash_scheduler():
+    _REGISTRY[CrashAfterScheduler.name] = CrashAfterScheduler
+    try:
+        yield
+    finally:
+        _REGISTRY.pop(CrashAfterScheduler.name, None)
+
+
+def _job(jid, submit, seconds=20.0):
+    return {
+        "id": jid,
+        "submit_time": submit,
+        "num_nodes": 2,
+        "application": {
+            "name": "app",
+            "phases": [{"tasks": [{"type": "delay", "seconds": seconds}]}],
+        },
+    }
+
+
+def _crashing_scenario():
+    # Jobs 1-4 finish well before CRASH_TIME; jobs 5-6 are in flight or
+    # pending when the scheduler blows up.
+    return {
+        "name": "bisect-crash",
+        "platform": {
+            "name": "bisect-test",
+            "nodes": {"count": 8, "flops": 1e12},
+            "network": {"topology": "star", "bandwidth": 1e10, "pfs_bandwidth": 1e11},
+            "pfs": {"read_bw": 1e11, "write_bw": 8e10},
+        },
+        "workload": {
+            "inline": {"jobs": [_job(j, 22.0 * (j - 1)) for j in range(1, 7)]}
+        },
+        "algorithm": "crash-after",
+    }
+
+
+class TestBisectCandidates:
+    def test_bulk_drops_finished_jobs(self):
+        scenario = _crashing_scenario()
+        candidates, info = bisect_candidates(scenario, snapshot_every=10)
+        assert info["signature"] == "RuntimeError"
+        assert info["snapshots"] > 0
+        assert info["dropped_jobs"] >= 1
+        assert info["suffix_time"] <= CRASH_TIME
+        assert len(candidates) == 1
+        kept = candidates[0]["workload"]["inline"]["jobs"]
+        full = scenario["workload"]["inline"]["jobs"]
+        assert 0 < len(kept) < len(full)
+        # The candidate is a genuine head start: it still crashes.
+        failures = check_scenario(candidates[0])
+        assert any(f.oracle == "crash" for f in failures)
+
+    def test_non_crashing_scenario_yields_nothing(self):
+        scenario = _crashing_scenario()
+        scenario["algorithm"] = "fcfs"
+        candidates, info = bisect_candidates(scenario, snapshot_every=10)
+        assert candidates == []
+        assert info["signature"] is None
+
+    def test_shrink_failure_accepts_the_head_start(self):
+        scenario = _crashing_scenario()
+        failure = FuzzFailure(
+            seed=0,
+            algorithm="crash-after",
+            scenario=scenario,
+            failures=[OracleFailure("crash", "RuntimeError: scheduler crash")],
+        )
+        small, evals = shrink_failure(failure, max_evals=60, bisect=True)
+        assert evals > 0
+        assert any(
+            f.oracle == "crash" for f in check_scenario(small)
+        ), "shrunk scenario no longer crashes"
+        assert len(small["workload"]["inline"]["jobs"]) < len(
+            scenario["workload"]["inline"]["jobs"]
+        )

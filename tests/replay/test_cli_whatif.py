@@ -1,0 +1,125 @@
+"""CLI surface of the replay layer: ``elastisim whatif``."""
+
+import json
+from copy import deepcopy
+
+import pytest
+
+from repro.cli import EXIT_OK, EXIT_USAGE, main
+
+
+def _base_spec():
+    jobs = [
+        {
+            "id": j,
+            "submit_time": 25.0 * (j - 1),
+            "num_nodes": 2,
+            "application": {
+                "name": "app",
+                "phases": [
+                    {"tasks": [{"type": "cpu", "flops": 4e10}], "iterations": 3}
+                ],
+            },
+        }
+        for j in range(1, 7)
+    ]
+    return {
+        "name": "cli-whatif",
+        "platform": {
+            "name": "cli-whatif-test",
+            "nodes": {"count": 8, "flops": 1e12},
+            "network": {"topology": "star", "bandwidth": 1e10, "pfs_bandwidth": 1e11},
+            "pfs": {"read_bw": 1e11, "write_bw": 8e10},
+        },
+        "workload": {"inline": {"jobs": jobs}},
+        "algorithm": "easy",
+    }
+
+
+@pytest.fixture()
+def base_file(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(_base_spec()))
+    return path
+
+
+class TestWhatIfCli:
+    def test_resume_at_self_test(self, base_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        code = main(
+            [
+                "whatif",
+                "--base", str(base_file),
+                "--resume-at", "0.5",
+                "--snapshot-every", "25",
+                "--output-dir", str(out),
+            ]
+        )
+        assert code == EXIT_OK
+        assert "records byte-identical: True" in capsys.readouterr().out
+        cold = (out / "cold_record.json").read_text()
+        resumed = (out / "resumed_record.json").read_text()
+        assert cold == resumed
+
+    def test_edited_warm_replay_with_verify(self, base_file, tmp_path, capsys):
+        edited = _base_spec()
+        edited["workload"]["inline"]["jobs"][5]["num_nodes"] = 5
+        edited_file = tmp_path / "edited.json"
+        edited_file.write_text(json.dumps(edited))
+        out = tmp_path / "out"
+        code = main(
+            [
+                "whatif",
+                "--base", str(base_file),
+                "--edited", str(edited_file),
+                "--snapshot-every", "25",
+                "--verify",
+                "--output-dir", str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "warm replay from checkpoint" in captured
+        assert "byte-identical=True" in captured
+        record = json.loads((out / "whatif_record.json").read_text())
+        assert record["invocations"] > 0
+
+    def test_cold_fallback_still_succeeds(self, base_file, tmp_path, capsys):
+        edited = _base_spec()
+        edited["algorithm"] = "fcfs"  # incomparable: falls back cold
+        edited_file = tmp_path / "edited.json"
+        edited_file.write_text(json.dumps(edited))
+        code = main(
+            [
+                "whatif",
+                "--base", str(base_file),
+                "--edited", str(edited_file),
+                "--verify",
+                "--output-dir", str(tmp_path / "out"),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "cold run" in captured
+        assert "byte-identical=True" in captured
+
+    def test_usage_errors(self, base_file, tmp_path, capsys):
+        assert main(["whatif", "--base", str(base_file)]) == EXIT_USAGE
+        assert (
+            main(["whatif", "--base", str(base_file), "--resume-at", "1.5"])
+            == EXIT_USAGE
+        )
+        # A run shorter than the first checkpoint is a usage error, not a
+        # silent cold pass.
+        assert (
+            main(
+                [
+                    "whatif",
+                    "--base", str(base_file),
+                    "--resume-at", "0.5",
+                    "--snapshot-every", "100000",
+                    "--output-dir", str(tmp_path / "out"),
+                ]
+            )
+            == EXIT_USAGE
+        )

@@ -1,0 +1,274 @@
+"""What-if replay: diffing, splicing, eligibility, and session warm-starts.
+
+The only contract that matters: whatever path ``whatif`` takes (warm
+suffix replay or cold fallback), the returned record is byte-identical
+to a cold run of the edited spec.  Warm/cold routing itself is asserted
+separately so an eligibility regression shows up as "silently went
+cold", not just as slower wall-clock.
+"""
+
+import json
+from copy import deepcopy
+
+import pytest
+
+from repro.replay import ReplayError, WhatIfSession, diff_workloads, whatif
+from repro.replay.whatif import run_with_snapshots, splice_snapshot
+
+from tests.replay.helpers import cold_run
+
+
+def _platform():
+    return {
+        "name": "whatif-test",
+        "nodes": {"count": 8, "flops": 1e12},
+        "network": {"topology": "star", "bandwidth": 1e10, "pfs_bandwidth": 1e11},
+        "pfs": {"read_bw": 1e11, "write_bw": 8e10},
+    }
+
+
+def _job(jid, submit, nodes=2, flops=4e10, iters=3):
+    return {
+        "id": jid,
+        "submit_time": submit,
+        "num_nodes": nodes,
+        "application": {
+            "name": "app",
+            "phases": [
+                {"tasks": [{"type": "cpu", "flops": flops}], "iterations": iters}
+            ],
+        },
+    }
+
+
+def _base_spec():
+    return {
+        "name": "whatif-base",
+        "platform": _platform(),
+        "workload": {
+            "inline": {
+                "jobs": [_job(j, 25.0 * (j - 1)) for j in range(1, 7)]
+            }
+        },
+        "algorithm": "easy",
+    }
+
+
+def _cold_fingerprint(spec):
+    """Cold record with invocations, as whatif emits it."""
+    from repro.batch import Simulation
+
+    sim = Simulation.from_spec(json.loads(json.dumps(spec)))
+    monitor = sim.run()
+    record = monitor.run_record()
+    record["invocations"] = sim.batch.invocations
+    return json.dumps(record, sort_keys=True)
+
+
+class TestDiffWorkloads:
+    def test_equivalent_specs(self):
+        diff = diff_workloads(_base_spec(), _base_spec())
+        assert diff == {
+            "added": [],
+            "removed": [],
+            "modified": [],
+            "divergence_time": float("inf"),
+        }
+
+    def test_modified_added_removed(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        jobs = edited["workload"]["inline"]["jobs"]
+        jobs[4]["num_nodes"] = 4  # modify job 5 (submit 100)
+        del jobs[5]  # remove job 6 (submit 125)
+        jobs.append(_job(9, 140.0))  # add job 9
+        diff = diff_workloads(base, edited)
+        assert diff["modified"] == [5]
+        assert diff["removed"] == [6]
+        assert diff["added"] == [9]
+        assert diff["divergence_time"] == 100.0
+
+    def test_retime_uses_earliest_touched_time(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        edited["workload"]["inline"]["jobs"][3]["submit_time"] = 200.0
+        diff = diff_workloads(base, edited)
+        # Job 4 moved 75 -> 200: the divergence is the *old* slot.
+        assert diff["modified"] == [4]
+        assert diff["divergence_time"] == 75.0
+
+    def test_non_inline_is_incomparable(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        edited["workload"] = {"file": "workload.json"}
+        assert diff_workloads(base, edited) is None
+
+    def test_platform_change_is_incomparable(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        edited["platform"]["nodes"]["count"] = 16
+        assert diff_workloads(base, edited) is None
+
+    def test_reordering_common_jobs_is_incomparable(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        jobs = edited["workload"]["inline"]["jobs"]
+        jobs[0], jobs[1] = jobs[1], jobs[0]
+        assert diff_workloads(base, edited) is None
+
+    def test_cosmetic_names_ignored(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        edited["name"] = "other-label"
+        edited["workload"]["name"] = "variant-b"
+        assert diff_workloads(base, edited) is not None
+
+    def test_duplicate_job_ids_rejected(self):
+        base = _base_spec()
+        base["workload"]["inline"]["jobs"].append(_job(1, 300.0))
+        with pytest.raises(ReplayError):
+            diff_workloads(base, _base_spec())
+
+
+class TestWhatIf:
+    @pytest.mark.parametrize(
+        "edit",
+        ["modify", "retime", "remove", "add"],
+    )
+    def test_warm_replay_matches_cold(self, edit):
+        base = _base_spec()
+        edited = deepcopy(base)
+        jobs = edited["workload"]["inline"]["jobs"]
+        if edit == "modify":
+            jobs[5]["num_nodes"] = 5
+        elif edit == "retime":
+            jobs[5]["submit_time"] = 170.0
+        elif edit == "remove":
+            del jobs[5]
+        else:
+            jobs.append(_job(7, 130.0))
+        result = whatif(base, edited, snapshot_every=25)
+        assert result.warm, f"{edit}: expected a warm suffix replay ({result.reason})"
+        assert json.dumps(result.record, sort_keys=True) == _cold_fingerprint(edited)
+        assert result.events_saved > 0
+        assert result.snapshot_time < result.diff["divergence_time"]
+
+    def test_early_divergence_falls_back_cold(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        edited["workload"]["inline"]["jobs"][0]["num_nodes"] = 4  # submit 0
+        result = whatif(base, edited, snapshot_every=25)
+        assert not result.warm
+        assert "no snapshot before the divergence" in result.reason
+        assert json.dumps(result.record, sort_keys=True) == _cold_fingerprint(edited)
+
+    def test_incomparable_specs_fall_back_cold(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        edited["algorithm"] = "fcfs"
+        result = whatif(base, edited, snapshot_every=25)
+        assert not result.warm
+        assert result.diff is None
+        assert json.dumps(result.record, sort_keys=True) == _cold_fingerprint(edited)
+
+    def test_precomputed_snapshots_are_reused(self):
+        base = _base_spec()
+        _, snapshots = run_with_snapshots(base, 25)
+        edited = deepcopy(base)
+        edited["workload"]["inline"]["jobs"][5]["num_nodes"] = 5
+        result = whatif(base, edited, snapshots=snapshots)
+        assert result.warm
+        assert json.dumps(result.record, sort_keys=True) == _cold_fingerprint(edited)
+
+
+class TestSpliceEligibility:
+    def test_splice_refuses_snapshot_past_divergence(self):
+        base = _base_spec()
+        _, snapshots = run_with_snapshots(base, 25)
+        edited = deepcopy(base)
+        edited["workload"]["inline"]["jobs"][0]["num_nodes"] = 4
+        diff = diff_workloads(base, edited)
+        late = max(snapshots, key=lambda s: s.processed_events)
+        assert late.time >= diff["divergence_time"]
+        with pytest.raises(ReplayError):
+            splice_snapshot(late, edited, diff)
+
+    def test_splice_refuses_finish_line_behind_snapshot(self):
+        # Removing jobs moves the finished-count finish line: a snapshot
+        # where every *surviving* job already finished does not exist in
+        # the edited timeline (all_done fired earlier there).
+        base = _base_spec()
+        _, snapshots = run_with_snapshots(base, 25)
+        edited = deepcopy(base)
+        edited["workload"]["inline"]["jobs"] = edited["workload"]["inline"]["jobs"][:1]
+        edited["workload"]["inline"]["jobs"].append(_job(6, 125.0))
+        snap = next(
+            (s for s in snapshots if s.state["batch"]["finished_count"] >= 2),
+            None,
+        )
+        assert snap is not None, "need a snapshot with >= 2 finished jobs"
+        diff = diff_workloads(base, edited)
+        if snap.time < diff["divergence_time"]:
+            with pytest.raises(ReplayError):
+                splice_snapshot(snap, edited, diff)
+
+    def test_whatif_skips_ineligible_snapshots_but_stays_correct(self):
+        base = _base_spec()
+        edited = deepcopy(base)
+        # Keep only the first job and add a late one: most snapshots have
+        # finished_count >= 2 and must be skipped.
+        edited["workload"]["inline"]["jobs"] = [
+            edited["workload"]["inline"]["jobs"][0],
+            _job(8, 140.0),
+        ]
+        result = whatif(base, edited, snapshot_every=25)
+        assert json.dumps(result.record, sort_keys=True) == _cold_fingerprint(edited)
+
+
+class TestWhatIfSession:
+    def _variant(self, num_nodes, label):
+        spec = _base_spec()
+        spec["workload"]["name"] = label
+        spec["workload"]["inline"]["jobs"][5]["num_nodes"] = num_nodes
+        return spec
+
+    def test_grid_members_warm_start_after_base(self):
+        session = WhatIfSession(snapshot_every=25)
+        first = session.run(self._variant(2, "v0"))
+        assert not first.warm  # the base run records snapshots
+        for index, nodes in enumerate((3, 4, 5)):
+            spec = self._variant(nodes, f"v{index + 1}")
+            result = session.run(spec)
+            assert result.warm, result.reason
+            assert json.dumps(result.record, sort_keys=True) == _cold_fingerprint(spec)
+        assert session.stats["cold"] == 1
+        assert session.stats["warm"] == 3
+        assert session.stats["events_saved"] > 0
+
+    def test_auto_refines_coarse_cadence(self):
+        # Default cadence (2000 events) exceeds this whole run; the session
+        # re-runs the base finer instead of never warm-starting.
+        session = WhatIfSession()
+        session.run(self._variant(2, "v0"))
+        result = session.run(self._variant(5, "v1"))
+        assert result.warm, result.reason
+
+    def test_incompatible_scenarios_run_cold(self):
+        session = WhatIfSession(snapshot_every=25)
+        session.run(self._variant(2, "v0"))
+        other = self._variant(5, "v1")
+        other["algorithm"] = "fcfs"
+        result = session.run(other)
+        assert not result.warm  # different compatibility group: new base
+        non_inline = {
+            "platform": _platform(),
+            "workload": {"file": "does-not-matter.json"},
+            "algorithm": "easy",
+        }
+        assert session.compatibility_key(non_inline) is None
+
+    def test_until_blocks_warm_start(self):
+        session = WhatIfSession(snapshot_every=25)
+        spec = self._variant(2, "v0")
+        spec["sim"] = {"until": 100.0}
+        assert session.compatibility_key(spec) is None
