@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Hybrid batch/on-demand scheduling under a power corridor.
+
+A 32-node machine declares per-node draw (100 W idle, 300 W busy) and a
+system power corridor of 8 kW — enough for 24 busy nodes, not all 32.
+A quarter of the workload is on-demand; every job checkpoints 2 GB of
+state.  The example races plain FCFS (class-blind, corridor-blind)
+against the shipped ``hybrid-corridor`` policy, which
+
+* admits on-demand jobs immediately by preempting the cheapest batch
+  victims (they requeue and resume from their checkpoint, paying the
+  restart read),
+* refuses starts that would push the settled draw past the corridor.
+
+Both runs execute with the flight-recorder invariant checker enabled, so
+the corridor claim is audited, not just reported.  Expected outcome: the
+on-demand class waits ~500 s under FCFS and ~0 s under hybrid-corridor,
+while the hybrid run's peak draw sits exactly at the corridor.
+
+Run with::
+
+    python examples/hybrid_corridor.py
+"""
+
+from repro import Simulation, platform_from_dict
+from repro.workload import WorkloadSpec, generate_workload
+
+PLATFORM = {
+    "name": "hybrid-demo",
+    "nodes": {"count": 32, "flops": 1e9},
+    "network": {"topology": "star", "bandwidth": 1e10, "pfs_bandwidth": 1e10},
+    "pfs": {"read_bw": 1e10, "write_bw": 1e10},
+    # 32 idle nodes draw 3.2 kW; the corridor admits 24 busy nodes.
+    "power": {"idle_watts": 100.0, "peak_watts": 300.0, "corridor_watts": 8000.0},
+}
+
+WORKLOAD = WorkloadSpec(
+    num_jobs=40,
+    mean_interarrival=30.0,
+    max_request=16,
+    mean_runtime=300.0,
+    node_flops=1e9,
+    ondemand_fraction=0.25,
+    checkpoint_bytes=2e9,
+)
+
+
+def run(algorithm: str):
+    platform = platform_from_dict(PLATFORM)
+    jobs = generate_workload(WORKLOAD, seed=0)
+    monitor = Simulation(
+        platform, jobs, algorithm=algorithm, checkpoint_restart=True
+    ).run(check_invariants=True)
+    return monitor
+
+
+def main() -> None:
+    print(
+        f"{'algorithm':>16} {'class':>10} {'mean_wait_s':>12} "
+        f"{'mean_turn_s':>12} {'jobs':>5}   {'peak_W':>7} {'energy_MJ':>10}"
+    )
+    print("-" * 80)
+    waits = {}
+    for algorithm in ("fcfs", "hybrid-corridor"):
+        monitor = run(algorithm)
+        energy = monitor.power.energy_record()
+        by_class = monitor.summary_by_class()
+        for job_class in sorted(by_class):
+            stats = by_class[job_class]
+            print(
+                f"{algorithm:>16} {job_class:>10} {stats.mean_wait:12.1f} "
+                f"{stats.mean_turnaround:12.1f} {stats.completed_jobs:5d}   "
+                f"{float(energy['max_power_watts']):7.0f} "
+                f"{float(energy['total_joules']) / 1e6:10.2f}"
+            )
+        waits[algorithm] = by_class["on-demand"].mean_wait
+        corridor = energy["corridor_watts"]
+        held = float(energy["max_power_watts"]) <= float(corridor)
+        print(
+            f"{'':>16} corridor {float(corridor):.0f} W "
+            f"{'held' if held else 'EXCEEDED'} "
+            f"(invariant-checked: {algorithm == 'hybrid-corridor'})"
+        )
+
+    # The headline: preemptive admission cuts on-demand response to a
+    # fraction of what class-blind FCFS delivers on the same trace.
+    assert waits["hybrid-corridor"] <= 0.25 * waits["fcfs"], waits
+    print(
+        f"\non-demand mean wait: fcfs {waits['fcfs']:.1f} s -> "
+        f"hybrid-corridor {waits['hybrid-corridor']:.1f} s"
+    )
+
+
+if __name__ == "__main__":
+    main()

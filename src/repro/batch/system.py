@@ -56,6 +56,14 @@ class BatchSystem:
         self.algorithm = algorithm
         self.model = FairShareModel(env)
         self.monitor = Monitor(env, platform.num_nodes)
+        # Meter energy when the platform declares node draw (no-op and
+        # byte-identical output otherwise).
+        self.monitor.attach_power(platform)
+        #: True when the algorithm overrides the two-level placement hook;
+        #: computed once so the per-task fast path is one attribute read.
+        self._has_placement = (
+            type(algorithm).place_tasks is not Algorithm.place_tasks
+        )
         self.invocation_interval = invocation_interval
         #: Resubmit jobs killed by node failures.
         self.requeue_on_failure = requeue_on_failure
@@ -452,6 +460,51 @@ class BatchSystem:
         yield  # pragma: no cover - generator marker, never reached
 
     # -- engine callbacks (BatchCallbacks protocol) ----------------------------
+
+    def place_tasks(self, job: Job, task) -> Optional[List[Node]]:
+        """Two-level scheduling hook: ask the algorithm to place one task.
+
+        Called by the executor before running each task.  Returns the node
+        subset the task should occupy, or None for the default (the job's
+        whole allocation).  The algorithm's answer is validated here: it
+        must be a non-empty, duplicate-free subset of the job's current
+        allocation — the hook places work *within* an allocation, it never
+        changes the allocation itself.
+        """
+        if not self._has_placement:
+            return None
+        chosen = self.algorithm.place_tasks(job, task, job.assigned_nodes)
+        if chosen is None:
+            return None
+        nodes = list(chosen)
+        if not nodes:
+            raise BatchError(
+                f"{self.algorithm.name}: place_tasks returned an empty "
+                f"placement for {job.name}/{task.name}"
+            )
+        allowed = {id(node) for node in job.assigned_nodes}
+        seen: set = set()
+        for node in nodes:
+            if id(node) not in allowed:
+                raise BatchError(
+                    f"{self.algorithm.name}: place_tasks placed "
+                    f"{job.name}/{task.name} on node {node.name}, which is "
+                    "not part of the job's allocation"
+                )
+            if id(node) in seen:
+                raise BatchError(
+                    f"{self.algorithm.name}: place_tasks returned node "
+                    f"{node.name} twice for {job.name}/{task.name}"
+                )
+            seen.add(id(node))
+        return nodes
+
+    def current_power(self) -> float:
+        """Aggregate node draw in watts (0.0 on powerless platforms)."""
+        meter = self.monitor.power
+        if meter is not None:
+            return meter.current_watts
+        return self.platform.current_power()
 
     def on_scheduling_point(self, job: Job) -> None:
         self._invoke(InvocationType.SCHEDULING_POINT, job)
@@ -1035,21 +1088,40 @@ class Simulation:
                 tracer = Tracer()
                 if trace is not None:
                     trace_path = Path(trace)
+            # Power profile rides along in sim.start (and arms the
+            # streaming corridor audit) only when the platform declares
+            # draw; the corridor is audited only for algorithms that claim
+            # to respect it — the cap is a policy contract, not a law of
+            # physics for corridor-oblivious schedulers.
+            power_profile = self.batch.platform.power_profile()
+            if power_profile is not None:
+                power_profile = dict(
+                    power_profile,
+                    enforced=self.batch.algorithm.respects_power_corridor,
+                )
             if check_invariants:
-                checker = InvariantChecker(num_nodes=self.batch.platform.num_nodes)
+                checker = InvariantChecker(
+                    num_nodes=self.batch.platform.num_nodes,
+                    power=power_profile,
+                )
                 tracer.subscribe(checker.feed)
             self.tracer = tracer
             self.batch.tracer = tracer
             self.env.tracer = tracer
             self.batch.model.tracer = tracer
+            start_args = dict(
+                nodes=self.batch.platform.num_nodes,
+                jobs=len(self.batch.jobs),
+                algorithm=self.batch.algorithm.name,
+            )
+            if power_profile is not None:
+                start_args["power"] = power_profile
             tracer.instant(
                 "sim.start",
                 "batch",
                 self.batch.platform.name,
                 self.env.now,
-                nodes=self.batch.platform.num_nodes,
-                jobs=len(self.batch.jobs),
-                algorithm=self.batch.algorithm.name,
+                **start_args,
             )
 
         hook = first_target = None

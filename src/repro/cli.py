@@ -613,6 +613,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{key:24s} {value:16.3f}")
         else:
             print(f"{key:24s} {value:16d}")
+    if monitor.power is not None:
+        energy = monitor.power.energy_record()
+        print(f"{'total_energy_joules':24s} {float(energy['total_joules']):16.3f}")
+        print(f"{'max_power_watts':24s} {float(energy['max_power_watts']):16.3f}")
+        if energy["corridor_watts"] is not None:
+            print(f"{'corridor_watts':24s} {float(energy['corridor_watts']):16.3f}")
 
     if args.output_dir is not None:
         out = Path(args.output_dir)

@@ -45,6 +45,11 @@ class BatchCallbacks(Protocol):
     ) -> None:
         ...
 
+    def place_tasks(self, job: Job, task: Task) -> Optional[List[Node]]:  # pragma: no cover
+        """Application-level placement: the subset of the job's allocation
+        the task should occupy, or None for the whole allocation."""
+        ...
+
 
 def transfer(
     env: Environment,
@@ -269,7 +274,7 @@ class JobExecutor:
         # it mid-flight (an EvolvingRequest task that reconfigures is
         # attributed to the allocation it was issued from).
         start = self.env.now
-        node_indices = [node.index for node in self.job.assigned_nodes]
+        node_indices = [node.index for node in self._task_nodes(task)]
         yield from self._execute_task(task, iteration)
         end = self.env.now
         if end > start:
@@ -285,8 +290,30 @@ class JobExecutor:
                     iteration=iteration,
                 )
 
+    def _task_nodes(self, task: Task) -> List[Node]:
+        """The nodes a task occupies: its placement, or the full allocation.
+
+        Application-level (two-level) scheduling: the batch system asks the
+        algorithm's :meth:`~repro.scheduler.base.Algorithm.place_tasks` hook
+        which subset of the allocation the task should run on.  The hook
+        must be pure — this is re-evaluated wherever the task's node set is
+        needed (trace spans, resume tails) and must always agree.  Delay
+        and evolving-request tasks occupy no resources, so placement never
+        applies to them; test stubs without the callback get the classic
+        single-level behaviour.
+        """
+        if isinstance(task, (DelayTask, EvolvingRequest)):
+            return self.job.assigned_nodes
+        place = getattr(self.batch, "place_tasks", None)
+        if place is None:
+            return self.job.assigned_nodes
+        chosen = place(self.job, task)
+        if chosen is None:
+            return self.job.assigned_nodes
+        return chosen
+
     def _execute_task(self, task: Task, iteration: int) -> Generator[Event, Any, None]:
-        nodes = self.job.assigned_nodes
+        nodes = self._task_nodes(task)
         n = len(nodes)
         variables = self.job.expression_variables(
             iteration=iteration,
@@ -410,7 +437,7 @@ class JobExecutor:
                 f"Job {self.job.name}: task {task.name!r} needs a PFS, "
                 f"but platform {self.platform.name!r} has none"
             )
-        nodes = self.job.assigned_nodes
+        nodes = self._task_nodes(task)
         nbytes = task.bytes_per_node(variables, len(nodes))
         if nbytes <= 0:
             return
@@ -435,7 +462,7 @@ class JobExecutor:
         yield from self._wait_started(activities)
 
     def _run_bb_io(self, task, variables, *, read: bool) -> Generator[Event, Any, None]:
-        nodes = self.job.assigned_nodes
+        nodes = self._task_nodes(task)
         nbytes = task.bytes_per_node(variables, len(nodes))
         if nbytes <= 0:
             return
@@ -821,7 +848,7 @@ class JobExecutor:
         mid-task, so the evaluation is identical.
         """
         if isinstance(task, BbWriteTask) and getattr(task, "charge", False):
-            nodes = self.job.assigned_nodes
+            nodes = self._task_nodes(task)
             variables = self.job.expression_variables(
                 iteration=iteration,
                 gpus_per_node=nodes[0].gpus if nodes else 0,

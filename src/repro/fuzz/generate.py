@@ -9,8 +9,10 @@ seed alone and shrinking operates on pure data.
 Two deliberate generation constraints keep scenarios *valid* rather than
 merely random:
 
-* every job requests at most the machine size (otherwise strict-FCFS
-  policies legitimately stall, which would drown real failures in noise);
+* every job requests at most the machine size, and a drawn power
+  corridor always admits at least the widest request (otherwise
+  strict-FCFS and corridor-respecting policies legitimately stall, which
+  would drown real failures in noise);
 * evolving requests are non-blocking (a blocking request under a policy
   that never grants nor denies suspends the job forever — a documented
   scheduler property, not an engine bug).
@@ -39,6 +41,7 @@ ALGORITHM_POOL = [
     "moldable",
     "adaptive-moldable",
     "malleable",
+    "hybrid-corridor",
 ]
 
 #: The four reference algorithms CI's fuzz gates run against.
@@ -61,6 +64,11 @@ class FuzzBudget:
     max_iterations: int = 3
     #: Probability that the scenario injects node failures.
     failure_probability: float = 0.3
+    #: Probability that the platform declares per-node power draw (and,
+    #: more often than not, a corridor on top).
+    power_probability: float = 0.35
+    #: Probability that the workload mixes in on-demand-class jobs.
+    ondemand_probability: float = 0.25
 
 
 DEFAULT_BUDGET = FuzzBudget()
@@ -136,6 +144,57 @@ def _platform_spec(rng: random.Random, budget: FuzzBudget) -> Dict[str, Any]:
             "write_bw": rng.choice([1e9, 2e9]),
         }
     return spec
+
+
+def _power_spec(
+    rng: random.Random,
+    platform: Dict[str, Any],
+    jobs: List[Dict[str, Any]],
+    budget: FuzzBudget,
+) -> None:
+    """Tail draw: maybe declare per-node power, and a corridor on top.
+
+    The corridor admits ``m`` simultaneously-busy nodes with ``m`` at
+    least the widest request in the workload, so every job stays
+    individually startable on an idle machine and corridor-respecting
+    policies cannot stall by construction.
+    """
+    if rng.random() >= budget.power_probability:
+        return
+    count = platform["nodes"]["count"]
+    idle = rng.choice([50.0, 100.0, 150.0])
+    peak = idle + rng.choice([100.0, 200.0, 350.0])
+    power: Dict[str, Any] = {"idle_watts": idle, "peak_watts": peak}
+    if rng.random() < 0.6:
+        widest = max(job["num_nodes"] for job in jobs)
+        m = rng.randint(max(widest, count // 2), count)
+        power["corridor_watts"] = idle * count + (peak - idle) * m
+    platform["power"] = power
+
+
+def _hybrid_spec(
+    rng: random.Random,
+    platform: Dict[str, Any],
+    jobs: List[Dict[str, Any]],
+    sim: Dict[str, Any],
+    budget: FuzzBudget,
+) -> None:
+    """Tail draw: sprinkle on-demand job classes and checkpoint sizes."""
+    fraction = 0.0
+    if rng.random() < budget.ondemand_probability:
+        fraction = rng.choice([0.2, 0.4, 0.6])
+    for job in jobs:
+        if rng.random() < fraction:
+            job["class"] = "on-demand"
+        # Restart I/O is read back from the PFS; without one the engine
+        # (correctly) refuses to model it, so only draw it when present.
+        if "pfs" in platform and rng.random() < 0.4:
+            job["checkpoint_bytes"] = rng.choice([1e8, 1e9, 5e9])
+    # On-demand admissions preempt batch jobs; flip checkpoint/restart on
+    # often enough that the preemption-cost (restart I/O) path gets fuzzed.
+    if any(job.get("class") == "on-demand" for job in jobs):
+        if "checkpoint_restart" not in sim and rng.random() < 0.5:
+            sim["checkpoint_restart"] = True
 
 
 def _task_spec(
@@ -317,9 +376,20 @@ def generate_scenario(
     platform = _platform_spec(rng, budget)
     jobs = _job_specs(rng, platform, budget)
     sim = _sim_spec(rng, platform, budget)
+    # The scheduler draws happen whether or not ``algorithm`` is pinned,
+    # so pinning never shifts the stream feeding the rest of the scenario.
+    pool = [name for name in ALGORITHM_POOL if name != "hybrid-corridor"]
+    drawn = rng.choice(pool + [f"random:{seed}"])
+    # Tail draws: every hybrid/power axis comes *after* the legacy stream
+    # (and hybrid-corridor replaces the drawn scheduler only here), so a
+    # given seed's base scenario is stable across generator versions and
+    # committed reproducer seeds keep meaning what they meant.
+    _hybrid_spec(rng, platform, jobs, sim, budget)
+    _power_spec(rng, platform, jobs, budget)
+    if rng.random() < 0.1:
+        drawn = "hybrid-corridor"
     if algorithm is None:
-        pool = ALGORITHM_POOL + [f"random:{seed}"]
-        algorithm = rng.choice(pool)
+        algorithm = drawn
     scenario = {
         "name": f"fuzz-{seed}",
         "platform": platform,

@@ -12,8 +12,9 @@ families provide one:
   time) during a reference-mode run.
 * **metamorphic** — known-answer *transformations*: relabelling job ids,
   scaling every time-dimensioned quantity by a power of two, adding spare
-  nodes no policy will ever allocate, and re-typing rigid jobs as
-  single-point malleables must each change results in a precisely
+  nodes no policy will ever allocate, re-typing rigid jobs as
+  single-point malleables, and relaxing the power corridor under the
+  strict-FCFS hybrid policy must each change results in a precisely
   predictable way (usually: not at all).
 
 Each oracle takes a scenario dict (see :mod:`repro.fuzz.generate`) and
@@ -243,6 +244,10 @@ def scale_scenario(scenario: Dict[str, Any], k: int = SCALE_FACTOR) -> Dict[str,
         job["submit_time"] = job["submit_time"] * k
         if "walltime" in job:
             job["walltime"] = job["walltime"] * k
+        if "checkpoint_bytes" in job:
+            # Restart I/O is byte-dimensioned work against fixed bandwidth,
+            # so it scales like every other transfer.
+            job["checkpoint_bytes"] = job["checkpoint_bytes"] * k
         app = job.get("application", {})
         if "data_per_node" in app:
             app["data_per_node"] = _scale_magnitude(app["data_per_node"], k)
@@ -269,6 +274,14 @@ def scale_time_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
     for field in _SCALED_SUMMARY_FIELDS:
         if expected["summary"][field] is not None:
             expected["summary"][field] *= k
+    if "energy" in expected:
+        # Durations stretch by k at unchanged wattage, so every energy
+        # integral multiplies by k bit-exactly; the observed power maximum
+        # and the corridor are wattages and must not move.
+        expected["energy"]["total_joules"] *= k
+        expected["energy"]["node_joules"] = [
+            joules * k for joules in expected["energy"]["node_joules"]
+        ]
     for record in (expected, scaled):
         for field in _SCALE_IGNORED_FIELDS:
             record["summary"].pop(field, None)
@@ -311,6 +324,18 @@ def spare_nodes_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
     wide = run_scenario_record(widened, prefail=spare)
     for record in (base, wide):
         record["summary"].pop("mean_utilization", None)
+    if "energy" in wide:
+        # The spare nodes fail at t=0 before drawing anything, so their
+        # energy entries must be exactly zero — anything else means a
+        # failed node was billed — and the rest of the record (totals,
+        # observed maximum) must match the base run byte for byte.
+        extra = wide["energy"]["node_joules"][-spare:]
+        if extra != [0.0] * spare:
+            return OracleFailure(
+                "spare-nodes",
+                f"prefailed spare nodes accumulated energy: {extra}",
+            )
+        del wide["energy"]["node_joules"][-spare:]
     if _canonical(base) != _canonical(wide):
         return OracleFailure(
             "spare-nodes",
@@ -369,6 +394,64 @@ def rigid_as_malleable_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailur
     return None
 
 
+# -- metamorphic: power-corridor relaxation -----------------------------------
+
+#: Task types whose durations are independent of co-running jobs.  Shared
+#: PFS / link / burst-buffer contention couples job runtimes, and Graham-
+#: style anomalies then allow a *relaxed* constraint to lengthen the
+#: schedule without any bug being present.
+_CONTENTION_FREE_TASKS = {"cpu", "gpu", "delay"}
+
+
+def corridor_relax_oracle(scenario: Dict[str, Any]) -> Optional[OracleFailure]:
+    """Widening the power corridor must never increase the makespan.
+
+    Monotonicity only holds for a policy that is anomaly-free by
+    construction, so the oracle is gated on documented skip rules
+    (``docs/HYBRID.md``):
+
+    * ``hybrid-corridor`` only — its batch pass is strict FCFS with no
+      backfilling, which is what makes extra headroom monotone; every
+      other policy is corridor-oblivious anyway;
+    * a corridor must be declared, or there is nothing to relax;
+    * ``no-ondemand`` — on-demand admissions preempt batch jobs, and the
+      preemption points (hence checkpoint/restart cost) legitimately move
+      when the corridor does;
+    * contention-free tasks only (cpu/gpu/delay) and no evolving jobs or
+      tasks — runtimes must not depend on what else is running;
+    * no failure injection — a repair racing a corridor-blocked head can
+      reorder starts.
+    """
+    if _algorithm_base(scenario) != "hybrid-corridor":
+        return None
+    power = scenario["platform"].get("power") or {}
+    corridor = power.get("corridor_watts")
+    if corridor is None:
+        return None
+    jobs = _inline_jobs(scenario)
+    if any(job.get("class") == "on-demand" for job in jobs):
+        return None  # "no-ondemand"
+    if any(job["type"] == "evolving" for job in jobs):
+        return None
+    for job in jobs:
+        for phase in job["application"].get("phases", []):
+            for task in phase["tasks"]:
+                if task["type"] not in _CONTENTION_FREE_TASKS:
+                    return None
+    if scenario.get("sim", {}).get("failures"):
+        return None
+    relaxed = _deepcopy(scenario)
+    relaxed["platform"]["power"]["corridor_watts"] = corridor * 2
+    base = run_scenario_record(scenario)["summary"]["makespan"]
+    wide = run_scenario_record(relaxed)["summary"]["makespan"]
+    if wide > base * (1 + 1e-9):
+        return OracleFailure(
+            "corridor-relax",
+            f"doubling the corridor increased makespan {base:g} -> {wide:g}",
+        )
+    return None
+
+
 # -- registry -----------------------------------------------------------------
 
 #: Name -> oracle, in the order :func:`check_scenario` applies them.
@@ -379,6 +462,7 @@ ORACLES: Dict[str, Callable[[Dict[str, Any]], Optional[OracleFailure]]] = {
     "scale-time": scale_time_oracle,
     "spare-nodes": spare_nodes_oracle,
     "rigid-as-malleable": rigid_as_malleable_oracle,
+    "corridor-relax": corridor_relax_oracle,
 }
 
 

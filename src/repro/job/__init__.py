@@ -21,6 +21,7 @@ state and per-job metrics (wait, turnaround, bounded slowdown).
 
 from repro.job.job import (
     Job,
+    JobClass,
     JobError,
     JobState,
     JobType,
@@ -29,6 +30,7 @@ from repro.job.job import (
 
 __all__ = [
     "Job",
+    "JobClass",
     "JobError",
     "JobState",
     "JobType",

@@ -22,6 +22,19 @@ class JobType(Enum):
     EVOLVING = "evolving"
 
 
+class JobClass(Enum):
+    """Service class, orthogonal to :class:`JobType`.
+
+    ``BATCH`` jobs queue and may be preempted; ``ON_DEMAND`` jobs expect
+    immediate admission — class-aware policies (the shipped
+    ``hybrid-corridor`` scheduler) preempt batch victims to make room for
+    them.  Class-oblivious policies treat everything as batch.
+    """
+
+    BATCH = "batch"
+    ON_DEMAND = "on-demand"
+
+
 class JobState(Enum):
     """Lifecycle states.
 
@@ -87,6 +100,14 @@ class Job:
         ``"user0"``.
     priority:
         Larger values are more important (priority/preemption policies).
+    job_class:
+        Service class (:class:`JobClass`); defaults to batch.
+    checkpoint_bytes:
+        Checkpoint footprint on the PFS in bytes.  When set, a
+        checkpoint-restart requeue of this job prepends a restart phase
+        that reads this many bytes back from the PFS before resuming —
+        the preemption cost model.  ``None`` (default) keeps restarts
+        free, matching the pre-power behaviour.
     """
 
     def __init__(
@@ -104,6 +125,8 @@ class Job:
         name: Optional[str] = None,
         user: Optional[str] = None,
         priority: int = 0,
+        job_class: JobClass = JobClass.BATCH,
+        checkpoint_bytes: Optional[float] = None,
     ) -> None:
         if submit_time < 0:
             raise JobError(f"submit_time must be >= 0, got {submit_time}")
@@ -111,6 +134,10 @@ class Job:
             raise JobError(f"num_nodes must be >= 1, got {num_nodes}")
         if walltime <= 0:
             raise JobError(f"walltime must be > 0, got {walltime}")
+        if checkpoint_bytes is not None and checkpoint_bytes <= 0:
+            raise JobError(
+                f"checkpoint_bytes must be > 0, got {checkpoint_bytes}"
+            )
 
         if job_type is JobType.RIGID:
             if min_nodes not in (None, num_nodes) or max_nodes not in (None, num_nodes):
@@ -142,6 +169,12 @@ class Job:
         self.user = user or "user0"
         #: Larger = more important; used by priority/preemption policies.
         self.priority = int(priority)
+        #: Service class (batch vs. on-demand), read by class-aware policies.
+        self.job_class = job_class
+        #: PFS checkpoint footprint driving restart I/O cost (None = free).
+        self.checkpoint_bytes = (
+            float(checkpoint_bytes) if checkpoint_bytes is not None else None
+        )
 
         # -- runtime state (owned by the batch system / engine) ------------
         self.state = JobState.PENDING
@@ -194,12 +227,18 @@ class Job:
         from the beginning.  With ``resume=True`` and a recorded
         :attr:`checkpoint_marker`, the clone's application is trimmed to
         the work *after* the last scheduling point — modelling an
-        application that checkpoints at its scheduling points.  The
-        original walltime budget is kept either way.
+        application that checkpoints at its scheduling points.  If the job
+        also declares :attr:`checkpoint_bytes`, the trimmed application is
+        prefixed with a restart phase that reads the checkpoint back from
+        the PFS, charging the restart I/O cost of the preemption (or
+        failure) that evicted it.  The original walltime budget is kept
+        either way.
         """
         application = self.application
         if resume and self.checkpoint_marker is not None:
             application = _trim_application(self.application, self.checkpoint_marker)
+            if self.checkpoint_bytes:
+                application = _with_restart_read(application, self.checkpoint_bytes)
         clone = Job(
             new_jid,
             application,
@@ -213,6 +252,8 @@ class Job:
             name=f"{self.name}.r{self.attempt + 1}",
             user=self.user,
             priority=self.priority,
+            job_class=self.job_class,
+            checkpoint_bytes=self.checkpoint_bytes,
         )
         clone.attempt = self.attempt + 1
         clone.origin_jid = self.origin_jid if self.origin_jid is not None else self.jid
@@ -441,4 +482,29 @@ def _trim_application(application: ApplicationModel, marker: tuple) -> Applicati
         phases,
         data_per_node=application.data_per_node,
         name=f"{application.name}~resumed",
+    )
+
+
+def _with_restart_read(
+    application: ApplicationModel, checkpoint_bytes: float
+) -> ApplicationModel:
+    """Prefix ``application`` with a PFS read of the checkpoint.
+
+    The read is spread evenly over the allocation (the task's EVEN
+    distribution divides by the node count), so the *total* restart I/O
+    volume equals ``checkpoint_bytes`` regardless of the resumed size.
+    The restart phase is not a scheduling point: a job evicted mid-restart
+    has made no new progress, so its next resume replays the same read.
+    """
+    from repro.application import PfsReadTask, Phase
+
+    restart = Phase(
+        [PfsReadTask(checkpoint_bytes, name="restart-read")],
+        scheduling_point=False,
+        name="restart",
+    )
+    return ApplicationModel(
+        [restart, *application.phases],
+        data_per_node=application.data_per_node,
+        name=application.name,
     )

@@ -15,11 +15,13 @@ paper-style tables without extra dependencies.
 
 from repro.monitoring.monitor import AllocationSegment, Monitor, SummaryStatistics
 from repro.monitoring.gantt import render_gantt
+from repro.monitoring.power import PowerMeter
 from repro.monitoring.solver_stats import SolverStats
 
 __all__ = [
     "AllocationSegment",
     "Monitor",
+    "PowerMeter",
     "SolverStats",
     "SummaryStatistics",
     "render_gantt",

@@ -12,6 +12,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.des import Environment
 from repro.job import Job
+from repro.monitoring.power import PowerMeter
 from repro.monitoring.solver_stats import SolverStats
 
 
@@ -108,6 +109,10 @@ class Monitor:
         #: the counts differ between the compiled and interpreted modes,
         #: and campaign fingerprints must be mode-independent.
         self.expressions: Optional[Any] = None
+        #: Energy meter, attached by :meth:`attach_power` when the
+        #: platform declares per-node draw; None keeps every energy field
+        #: out of ``run_record()`` so powerless goldens stay byte-stable.
+        self.power: Optional[PowerMeter] = None
 
     # -- hooks ------------------------------------------------------------
 
@@ -174,11 +179,23 @@ class Monitor:
         self._push_queue()
         self._log(job, "kill", job.kill_reason or "")
 
+    def attach_power(self, platform) -> None:
+        """Meter the platform's power when it declares node draw.
+
+        Registers a :class:`PowerMeter` as the platform's transition
+        listener; a powerless platform leaves :attr:`power` as ``None``
+        and the monitor's output byte-identical to pre-power builds.
+        """
+        if platform.power_enabled:
+            self.power = PowerMeter(self.env, platform)
+
     def finalize(self) -> None:
         """Close the series at the current time (end of simulation)."""
         self._finalized_at = self.env.now
         self.allocation_series.append((self.env.now, self._allocated))
         self.queue_series.append((self.env.now, self._queued))
+        if self.power is not None:
+            self.power.finalize(self.env.now)
 
     def attach_solver_stats(self, model: Any) -> None:
         """Snapshot a :class:`~repro.sharing.FairShareModel`'s perf counters.
@@ -231,6 +248,7 @@ class Monitor:
             "allocated": self._allocated,
             "queued": self._queued,
             "jobs": list(self._jobs),
+            "power": self.power.capture_state() if self.power is not None else None,
         }
 
     def restore_state(self, state: dict, jobs_by_jid: Dict[int, Job]) -> None:
@@ -252,6 +270,8 @@ class Monitor:
         self._queued = state["queued"]
         self._jobs = {jid: jobs_by_jid[jid] for jid in state["jobs"]}
         self._finalized_at = None
+        if self.power is not None and state.get("power") is not None:
+            self.power.restore_state(state["power"])
 
     # -- internals ------------------------------------------------------------
 
@@ -377,6 +397,14 @@ class Monitor:
             "processed_events": self.env.processed_events,
             "num_jobs": len(self._jobs),
         }
+        if self.power is not None:
+            energy = self.power.energy_record()
+            record["energy"] = {
+                "total_joules": _json_safe(energy["total_joules"]),
+                "max_power_watts": _json_safe(energy["max_power_watts"]),
+                "corridor_watts": _json_safe(energy["corridor_watts"]),
+                "node_joules": [_json_safe(e) for e in energy["node_joules"]],
+            }
         if self.solver is not None:
             record["solver"] = {
                 "resolves": self.solver.resolves,
@@ -461,6 +489,10 @@ class Monitor:
     def summary_by_user(self) -> Dict[str, SummaryStatistics]:
         """Per-user summaries (for fairness studies)."""
         return self.summary_by(lambda job: job.user)
+
+    def summary_by_class(self) -> Dict[str, SummaryStatistics]:
+        """Per-job-class summaries (batch vs. on-demand response times)."""
+        return self.summary_by(lambda job: job.job_class.value)
 
     # -- export -----------------------------------------------------------------
 

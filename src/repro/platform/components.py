@@ -100,6 +100,8 @@ class Node:
         gpus: int = 0,
         gpu_flops: float = 0.0,
         bb: Optional[BurstBuffer] = None,
+        idle_watts: float = 0.0,
+        peak_watts: float = 0.0,
     ) -> None:
         if flops <= 0:
             raise PlatformError(f"Node {index}: flops must be > 0, got {flops}")
@@ -110,6 +112,15 @@ class Node:
         if gpus > 0 and gpu_flops <= 0:
             raise PlatformError(
                 f"Node {index}: gpu_flops must be > 0 when gpus > 0"
+            )
+        if idle_watts < 0:
+            raise PlatformError(
+                f"Node {index}: idle_watts must be >= 0, got {idle_watts}"
+            )
+        if peak_watts < idle_watts:
+            raise PlatformError(
+                f"Node {index}: peak_watts must be >= idle_watts, "
+                f"got {peak_watts} < {idle_watts}"
             )
         self.index = index
         self.name = name or f"node{index:04d}"
@@ -126,6 +137,11 @@ class Node:
         self.up: Optional[SharedResource] = None
         self.down: Optional[SharedResource] = None
         self.bb = bb
+        #: Electrical draw while idle-but-up and while running a job, in
+        #: watts.  Both default to 0 (power accounting off): a powerless
+        #: node integrates zero energy and never constrains a corridor.
+        self.idle_watts = float(idle_watts)
+        self.peak_watts = float(peak_watts)
         self.state = NodeState.FREE
         #: Job currently holding this node (set by the batch system).
         self.assigned_job = None
@@ -140,6 +156,20 @@ class Node:
     def free(self) -> bool:
         """True while no job holds the node and it is operational."""
         return self.state is NodeState.FREE and not self.failed
+
+    @property
+    def power_watts(self) -> float:
+        """Instantaneous draw: 0 down, peak while allocated, idle otherwise.
+
+        A failed-but-still-allocated node reads 0: the failure took it off
+        the power rail even though the batch system has not yet reclaimed
+        the allocation.
+        """
+        if self.failed:
+            return 0.0
+        if self.state is NodeState.ALLOCATED:
+            return self.peak_watts
+        return self.idle_watts
 
     def _notify_pool(self) -> None:
         pool = self._pool

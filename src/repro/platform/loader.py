@@ -8,13 +8,16 @@ Format (all bandwidths bytes/s, flops flops/s, latencies seconds)::
       "network": {"topology": "star", "bandwidth": 12.5e9, "latency": 1e-6,
                   "pfs_bandwidth": 100e9},
       "pfs": {"read_bw": 100e9, "write_bw": 80e9},
-      "burst_buffer": {"read_bw": 5e9, "write_bw": 2e9, "capacity": 1.5e12}
+      "burst_buffer": {"read_bw": 5e9, "write_bw": 2e9, "capacity": 1.5e12},
+      "power": {"idle_watts": 100, "peak_watts": 350, "corridor_watts": 30e3}
     }
 
 ``network.topology`` ∈ {"star", "fat_tree", "torus", "dragonfly"}; the
 non-star variants accept their builder's keyword arguments (e.g. ``arity``
-for fat trees, ``dims`` for tori).  ``pfs`` and ``burst_buffer`` are
-optional.  Substitution note (see DESIGN.md): this replaces SimGrid XML
+for fat trees, ``dims`` for tori).  ``pfs``, ``burst_buffer`` and
+``power`` are optional; ``power`` gives every node the same idle/peak
+draw (watts) and may declare a system-wide ``corridor_watts`` cap for
+corridor-aware schedulers (see :doc:`docs/HYBRID`).  Substitution note (see DESIGN.md): this replaces SimGrid XML
 platform files with equal information content.
 """
 
@@ -119,6 +122,34 @@ def platform_from_dict(spec: Dict[str, Any]) -> Platform:
     gpus = int(node_spec.get("gpus", 0))
     gpu_flops = float(node_spec.get("gpu_flops", 0.0))
 
+    power_spec = spec.get("power")
+    idle_watts = 0.0
+    peak_watts = 0.0
+    corridor = None
+    if power_spec is not None:
+        if not isinstance(power_spec, dict):
+            raise PlatformError(
+                f"power must be an object, got {type(power_spec).__name__}"
+            )
+        peak_watts = _positive_number(
+            _require(power_spec, "peak_watts", "power"), "power.peak_watts"
+        )
+        idle_raw = power_spec.get("idle_watts", 0.0)
+        if not isinstance(idle_raw, (int, float)) or isinstance(idle_raw, bool):
+            raise PlatformError(f"power.idle_watts must be a number, got {idle_raw!r}")
+        idle_watts = float(idle_raw)
+        if not 0 <= idle_watts <= peak_watts:
+            raise PlatformError(
+                f"power.idle_watts must be in [0, peak_watts], got {idle_watts}"
+            )
+        if "corridor_watts" in power_spec:
+            corridor = _positive_number(
+                power_spec["corridor_watts"], "power.corridor_watts"
+            )
+        unknown = sorted(set(power_spec) - {"idle_watts", "peak_watts", "corridor_watts"})
+        if unknown:
+            raise PlatformError(f"power: unknown keys {unknown}")
+
     bb_spec = spec.get("burst_buffer")
     nodes = []
     for i in range(count):
@@ -138,7 +169,16 @@ def platform_from_dict(spec: Dict[str, Any]) -> Platform:
                 ),
             )
         nodes.append(
-            Node(i, flops, cores=cores, gpus=gpus, gpu_flops=gpu_flops, bb=bb)
+            Node(
+                i,
+                flops,
+                cores=cores,
+                gpus=gpus,
+                gpu_flops=gpu_flops,
+                bb=bb,
+                idle_watts=idle_watts,
+                peak_watts=peak_watts,
+            )
         )
 
     network_spec = _require(spec, "network", "platform")
@@ -157,7 +197,7 @@ def platform_from_dict(spec: Dict[str, Any]) -> Platform:
             capacity=float(pfs_spec.get("capacity", float("inf"))),
         )
 
-    return Platform(nodes, topology, pfs, name=name)
+    return Platform(nodes, topology, pfs, name=name, power_corridor=corridor)
 
 
 def load_platform(path: Union[str, Path]) -> Platform:

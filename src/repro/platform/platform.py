@@ -27,6 +27,11 @@ class Platform:
         The parallel file system; optional for compute-only studies.
     name:
         Display name used in reports.
+    power_corridor:
+        Optional system-wide power cap in watts.  Purely declarative at
+        this layer: corridor-aware schedulers read it through the
+        scheduler context and keep aggregate draw below it; the streaming
+        invariant checker audits that they did.
     """
 
     def __init__(
@@ -36,6 +41,7 @@ class Platform:
         pfs: Optional[Pfs] = None,
         *,
         name: str = "cluster",
+        power_corridor: Optional[float] = None,
     ) -> None:
         if not nodes:
             raise PlatformError("Platform needs at least one node")
@@ -45,10 +51,22 @@ class Platform:
                     f"Node indices must be dense: expected {expected}, "
                     f"got {node.index}"
                 )
+        if power_corridor is not None and power_corridor <= 0:
+            raise PlatformError(
+                f"power_corridor must be > 0, got {power_corridor}"
+            )
         self.name = name
         self.nodes: List[Node] = list(nodes)
         self.topology = topology
         self.pfs = pfs
+        self.power_corridor: Optional[float] = (
+            float(power_corridor) if power_corridor is not None else None
+        )
+        #: Power-transition listener (the monitor's meter when power
+        #: accounting is on).  Receives every node state change from
+        #: :meth:`_node_changed`, which is the single funnel all
+        #: allocate/deallocate/fail/repair transitions pass through.
+        self._power_listener = None
         topology.attach_nodes(self.nodes)
 
         # Incremental allocation indices.  Schedulers poll free_nodes() /
@@ -119,6 +137,8 @@ class Platform:
         if self._free_mask is not None:
             self._free_mask[index] = is_free
             self._failed_mask[index] = node.failed
+        if self._power_listener is not None:
+            self._power_listener.node_changed(node)
 
     def free_nodes(self) -> List[Node]:
         """Nodes currently not held by any job, in index order.
@@ -160,6 +180,42 @@ class Platform:
     def utilization(self) -> float:
         """Fraction of nodes currently allocated."""
         return 1.0 - self.num_free_nodes() / self.num_nodes
+
+    # -- power --------------------------------------------------------------
+
+    @property
+    def power_enabled(self) -> bool:
+        """True when any node declares a non-zero draw."""
+        return any(node.peak_watts > 0 for node in self.nodes)
+
+    def power_profile(self) -> Optional[dict]:
+        """Per-node draw and corridor as a JSON-safe dict; None when off.
+
+        Uniform fleets (everything the loader builds) collapse to scalar
+        ``idle``/``peak``; hand-built heterogeneous platforms get per-node
+        lists.  Embedded in the ``sim.start`` trace record so a post-hoc
+        :func:`~repro.tracing.check_trace` can re-arm the power-corridor
+        invariant from the trace alone.
+        """
+        if not self.power_enabled:
+            return None
+        idles = [node.idle_watts for node in self.nodes]
+        peaks = [node.peak_watts for node in self.nodes]
+        uniform = len(set(idles)) == 1 and len(set(peaks)) == 1
+        return {
+            "idle": idles[0] if uniform else idles,
+            "peak": peaks[0] if uniform else peaks,
+            "corridor": self.power_corridor,
+        }
+
+    def current_power(self) -> float:
+        """Aggregate instantaneous draw in watts (exact recomputation).
+
+        O(n) in the node count, but only consulted by corridor-aware
+        scheduling decisions and tests — the hot energy integral is
+        maintained incrementally by the monitor's meter instead.
+        """
+        return sum(node.power_watts for node in self.nodes)
 
     # -- routing ------------------------------------------------------------
 

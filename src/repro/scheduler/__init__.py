@@ -36,6 +36,7 @@ from repro.scheduler.algorithms import (
     ConservativeBackfillingScheduler,
     EasyBackfillingScheduler,
     FcfsScheduler,
+    HybridCorridorScheduler,
     MalleableScheduler,
     MoldableScheduler,
     PreemptivePriorityScheduler,
@@ -51,6 +52,7 @@ __all__ = [
     "ConservativeBackfillingScheduler",
     "EasyBackfillingScheduler",
     "FcfsScheduler",
+    "HybridCorridorScheduler",
     "Invocation",
     "InvocationType",
     "MalleableScheduler",

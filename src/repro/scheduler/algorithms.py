@@ -11,7 +11,7 @@ import random
 from math import inf
 from typing import Dict, List, Optional, Type
 
-from repro.job import Job, JobType
+from repro.job import Job, JobClass, JobType
 from repro.scheduler.base import Algorithm
 from repro.scheduler.context import Invocation, InvocationType, SchedulerContext, SchedulerError
 
@@ -820,6 +820,158 @@ class AverageStealAgreementScheduler(Algorithm):
             ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
 
 
+class HybridCorridorScheduler(Algorithm):
+    """Hybrid batch/on-demand scheduling inside a system power corridor.
+
+    The shipped policy for the hybrid job-class model (``docs/HYBRID.md``):
+
+    * **On-demand admission** — pending :attr:`~repro.job.JobClass.ON_DEMAND`
+      jobs are admitted in submit order.  When one cannot start — not
+      enough free nodes, or starting it would push aggregate draw past the
+      corridor — running *batch*-class jobs are preempted (killed with
+      reason ``"preempted"``; the batch system requeues them, resuming
+      from their last checkpoint when ``checkpoint_restart`` is on).
+      Victims are the cheapest first: smallest allocation, then
+      latest-started (least work lost), and are only killed when together
+      they cover both the node deficit *and* the power deficit — otherwise
+      no work is wasted.  Killed victims release their nodes at this same
+      simulated instant, so the completion re-invocation admits the
+      on-demand job immediately.
+    * **Batch pass** — strict FCFS over batch-class jobs, additionally
+      gated on corridor headroom: the queue head blocks until both its
+      nodes are free and its idle→peak start cost fits under the
+      corridor.  Deliberately no backfilling: strict FCFS keeps the
+      policy free of scheduling anomalies, so widening the corridor can
+      never lengthen the schedule (the ``corridor-relax`` oracle relies
+      on this monotonicity).
+    * **Evolving requests** — grants are clamped so the extra draw of the
+      added nodes fits the corridor headroom; blocking requests that
+      cannot be granted at all are denied so the requester resumes rather
+      than deadlocking.
+    """
+
+    name = "hybrid-corridor"
+    respects_power_corridor = True
+
+    def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
+        if (
+            invocation.type is InvocationType.EVOLVING_REQUEST
+            and invocation.job is not None
+        ):
+            self._resolve_evolving(ctx, invocation.job)
+        if self._ondemand_pass(ctx):
+            # An on-demand job is still waiting (usually for its preempted
+            # victims' nodes, released at this same instant).  Starting
+            # batch jobs now would hand it exactly those nodes and preempt
+            # them right back — an admission livelock — so batch starts
+            # hold until every on-demand job is placed.
+            return
+        self._batch_pass(ctx)
+
+    # -- on-demand admission ------------------------------------------------
+
+    def _ondemand_pass(self, ctx: SchedulerContext) -> bool:
+        """Admit pending on-demand jobs; True while any is still waiting."""
+        waiting = False
+        for job in ctx.pending_jobs:
+            if job.job_class is not JobClass.ON_DEMAND:
+                continue
+            need = job.num_nodes  # == _start_size(job)
+            free = ctx.free_nodes()
+            if need <= len(free):
+                chosen = free[:need]
+                if ctx.start_power_cost(chosen) <= ctx.power_headroom():
+                    ctx.start_job(job, chosen)
+                    continue
+            waiting = True
+            if self._preempt_for(ctx, job):
+                # Victims finish at this instant; the resulting completion
+                # invocation re-enters this pass and starts the job.
+                break
+        return waiting
+
+    @staticmethod
+    def _preempt_for(ctx: SchedulerContext, job: Job) -> bool:
+        """Kill the cheapest batch victims that admit ``job``; False if none can."""
+        need = job.num_nodes
+        node_deficit = need - ctx.num_free_nodes()
+        # Worst-case start cost: the job may land on any nodes once the
+        # victims release, so budget for the `need` hungriest ones.
+        costs = sorted(
+            (node.peak_watts - node.idle_watts for node in ctx.platform.nodes),
+            reverse=True,
+        )
+        power_deficit = sum(costs[:need]) - ctx.power_headroom()
+        victims = sorted(
+            (
+                j
+                for j in ctx.running_jobs
+                if j.job_class is JobClass.BATCH
+                and j.pending_reconfiguration is None
+                and j.evolving_wait_event is None
+            ),
+            key=lambda j: (len(j.assigned_nodes), -(j.start_time or 0.0), j.jid),
+        )
+        chosen: List[Job] = []
+        freeable = 0
+        reclaimed = 0.0
+        for victim in victims:
+            if freeable >= node_deficit and reclaimed >= power_deficit:
+                break
+            chosen.append(victim)
+            freeable += len(victim.assigned_nodes)
+            reclaimed += sum(
+                n.peak_watts - n.idle_watts for n in victim.assigned_nodes
+            )
+        if freeable < node_deficit or reclaimed < power_deficit:
+            return False  # preemption cannot admit the job; do not waste work
+        for victim in chosen:
+            ctx.kill_job(victim, reason="preempted")
+        return True
+
+    # -- batch pass ---------------------------------------------------------
+
+    @staticmethod
+    def _batch_pass(ctx: SchedulerContext) -> None:
+        for job in ctx.pending_jobs:
+            if job.job_class is JobClass.ON_DEMAND:
+                continue  # admission pass owns these; they never block batch
+            need = job.num_nodes  # == _start_size(job)
+            free = ctx.free_nodes()
+            if need > len(free):
+                return  # strict FCFS: later batch jobs must wait
+            chosen = free[:need]
+            if ctx.start_power_cost(chosen) > ctx.power_headroom():
+                return  # the head blocks on power exactly as it does on nodes
+            ctx.start_job(job, chosen)
+
+    # -- evolving requests --------------------------------------------------
+
+    @staticmethod
+    def _resolve_evolving(ctx: SchedulerContext, job: Job) -> None:
+        desired = job.evolving_request
+        if desired is None or job.pending_reconfiguration is not None:
+            return
+        blocking = job.evolving_wait_event is not None
+        desired = max(job.min_nodes, min(desired, job.max_nodes))
+        current = len(job.assigned_nodes)
+        if desired > current:
+            free = ctx.free_nodes()
+            grow = min(desired - current, len(free))
+            # Clamp the grant until its idle→peak cost fits the corridor.
+            while grow > 0 and ctx.start_power_cost(free[:grow]) > ctx.power_headroom():
+                grow -= 1
+            if grow <= 0:
+                if blocking:
+                    ctx.deny_evolving_request(job)
+                return
+            ctx.reconfigure_job(job, list(job.assigned_nodes) + free[:grow])
+        elif desired < current:
+            ctx.reconfigure_job(job, job.assigned_nodes[:desired])
+        elif blocking:
+            ctx.deny_evolving_request(job)
+
+
 class RandomDecisionScheduler(Algorithm):
     """Adversarial scheduler: random-but-valid decisions at every invocation.
 
@@ -995,6 +1147,7 @@ _REGISTRY: Dict[str, Type[Algorithm]] = {
         RigidEasyBackfillScheduler,
         PrefCommonPoolScheduler,
         AverageStealAgreementScheduler,
+        HybridCorridorScheduler,
         RandomDecisionScheduler,
     )
 }

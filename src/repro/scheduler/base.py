@@ -18,6 +18,13 @@ class Algorithm:
     #: Registry name; subclasses override.
     name = "base"
 
+    #: Declares that this policy keeps aggregate node draw within the
+    #: platform's power corridor.  The streaming power-corridor invariant
+    #: is armed only for algorithms that set this: the corridor is a
+    #: *policy* contract, and corridor-oblivious schedulers legitimately
+    #: exceed it.
+    respects_power_corridor = False
+
     @classmethod
     def from_param(cls, param: str) -> "Algorithm":
         """Build an instance from a ``name:param`` registry string.
@@ -35,6 +42,22 @@ class Algorithm:
 
     def schedule(self, ctx: SchedulerContext, invocation: Invocation) -> None:
         """Inspect the system and issue decisions.  Default: do nothing."""
+
+    def place_tasks(self, job, task, nodes):
+        """Application-level (two-level) scheduling hook.
+
+        Called by the engine before each task of ``job`` runs; ``nodes``
+        is the job's current allocation.  Return the subset of ``nodes``
+        the task should occupy — a non-empty, duplicate-free selection —
+        or ``None`` (the default) to run the task on the whole allocation,
+        which is the classic single-level behaviour.
+
+        The hook must be a *pure function* of its arguments: the engine
+        may re-evaluate it (e.g. when attributing trace spans), and
+        snapshot-resumed runs re-place in-flight applications' later
+        tasks, so a stateful or randomised placement would diverge.
+        """
+        return None
 
     def capture_state(self) -> "dict | None":
         """Snapshot internal cross-invocation state as a JSON-safe dict.

@@ -89,6 +89,29 @@ class SchedulerContext:
             return inf
         return job.start_time + job.walltime
 
+    # -- power views ------------------------------------------------------
+
+    @property
+    def power_corridor(self) -> Optional[float]:
+        """The platform's power cap in watts (None when unconstrained)."""
+        return self._batch.platform.power_corridor
+
+    def current_power(self) -> float:
+        """Aggregate node draw right now, in watts."""
+        return self._batch.current_power()
+
+    def power_headroom(self) -> float:
+        """Watts left under the corridor (inf when no corridor is set)."""
+        corridor = self._batch.platform.power_corridor
+        if corridor is None:
+            return inf
+        return corridor - self._batch.current_power()
+
+    @staticmethod
+    def start_power_cost(nodes: Sequence[Node]) -> float:
+        """Extra draw of allocating ``nodes`` (idle → peak transition)."""
+        return sum(node.peak_watts - node.idle_watts for node in nodes)
+
     # -- decisions ------------------------------------------------------------
 
     def start_job(self, job: Job, nodes: Sequence[Node]) -> None:

@@ -25,6 +25,17 @@ or in the checker, and both outcomes are actionable:
     committed or released (at the latest when its job ends).
 ``terminal-release``
     When the simulation ends with no job running, no node is still held.
+``power-corridor``
+    Aggregate node draw (idle for free nodes, peak for held ones, zero
+    for failed ones) never exceeds the platform's power corridor.  Armed
+    only when the trace declares a corridor *and* marks it enforced
+    (``sim.start``'s ``power`` args, set for algorithms that declare
+    :attr:`~repro.scheduler.base.Algorithm.respects_power_corridor`) —
+    the corridor is a policy contract, not a law of physics, so
+    corridor-oblivious schedulers are not audited against it.  Draw is
+    validated at *settled* instants: all records carrying one timestamp
+    are applied before the check, so same-instant release-then-allocate
+    transients cannot produce false positives.
 
 Use it online (subscribe :meth:`InvariantChecker.feed` to a
 :class:`~repro.tracing.Tracer`) or post-hoc over a saved trace
@@ -85,6 +96,7 @@ class InvariantChecker:
         *,
         num_nodes: Optional[int] = None,
         tolerance: float = 1e-9,
+        power: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.tolerance = tolerance
@@ -102,6 +114,73 @@ class InvariantChecker:
         self._pending_orders: Dict[int, Set[int]] = {}
         self._sim_ended = False
         self._finished = False
+        #: indices of currently-failed nodes (drawing zero watts).
+        self._failed: Set[int] = set()
+        # -- power corridor (armed via `power` or a sim.start record) -------
+        self._power_armed = False
+        self._power_idle: List[float] = []
+        self._power_peak: List[float] = []
+        self._power_corridor = inf
+        #: Instant whose power state changed but is not yet validated; the
+        #: check fires once emission time advances past it (settled state).
+        self._power_dirty_at: Optional[float] = None
+        self._arm_power(power)
+
+    def _arm_power(self, profile: Optional[Dict[str, Any]]) -> None:
+        """Arm the corridor audit from a ``sim.start``-shaped power profile.
+
+        ``idle``/``peak`` may each be a scalar (uniform machine) or a
+        per-node list; scalars need a known node count to expand.  Without
+        a corridor, or with ``enforced`` false, the audit stays off.
+        """
+        if not profile:
+            return
+        corridor = profile.get("corridor")
+        if corridor is None or not profile.get("enforced"):
+            return
+        idle = profile.get("idle", 0.0)
+        peak = profile.get("peak")
+        if peak is None:
+            return
+        count = self.num_nodes
+        if isinstance(peak, list):
+            count = len(peak)
+        elif isinstance(idle, list):
+            count = len(idle)
+        if count is None:
+            return  # scalar profile with unknown machine size
+        self._power_idle = (
+            [float(w) for w in idle] if isinstance(idle, list) else [float(idle)] * count
+        )
+        self._power_peak = (
+            [float(w) for w in peak] if isinstance(peak, list) else [float(peak)] * count
+        )
+        self._power_corridor = float(corridor)
+        self._power_armed = True
+
+    def _power_touch(self, time: float) -> None:
+        """Mark ``time`` as a power-state change awaiting a settled check."""
+        if self._power_armed:
+            self._power_dirty_at = time
+
+    def _check_corridor(self) -> None:
+        """Validate the settled draw at the last power-change instant."""
+        time = self._power_dirty_at
+        self._power_dirty_at = None
+        if time is None:
+            return
+        draw = 0.0
+        for index, idle in enumerate(self._power_idle):
+            if index in self._failed:
+                continue
+            draw += self._power_peak[index] if index in self._owner else idle
+        limit = self._power_corridor
+        if draw > limit * (1 + 1e-9) + self.tolerance:
+            self._violate(
+                time,
+                "power-corridor",
+                f"aggregate draw {draw:g} W exceeds the {limit:g} W corridor",
+            )
 
     # -- reporting ----------------------------------------------------------
 
@@ -126,6 +205,9 @@ class InvariantChecker:
         else:
             self._last_emission = max(self._last_emission, emission)
 
+        if self._power_dirty_at is not None and emission > self._power_dirty_at:
+            self._check_corridor()
+
         handler = self._HANDLERS.get(record.kind)
         if handler is not None:
             handler(self, record)
@@ -135,6 +217,7 @@ class InvariantChecker:
         if self._finished:
             return self.violations
         self._finished = True
+        self._check_corridor()
         time = self._last_emission if self._last_emission > -inf else 0.0
         for jid, reserved in sorted(self._pending_orders.items()):
             self._violate(
@@ -227,6 +310,7 @@ class InvariantChecker:
                 f"node {node} allocated to job {jid} while held by job {holder}",
             )
         self._owner[node] = jid
+        self._power_touch(record.time)
         if self.num_nodes is not None and len(self._owner) > self.num_nodes:
             self._violate(
                 record.time,
@@ -252,6 +336,7 @@ class InvariantChecker:
                 f"node {node} released by job {jid} but held by job {holder}",
             )
         del self._owner[node]
+        self._power_touch(record.time)
 
     def _on_alloc_count(self, record: TraceRecord) -> None:
         reported = record.args.get("n")
@@ -280,6 +365,20 @@ class InvariantChecker:
         jid = record.args.get("jid")
         self._pending_orders.pop(jid, None)
 
+    def _on_node_fail(self, record: TraceRecord) -> None:
+        self._failed.add(record.args.get("node"))
+        self._power_touch(record.time)
+
+    def _on_node_repair(self, record: TraceRecord) -> None:
+        self._failed.discard(record.args.get("node"))
+        self._power_touch(record.time)
+
+    def _on_sim_start(self, record: TraceRecord) -> None:
+        if self.num_nodes is None:
+            self.num_nodes = record.args.get("nodes")
+        if not self._power_armed:
+            self._arm_power(record.args.get("power"))
+
     def _on_sim_end(self, record: TraceRecord) -> None:
         self._sim_ended = True
 
@@ -291,9 +390,12 @@ class InvariantChecker:
         "job.kill": _on_end,
         "node.alloc": _on_node_alloc,
         "node.release": _on_node_release,
+        "node.fail": _on_node_fail,
+        "node.repair": _on_node_repair,
         "alloc.count": _on_alloc_count,
         "reconf.order": _on_reconf_order,
         "reconf.commit": _on_reconf_commit,
+        "sim.start": _on_sim_start,
         "sim.end": _on_sim_end,
     }
 

@@ -24,7 +24,7 @@ from repro.application.tasks import (
     PfsReadTask,
     PfsWriteTask,
 )
-from repro.job import Job, JobType
+from repro.job import Job, JobClass, JobType
 from repro.workload.apportion import largest_remainder
 
 
@@ -134,6 +134,12 @@ class WorkloadSpec:
     grow_factor: int = 2
     #: Jobs are attributed to this many users, drawn uniformly.
     num_users: int = 1
+    #: Fraction of jobs in the on-demand class (admitted with priority —
+    #: and preemption — by hybrid schedulers); the rest are batch.
+    ondemand_fraction: float = 0.0
+    #: Checkpoint size every job declares (bytes read back from the PFS
+    #: on a resumed restart); 0 disables restart I/O accounting.
+    checkpoint_bytes: float = 0.0
 
     def validate(self) -> None:
         if self.num_jobs < 1:
@@ -151,6 +157,10 @@ class WorkloadSpec:
             raise ValueError("need 1 <= min_iterations <= max_iterations")
         if self.walltime_slack <= 0:
             raise ValueError("walltime_slack must be > 0")
+        if not 0.0 <= self.ondemand_fraction <= 1.0:
+            raise ValueError("ondemand_fraction must be within [0, 1]")
+        if self.checkpoint_bytes < 0:
+            raise ValueError("checkpoint_bytes must be >= 0")
         if self.mean_runtime <= 0:
             raise ValueError("mean_runtime must be > 0")
         if self.runtime_sigma < 0:
@@ -223,6 +233,16 @@ def generate_workload(
         types[order[cursor : cursor + count]] = code
         cursor += count
     user_ids = rng.integers(0, spec.num_users, size=spec.num_jobs)
+    # Job classes: same exact-fraction scheme, from an independent shuffle
+    # so class and type mix freely.  Drawn only when requested, keeping
+    # legacy (spec, seed) streams byte-stable.
+    ondemand: set = set()
+    if spec.ondemand_fraction > 0:
+        class_order = rng.permutation(spec.num_jobs)
+        _, n_ondemand = largest_remainder(
+            (1.0 - spec.ondemand_fraction, spec.ondemand_fraction), spec.num_jobs
+        )
+        ondemand = {int(i) for i in class_order[:n_ondemand]}
     code_to_type = {
         0: JobType.RIGID,
         1: JobType.MALLEABLE,
@@ -265,6 +285,10 @@ def generate_workload(
             name=f"job{i + 1}",
             user=f"user{int(user_ids[i])}",
         )
+        if i in ondemand:
+            kwargs["job_class"] = JobClass.ON_DEMAND
+        if spec.checkpoint_bytes > 0:
+            kwargs["checkpoint_bytes"] = spec.checkpoint_bytes
         if job_type is not JobType.RIGID:
             kwargs["min_nodes"] = max(1, request // spec.shrink_factor)
             kwargs["max_nodes"] = min(

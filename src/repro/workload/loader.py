@@ -16,7 +16,9 @@ Format::
           "max_nodes": 16,
           "walltime": 3600,               // optional, seconds
           "application": "solver",        // name reference or inline object
-          "arguments": {"num_steps": 100} // expression variables
+          "arguments": {"num_steps": 100},// expression variables
+          "class": "on-demand",           // batch (default) | on-demand
+          "checkpoint_bytes": 64e9        // restart I/O footprint, optional
         }
       ]
     }
@@ -30,7 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro.application import ApplicationError, ApplicationModel, application_from_dict
-from repro.job import Job, JobError, JobType
+from repro.job import Job, JobClass, JobError, JobType
 
 
 class WorkloadError(Exception):
@@ -71,6 +73,15 @@ def _job_from_dict(
         except ApplicationError as exc:
             raise WorkloadError(f"{context}: bad inline application: {exc}") from exc
 
+    raw_class = spec.get("class", "batch")
+    try:
+        job_class = JobClass(raw_class)
+    except ValueError:
+        raise WorkloadError(
+            f"{context}: unknown class {raw_class!r}; "
+            f"expected one of {[c.value for c in JobClass]}"
+        ) from None
+
     kwargs: Dict[str, Any] = dict(
         job_type=job_type,
         submit_time=float(spec.get("submit_time", 0.0)),
@@ -80,7 +91,10 @@ def _job_from_dict(
         name=spec.get("name"),
         user=spec.get("user"),
         priority=int(spec.get("priority", 0)),
+        job_class=job_class,
     )
+    if spec.get("checkpoint_bytes") is not None:
+        kwargs["checkpoint_bytes"] = float(spec["checkpoint_bytes"])
     if "min_nodes" in spec:
         kwargs["min_nodes"] = int(spec["min_nodes"])
     if "max_nodes" in spec:

@@ -78,3 +78,33 @@ def test_run_record_byte_identical_across_engine_modes(algorithm):
             f"run_record diverged for compiled={compiled} "
             f"vectorize={vectorize} array={array} algorithm={algorithm}"
         )
+
+
+def test_hybrid_preemption_and_energy_byte_identical_across_modes():
+    # On-demand preemption, restart I/O, and the Fraction-integrated
+    # energy block must survive every engine mode byte-for-byte.
+    from repro.fuzz.oracles import run_scenario_record
+
+    from tests.scheduler.test_hybrid import HYBRID_SPEC
+
+    reference = run_scenario_record(
+        HYBRID_SPEC,
+        compiled=MODES[0][0],
+        vectorize=MODES[0][1],
+        array=MODES[0][2],
+        check_invariants=True,
+    )
+    assert "energy" in reference
+    reference_bytes = json.dumps(reference, sort_keys=True)
+    for compiled, vectorize, array in MODES[1:]:
+        record = run_scenario_record(
+            HYBRID_SPEC,
+            compiled=compiled,
+            vectorize=vectorize,
+            array=array,
+            check_invariants=True,
+        )
+        assert json.dumps(record, sort_keys=True) == reference_bytes, (
+            f"hybrid run_record diverged for compiled={compiled} "
+            f"vectorize={vectorize} array={array}"
+        )

@@ -1,0 +1,150 @@
+"""Power metering: exact energy integration, conservation, and scaling.
+
+The meter's contract (docs/HYBRID.md): per-node energy is the exact
+piecewise-constant integral of the node's draw — 0 W failed, peak
+allocated, idle otherwise — accumulated in ``Fraction`` arithmetic, so
+the reported joules are reproducible bit-for-bit and the conservation
+property below holds with *equality*, not a tolerance.
+"""
+
+import json
+import tempfile
+from fractions import Fraction
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import Simulation
+from repro.fuzz.generate import FuzzBudget, generate_scenario
+from repro.fuzz.oracles import SCALE_FACTOR, run_scenario_record, scale_scenario
+from repro.tracing import read_jsonl
+
+POWERED_PLATFORM = {
+    "nodes": {"count": 2, "flops": 1e9},
+    "network": {"topology": "star", "bandwidth": 1e10},
+    "power": {"idle_watts": 100.0, "peak_watts": 300.0},
+}
+
+ONE_NODE_5S_JOB = {
+    "id": 1,
+    "type": "rigid",
+    "num_nodes": 1,
+    "submit_time": 0.0,
+    "application": {"phases": [{"tasks": [{"type": "cpu", "flops": 5e9}]}]},
+}
+
+
+def _run(spec):
+    sim = Simulation.from_spec(json.loads(json.dumps(spec)))
+    monitor = sim.run()
+    return monitor.run_record()
+
+
+class TestEnergyRecord:
+    def test_exact_integration_single_job(self):
+        record = _run(
+            {
+                "platform": POWERED_PLATFORM,
+                "workload": {"inline": {"jobs": [ONE_NODE_5S_JOB]}},
+                "algorithm": "fcfs",
+            }
+        )
+        energy = record["energy"]
+        # node 0 busy for all 5 s at 300 W, node 1 idle at 100 W.
+        assert energy["node_joules"] == [1500.0, 500.0]
+        assert energy["total_joules"] == 2000.0
+        assert energy["max_power_watts"] == 400.0
+        assert energy["corridor_watts"] is None
+
+    def test_energy_absent_without_power_block(self):
+        platform = {k: v for k, v in POWERED_PLATFORM.items() if k != "power"}
+        record = _run(
+            {
+                "platform": platform,
+                "workload": {"inline": {"jobs": [ONE_NODE_5S_JOB]}},
+                "algorithm": "fcfs",
+            }
+        )
+        assert "energy" not in record
+
+
+#: Every scenario declares power; half also mix in on-demand jobs, so the
+#: properties below cover preemption-driven transitions too.
+POWERED_BUDGET = FuzzBudget(power_probability=1.0, ondemand_probability=0.5)
+
+
+def _trace_integral(records, platform_spec):
+    """Re-integrate per-node energy from the flight-recorder trace.
+
+    Same draw model as the meter (0 W failed, peak owned, idle
+    otherwise), same Fraction arithmetic over the same float timestamps —
+    so the result must equal the reported ``node_joules`` exactly.
+    """
+    count = platform_spec["nodes"]["count"]
+    idle = platform_spec["power"]["idle_watts"]
+    peak = platform_spec["power"]["peak_watts"]
+    owned, failed = set(), set()
+
+    def watts(index):
+        if index in failed:
+            return 0.0
+        return peak if index in owned else idle
+
+    energy = [Fraction(0)] * count
+    last = [0.0] * count
+    end_time = 0.0
+    for record in records:
+        index = record.args.get("node")
+        if record.kind == "node.alloc":
+            after = owned.add
+        elif record.kind == "node.release":
+            after = owned.discard
+        elif record.kind == "node.fail":
+            after = failed.add
+        elif record.kind == "node.repair":
+            after = failed.discard
+        else:
+            if record.kind == "sim.end":
+                end_time = record.end
+            continue
+        if record.end > last[index]:
+            energy[index] += Fraction(watts(index)) * (
+                Fraction(record.end) - Fraction(last[index])
+            )
+            last[index] = record.end
+        after(index)
+    for index in range(count):
+        energy[index] += Fraction(watts(index)) * (
+            Fraction(end_time) - Fraction(last[index])
+        )
+    return energy
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_energy_equals_trace_integral(seed):
+    scenario = generate_scenario(seed, budget=POWERED_BUDGET)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.trace.jsonl"
+        sim = Simulation.from_spec(json.loads(json.dumps(scenario)))
+        monitor = sim.run(trace=path)
+        records = read_jsonl(path)
+    energy = monitor.run_record()["energy"]
+    integral = _trace_integral(records, scenario["platform"])
+    assert energy["node_joules"] == [float(e) for e in integral]
+    assert energy["total_joules"] == float(sum(integral, Fraction(0)))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_energy_scales_exactly_with_time(seed):
+    scenario = generate_scenario(seed, budget=POWERED_BUDGET)
+    base = run_scenario_record(scenario)["energy"]
+    scaled = run_scenario_record(scale_scenario(scenario, SCALE_FACTOR))["energy"]
+    # Stretching time by a power of two scales every joule bit-exactly
+    # and leaves the wattage statistics untouched.
+    assert scaled["total_joules"] == base["total_joules"] * SCALE_FACTOR
+    assert scaled["node_joules"] == [e * SCALE_FACTOR for e in base["node_joules"]]
+    assert scaled["max_power_watts"] == base["max_power_watts"]
+    assert scaled["corridor_watts"] == base["corridor_watts"]

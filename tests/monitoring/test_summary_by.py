@@ -38,6 +38,27 @@ class TestSummaryBy:
         assert by_user["alice"].mean_wait == pytest.approx(0.0)
         assert by_user["bob"].mean_wait > 1.0
 
+    def test_summary_by_class_splits_batch_and_ondemand(self, platform):
+        from repro.job import JobClass
+
+        jobs = [
+            make_job(1, total_flops=16e9, num_nodes=8),
+            make_job(
+                2,
+                total_flops=8e9,
+                num_nodes=4,
+                submit_time=1.0,
+                job_class=JobClass.ON_DEMAND,
+            ),
+        ]
+        monitor = Simulation(
+            platform, jobs, algorithm="hybrid-corridor", checkpoint_restart=True
+        ).run()
+        by_class = monitor.summary_by_class()
+        assert set(by_class) == {"batch", "on-demand"}
+        # Admitted by preemption at its submit instant: zero wait.
+        assert by_class["on-demand"].mean_wait == pytest.approx(0.0)
+
     def test_group_makespan_is_group_local(self, platform):
         jobs = [
             make_job(1, total_flops=8e9, num_nodes=8, user="early"),  # ends t=1
@@ -127,6 +148,66 @@ class TestCliExtensions:
         assert code == 0
         out = capsys.readouterr().out
         assert "injecting" in out
+
+    def test_run_reports_energy_on_powered_platform(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        platform_file = tmp_path / "p.json"
+        platform_file.write_text(
+            json.dumps(
+                {
+                    "nodes": {"count": 8, "flops": 1e12},
+                    "network": {"topology": "star", "bandwidth": 1e10},
+                    "power": {
+                        "idle_watts": 100.0,
+                        "peak_watts": 300.0,
+                        "corridor_watts": 2000.0,
+                    },
+                }
+            )
+        )
+        workload_file = tmp_path / "w.json"
+        main(["generate", "--output", str(workload_file), "--num-jobs", "3"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "run",
+                    "--platform",
+                    str(platform_file),
+                    "--workload",
+                    str(workload_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "total_energy_joules" in out
+        assert "max_power_watts" in out
+        assert "corridor_watts" in out
+
+    def test_run_omits_energy_on_powerless_platform(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        platform_file = tmp_path / "p.json"
+        platform_file.write_text(
+            json.dumps(
+                {
+                    "nodes": {"count": 8, "flops": 1e12},
+                    "network": {"topology": "star", "bandwidth": 1e10},
+                }
+            )
+        )
+        workload_file = tmp_path / "w.json"
+        main(["generate", "--output", str(workload_file), "--num-jobs", "3"])
+        capsys.readouterr()
+        main(["run", "--platform", str(platform_file), "--workload", str(workload_file)])
+        out = capsys.readouterr().out
+        assert "total_energy_joules" not in out
 
 
 class TestNodeUtilization:

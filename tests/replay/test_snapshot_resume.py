@@ -141,6 +141,13 @@ def _failures_and_requeue():
     }
 
 
+def _hybrid_preemption():
+    """On-demand preemption with restart I/O under the power corridor."""
+    from tests.scheduler.test_hybrid import HYBRID_SPEC
+
+    return json.loads(json.dumps(HYBRID_SPEC))
+
+
 #: scenario builder + checkpoint cadence (sparse-event scenarios need a
 #: finer cadence to yield multiple quiet boundaries).
 SCENARIOS = {
@@ -148,6 +155,7 @@ SCENARIOS = {
     "elastic-mix": (_elastic_mix, 15),
     "walltime-kills": (_walltime_kills, 6),
     "failures-requeue": (_failures_and_requeue, 6),
+    "hybrid-preemption": (_hybrid_preemption, 4),
 }
 
 
@@ -162,6 +170,18 @@ class TestResumeIdentity:
     def test_fuzz_scenarios(self, seed):
         scenario = generate_scenario(seed, algorithm="easy")
         assert_resume_identical(scenario, snapshot_every=50)
+
+    def test_hybrid_snapshot_lands_mid_preemption(self):
+        # The identity sweep above resumes from *every* checkpoint; this
+        # pins that at least one of them sits inside the preemption epoch
+        # — batch victims killed (t=5), their resumed clones not yet
+        # started (t=16/3) — so preempted-job state, pending requeues,
+        # and the power meter all cross a resume boundary.
+        _, _, snapshots = snapshot_run(_hybrid_preemption(), 4)
+        assert any(5.0 <= snap.time < 16 / 3 for snap in snapshots), (
+            f"no snapshot in the preemption window: "
+            f"{[snap.time for snap in snapshots]}"
+        )
 
     def test_resume_from_saved_file(self, tmp_path):
         spec = _rigid_mix()

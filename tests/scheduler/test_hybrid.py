@@ -1,0 +1,267 @@
+"""Hybrid job classes: on-demand preemption, the power corridor, and the
+task-placement hook.
+
+The deterministic scenario: 8 nodes (100 W idle / 300 W peak) under a
+2000 W corridor (six busy nodes).  Two batch jobs fill the machine; an
+on-demand job for six nodes arrives at t=5 and must start *at* t=5 by
+preempting both, paying checkpoint/restart I/O where the job declared a
+checkpoint size.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import Simulation
+from repro.fuzz.generate import FuzzBudget, generate_scenario
+from repro.fuzz.oracles import run_scenario_record
+from repro.job import JobState
+from repro.scheduler import FcfsScheduler
+
+HYBRID_SPEC = {
+    "platform": {
+        "nodes": {"count": 8, "flops": 1e12},
+        "network": {"topology": "star", "bandwidth": 1e10, "pfs_bandwidth": 1e10},
+        "pfs": {"read_bw": 1e10, "write_bw": 1e10},
+        "power": {"idle_watts": 100.0, "peak_watts": 300.0, "corridor_watts": 2000.0},
+    },
+    "workload": {
+        "inline": {
+            "jobs": [
+                {
+                    "id": 1,
+                    "type": "rigid",
+                    "num_nodes": 4,
+                    "submit_time": 0.0,
+                    "checkpoint_bytes": 2e9,
+                    "application": {
+                        "phases": [
+                            {"tasks": [{"type": "cpu", "flops": 5e12}], "iterations": 4}
+                        ]
+                    },
+                },
+                {
+                    "id": 2,
+                    "type": "rigid",
+                    "num_nodes": 2,
+                    "submit_time": 0.0,
+                    "application": {
+                        "phases": [
+                            {"tasks": [{"type": "cpu", "flops": 4e12}], "iterations": 3}
+                        ]
+                    },
+                },
+                {
+                    "id": 3,
+                    "type": "rigid",
+                    "num_nodes": 6,
+                    "submit_time": 5.0,
+                    "class": "on-demand",
+                    "application": {
+                        "phases": [{"tasks": [{"type": "cpu", "flops": 2e12}]}]
+                    },
+                },
+            ]
+        }
+    },
+    "algorithm": "hybrid-corridor",
+    "sim": {"checkpoint_restart": True},
+}
+
+
+def run_hybrid(spec=HYBRID_SPEC, **run_kwargs):
+    sim = Simulation.from_spec(json.loads(json.dumps(spec)))
+    monitor = sim.run(**run_kwargs)
+    return sim, monitor
+
+
+class TestOnDemandPreemption:
+    def test_on_demand_starts_at_submit_by_preempting(self):
+        sim, monitor = run_hybrid()
+        by_jid = {job.jid: job for job in sim.batch.jobs}
+        ondemand = by_jid[3]
+        assert ondemand.start_time == 5.0  # zero queue wait
+        assert by_jid[1].state is JobState.KILLED
+        assert by_jid[1].kill_reason == "preempted"
+        assert by_jid[2].kill_reason == "preempted"
+        assert monitor.makespan() == pytest.approx(22 / 3)
+
+    def test_preempted_jobs_resume_and_finish(self):
+        sim, _monitor = run_hybrid()
+        clones = {job.origin_jid: job for job in sim.batch.jobs if job.origin_jid}
+        assert set(clones) == {1, 2}
+        assert all(c.state is JobState.COMPLETED for c in clones.values())
+        # Batch restarts hold until the on-demand job has its nodes; the
+        # corridor (six busy nodes) then delays them to its completion.
+        assert clones[1].start_time == pytest.approx(16 / 3)
+        assert clones[2].start_time == pytest.approx(16 / 3)
+
+    def test_restart_read_charges_checkpoint_io(self):
+        sim, _monitor = run_hybrid()
+        clones = {job.origin_jid: job for job in sim.batch.jobs if job.origin_jid}
+        # Job 1: killed at t=5 with 3 of 4 iterations (1.25 s each)
+        # checkpointed; the resume replays the last iteration plus a 2 GB
+        # restart read over the shared 1e10 B/s PFS link (0.2 s).
+        assert clones[1].runtime == pytest.approx(1.25 + 0.2)
+        # Job 2 declared no checkpoint size: remaining work only.
+        assert clones[2].runtime == pytest.approx(2.0)
+
+    def test_corridor_capped_draw_with_invariants(self):
+        sim, monitor = run_hybrid(check_invariants=True)
+        assert sim.violations == []
+        energy = monitor.run_record()["energy"]
+        assert energy["max_power_watts"] == 2000.0
+        assert energy["corridor_watts"] == 2000.0
+
+
+class TestResponseTimeAdvantage:
+    #: One 10 s batch job owns the machine; an on-demand job arrives at
+    #: t=2 needing half of it.
+    SPEC = {
+        "platform": {
+            "nodes": {"count": 8, "flops": 1e12},
+            "network": {"topology": "star", "bandwidth": 1e10},
+        },
+        "workload": {
+            "inline": {
+                "jobs": [
+                    {
+                        "id": 1,
+                        "type": "rigid",
+                        "num_nodes": 8,
+                        "submit_time": 0.0,
+                        "application": {
+                            "phases": [{"tasks": [{"type": "cpu", "flops": 8e13}]}]
+                        },
+                    },
+                    {
+                        "id": 2,
+                        "type": "rigid",
+                        "num_nodes": 4,
+                        "submit_time": 2.0,
+                        "class": "on-demand",
+                        "application": {
+                            "phases": [{"tasks": [{"type": "cpu", "flops": 4e12}]}]
+                        },
+                    },
+                ]
+            }
+        },
+        "algorithm": "hybrid-corridor",
+    }
+
+    @staticmethod
+    def _response(algorithm):
+        spec = json.loads(json.dumps(TestResponseTimeAdvantage.SPEC))
+        spec["algorithm"] = algorithm
+        sim = Simulation.from_spec(spec)
+        sim.run()
+        job = next(j for j in sim.batch.jobs if j.jid == 2)
+        return job.start_time - job.submit_time
+
+    def test_hybrid_response_at_most_quarter_of_fcfs(self):
+        fcfs = self._response("fcfs")
+        hybrid = self._response("hybrid-corridor")
+        assert fcfs == pytest.approx(8.0)  # waits for the batch job
+        assert hybrid <= 0.25 * fcfs
+
+
+class TestPlacementHook:
+    def _spec(self):
+        return {
+            "platform": {
+                "nodes": {"count": 4, "flops": 1e9},
+                "network": {"topology": "star", "bandwidth": 1e10},
+            },
+            "workload": {
+                "inline": {
+                    "jobs": [
+                        {
+                            "id": 1,
+                            "type": "rigid",
+                            "num_nodes": 4,
+                            "submit_time": 0.0,
+                            "application": {
+                                "phases": [{"tasks": [{"type": "cpu", "flops": 4e9}]}]
+                            },
+                        }
+                    ]
+                }
+            },
+        }
+
+    def test_default_placement_uses_whole_allocation(self):
+        sim = Simulation.from_spec(self._spec())
+        sim.run()
+        assert sim.batch.jobs[0].runtime == pytest.approx(1.0)
+
+    def test_hook_narrows_the_task_to_chosen_nodes(self):
+        class PackOneNode(FcfsScheduler):
+            name = "pack-one"
+
+            def place_tasks(self, job, task, nodes):
+                return nodes[:1]
+
+        spec = self._spec()
+        sim = Simulation.from_spec(spec)
+        sim.batch.algorithm = PackOneNode()
+        sim.batch._has_placement = True
+        sim.run()
+        # 4e9 flops on one 1e9 flops node instead of four: 4 s, not 1 s.
+        assert sim.batch.jobs[0].runtime == pytest.approx(4.0)
+
+    def _run_with_placement(self, placement, *, num_nodes=4):
+        from repro.batch import BatchError
+
+        class BadPlacement(FcfsScheduler):
+            name = "bad-placement"
+
+            def place_tasks(self, job, task, nodes):
+                return placement(self, nodes)
+
+        spec = self._spec()
+        spec["workload"]["inline"]["jobs"][0]["num_nodes"] = num_nodes
+        sim = Simulation.from_spec(spec)
+        algorithm = BadPlacement()
+        algorithm.spare = sim.batch.platform.nodes[-1]
+        sim.batch.algorithm = algorithm
+        sim.batch._has_placement = True
+        return sim, BatchError
+
+    def test_empty_placement_is_rejected(self):
+        sim, BatchError = self._run_with_placement(lambda self, nodes: [])
+        with pytest.raises(BatchError, match="empty"):
+            sim.run()
+
+    def test_duplicate_placement_is_rejected(self):
+        sim, BatchError = self._run_with_placement(
+            lambda self, nodes: nodes[:1] * 2
+        )
+        with pytest.raises(BatchError, match="twice"):
+            sim.run()
+
+    def test_foreign_node_placement_is_rejected(self):
+        # The job holds 2 of 4 nodes; placing on the idle spare is illegal.
+        sim, BatchError = self._run_with_placement(
+            lambda self, nodes: [self.spare], num_nodes=2
+        )
+        with pytest.raises(BatchError, match="not part of the job's allocation"):
+            sim.run()
+
+
+#: Hybrid-pinned scenarios, every one powered and on-demand-heavy: the
+#: preemption machinery must never double-allocate a node or breach the
+#: corridor (both audited by the streaming invariant checker).
+PREEMPT_BUDGET = FuzzBudget(power_probability=1.0, ondemand_probability=1.0)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_preemption_preserves_alloc_invariants(seed):
+    scenario = generate_scenario(
+        seed, algorithm="hybrid-corridor", budget=PREEMPT_BUDGET
+    )
+    # Raises InvariantViolation on any double-alloc / corridor breach.
+    run_scenario_record(scenario, check_invariants=True)

@@ -111,3 +111,64 @@ class TestEndToEnd:
         job, retry, monitor = self._run(checkpoint_restart=True)
         total_points = job.scheduling_points_seen + retry.scheduling_points_seen
         assert total_points == 10
+
+
+class TestPreemptionRestartCost:
+    """Preemption-driven checkpoint/restart I/O, pinned to exact costs.
+
+    Reuses the deterministic hybrid scenario (see
+    ``tests/scheduler/test_hybrid``): job 1 is preempted at t=5 with 3 of
+    4 iterations (1.25 s each) checkpointed, and resumes with a restart
+    phase that reads its checkpoint back over the shared 1e10 B/s PFS.
+    """
+
+    def _resumed_runtime(self, checkpoint_bytes):
+        import json
+
+        from tests.scheduler.test_hybrid import HYBRID_SPEC
+
+        spec = json.loads(json.dumps(HYBRID_SPEC))
+        job_spec = spec["workload"]["inline"]["jobs"][0]
+        if checkpoint_bytes:
+            job_spec["checkpoint_bytes"] = checkpoint_bytes
+        else:
+            del job_spec["checkpoint_bytes"]
+        sim = Simulation.from_spec(spec)
+        sim.run()
+        retry = next(j for j in sim.batch.jobs if j.origin_jid == 1)
+        assert retry.state is JobState.COMPLETED
+        return retry.runtime
+
+    @pytest.mark.parametrize("checkpoint_bytes", [2e9, 8e9])
+    def test_restart_read_volume_matches_declared_checkpoint(
+        self, checkpoint_bytes
+    ):
+        # The EVEN-distributed restart read moves exactly the declared
+        # bytes in total, so its duration on the saturated 1e10 B/s PFS
+        # is bytes/1e10 on top of the 1.25 s of replayed compute —
+        # linear in the spec value, independent of the allocation width.
+        runtime = self._resumed_runtime(checkpoint_bytes)
+        assert runtime == pytest.approx(1.25 + checkpoint_bytes / 1e10)
+
+    def test_no_checkpoint_bytes_means_free_restart(self):
+        spec_runtime = self._resumed_runtime(0)
+        assert spec_runtime == pytest.approx(1.25)
+
+
+class TestResumedWorkBitForBit:
+    def test_resumed_compute_equals_remaining_work_exactly(self, platform):
+        # A clone resumed from marker (0, k, n) must reproduce a job
+        # built from the remaining n-k iterations bit-for-bit: same
+        # runtime floats, same makespan — resume trims iterations, it
+        # never rescales the per-iteration work.
+        flops = 9.7e9  # 1.2125.. s per iteration: not a round binary float
+        resumed_job = iterated_job(flops_per_iter=flops)
+        resumed_job.checkpoint_marker = (0, 4, 10)
+        clone = resumed_job.clone_for_requeue(2, submit_time=0.0, resume=True)
+        clone_monitor = Simulation(platform, [clone], algorithm="fcfs").run()
+
+        fresh = iterated_job(jid=3, iterations=6, flops_per_iter=flops)
+        fresh_monitor = Simulation(platform, [fresh], algorithm="fcfs").run()
+
+        assert clone.runtime == fresh.runtime
+        assert clone_monitor.makespan() == fresh_monitor.makespan()

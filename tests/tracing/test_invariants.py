@@ -190,6 +190,134 @@ class TestSyntheticViolations:
         assert len(checker.violations) == before
 
 
+def feed_power(tracer_ops, *, num_nodes=None, power=None):
+    """Like :func:`feed`, but with a power profile armed at construction."""
+    tracer = Tracer()
+    for method, args, kwargs in tracer_ops:
+        getattr(tracer, method)(*args, **kwargs)
+    return InvariantChecker(num_nodes=num_nodes, power=power).check(tracer.records)
+
+
+#: Uniform 4-node machine: 100 W idle, 300 W busy, corridor sized for
+#: exactly one busy node (4*100 + 200 = 600 W).
+ONE_BUSY_CORRIDOR = {
+    "idle": 100.0,
+    "peak": 300.0,
+    "corridor": 600.0,
+    "enforced": True,
+}
+
+
+class TestPowerCorridor:
+    def test_overdraw_violates(self):
+        violations = feed_power(
+            [
+                ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.alloc", "node:1", "a", 1.0), {"node": 1, "jid": 1}),
+            ],
+            num_nodes=4,
+            power=ONE_BUSY_CORRIDOR,
+        )
+        assert names(violations) == ["power-corridor"]
+        assert "800" in violations[0].message and "600" in violations[0].message
+
+    def test_draw_at_the_corridor_is_clean(self):
+        violations = feed_power(
+            [
+                ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.release", "node:0", "a", 5.0), {"node": 0, "jid": 1}),
+            ],
+            num_nodes=4,
+            power=ONE_BUSY_CORRIDOR,
+        )
+        assert violations == []
+
+    def test_same_instant_transient_not_flagged(self):
+        # Release-then-realloc at one instant briefly shows two owners;
+        # only the settled state (one busy node) is audited.
+        violations = feed_power(
+            [
+                ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.alloc", "node:1", "a", 2.0), {"node": 1, "jid": 2}),
+                ("instant", ("node.release", "node:0", "a", 2.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.release", "node:1", "a", 3.0), {"node": 1, "jid": 2}),
+            ],
+            num_nodes=4,
+            power=ONE_BUSY_CORRIDOR,
+        )
+        assert violations == []
+
+    def test_unenforced_corridor_is_not_audited(self):
+        # Corridor-oblivious schedulers may exceed a declared corridor.
+        profile = dict(ONE_BUSY_CORRIDOR, enforced=False)
+        violations = feed_power(
+            [
+                ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.alloc", "node:1", "a", 1.0), {"node": 1, "jid": 1}),
+            ],
+            num_nodes=4,
+            power=profile,
+        )
+        assert violations == []
+
+    def test_failed_node_draws_zero(self):
+        # Corridor 550 < the healthy one-busy draw of 600; with node 1
+        # down (0 W) the same allocation reads 300 + 2*100 = 500, clean.
+        tight = dict(ONE_BUSY_CORRIDOR, corridor=550.0)
+        ops = [
+            ("instant", ("node.fail", "platform", "node:1", 0.0), {"node": 1}),
+            ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+            ("instant", ("node.release", "node:0", "a", 2.0), {"node": 0, "jid": 1}),
+        ]
+        assert feed_power(ops, num_nodes=4, power=tight) == []
+        # The repair restores the node's idle draw and the audit sees it.
+        repaired = ops[:2] + [
+            ("instant", ("node.repair", "platform", "node:1", 1.5), {"node": 1}),
+        ]
+        violations = feed_power(repaired, num_nodes=4, power=tight)
+        assert "power-corridor" in names(violations)
+
+    def test_arming_via_sim_start_record(self):
+        violations = feed(
+            [
+                (
+                    "instant",
+                    ("sim.start", "batch", "m", 0.0),
+                    {"nodes": 4, "power": dict(ONE_BUSY_CORRIDOR)},
+                ),
+                ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.alloc", "node:1", "a", 1.0), {"node": 1, "jid": 1}),
+            ]
+        )
+        assert "power-corridor" in names(violations)
+
+    def test_scalar_profile_without_node_count_stays_unarmed(self):
+        violations = feed_power(
+            [
+                ("instant", ("node.alloc", "node:0", "a", 1.0), {"node": 0, "jid": 1}),
+                ("instant", ("node.alloc", "node:1", "a", 1.0), {"node": 1, "jid": 1}),
+            ],
+            num_nodes=None,
+            power=ONE_BUSY_CORRIDOR,
+        )
+        assert violations == []
+
+    def test_per_node_wattage_lists(self):
+        profile = {
+            "idle": [100.0, 50.0, 100.0],
+            "peak": [300.0, 400.0, 300.0],
+            "corridor": 500.0,
+            "enforced": True,
+        }
+        violations = feed_power(
+            [
+                ("instant", ("node.alloc", "node:1", "a", 1.0), {"node": 1, "jid": 1}),
+            ],
+            power=profile,  # count inferred from the lists
+        )
+        assert names(violations) == ["power-corridor"]
+
+
 class TestInvariantViolationError:
     def test_message_previews_and_counts(self):
         from repro.tracing import Violation

@@ -107,6 +107,45 @@ class TestGenerateWorkload:
         jobs = generate_workload(WorkloadSpec(num_jobs=10), seed=0)
         assert all(j.type is JobType.RIGID for j in jobs)
 
+    def test_ondemand_fraction_exact_and_independent_of_type_mix(self):
+        from repro.job import JobClass
+
+        spec = WorkloadSpec(
+            num_jobs=40, malleable_fraction=0.5, ondemand_fraction=0.25
+        )
+        jobs = generate_workload(spec, seed=0)
+        ondemand = [j for j in jobs if j.job_class is JobClass.ON_DEMAND]
+        assert len(ondemand) == 10
+        # Class cuts across the type mix rather than tracking it.
+        assert {j.type for j in jobs if j.job_class is JobClass.ON_DEMAND} >= {
+            JobType.RIGID,
+            JobType.MALLEABLE,
+        }
+
+    def test_ondemand_draw_leaves_legacy_stream_untouched(self):
+        baseline = generate_workload(WorkloadSpec(num_jobs=20), seed=7)
+        classed = generate_workload(
+            WorkloadSpec(num_jobs=20, ondemand_fraction=0.5), seed=7
+        )
+        assert [j.submit_time for j in baseline] == [
+            j.submit_time for j in classed
+        ]
+        assert [j.user for j in baseline] == [j.user for j in classed]
+
+    def test_checkpoint_bytes_applied_to_every_job(self):
+        jobs = generate_workload(
+            WorkloadSpec(num_jobs=5, checkpoint_bytes=2e9), seed=0
+        )
+        assert all(j.checkpoint_bytes == 2e9 for j in jobs)
+
+    def test_class_spec_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="ondemand_fraction"):
+            WorkloadSpec(num_jobs=5, ondemand_fraction=1.5).validate()
+        with pytest.raises(ValueError, match="checkpoint_bytes"):
+            WorkloadSpec(num_jobs=5, checkpoint_bytes=-1.0).validate()
+
     def test_type_counts_never_oversubscribe(self):
         # Regression: independent int(round(...)) per class turned 3 jobs
         # at 0.5/0.5 into 2 malleable + 2 moldable, silently truncating
